@@ -1,0 +1,348 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (printing the same rows/series the paper reports) and times each
+   regeneration plus the core-operator scaling and the ablations
+   called out in DESIGN.md, with Bechamel.
+
+   Run with:  dune exec bench/main.exe            (everything)
+              dune exec bench/main.exe -- quick   (skip microbenchmarks)
+*)
+
+open Sheet_rel
+open Sheet_core
+open Bechamel
+open Bechamel.Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Paper-artifact regenerations (the workloads under test)            *)
+(* ------------------------------------------------------------------ *)
+
+let run_script_exn session script =
+  match Script.run_silent session script with
+  | Ok s -> s
+  | Error msg -> failwith ("script failed: " ^ msg)
+
+let cars_session () = Session.create ~name:"cars" Sample_cars.relation
+
+let table1_workload () =
+  Render.to_string (Session.current (cars_session ()))
+
+let table2_workload () =
+  let s =
+    run_script_exn (cars_session ())
+      "group Model desc\ngroup Year asc\norder Price asc\ngroup Year, \
+       Model, Condition asc"
+  in
+  Render.to_string (Session.current s)
+
+let table3_workload () =
+  let s =
+    run_script_exn (cars_session ())
+      "group Model desc\ngroup Year asc\norder Price asc\nagg avg Price \
+       level 3\nhide Condition"
+  in
+  Render.to_string (Session.current s)
+
+let table45_workload () =
+  let s =
+    run_script_exn (cars_session ())
+      "select Year = 2005\nselect Model = 'Jetta'\nselect Mileage < \
+       80000\ngroup Condition asc\norder Price asc"
+  in
+  let id =
+    (List.hd (Session.selections_on s "Year")).Query_state.id
+  in
+  let s = run_script_exn s (Printf.sprintf "replace %d Year = 2006" id) in
+  Render.to_string (Session.current s)
+
+let study_report () =
+  Sheet_study.Report.of_observations (Sheet_study.Simulator.run ())
+
+let tpch_catalog =
+  lazy
+    (Sheet_tpch.Tpch_views.install
+       (Sheet_tpch.Tpch_gen.generate
+          { Sheet_tpch.Tpch_gen.sf = 0.001; seed = 42 }))
+
+let theorem1_workload () =
+  let catalog = Lazy.force tpch_catalog in
+  List.iter
+    (fun task ->
+      match Sheet_tpch.Tpch_tasks.verify catalog task with
+      | Ok () -> ()
+      | Error msg -> failwith msg)
+    Sheet_tpch.Tpch_tasks.all
+
+(* ------------------------------------------------------------------ *)
+(* Printing the paper's rows/series                                   *)
+(* ------------------------------------------------------------------ *)
+
+let print_artifacts () =
+  print_endline "============================================================";
+  print_endline " Paper artifacts (same rows/series as the paper reports)";
+  print_endline "============================================================";
+  Printf.printf "\n--- Table I ---\n%s" (table1_workload ());
+  Printf.printf "\n--- Table II ---\n%s" (table2_workload ());
+  Printf.printf "\n--- Table III ---\n%s" (table3_workload ());
+  Printf.printf "\n--- Tables IV/V (after modification) ---\n%s"
+    (table45_workload ());
+  let report = study_report () in
+  Printf.printf "\n--- Figures 3-5, Table VI, significance ---\n\n%s"
+    (Sheet_study.Report.render report);
+  Printf.printf "\n--- Theorem 1 (all 10 TPC-H tasks, sheet == SQL) ---\n";
+  (try
+     theorem1_workload ();
+     print_endline "all 10 tasks verified"
+   with Failure msg -> print_endline ("FAILED: " ^ msg))
+
+(* ------------------------------------------------------------------ *)
+(* Operator-scaling and ablation workloads                            *)
+(* ------------------------------------------------------------------ *)
+
+let scaled_sheet n =
+  Spreadsheet.of_relation ~name:"cars_n"
+    (Sample_cars.scaled ~rows:n ~seed:7)
+
+let apply_exn sheet op =
+  match Engine.apply sheet op with
+  | Ok s -> s
+  | Error e -> failwith (Errors.to_string e)
+
+let pred = Expr_parse.parse_string_exn "Price < 20000 AND Year >= 2003"
+
+let selection_workload sheet () =
+  let s = apply_exn sheet (Op.Select pred) in
+  ignore (Materialize.full s)
+
+let grouping_workload sheet () =
+  let s =
+    apply_exn sheet (Op.Group { basis = [ "Model" ]; dir = Grouping.Asc })
+  in
+  let s =
+    apply_exn s (Op.Group { basis = [ "Year" ]; dir = Grouping.Asc })
+  in
+  ignore (Materialize.full s)
+
+let aggregation_workload sheet () =
+  let s =
+    apply_exn sheet (Op.Group { basis = [ "Model" ]; dir = Grouping.Asc })
+  in
+  let s =
+    apply_exn s
+      (Op.Aggregate
+         { fn = Expr.Avg; col = Some "Price"; level = 2; as_name = None })
+  in
+  ignore (Materialize.full s)
+
+let dedup_workload sheet () =
+  let s = apply_exn sheet (Op.Project "ID") in
+  let s = apply_exn s Op.Dedup in
+  ignore (Materialize.full s)
+
+(* Ablation 1: precedence-stratified replay with k separate selections
+   versus one merged conjunction (the cost of modifiability). *)
+let replay_ablation sheet ~k ~merged () =
+  let preds =
+    List.init k (fun i ->
+        Expr_parse.parse_string_exn
+          (Printf.sprintf "Mileage < %d" (150000 - (i * 1000))))
+  in
+  let s =
+    if merged then
+      apply_exn sheet
+        (Op.Select
+           (List.fold_left
+              (fun acc p -> Expr.And (acc, p))
+              (List.hd preds) (List.tl preds)))
+    else List.fold_left (fun s p -> apply_exn s (Op.Select p)) sheet preds
+  in
+  ignore (Materialize.full s)
+
+(* Ablation 2: computed-column recomputation cost as columns pile up. *)
+let computed_ablation sheet ~k () =
+  let s =
+    apply_exn sheet (Op.Group { basis = [ "Model" ]; dir = Grouping.Asc })
+  in
+  let s =
+    List.fold_left
+      (fun s i ->
+        apply_exn s
+          (Op.Aggregate
+             { fn = Expr.Avg; col = Some "Price"; level = 2;
+               as_name = Some (Printf.sprintf "avg_%d" i) }))
+      s
+      (List.init k Fun.id)
+  in
+  ignore (Materialize.full s)
+
+(* Ablation 3: incremental materialization (Session seeds the cache
+   from the parent sheet) vs full stratified replay at every step. *)
+let pipeline_ops =
+  [ Op.Group { basis = [ "Model" ]; dir = Grouping.Asc };
+    Op.Select (Expr_parse.parse_string_exn "Year >= 2003");
+    Op.Aggregate
+      { fn = Expr.Avg; col = Some "Price"; level = 2; as_name = Some "ap" };
+    Op.Select (Expr_parse.parse_string_exn "Price <= ap");
+    Op.Formula
+      { name = Some "d";
+        expr = Expr_parse.parse_string_exn "ap - Price" };
+    Op.Order { attr = "d"; dir = Grouping.Desc; level = 2 };
+    Op.Project "Condition" ]
+
+let incremental_pipeline rel () =
+  let session = Session.create ~name:"cars_n" rel in
+  ignore
+    (List.fold_left
+       (fun session op ->
+         match Session.apply session op with
+         | Ok session ->
+             (* redisplay after each step, as the interface would *)
+             ignore (Session.materialized session);
+             session
+         | Error e -> failwith (Errors.to_string e))
+       session pipeline_ops)
+
+let full_replay_pipeline rel () =
+  ignore
+    (List.fold_left
+       (fun sheet op ->
+         match Engine.apply sheet op with
+         | Ok sheet ->
+             ignore (Materialize.full sheet);
+             sheet
+         | Error e -> failwith (Errors.to_string e))
+       (Spreadsheet.of_relation ~name:"cars_n" rel)
+       pipeline_ops)
+
+(* Ablation 5: raw compiled plan vs optimized plan (filter fusion +
+   pushdown + projection pruning) on a selective pipeline. *)
+let plan_sheet =
+  lazy
+    (let rel = Sample_cars.scaled ~rows:4000 ~seed:7 in
+     List.fold_left apply_exn
+       (Spreadsheet.of_relation ~name:"cars_n" rel)
+       [ Op.Formula
+           { name = Some "f1";
+             expr = Expr_parse.parse_string_exn "Price * 2" };
+         Op.Formula
+           { name = Some "f2";
+             expr = Expr_parse.parse_string_exn "Mileage / 1000" };
+         Op.Select (Expr_parse.parse_string_exn "Year >= 2006");
+         Op.Select (Expr_parse.parse_string_exn "Price < 18000");
+         Op.Group { basis = [ "Model" ]; dir = Grouping.Asc };
+         Op.Project "Condition" ])
+
+let plan_workload ~mode () =
+  let sheet = Lazy.force plan_sheet in
+  let plan = Plan.of_sheet sheet in
+  let plan =
+    match mode with
+    | `Raw -> plan
+    | `Rewrites ->
+        (* fusion + pushdown only: keep every produced column *)
+        Plan.optimize plan
+    | `Pruned ->
+        Plan.optimize ~keep:(Spreadsheet.visible_columns sheet) plan
+  in
+  ignore (Plan.execute plan)
+
+(* Ablation 4: group-tree presentation vs flat-sort emulation
+   (Sec. II-A: recursive grouping can be emulated by one ordering). *)
+let grouping_vs_sort sheet ~tree () =
+  if tree then begin
+    let s =
+      apply_exn sheet
+        (Op.Group { basis = [ "Model"; "Year" ]; dir = Grouping.Asc })
+    in
+    let rel = Materialize.full s in
+    ignore (Materialize.finest_group_boundaries s rel)
+  end
+  else
+    ignore
+      (Rel_algebra.sort
+         [ ("Model", `Asc); ("Year", `Asc) ]
+         (Sample_cars.scaled ~rows:2000 ~seed:7))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel driver                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let tests =
+  let t name f = Test.make ~name (Staged.stage f) in
+  let sheet_1k = scaled_sheet 1000 in
+  let sheet_4k = scaled_sheet 4000 in
+  [ (* one bench per paper table/figure *)
+    t "table1/base-spreadsheet" (fun () -> ignore (table1_workload ()));
+    t "table2/grouping" (fun () -> ignore (table2_workload ()));
+    t "table3/aggregation" (fun () -> ignore (table3_workload ()));
+    t "table45/query-modification" (fun () -> ignore (table45_workload ()));
+    t "fig3-5+table6/study-simulation" (fun () -> ignore (study_report ()));
+    t "theorem1/tpch-task-equivalence" theorem1_workload;
+    (* operator scaling *)
+    t "op/selection-1k" (selection_workload sheet_1k);
+    t "op/selection-4k" (selection_workload sheet_4k);
+    t "op/grouping-1k" (grouping_workload sheet_1k);
+    t "op/grouping-4k" (grouping_workload sheet_4k);
+    t "op/aggregation-1k" (aggregation_workload sheet_1k);
+    t "op/aggregation-4k" (aggregation_workload sheet_4k);
+    t "op/dedup-1k" (dedup_workload sheet_1k);
+    (* ablations *)
+    t "ablation/replay-8-selections"
+      (replay_ablation sheet_1k ~k:8 ~merged:false);
+    t "ablation/replay-merged-conjunction"
+      (replay_ablation sheet_1k ~k:8 ~merged:true);
+    t "ablation/computed-1-column" (computed_ablation sheet_1k ~k:1);
+    t "ablation/computed-8-columns" (computed_ablation sheet_1k ~k:8);
+    t "ablation/incremental-pipeline"
+      (incremental_pipeline (Sample_cars.scaled ~rows:1000 ~seed:7));
+    t "ablation/full-replay-pipeline"
+      (full_replay_pipeline (Sample_cars.scaled ~rows:1000 ~seed:7));
+    t "ablation/plan-raw" (plan_workload ~mode:`Raw);
+    t "ablation/plan-fusion-pushdown" (plan_workload ~mode:`Rewrites);
+    t "ablation/plan-pruned" (plan_workload ~mode:`Pruned);
+    t "ablation/group-tree" (grouping_vs_sort sheet_1k ~tree:true);
+    t "ablation/flat-sort-emulation" (grouping_vs_sort sheet_1k ~tree:false)
+  ]
+
+let run_benchmarks () =
+  print_endline "\n============================================================";
+  print_endline " Microbenchmarks (Bechamel, monotonic clock)";
+  print_endline "============================================================\n";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  Printf.printf "%-40s %14s\n" "benchmark" "time/run";
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let estimate =
+            match Analyze.OLS.estimates ols_result with
+            | Some (x :: _) -> x
+            | _ -> nan
+          in
+          let pretty =
+            if Float.is_nan estimate then "n/a"
+            else if estimate > 1e9 then
+              Printf.sprintf "%8.2f s " (estimate /. 1e9)
+            else if estimate > 1e6 then
+              Printf.sprintf "%8.2f ms" (estimate /. 1e6)
+            else if estimate > 1e3 then
+              Printf.sprintf "%8.2f us" (estimate /. 1e3)
+            else Printf.sprintf "%8.0f ns" estimate
+          in
+          Printf.printf "%-40s %14s\n%!" name pretty)
+        results)
+    tests
+
+let () =
+  let quick =
+    Array.length Sys.argv > 1 && Sys.argv.(1) = "quick"
+  in
+  print_artifacts ();
+  if not quick then run_benchmarks ()

@@ -1,0 +1,141 @@
+(* sheetsql — a small SQL shell over the engine, with Theorem-1
+   translation on demand.
+
+   Usage:
+     sheetsql                      cars example database
+     sheetsql --tpch [sf]          generated TPC-H catalog (+ views)
+     sheetsql a.csv b.csv ...      one table per CSV file
+
+   Commands:
+     <any core single-block SQL statement>;   run it
+     \t <SQL>      show the spreadsheet-algebra translation, then run
+                   it both ways and compare
+     \d            list tables
+     \d <table>    describe a table
+     \q            quit
+
+   This is the "Navicat side" of the repository made tangible: the
+   same queries the direct-manipulation REPL (bin/sheetmusiq.exe)
+   builds step by step can be typed here as SQL — and \t shows the
+   paper's Theorem-1 procedure turning them back into manipulation
+   sequences. *)
+
+open Sheet_rel
+open Sheet_sql
+
+let build_catalog () =
+  let argv = Sys.argv in
+  if Array.length argv > 1 && argv.(1) = "--tpch" then begin
+    let sf =
+      if Array.length argv > 2 then
+        Option.value (float_of_string_opt argv.(2)) ~default:0.002
+      else 0.002
+    in
+    Sheet_tpch.Tpch_views.install
+      (Sheet_tpch.Tpch_gen.generate { Sheet_tpch.Tpch_gen.sf; seed = 42 })
+  end
+  else if Array.length argv > 1 then begin
+    let catalog = Catalog.create () in
+    Array.iteri
+      (fun i path ->
+        if i > 0 then
+          let name =
+            Filename.remove_extension (Filename.basename path)
+          in
+          match Csv.load_relation (Csv.read_file path) with
+          | rel -> Catalog.add catalog ~name rel
+          | exception (Csv.Csv_error msg | Sys_error msg) ->
+              Printf.eprintf "skipping %s: %s\n" path msg)
+      argv;
+    catalog
+  end
+  else Catalog.of_list [ ("cars", Sample_cars.relation) ]
+
+let list_tables catalog =
+  List.iter
+    (fun name ->
+      let rel = Catalog.find_exn catalog name in
+      Printf.printf "  %-24s %6d rows, %d columns\n" name
+        (Relation.cardinality rel)
+        (Schema.arity (Relation.schema rel)))
+    (Catalog.names catalog)
+
+let describe catalog name =
+  match Catalog.find catalog name with
+  | None -> Printf.printf "no table %S\n" name
+  | Some rel ->
+      List.iter
+        (fun c ->
+          Printf.printf "  %-24s %s\n" c.Schema.name
+            (Value.type_name c.Schema.ty))
+        (Schema.columns (Relation.schema rel))
+
+let run_sql catalog sql =
+  match Sql_executor.run_string catalog sql with
+  | Ok rel ->
+      Table_print.print rel;
+      Printf.printf "(%d rows)\n" (Relation.cardinality rel)
+  | Error msg -> Printf.printf "error: %s\n" msg
+
+let translate_and_run catalog sql =
+  match Sql_parser.parse sql with
+  | Error msg -> Printf.printf "parse error: %s\n" msg
+  | Ok query -> (
+      match Sql_to_sheet.translate catalog query with
+      | Error msg -> Printf.printf "cannot translate: %s\n" msg
+      | Ok plan ->
+          Printf.printf "-- start on spreadsheet %S, then:\n"
+            plan.Sql_to_sheet.first_relation;
+          List.iteri
+            (fun i op ->
+              Printf.printf "  %2d. %s\n" (i + 1)
+                (Sheet_core.Op.describe op))
+            plan.Sql_to_sheet.ops;
+          (match
+             ( Sql_executor.run catalog query,
+               Sql_to_sheet.execute catalog query )
+           with
+          | Ok expected, Ok actual ->
+              Table_print.print actual;
+              if
+                Relation.equal_unordered_data
+                  (Relation.normalize expected)
+                  (Relation.normalize actual)
+              then print_endline "-- spreadsheet result matches SQL"
+              else print_endline "-- MISMATCH against the SQL executor!"
+          | Error msg, _ | _, Error msg ->
+              Printf.printf "error: %s\n" msg))
+
+let () =
+  let catalog = build_catalog () in
+  Printf.printf
+    "sheetsql -- core single-block SQL over the spreadsheet engine.\n\
+     Tables:\n";
+  list_tables catalog;
+  Printf.printf "\\d to list tables, \\t <sql> to translate, \\q to quit.\n";
+  let buffer = Buffer.create 256 in
+  (try
+     while true do
+       Printf.printf (if Buffer.length buffer = 0 then "sql> %!" else "...> %!");
+       let line = input_line stdin in
+       let trimmed = String.trim line in
+       if trimmed = "\\q" then raise Exit
+       else if trimmed = "\\d" then list_tables catalog
+       else if String.length trimmed > 3 && String.sub trimmed 0 3 = "\\d " then
+         describe catalog (String.trim (String.sub trimmed 3 (String.length trimmed - 3)))
+       else if String.length trimmed >= 3 && String.sub trimmed 0 3 = "\\t " then
+         translate_and_run catalog
+           (String.sub trimmed 3 (String.length trimmed - 3))
+       else begin
+         Buffer.add_string buffer line;
+         Buffer.add_char buffer ' ';
+         if String.length trimmed > 0
+            && trimmed.[String.length trimmed - 1] = ';' then begin
+           let sql = Buffer.contents buffer in
+           Buffer.clear buffer;
+           run_sql catalog sql
+         end
+       end
+     done
+   with Exit | End_of_file -> ());
+  print_endline "bye."

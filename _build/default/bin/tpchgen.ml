@@ -1,0 +1,64 @@
+(* tpchgen — dump the synthetic TPC-H catalog to CSV files.
+
+   Usage: tpchgen [<output-dir>] [--sf <float>] [--seed <int>] [--views]
+
+   Writes one CSV per base table (and, with --views, per study view)
+   into the output directory (default ./tpch-data). The files load
+   straight back into the REPL (`sheetmusiq lineitem.csv`) or the SQL
+   shell (`sheetsql *.csv`). *)
+
+open Sheet_rel
+
+let () =
+  let dir = ref "tpch-data" in
+  let sf = ref Sheet_tpch.Tpch_gen.default.Sheet_tpch.Tpch_gen.sf in
+  let seed = ref Sheet_tpch.Tpch_gen.default.Sheet_tpch.Tpch_gen.seed in
+  let views = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--sf" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f > 0.0 -> sf := f
+        | _ ->
+            prerr_endline "tpchgen: --sf expects a positive number";
+            exit 2);
+        parse rest
+    | "--seed" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some s -> seed := s
+        | None ->
+            prerr_endline "tpchgen: --seed expects an integer";
+            exit 2);
+        parse rest
+    | "--views" :: rest ->
+        views := true;
+        parse rest
+    | arg :: rest when String.length arg > 0 && arg.[0] <> '-' ->
+        dir := arg;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "tpchgen: unknown option %s\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let catalog =
+    Sheet_tpch.Tpch_gen.generate { Sheet_tpch.Tpch_gen.sf = !sf; seed = !seed }
+  in
+  let catalog =
+    if !views then Sheet_tpch.Tpch_views.install catalog else catalog
+  in
+  (try Unix.mkdir !dir 0o755 with
+  | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  | Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "tpchgen: cannot create %s: %s\n" !dir
+        (Unix.error_message e);
+      exit 1);
+  List.iter
+    (fun name ->
+      let rel = Sheet_sql.Catalog.find_exn catalog name in
+      let path = Filename.concat !dir (name ^ ".csv") in
+      Csv.write_file path (Csv.of_relation rel);
+      Printf.printf "%-24s %6d rows -> %s\n" name
+        (Relation.cardinality rel) path)
+    (Sheet_sql.Catalog.names catalog);
+  Printf.printf "done (sf = %g, seed = %d)\n" !sf !seed

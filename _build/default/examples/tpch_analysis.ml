@@ -1,0 +1,114 @@
+(* Decision-support analysis on TPC-H data through the spreadsheet
+   algebra.
+
+   Run with:  dune exec examples/tpch_analysis.exe
+
+   Generates the synthetic TPC-H catalog (DESIGN.md §3), installs the
+   study views, and walks through three of the study's query tasks by
+   direct manipulation — then goes beyond them with a binary-operator
+   session (save / join / difference), the part of the algebra the
+   study tasks don't need. *)
+
+
+open Sheet_core
+open Sheet_tpch
+
+let run session command =
+  match Script.run_silent session command with
+  | Ok session -> session
+  | Error msg -> failwith (command ^ ": " ^ msg)
+
+let show title session =
+  Printf.printf "\n=== %s ===\n\n" title;
+  Render.print ~max_rows:12 (Session.current session)
+
+let () =
+  let catalog =
+    Tpch_views.install (Tpch_gen.generate Tpch_gen.default)
+  in
+  Printf.printf "Generated TPC-H catalog (sf = %.3f):\n"
+    Tpch_gen.default.Tpch_gen.sf;
+  List.iter
+    (fun (name, n) -> Printf.printf "  %-20s %6d rows\n" name n)
+    (Tpch_gen.row_counts catalog);
+
+  let session_on name =
+    let session =
+      Session.create ~name (Sheet_sql.Catalog.find_exn catalog name)
+    in
+    (* store every table so binary operators can reach them *)
+    List.iter
+      (fun n ->
+        Store.save (Session.store session) ~name:n
+          (Spreadsheet.of_relation ~name:n
+             (Sheet_sql.Catalog.find_exn catalog n)))
+      (Sheet_sql.Catalog.names catalog);
+    session
+  in
+
+  (* Study task 1: the pricing summary (TPC-H Q1 analogue). *)
+  let t1 = Tpch_tasks.find 1 in
+  let session = session_on t1.Tpch_tasks.base in
+  let session = run session t1.Tpch_tasks.script in
+  show "Task 1 — pricing summary by return flag / line status" session;
+
+  (* Study task 4: returned items by customer. *)
+  let t4 = Tpch_tasks.find 4 in
+  let session = session_on t4.Tpch_tasks.base in
+  let session = run session t4.Tpch_tasks.script in
+  show "Task 4 — revenue of returned items per customer" session;
+
+  (* Study task 9: group qualification without writing HAVING. *)
+  let t9 = Tpch_tasks.find 9 in
+  let session = session_on t9.Tpch_tasks.base in
+  let session = run session t9.Tpch_tasks.script in
+  show "Task 9 — busy clerks (a HAVING query, zero SQL)" session;
+
+  (* Beyond the tasks: binary operators. Which nations have customers
+     but no suppliers? Set difference over projected name sheets. *)
+  let session = session_on "customer" in
+  let session =
+    run session
+      {|hide c_custkey
+hide c_name
+hide c_address
+hide c_phone
+hide c_acctbal
+hide c_mktsegment
+hide c_comment
+dedup
+save customer_nations|}
+  in
+  Printf.printf
+    "\n=== Nations with customers (deduplicated nation keys) ===\n\n";
+  Render.print ~max_rows:10 (Session.current session);
+
+  let session = run session "open supplier" in
+  let session =
+    run session
+      {|hide s_suppkey
+hide s_name
+hide s_address
+hide s_phone
+hide s_acctbal
+hide s_comment
+dedup
+rename s_nationkey c_nationkey
+save supplier_nations|}
+  in
+  Printf.printf "\n(supplier nations stored; taking the difference)\n";
+  let session = run session "open customer_nations" in
+  let session = run session "except supplier_nations" in
+  show "Customer nations without any supplier" session;
+
+  (* Join the survivors back to readable nation names. *)
+  let session = run session "join nation on c_nationkey = n_nationkey" in
+  let session =
+    run session
+      {|hide n_nationkey
+hide n_regionkey
+hide n_comment
+dedup
+order n_name asc|}
+  in
+  show "…with their names" session

@@ -1,0 +1,92 @@
+(* Sam's used-car search — the paper's running scenario, end to end.
+
+   Run with:  dune exec examples/used_car_search.exe
+
+   Sam wants a late-model sedan in good or excellent condition,
+   grouped by model and ordered by price; he compares prices against
+   the per-group average (Figs. 1-2), then changes his mind about the
+   year (Tables IV-V). Along the way we show what the contextual menu
+   (Sec. VI) offers at each point. *)
+
+open Sheet_rel
+open Sheet_core
+open Sheet_ui
+
+let run session command =
+  match Script.run_silent session command with
+  | Ok session -> session
+  | Error msg -> failwith (command ^ ": " ^ msg)
+
+let show title session =
+  Printf.printf "\n=== %s ===\n\n" title;
+  Render.print (Session.current session)
+
+let show_menu title sheet target =
+  Printf.printf "\n--- contextual menu: %s ---\n%s\n" title
+    (Context_menu.describe (Context_menu.menu sheet target))
+
+let () =
+  let session = Session.create ~name:"cars" Sample_cars.relation in
+  show "The dealership's database" session;
+
+  (* Sam right-clicks the Condition header: what can he do? *)
+  show_menu "right-click on \"Condition\""
+    (Session.current session)
+    (Context_menu.Header "Condition");
+
+  (* He cares about Model and Price the most. *)
+  let session = run session "group Model asc\ngroup Year asc" in
+  let session = run session "order Price asc" in
+  let session =
+    run session "select Condition IN ('Good', 'Excellent')"
+  in
+  show "Grouped by Model and Year, good-or-better condition" session;
+
+  (* "Now he wants to know the average price for the Model and Year so
+     that he does not overpay" — Fig. 1's aggregation dialog. *)
+  show_menu "right-click a Price cell"
+    (Session.current session)
+    (Context_menu.Cell { column = "Price"; value = Value.Int 15000 });
+  let session = run session "agg avg Price level 3" in
+  show "With the per-(Model, Year) average price (Table III)" session;
+
+  (* "Now he can filter out all cars more expensive than the average"
+     — Fig. 2. *)
+  let session = run session "select Price <= Avg_Price" in
+  show "Cars at or below their group average" session;
+
+  (* The budget talk: Sam starts over with the Tables IV/V query. *)
+  Printf.printf "\n(Starting the Tables IV-V scenario.)\n";
+  let session = Session.create ~name:"cars" Sample_cars.relation in
+  let session =
+    run session
+      {|select Year = 2005
+select Model = 'Jetta'
+select Mileage < 80000
+group Condition asc
+order Price asc|}
+  in
+  show "Table IV — before query modification" session;
+
+  (* He right-clicks Year: the menu lists the predicate to modify. *)
+  show_menu "right-click on \"Year\""
+    (Session.current session)
+    (Context_menu.Header "Year");
+
+  let year_sel =
+    List.hd (Session.selections_on session "Year")
+  in
+  let session =
+    match
+      Session.replace_selection session ~id:year_sel.Query_state.id
+        (Expr_parse.parse_string_exn "Year = 2006")
+    with
+    | Ok s -> s
+    | Error e -> failwith (Errors.to_string e)
+  in
+  show "Table V — after changing Year = 2005 to Year = 2006" session;
+
+  Printf.printf "\nHistory:\n";
+  List.iter
+    (fun e -> Printf.printf "  %2d. %s\n" e.Session.index e.Session.label)
+    (Session.history session)

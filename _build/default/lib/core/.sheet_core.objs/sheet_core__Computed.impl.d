@@ -1,0 +1,1 @@
+lib/core/computed.ml: Expr Format Option Printf Sheet_rel Value

@@ -1,0 +1,1 @@
+lib/core/computed.mli: Format Sheet_rel

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Computed Errors Expr Expr_check Grouping List Materialize Op Printf Query_state Rel_algebra Relation Result Row Schema Sheet_rel Spreadsheet Store String Value

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Errors Expr Op Query_state Sheet_rel Spreadsheet Store

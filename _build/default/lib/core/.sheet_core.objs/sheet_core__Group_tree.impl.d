@@ -1,0 +1,1 @@
+lib/core/group_tree.ml: Buffer Grouping List Materialize Option Printf Relation Row Schema Sheet_rel Spreadsheet String Value

@@ -1,0 +1,1 @@
+lib/core/group_tree.mli: Row Schema Sheet_rel Spreadsheet Value

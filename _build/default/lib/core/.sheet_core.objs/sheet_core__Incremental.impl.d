@@ -1,0 +1,1 @@
+lib/core/incremental.ml: Computed Expr Expr_eval Grouping Hashtbl List Materialize Op Option Query_state Rel_algebra Relation Row Schema Sheet_rel Spreadsheet Value

@@ -1,0 +1,1 @@
+lib/core/incremental.mli: Op Relation Sheet_rel Spreadsheet

@@ -1,0 +1,1 @@
+lib/core/materialize.ml: Array Computed Expr Expr_eval Grouping Hashtbl List Option Printf Query_state Rel_algebra Relation Row Schema Sheet_rel Spreadsheet Value

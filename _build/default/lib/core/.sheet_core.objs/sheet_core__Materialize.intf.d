@@ -1,0 +1,1 @@
+lib/core/materialize.mli: Relation Sheet_rel Spreadsheet

@@ -1,0 +1,1 @@
+lib/core/op.ml: Expr Format Grouping Printf Sheet_rel String

@@ -1,0 +1,1 @@
+lib/core/op.mli: Expr Format Grouping Sheet_rel

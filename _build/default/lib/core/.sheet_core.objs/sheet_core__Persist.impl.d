@@ -1,0 +1,1 @@
+lib/core/persist.ml: Buffer Computed Csv Expr Expr_parse Grouping List Option Printf Query_state Relation Row Schema Sheet_rel Spreadsheet String Value

@@ -1,0 +1,1 @@
+lib/core/plan.ml: Buffer Computed Expr Expr_eval Expr_simplify Grouping Hashtbl List Option Printf Query_state Rel_algebra Relation Row Schema Sheet_rel Spreadsheet String Value

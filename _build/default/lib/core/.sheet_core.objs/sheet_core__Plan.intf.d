@@ -1,0 +1,1 @@
+lib/core/plan.mli: Expr Relation Sheet_rel Spreadsheet Value

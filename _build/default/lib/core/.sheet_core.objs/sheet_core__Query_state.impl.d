@@ -1,0 +1,1 @@
+lib/core/query_state.ml: Computed Expr Grouping List Option Printf Sheet_rel

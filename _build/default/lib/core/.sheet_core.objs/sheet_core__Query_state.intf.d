@@ -1,0 +1,1 @@
+lib/core/query_state.mli: Computed Expr Grouping Sheet_rel

@@ -1,0 +1,1 @@
+lib/core/render.ml: Format Grouping List Materialize Printf Rel_algebra Relation Row Schema Sheet_rel Spreadsheet Table_print Value

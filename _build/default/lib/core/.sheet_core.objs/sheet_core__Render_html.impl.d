@@ -1,0 +1,1 @@
+lib/core/render_html.ml: Buffer Csv Grouping List Materialize Option Printf Rel_algebra Relation Render Row Schema Sheet_rel Spreadsheet String Value

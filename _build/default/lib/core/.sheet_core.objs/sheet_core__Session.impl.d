@@ -1,0 +1,1 @@
+lib/core/session.ml: Engine Errors Expr Incremental List Materialize Op Option Printf Sheet_rel Spreadsheet Store

@@ -1,0 +1,1 @@
+lib/core/session.mli: Errors Expr Op Query_state Relation Sheet_rel Spreadsheet Store

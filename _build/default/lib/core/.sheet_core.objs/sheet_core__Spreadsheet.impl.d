@@ -1,0 +1,1 @@
+lib/core/spreadsheet.ml: Computed Format Grouping List Option Printf Query_state Relation Schema Sheet_rel String

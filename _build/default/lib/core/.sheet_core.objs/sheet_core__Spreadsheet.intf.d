@@ -1,0 +1,1 @@
+lib/core/spreadsheet.mli: Format Grouping Query_state Relation Schema Sheet_rel

@@ -1,0 +1,1 @@
+lib/core/store.ml: Hashtbl List Spreadsheet String

@@ -1,0 +1,38 @@
+open Sheet_rel
+
+type spec =
+  | Aggregate of { fn : Expr.agg_fun; arg : Expr.t option; level : int }
+  | Formula of Expr.t
+
+type t = { name : string; ty : Value.vtype; spec : spec }
+
+let referenced_columns t =
+  match t.spec with
+  | Aggregate { arg = None; _ } -> []
+  | Aggregate { arg = Some e; _ } | Formula e -> Expr.columns e
+
+let is_aggregate t =
+  match t.spec with Aggregate _ -> true | Formula _ -> false
+
+let rename_refs t ~old_name ~new_name =
+  let ren e =
+    Expr.map_columns (fun c -> if c = old_name then new_name else c) e
+  in
+  let spec =
+    match t.spec with
+    | Aggregate a -> Aggregate { a with arg = Option.map ren a.arg }
+    | Formula e -> Formula (ren e)
+  in
+  let name = if t.name = old_name then new_name else t.name in
+  { t with name; spec }
+
+let describe t =
+  match t.spec with
+  | Aggregate { fn; arg; level } ->
+      Printf.sprintf "%s = %s(%s) per group level %d" t.name
+        (Expr.agg_fun_name fn)
+        (match arg with Some e -> Expr.to_string e | None -> "*")
+        level
+  | Formula e -> Printf.sprintf "%s = %s" t.name (Expr.to_string e)
+
+let pp ppf t = Format.pp_print_string ppf (describe t)

@@ -1,0 +1,32 @@
+(** Computed columns: aggregation results (Definition 11) and formula
+    computation results (Definition 12).
+
+    A computed column is a {e definition}, not a stored value: its
+    cells are recomputed whenever the underlying data changes — the
+    property that makes aggregation commute with selection
+    (Theorem 2). *)
+
+type spec =
+  | Aggregate of {
+      fn : Sheet_rel.Expr.agg_fun;
+      arg : Sheet_rel.Expr.t option;  (** [None] only for [Count_star] *)
+      level : int;  (** paper group level: 1 = whole spreadsheet *)
+    }
+  | Formula of Sheet_rel.Expr.t
+
+type t = { name : string; ty : Sheet_rel.Value.vtype; spec : spec }
+
+val referenced_columns : t -> string list
+(** Columns the definition reads (for an aggregate, the columns of its
+    argument). Grouping-level dependencies are tracked separately by
+    the engine. *)
+
+val is_aggregate : t -> bool
+
+val rename_refs : t -> old_name:string -> new_name:string -> t
+
+val describe : t -> string
+(** One-line description for the history menu, e.g.
+    ["Avg_Price = avg(Price) per group level 3"]. *)
+
+val pp : Format.formatter -> t -> unit

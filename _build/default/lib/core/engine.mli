@@ -1,0 +1,54 @@
+(** The spreadsheet-algebra engine: applies operators (Section III)
+    and query modifications (Section V) to spreadsheets, enforcing
+    every precondition the paper's interface design imposes
+    (Section VI-A).
+
+    All functions are pure with respect to the spreadsheet — a new
+    version is returned, the input is unchanged — which is what makes
+    undo/redo ({!Session}) trivial. *)
+
+open Sheet_rel
+
+val apply : ?store:Store.t -> Spreadsheet.t -> Op.t -> Spreadsheet.t Errors.result
+(** Apply one operator. [store] is required by the binary operators
+    ([Product]/[Union]/[Diff]/[Join]), which resolve their stored
+    spreadsheet by name.
+
+    Guards enforced (each yields a typed {!Errors.t}):
+    - selection/formula predicates must type-check against the visible
+      schema and must not contain aggregate calls;
+    - grouping attributes must be visible and must not (transitively)
+      depend on an aggregate column;
+    - regrouping/ungrouping, and orderings that destroy grouping
+      levels (Def. 4 case 1), are refused while aggregates depend on
+      the destroyed levels — "the aggregates have to be projected out
+      before such operations are allowed";
+    - aggregation group level must exist; sum/avg need a numeric
+      column;
+    - union/difference require union-compatible base schemas (computed
+      columns excluded, Defs. 8–9);
+    - renaming must not clash. *)
+
+(** {1 Query modification (Section V-B)}
+
+    These rewrite the query state; by Theorem 3 the result is the
+    sheet that would have been obtained had the modified operation
+    been issued originally. *)
+
+val remove_selection : Spreadsheet.t -> int -> Spreadsheet.t Errors.result
+val replace_selection :
+  Spreadsheet.t -> int -> Expr.t -> Spreadsheet.t Errors.result
+
+val remove_computed : Spreadsheet.t -> string -> Spreadsheet.t Errors.result
+(** Refused while any selection, formula or aggregate reads the
+    column, or the grouping/ordering uses it — dependents must be
+    removed first. *)
+
+(** {1 Introspection used by the interface layer} *)
+
+val selections_on :
+  Spreadsheet.t -> string -> Query_state.selection list
+
+val aggregate_default_name : Expr.agg_fun -> string option -> string
+(** The auto-generated column name, e.g. [avg] on ["Price"] →
+    ["Avg_Price"] (before uniqueness suffixing). *)

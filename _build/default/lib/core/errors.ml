@@ -1,0 +1,29 @@
+type t =
+  | Unknown_column of string
+  | Type_error of string
+  | Grouping_error of string
+  | Dependency_error of string
+  | Incompatible_schemas of string
+  | No_such_sheet of string
+  | Invalid_op of string
+
+let to_string = function
+  | Unknown_column c -> Printf.sprintf "unknown column %S" c
+  | Type_error m -> "type error: " ^ m
+  | Grouping_error m -> "grouping error: " ^ m
+  | Dependency_error m -> "dependency error: " ^ m
+  | Incompatible_schemas m -> "incompatible spreadsheets: " ^ m
+  | No_such_sheet n -> Printf.sprintf "no stored spreadsheet named %S" n
+  | Invalid_op m -> "invalid operation: " ^ m
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+type 'a result = ('a, t) Stdlib.result
+
+let fail_type fmt = Printf.ksprintf (fun s -> Error (Type_error s)) fmt
+let fail_grouping fmt = Printf.ksprintf (fun s -> Error (Grouping_error s)) fmt
+
+let fail_dependency fmt =
+  Printf.ksprintf (fun s -> Error (Dependency_error s)) fmt
+
+let fail_invalid fmt = Printf.ksprintf (fun s -> Error (Invalid_op s)) fmt

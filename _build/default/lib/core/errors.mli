@@ -1,0 +1,27 @@
+(** User-facing errors of the spreadsheet engine.
+
+    Every refusal an operator can produce in the paper's interface
+    design (Sec. VI-A) — e.g. destroying a grouping that aggregates
+    depend on — surfaces as one of these, with a message suitable for
+    a dialog box. *)
+
+type t =
+  | Unknown_column of string
+  | Type_error of string  (** ill-typed predicate or formula *)
+  | Grouping_error of string  (** invalid τ/λ parameters *)
+  | Dependency_error of string
+      (** the operation would invalidate operators that depend on a
+          column, grouping level, or ordering *)
+  | Incompatible_schemas of string  (** union/difference mismatch *)
+  | No_such_sheet of string  (** unknown stored-spreadsheet name *)
+  | Invalid_op of string  (** anything else the engine refuses *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+type 'a result = ('a, t) Stdlib.result
+
+val fail_type : ('b, unit, string, ('a, t) Stdlib.result) format4 -> 'b
+val fail_grouping : ('b, unit, string, ('a, t) Stdlib.result) format4 -> 'b
+val fail_dependency : ('b, unit, string, ('a, t) Stdlib.result) format4 -> 'b
+val fail_invalid : ('b, unit, string, ('a, t) Stdlib.result) format4 -> 'b

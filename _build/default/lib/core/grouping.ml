@@ -1,0 +1,163 @@
+type dir = Asc | Desc
+
+let dir_to_string = function Asc -> "ASC" | Desc -> "DESC"
+let flip = function Asc -> Desc | Desc -> Asc
+
+type level = {
+  basis_add : string list;
+  dir : dir;
+  order_by_value : (string * dir) option;
+}
+
+type t = { levels : level list; leaf_order : (string * dir) list }
+
+let empty = { levels = []; leaf_order = [] }
+
+let num_levels t = 1 + List.length t.levels
+
+let cumulative_basis t i =
+  if i < 1 || i > num_levels t then
+    invalid_arg "Grouping.cumulative_basis: level out of range";
+  List.concat_map
+    (fun lv -> lv.basis_add)
+    (List.filteri (fun idx _ -> idx < i - 1) t.levels)
+
+let finest_basis t = cumulative_basis t (num_levels t)
+let all_group_attrs t = finest_basis t
+let is_group_attr t a = List.mem a (all_group_attrs t)
+
+let add_level t ~basis ~dir =
+  let current = finest_basis t in
+  if List.exists (fun a -> not (List.mem a basis)) current then
+    Error
+      "grouping-basis must contain every attribute of the current finest \
+       grouping basis"
+  else
+    let added = List.filter (fun a -> not (List.mem a current)) basis in
+    if added = [] then
+      Error "grouping-basis adds no attribute over the current finest basis"
+    else
+      let dup =
+        List.find_opt
+          (fun a -> List.length (List.filter (String.equal a) added) > 1)
+          added
+      in
+      match dup with
+      | Some a -> Error (Printf.sprintf "attribute %S repeated in basis" a)
+      | None ->
+          let leaf_order =
+            List.filter (fun (a, _) -> not (List.mem a basis)) t.leaf_order
+          in
+          Ok
+            { levels =
+                t.levels @ [ { basis_add = added; dir; order_by_value = None } ];
+              leaf_order }
+
+let ungroup t = { t with levels = [] }
+
+type order_outcome = { spec : t; destroyed_from : int option }
+
+let order t ~attr ~dir ~level =
+  let n = num_levels t in
+  if level < 1 || level > n then
+    Error (Printf.sprintf "group level %d out of range 1..%d" level n)
+  else if level < n then
+    (* Paper level [level]; the dictated ordering attributes at this
+       level are the relative basis of level [level+1], i.e. our
+       [levels] element at index [level-1]. *)
+    let dictated = (List.nth t.levels (level - 1)).basis_add in
+    if List.mem attr dictated then
+      let levels =
+        List.mapi
+          (fun idx lv -> if idx = level - 1 then { lv with dir } else lv)
+          t.levels
+      in
+      Ok { spec = { t with levels }; destroyed_from = None }
+    else if List.mem attr (cumulative_basis t level) then
+      Error
+        (Printf.sprintf
+           "attribute %S already groups a coarser level; ordering by it \
+            here has no effect"
+           attr)
+    else
+      (* Definition 4 case 1: destroy all grouping strictly deeper
+         than [level]; [attr] becomes the leaf order. *)
+      let levels = List.filteri (fun idx _ -> idx < level - 1) t.levels in
+      Ok
+        { spec = { levels; leaf_order = [ (attr, dir) ] };
+          destroyed_from = Some level }
+  else if is_group_attr t attr then
+    (* Definition 4 case 3, grouping attribute: O unchanged. *)
+    Ok { spec = t; destroyed_from = None }
+  else
+    let leaf_order =
+      if List.mem_assoc attr t.leaf_order then
+        List.map
+          (fun (a, d) -> if a = attr then (a, dir) else (a, d))
+          t.leaf_order
+      else t.leaf_order @ [ (attr, dir) ]
+    in
+    Ok { spec = { t with leaf_order }; destroyed_from = None }
+
+let set_group_order t ~level ~by ~dir =
+  let n = num_levels t in
+  if level < 2 || level > n then
+    Error
+      (Printf.sprintf
+         "group level %d has no sibling groups to reorder (valid: 2..%d)"
+         level n)
+  else
+    Ok
+      { t with
+        levels =
+          List.mapi
+            (fun idx lv ->
+              if idx = level - 2 then
+                { lv with order_by_value = Some (by, dir) }
+              else lv)
+            t.levels }
+
+let group_order_columns t =
+  List.filter_map
+    (fun lv -> Option.map fst lv.order_by_value)
+    t.levels
+
+let rename t ~old_name ~new_name =
+  let ren a = if a = old_name then new_name else a in
+  { levels =
+      List.map
+        (fun lv ->
+          { lv with
+            basis_add = List.map ren lv.basis_add;
+            order_by_value =
+              Option.map (fun (a, d) -> (ren a, d)) lv.order_by_value })
+        t.levels;
+    leaf_order = List.map (fun (a, d) -> (ren a, d)) t.leaf_order }
+
+let sort_keys t =
+  List.concat_map
+    (fun lv ->
+      (* an order-by-value override leads; the basis attributes stay
+         as the deterministic tie-break among equal-valued groups *)
+      (match lv.order_by_value with Some k -> [ k ] | None -> [])
+      @ List.map (fun a -> (a, lv.dir)) lv.basis_add)
+    t.levels
+  @ t.leaf_order
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf t =
+  let pp_level ppf lv =
+    Format.fprintf ppf "{%s} %s"
+      (String.concat ", " lv.basis_add)
+      (dir_to_string lv.dir)
+  in
+  Format.fprintf ppf "@[<h>group [%a]; order [%a]@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       pp_level)
+    t.levels
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       (fun ppf (a, d) -> Format.fprintf ppf "%s %s" a (dir_to_string d)))
+    t.leaf_order

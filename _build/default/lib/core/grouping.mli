@@ -1,0 +1,92 @@
+(** Grouping and ordering specifications — the [(G, O)] half of the
+    spreadsheet quadruple (Definition 1).
+
+    The paper numbers grouping levels from the root: level 1 is the
+    spreadsheet itself (basis [{NULL}], represented here as the empty
+    attribute list), level [i] groups tuples equal on the cumulative
+    basis [g_i]. We store the {e relative} basis of each non-root
+    level ([basis_add], the attributes new at that level) together
+    with the direction in which groups at that level are ordered, plus
+    the ordering of tuples inside the finest groups ([leaf_order]). *)
+
+type dir = Asc | Desc
+
+val dir_to_string : dir -> string
+val flip : dir -> dir
+
+type level = {
+  basis_add : string list;  (** relative grouping basis, in the order given *)
+  dir : dir;  (** order of the groups at this level *)
+  order_by_value : (string * dir) option;
+      (** extension: order the groups at this level by a column whose
+          value is constant within each group (an aggregate at this
+          level) instead of by the basis attributes — the "ORDER BY
+          revenue DESC" presentation single-level SQL reports but
+          Definition 4 cannot express. The basis attributes remain the
+          tie-break. *)
+}
+
+type t = {
+  levels : level list;  (** outermost first; excludes the root level *)
+  leaf_order : (string * dir) list;
+      (** ordering of tuples inside the finest groups *)
+}
+
+val empty : t
+(** Grouped by NULL, ordered by NULL (Definition 2's [G^0], [O^0]). *)
+
+val num_levels : t -> int
+(** [|G|]: 1 (the root) plus one per stored level. *)
+
+val cumulative_basis : t -> int -> string list
+(** [cumulative_basis t i] is the paper's [g_i] for [1 <= i <=
+    num_levels t]; [g_1] is the empty list. Order: outermost basis
+    attributes first. *)
+
+val finest_basis : t -> string list
+val all_group_attrs : t -> string list
+val is_group_attr : t -> string -> bool
+
+val add_level : t -> basis:string list -> dir:dir -> (t, string) result
+(** The grouping operator [τ] (Definition 3). [basis] is the full
+    grouping-basis, which must be a strict superset of the current
+    finest basis; the new level's relative basis is [basis] minus the
+    current one, and leaf-order attributes absorbed into the basis are
+    dropped ([o_L = L - grouping-basis]). *)
+
+val ungroup : t -> t
+(** Destroy all grouping (levels and their dictated orders); the leaf
+    order survives. *)
+
+type order_outcome = {
+  spec : t;
+  destroyed_from : int option;
+      (** [Some l] when Definition 4 case 1 applied: every level
+          strictly deeper than paper-level [l] was destroyed. *)
+}
+
+val order :
+  t -> attr:string -> dir:dir -> level:int -> (order_outcome, string) result
+(** The ordering operator [λ] (Definition 4). [level] is a paper
+    level in [1 .. num_levels]. Case 2 (attribute dictated by the
+    grouping) flips that level's direction; case 1 destroys deeper
+    levels and installs [attr] as the leaf order; case 3 updates the
+    leaf order (a no-op when [attr] is a grouping attribute). *)
+
+val set_group_order : t -> level:int -> by:string -> dir:dir -> (t, string) result
+(** Install an order-by-value override for the paper level [level]
+    (which must be in [2 .. num_levels]). The caller guarantees the
+    column is constant within level-[level] groups. *)
+
+val group_order_columns : t -> string list
+(** Columns referenced by order-by-value overrides. *)
+
+val rename : t -> old_name:string -> new_name:string -> t
+
+val sort_keys : t -> (string * dir) list
+(** The single flat ordering that emulates the recursive grouping
+    (Sec. II-A): each level's basis attributes with that level's
+    direction, outermost first, followed by the leaf order. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

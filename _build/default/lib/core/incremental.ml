@@ -1,0 +1,145 @@
+open Sheet_rel
+
+let sort_keys_of sheet =
+  List.map
+    (fun (attr, dir) ->
+      (attr, match dir with Grouping.Asc -> `Asc | Grouping.Desc -> `Desc))
+    (Grouping.sort_keys (Spreadsheet.grouping sheet))
+
+let resort child parent_full =
+  let keys = sort_keys_of child in
+  if keys = [] then parent_full else Rel_algebra.sort keys parent_full
+
+(* The newest computed column of the child, when the operator just
+   appended one. *)
+let last_computed (child : Spreadsheet.t) =
+  match List.rev child.Spreadsheet.state.Query_state.computed with
+  | c :: _ -> c
+  | [] -> invalid_arg "Incremental.last_computed"
+
+let append_computed child parent_full =
+  let c = last_computed child in
+  let schema = Relation.schema parent_full in
+  let rows = Relation.rows parent_full in
+  let cells =
+    match c.Computed.spec with
+    | Computed.Formula e ->
+        List.map
+          (fun row ->
+            Expr_eval.eval
+              ~lookup:(fun name -> Row.get row (Schema.index_exn schema name))
+              e)
+          rows
+    | Computed.Aggregate { fn; arg; level } ->
+        let basis =
+          Grouping.cumulative_basis (Spreadsheet.grouping child) level
+        in
+        let positions = List.map (Schema.index_exn schema) basis in
+        let groups = Hashtbl.create 32 in
+        let order = ref [] in
+        List.iter
+          (fun row ->
+            let key = Row.project row positions in
+            let h = Row.hash key in
+            let bucket =
+              Hashtbl.find_opt groups h |> Option.value ~default:[]
+            in
+            match List.find_opt (fun (k, _) -> Row.equal k key) bucket with
+            | Some (_, cell) -> cell := row :: !cell
+            | None ->
+                let cell = ref [ row ] in
+                Hashtbl.replace groups h ((key, cell) :: bucket);
+                order := (key, cell) :: !order)
+          rows;
+        let value_of = Hashtbl.create 32 in
+        List.iter
+          (fun (key, cell) ->
+            let group_rows = List.rev !cell in
+            let values =
+              match (fn, arg) with
+              | Expr.Count_star, _ ->
+                  List.map (fun _ -> Value.Null) group_rows
+              | _, Some e ->
+                  List.map
+                    (fun row ->
+                      Expr_eval.eval
+                        ~lookup:(fun name ->
+                          Row.get row (Schema.index_exn schema name))
+                        e)
+                    group_rows
+              | _, None -> failwith "aggregate without argument"
+            in
+            Hashtbl.add value_of (Row.hash key)
+              (key, Expr_eval.apply_agg fn values))
+          !order;
+        List.map
+          (fun row ->
+            let key = Row.project row positions in
+            match
+              List.find_opt
+                (fun (k, _) -> Row.equal k key)
+                (Hashtbl.find_all value_of (Row.hash key))
+            with
+            | Some (_, v) -> v
+            | None -> assert false)
+          rows
+  in
+  let schema =
+    Schema.append schema { Schema.name = c.Computed.name; ty = c.Computed.ty }
+  in
+  Relation.unsafe_make schema (List.map2 Row.append1 rows cells)
+
+let filter_full pred parent_full =
+  let schema = Relation.schema parent_full in
+  Relation.unsafe_make schema
+    (List.filter
+       (fun row ->
+         Expr_eval.eval_pred
+           ~lookup:(fun name -> Row.get row (Schema.index_exn schema name))
+           pred)
+       (Relation.rows parent_full))
+
+let derive ~(parent : Spreadsheet.t) ~(op : Op.t) ~(child : Spreadsheet.t) =
+  let parent_full () = Materialize.full_cached parent in
+  let state = child.Spreadsheet.state in
+  match op with
+  | Op.Project _ | Op.Unproject _ ->
+      (* presentational — unless DE keys off the visible column set *)
+      if state.Query_state.dedup then None else Some (parent_full ())
+  | Op.Group _ | Op.Regroup _ | Op.Ungroup | Op.Order _
+  | Op.Order_groups _ ->
+      (* content is unchanged (the engine refused anything that would
+         invalidate computed values); only the presentation order
+         moves *)
+      Some (resort child (parent_full ()))
+  | Op.Select pred ->
+      (* safe only when the selection lands in the highest stratum:
+         nothing recomputes after it *)
+      if
+        Query_state.selection_stratum state pred
+        = List.length state.Query_state.computed
+      then Some (filter_full pred (parent_full ()))
+      else None
+  | Op.Aggregate _ | Op.Formula _ ->
+      (* a fresh computed column is appended after every existing
+         stratum; the appended column cannot disturb the sort keys *)
+      Some (append_computed child (parent_full ()))
+  | Op.Dedup ->
+      (* equal visible rows are equal full rows only when nothing is
+         hidden and no computed column could differ *)
+      if
+        state.Query_state.hidden = []
+        && state.Query_state.computed = []
+      then Some (Rel_algebra.distinct (parent_full ()))
+      else None
+  | Op.Rename _ | Op.Product _ | Op.Union _ | Op.Diff _ | Op.Join _ ->
+      None
+
+let materialize_after ~parent ~op ~child =
+  let rel =
+    match derive ~parent ~op ~child with
+    | Some rel -> rel
+    | None -> Materialize.full child
+  in
+  Materialize.seed_cache child rel;
+  rel

@@ -1,0 +1,44 @@
+(** Incremental materialization.
+
+    Section V observes that recomputing a query from scratch after
+    every small step "is likely to take too long" and that the
+    commutativity structure of the algebra can "reduce this cost
+    substantially". This module is that reduction: given a parent
+    sheet whose materialization is known and the operator that
+    produced a child sheet, it derives the child's materialization
+    without replaying the whole query state, whenever the operator's
+    effect on the materialized relation is local:
+
+    - projection / inverse projection: the full materialization is
+      unchanged (hidden columns are presentational) — unless duplicate
+      elimination is active, whose key is the visible column set;
+    - grouping and ordering operators: a re-sort of the parent rows
+      (their guards ensure no computed value changes);
+    - a selection applied at the highest stratum (no computed column
+      defined after it): a filter of the parent rows;
+    - a new aggregation or formula column: computed over the parent
+      rows and appended.
+
+    Anything else — duplicate elimination with computed columns,
+    renames, binary operators, query modification — answers [None]
+    and falls back to full replay. Derivations are exact: the result
+    is the relation {!Materialize.full} would compute (checked by the
+    property suite). *)
+
+open Sheet_rel
+
+val derive :
+  parent:Spreadsheet.t ->
+  op:Op.t ->
+  child:Spreadsheet.t ->
+  Relation.t option
+(** Derive the child's full materialization from the parent's
+    (obtained via {!Materialize.full_cached}); [None] when the
+    operator requires full recomputation. *)
+
+val materialize_after :
+  parent:Spreadsheet.t -> op:Op.t -> child:Spreadsheet.t -> Relation.t
+(** {!derive}, falling back to {!Materialize.full}; in either case the
+    result is seeded into the materialization cache under the child's
+    uid, so subsequent {!Materialize.full_cached} and
+    {!Materialize.visible} calls are free. *)

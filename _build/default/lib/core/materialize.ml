@@ -1,0 +1,203 @@
+open Sheet_rel
+
+let internal_error fmt =
+  Printf.ksprintf (fun s -> failwith ("Materialize: internal error: " ^ s)) fmt
+
+(* Partition [rows] by equality on the columns at [positions];
+   returns the groups in first-occurrence order. *)
+let partition positions rows =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun row ->
+      let key = Row.project row positions in
+      let h = Row.hash key in
+      let bucket = Hashtbl.find_opt tbl h |> Option.value ~default:[] in
+      match List.find_opt (fun (k, _) -> Row.equal k key) bucket with
+      | Some (_, cell) -> cell := row :: !cell
+      | None ->
+          let cell = ref [ row ] in
+          Hashtbl.replace tbl h ((key, cell) :: bucket);
+          order := (key, cell) :: !order)
+    rows;
+  List.rev_map (fun (key, cell) -> (key, List.rev !cell)) !order
+
+(* Duplicate elimination considers the columns the user can see
+   (projection removes a column from the sheet's C, Def. 6); hidden
+   column values of the first occurrence survive. *)
+let distinct_rows ~key_positions rows =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun row ->
+      let key = Row.project row key_positions in
+      let h = Row.hash key in
+      let bucket = Hashtbl.find_opt seen h |> Option.value ~default:[] in
+      if List.exists (fun x -> Row.equal x key) bucket then false
+      else begin
+        Hashtbl.replace seen h (key :: bucket);
+        true
+      end)
+    rows
+
+let eval_pred_on schema pred row =
+  Expr_eval.eval_pred
+    ~lookup:(fun name -> Row.get row (Schema.index_exn schema name))
+    pred
+
+let apply_selections schema preds rows =
+  List.fold_left
+    (fun rows pred -> List.filter (eval_pred_on schema pred) rows)
+    rows preds
+
+(* Compute one computed column over the current rows, returning the
+   cell value for each row (row order preserved). *)
+let computed_cells (sheet : Spreadsheet.t) schema rows (c : Computed.t) =
+  match c.Computed.spec with
+  | Computed.Formula e ->
+      List.map
+        (fun row ->
+          Expr_eval.eval
+            ~lookup:(fun name -> Row.get row (Schema.index_exn schema name))
+            e)
+        rows
+  | Computed.Aggregate { fn; arg; level } ->
+      let basis =
+        Grouping.cumulative_basis (Spreadsheet.grouping sheet) level
+      in
+      let positions = List.map (Schema.index_exn schema) basis in
+      let groups = partition positions rows in
+      let agg_of_key = Hashtbl.create 16 in
+      List.iter
+        (fun (key, group_rows) ->
+          let values =
+            match (fn, arg) with
+            | Expr.Count_star, _ ->
+                List.map (fun _ -> Value.Null) group_rows
+            | _, Some e ->
+                List.map
+                  (fun row ->
+                    Expr_eval.eval
+                      ~lookup:(fun name ->
+                        Row.get row (Schema.index_exn schema name))
+                      e)
+                  group_rows
+            | _, None ->
+                internal_error "aggregate %s without argument"
+                  (Expr.agg_fun_name fn)
+          in
+          Hashtbl.add agg_of_key (Row.hash key)
+            (key, Expr_eval.apply_agg fn values))
+        groups;
+      List.map
+        (fun row ->
+          let key = Row.project row positions in
+          let candidates = Hashtbl.find_all agg_of_key (Row.hash key) in
+          match
+            List.find_opt (fun (k, _) -> Row.equal k key) candidates
+          with
+          | Some (_, v) -> v
+          | None -> internal_error "group key vanished during aggregation")
+        rows
+
+let unsorted_full (sheet : Spreadsheet.t) =
+  let state = sheet.Spreadsheet.state in
+  let base_schema = Spreadsheet.base_schema sheet in
+  (* Selections per stratum (ranks depend only on the state). *)
+  let stratum pred = Query_state.selection_stratum state pred in
+  let preds_at k =
+    List.filter_map
+      (fun (s : Query_state.selection) ->
+        if stratum s.Query_state.pred = k then Some s.Query_state.pred
+        else None)
+      state.Query_state.selections
+  in
+  let rows =
+    apply_selections base_schema (preds_at 0)
+      (Relation.rows sheet.Spreadsheet.base)
+  in
+  let rows =
+    if state.Query_state.dedup then
+      let visible_base =
+        List.filter
+          (fun n -> not (List.mem n state.Query_state.hidden))
+          (Schema.names base_schema)
+      in
+      let key_positions =
+        List.map (Schema.index_exn base_schema) visible_base
+      in
+      distinct_rows ~key_positions rows
+    else rows
+  in
+  let schema, rows, _ =
+    List.fold_left
+      (fun (schema, rows, k) (c : Computed.t) ->
+        let cells = computed_cells sheet schema rows c in
+        let schema =
+          Schema.append schema
+            { Schema.name = c.Computed.name; ty = c.Computed.ty }
+        in
+        let rows = List.map2 Row.append1 rows cells in
+        let rows = apply_selections schema (preds_at k) rows in
+        (schema, rows, k + 1))
+      (base_schema, rows, 1)
+      state.Query_state.computed
+  in
+  Relation.unsafe_make schema rows
+
+let full (sheet : Spreadsheet.t) =
+  let rel = unsorted_full sheet in
+  let keys =
+    List.map
+      (fun (attr, dir) ->
+        (attr, match dir with Grouping.Asc -> `Asc | Grouping.Desc -> `Desc))
+      (Grouping.sort_keys (Spreadsheet.grouping sheet))
+  in
+  if keys = [] then rel else Rel_algebra.sort keys rel
+
+let cache : (int, Relation.t) Hashtbl.t = Hashtbl.create 64
+
+let full_cached (sheet : Spreadsheet.t) =
+  match Hashtbl.find_opt cache sheet.Spreadsheet.uid with
+  | Some rel -> rel
+  | None ->
+      if Hashtbl.length cache > 512 then Hashtbl.reset cache;
+      let rel = full sheet in
+      Hashtbl.replace cache sheet.Spreadsheet.uid rel;
+      rel
+
+let seed_cache (sheet : Spreadsheet.t) rel =
+  if Hashtbl.length cache > 512 then Hashtbl.reset cache;
+  Hashtbl.replace cache sheet.Spreadsheet.uid rel
+
+let visible (sheet : Spreadsheet.t) =
+  Rel_algebra.project (Spreadsheet.visible_columns sheet)
+    (full_cached sheet)
+
+let current_base_rows (sheet : Spreadsheet.t) =
+  Rel_algebra.project
+    (Schema.names (Spreadsheet.base_schema sheet))
+    (unsorted_full sheet)
+
+let finest_group_boundaries (sheet : Spreadsheet.t) (rel : Relation.t) =
+  let grouping = Spreadsheet.grouping sheet in
+  if grouping.Grouping.levels = [] then []
+  else
+    let basis = Grouping.finest_basis grouping in
+    let positions =
+      List.map (Schema.index_exn (Relation.schema rel)) basis
+    in
+    let rows = Array.of_list (Relation.rows rel) in
+    let n = Array.length rows in
+    let out = ref [] in
+    for i = 0 to n - 2 do
+      let ki = Row.project rows.(i) positions in
+      let kj = Row.project rows.(i + 1) positions in
+      if not (Row.equal ki kj) then out := i :: !out
+    done;
+    List.rev !out
+
+let group_count (sheet : Spreadsheet.t) ~level =
+  let rel = unsorted_full sheet in
+  let basis = Grouping.cumulative_basis (Spreadsheet.grouping sheet) level in
+  let positions = List.map (Schema.index_exn (Relation.schema rel)) basis in
+  List.length (partition positions (Relation.rows rel))

@@ -1,0 +1,52 @@
+(** Materialization: evaluate a spreadsheet's query state against its
+    base relation to produce the relation the user sees.
+
+    Evaluation is {e precedence-stratified replay} (DESIGN.md §4):
+
+    + apply every selection that references only base columns, then
+      duplicate elimination if requested (stratum 0);
+    + for each computed column in definition order: compute its cells
+      (formulas row-wise; aggregates once per group at the column's
+      group level, repeated on every row of the group — Table III),
+      then apply the selections whose highest-ranked referenced column
+      is this one;
+    + sort into presentation order: the flat ordering that emulates
+      the recursive grouping ({!Grouping.sort_keys}).
+
+    This realizes the paper's commutativity (Theorem 2): the result
+    depends only on the query state, never on the order in which the
+    user issued the unary operators. *)
+
+open Sheet_rel
+
+val full : Spreadsheet.t -> Relation.t
+(** All columns (hidden ones included), rows in presentation order. *)
+
+val full_cached : Spreadsheet.t -> Relation.t
+(** Like {!full}, memoized on the sheet's {!Spreadsheet.t.uid}
+    (sheets are immutable values, so the cache can never go stale).
+    The interface layer renders the same sheet several times per step
+    — status line, data view, group boundaries — which this makes
+    free. Bounded (evicts wholesale past 512 entries). *)
+
+val visible : Spreadsheet.t -> Relation.t
+(** {!full} restricted to visible columns. *)
+
+val seed_cache : Spreadsheet.t -> Relation.t -> unit
+(** Install a known-correct full materialization for a sheet (used by
+    {!Incremental}). The caller guarantees the relation equals what
+    {!full} would compute. *)
+
+val current_base_rows : Spreadsheet.t -> Relation.t
+(** The paper's [R^j]: the base relation filtered by the accumulated
+    selections and duplicate elimination — base columns only, no
+    presentation ordering. This is what binary operators combine. *)
+
+val finest_group_boundaries : Spreadsheet.t -> Relation.t -> int list
+(** 0-based indices of rows that end a finest-level group in a
+    materialized relation (excluding the last row). Empty when the
+    sheet has no grouping. *)
+
+val group_count : Spreadsheet.t -> level:int -> int
+(** Number of groups at a paper group level of the materialized
+    sheet. *)

@@ -1,0 +1,64 @@
+open Sheet_rel
+
+type t =
+  | Group of { basis : string list; dir : Grouping.dir }
+  | Regroup of { basis : string list; dir : Grouping.dir }
+  | Ungroup
+  | Order of { attr : string; dir : Grouping.dir; level : int }
+  | Order_groups of { attr : string; dir : Grouping.dir }
+  | Select of Expr.t
+  | Project of string
+  | Unproject of string
+  | Product of string
+  | Union of string
+  | Diff of string
+  | Join of { stored : string; cond : Expr.t }
+  | Aggregate of {
+      fn : Expr.agg_fun;
+      col : string option;
+      level : int;
+      as_name : string option;
+    }
+  | Formula of { name : string option; expr : Expr.t }
+  | Dedup
+  | Rename of { old_name : string; new_name : string }
+
+let describe = function
+  | Group { basis; dir } ->
+      Printf.sprintf "Group by {%s} %s"
+        (String.concat ", " basis)
+        (Grouping.dir_to_string dir)
+  | Regroup { basis; dir } ->
+      Printf.sprintf "Regroup by {%s} %s"
+        (String.concat ", " basis)
+        (Grouping.dir_to_string dir)
+  | Ungroup -> "Remove grouping"
+  | Order { attr; dir; level } ->
+      Printf.sprintf "Order by %s %s at level %d" attr
+        (Grouping.dir_to_string dir)
+        level
+  | Order_groups { attr; dir } ->
+      Printf.sprintf "Order groups by %s %s" attr (Grouping.dir_to_string dir)
+  | Select e -> Printf.sprintf "Select %s" (Expr.to_string e)
+  | Project c -> Printf.sprintf "Hide column %s" c
+  | Unproject c -> Printf.sprintf "Restore column %s" c
+  | Product s -> Printf.sprintf "Cartesian product with %s" s
+  | Union s -> Printf.sprintf "Union with %s" s
+  | Diff s -> Printf.sprintf "Difference with %s" s
+  | Join { stored; cond } ->
+      Printf.sprintf "Join with %s on %s" stored (Expr.to_string cond)
+  | Aggregate { fn; col; level; as_name } ->
+      Printf.sprintf "Aggregate %s(%s) at level %d%s"
+        (Expr.agg_fun_name fn)
+        (match col with Some c -> c | None -> "*")
+        level
+        (match as_name with Some n -> " as " ^ n | None -> "")
+  | Formula { name; expr } ->
+      Printf.sprintf "Formula %s= %s"
+        (match name with Some n -> n ^ " " | None -> "")
+        (Expr.to_string expr)
+  | Dedup -> "Eliminate duplicates"
+  | Rename { old_name; new_name } ->
+      Printf.sprintf "Rename %s to %s" old_name new_name
+
+let pp ppf t = Format.pp_print_string ppf (describe t)

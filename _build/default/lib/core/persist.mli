@@ -1,0 +1,35 @@
+(** Durable spreadsheets: serialize a spreadsheet — base relation and
+    complete query state — to a single text file and load it back.
+
+    This backs the Save/Open housekeeping operators (Sec. III-C) with
+    real storage: a saved sheet survives the session, and loading it
+    restores not just the data but the {e modifiable} query state —
+    selections can still be replaced, hidden columns restored,
+    aggregates redefined.
+
+    Format (version 1, line-oriented header followed by CSV data):
+    {v
+    musiq-sheet v1
+    name <display name>
+    base_name <R description>
+    version <j>
+    selection <id> <predicate>
+    hidden <column>
+    computed agg <ty> <level> <name> = <fn>(<column> or star)
+    computed formula <ty> <name> = <expression>
+    dedup
+    group <ASC|DESC> <col>[,<col>...]
+    leaf <ASC|DESC> <column>
+    data
+    <CSV with a  name:type  header>
+    v} *)
+
+exception Persist_error of string
+
+val to_string : Spreadsheet.t -> string
+val of_string : string -> Spreadsheet.t
+(** @raise Persist_error on malformed input. *)
+
+val save : Spreadsheet.t -> path:string -> unit
+val load : path:string -> Spreadsheet.t
+(** @raise Persist_error (also wraps I/O errors). *)

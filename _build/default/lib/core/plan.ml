@@ -1,0 +1,312 @@
+open Sheet_rel
+
+type node =
+  | Scan of Relation.t
+  | Project of string list * node
+  | Filter of Expr.t * node
+  | Distinct_on of string list * node
+  | Extend_formula of extend * node
+  | Extend_aggregate of extend_agg * node
+  | Sort of (string * [ `Asc | `Desc ]) list * node
+
+and extend = { name : string; ty : Value.vtype; expr : Expr.t }
+
+and extend_agg = {
+  agg_name : string;
+  agg_ty : Value.vtype;
+  fn : Expr.agg_fun;
+  arg : Expr.t option;
+  basis : string list;
+}
+
+(* ---------- compilation (mirrors Materialize's stratified replay) -- *)
+
+let of_sheet (sheet : Spreadsheet.t) =
+  let state = sheet.Spreadsheet.state in
+  let stratum pred = Query_state.selection_stratum state pred in
+  let preds_at k =
+    List.filter_map
+      (fun (s : Query_state.selection) ->
+        if stratum s.Query_state.pred = k then Some s.Query_state.pred
+        else None)
+      state.Query_state.selections
+  in
+  let base_schema = Spreadsheet.base_schema sheet in
+  let plan = Scan sheet.Spreadsheet.base in
+  let plan =
+    List.fold_left (fun plan pred -> Filter (pred, plan)) plan (preds_at 0)
+  in
+  let plan =
+    if state.Query_state.dedup then
+      let visible_base =
+        List.filter
+          (fun n -> not (List.mem n state.Query_state.hidden))
+          (Schema.names base_schema)
+      in
+      Distinct_on (visible_base, plan)
+    else plan
+  in
+  let plan, _ =
+    List.fold_left
+      (fun (plan, k) (c : Computed.t) ->
+        let plan =
+          match c.Computed.spec with
+          | Computed.Formula expr ->
+              Extend_formula
+                ({ name = c.Computed.name; ty = c.Computed.ty; expr }, plan)
+          | Computed.Aggregate { fn; arg; level } ->
+              Extend_aggregate
+                ( { agg_name = c.Computed.name;
+                    agg_ty = c.Computed.ty;
+                    fn;
+                    arg;
+                    basis =
+                      Grouping.cumulative_basis
+                        (Spreadsheet.grouping sheet)
+                        level },
+                  plan )
+        in
+        let plan =
+          List.fold_left
+            (fun plan pred -> Filter (pred, plan))
+            plan (preds_at k)
+        in
+        (plan, k + 1))
+      (plan, 1) state.Query_state.computed
+  in
+  let keys =
+    List.map
+      (fun (attr, dir) ->
+        (attr, match dir with Grouping.Asc -> `Asc | Grouping.Desc -> `Desc))
+      (Grouping.sort_keys (Spreadsheet.grouping sheet))
+  in
+  if keys = [] then plan else Sort (keys, plan)
+
+(* ---------- execution ---------- *)
+
+let rec execute = function
+  | Scan rel -> rel
+  | Project (cols, child) -> Rel_algebra.project cols (execute child)
+  | Filter (pred, child) -> Rel_algebra.select pred (execute child)
+  | Distinct_on (keys, child) ->
+      let rel = execute child in
+      let schema = Relation.schema rel in
+      let positions = List.map (Schema.index_exn schema) keys in
+      let seen = Hashtbl.create 64 in
+      let rows =
+        List.filter
+          (fun row ->
+            let key = Row.project row positions in
+            let h = Row.hash key in
+            let bucket =
+              Hashtbl.find_opt seen h |> Option.value ~default:[]
+            in
+            if List.exists (fun x -> Row.equal x key) bucket then false
+            else begin
+              Hashtbl.replace seen h (key :: bucket);
+              true
+            end)
+          (Relation.rows rel)
+      in
+      Relation.unsafe_make schema rows
+  | Extend_formula ({ name; ty; expr }, child) ->
+      let rel = execute child in
+      let schema = Relation.schema rel in
+      Rel_algebra.extend name ty
+        (fun row ->
+          Expr_eval.eval
+            ~lookup:(fun n -> Row.get row (Schema.index_exn schema n))
+            expr)
+        rel
+  | Extend_aggregate ({ agg_name; agg_ty; fn; arg; basis }, child) ->
+      let rel = execute child in
+      let schema = Relation.schema rel in
+      let positions = List.map (Schema.index_exn schema) basis in
+      let groups = Rel_algebra.group_rows basis rel in
+      let table = Hashtbl.create 32 in
+      List.iter
+        (fun (key, rows) ->
+          Hashtbl.add table (Row.hash key)
+            (key, Rel_algebra.aggregate_value rel rows fn arg))
+        groups;
+      Rel_algebra.extend agg_name agg_ty
+        (fun row ->
+          let key = Row.project row positions in
+          match
+            List.find_opt
+              (fun (k, _) -> Row.equal k key)
+              (Hashtbl.find_all table (Row.hash key))
+          with
+          | Some (_, v) -> v
+          | None -> Value.Null)
+        rel
+  | Sort (keys, child) -> Rel_algebra.sort keys (execute child)
+
+(* ---------- schema of a plan ---------- *)
+
+let rec output_columns = function
+  | Scan rel -> Schema.names (Relation.schema rel)
+  | Project (cols, _) -> cols
+  | Filter (_, child) | Distinct_on (_, child) | Sort (_, child) ->
+      output_columns child
+  | Extend_formula ({ name; _ }, child) -> output_columns child @ [ name ]
+  | Extend_aggregate ({ agg_name; _ }, child) ->
+      output_columns child @ [ agg_name ]
+
+(* ---------- optimization ---------- *)
+
+let union_cols a b =
+  a @ List.filter (fun c -> not (List.mem c a)) b
+
+(* Filter fusion: Filter p1 (Filter p2 x) -> Filter (p2 AND p1) x.
+   Order inside the conjunction keeps the earlier (inner) predicate
+   first, matching replay order. *)
+let rec fuse = function
+  | Filter (p1, child) -> (
+      match fuse child with
+      | Filter (p2, grandchild) -> Filter (Expr.And (p2, p1), grandchild)
+      | fused -> Filter (p1, fused))
+  | Scan rel -> Scan rel
+  | Project (cols, c) -> Project (cols, fuse c)
+  | Distinct_on (k, c) -> Distinct_on (k, fuse c)
+  | Extend_formula (e, c) -> Extend_formula (e, fuse c)
+  | Extend_aggregate (e, c) -> Extend_aggregate (e, fuse c)
+  | Sort (k, c) -> Sort (k, fuse c)
+
+(* Filter pushdown: a filter may slide below a formula extension whose
+   output it does not read. It must NOT cross an aggregate extension
+   (HAVING/WHERE distinction) or duplicate elimination (representative
+   choice). *)
+let rec pushdown = function
+  | Filter (pred, child) -> (
+      let cols = Expr.columns pred in
+      match pushdown child with
+      | Extend_formula (e, grandchild) when not (List.mem e.name cols) ->
+          Extend_formula (e, pushdown (Filter (pred, grandchild)))
+      | Sort (k, grandchild) ->
+          (* filtering before sorting is cheaper and order-stable *)
+          Sort (k, pushdown (Filter (pred, grandchild)))
+      | pushed -> Filter (pred, pushed))
+  | Scan rel -> Scan rel
+  | Project (cols, c) -> Project (cols, pushdown c)
+  | Distinct_on (k, c) -> Distinct_on (k, pushdown c)
+  | Extend_formula (e, c) -> Extend_formula (e, pushdown c)
+  | Extend_aggregate (e, c) -> Extend_aggregate (e, pushdown c)
+  | Sort (k, c) -> Sort (k, pushdown c)
+
+(* Projection pruning: walk down with the set of needed columns; drop
+   extensions nobody consumes; project the scan down to what is
+   used. Distinct_on blocks pruning below it (all its key columns are
+   needed and row identity upstream matters only through them — keys
+   are already in [needed] via node_inputs). *)
+let rec prune needed = function
+  | Scan rel ->
+      let present = Schema.names (Relation.schema rel) in
+      let keep = List.filter (fun c -> List.mem c needed) present in
+      if List.length keep = List.length present then Scan rel
+      else Project (keep, Scan rel)
+  | Project (cols, c) ->
+      let keep = List.filter (fun x -> List.mem x needed) cols in
+      Project (keep, prune (union_cols keep []) c)
+  | Filter (pred, c) ->
+      Filter (pred, prune (union_cols needed (Expr.columns pred)) c)
+  | Distinct_on (k, c) -> Distinct_on (k, prune (union_cols needed k) c)
+  | Extend_formula (e, c) ->
+      if List.mem e.name needed then
+        Extend_formula
+          ( e,
+            prune
+              (union_cols
+                 (List.filter (fun x -> x <> e.name) needed)
+                 (Expr.columns e.expr))
+              c )
+      else prune needed c
+  | Extend_aggregate (e, c) ->
+      if List.mem e.agg_name needed then
+        let inputs =
+          e.basis
+          @ (match e.arg with Some x -> Expr.columns x | None -> [])
+        in
+        Extend_aggregate
+          ( e,
+            prune
+              (union_cols
+                 (List.filter (fun x -> x <> e.agg_name) needed)
+                 inputs)
+              c )
+      else prune needed c
+  | Sort (k, c) ->
+      Sort (k, prune (union_cols needed (List.map fst k)) c)
+
+let rec simplify_filters = function
+  | Filter (pred, c) -> (
+      match Expr_simplify.simplify pred with
+      | Expr.Const (Value.Bool true) -> simplify_filters c
+      | pred -> Filter (pred, simplify_filters c))
+  | Scan rel -> Scan rel
+  | Project (cols, c) -> Project (cols, simplify_filters c)
+  | Distinct_on (k, c) -> Distinct_on (k, simplify_filters c)
+  | Extend_formula (e, c) ->
+      Extend_formula
+        ({ e with expr = Expr_simplify.simplify e.expr }, simplify_filters c)
+  | Extend_aggregate (e, c) -> Extend_aggregate (e, simplify_filters c)
+  | Sort (k, c) -> Sort (k, simplify_filters c)
+
+let optimize ?keep plan =
+  let keep = Option.value keep ~default:(output_columns plan) in
+  let plan = fuse plan in
+  let plan = pushdown plan in
+  let plan = fuse plan in
+  let plan = simplify_filters plan in
+  prune keep plan
+
+(* ---------- explain ---------- *)
+
+let explain plan =
+  let buf = Buffer.create 512 in
+  let rec go indent = function
+    | Scan rel ->
+        Buffer.add_string buf
+          (Printf.sprintf "%sScan (%d rows, %d columns)\n" indent
+             (Relation.cardinality rel)
+             (Schema.arity (Relation.schema rel)))
+    | Project (cols, c) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%sProject [%s]\n" indent
+             (String.concat ", " cols));
+        go (indent ^ "  ") c
+    | Filter (pred, c) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%sFilter %s\n" indent (Expr.to_string pred));
+        go (indent ^ "  ") c
+    | Distinct_on (keys, c) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%sDistinct on [%s]\n" indent
+             (String.concat ", " keys));
+        go (indent ^ "  ") c
+    | Extend_formula (e, c) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%sExtend %s = %s\n" indent e.name
+             (Expr.to_string e.expr));
+        go (indent ^ "  ") c
+    | Extend_aggregate (e, c) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%sExtendAgg %s = %s(%s) over [%s]\n" indent
+             e.agg_name (Expr.agg_fun_name e.fn)
+             (match e.arg with
+             | Some a -> Expr.to_string a
+             | None -> "*")
+             (String.concat ", " e.basis));
+        go (indent ^ "  ") c
+    | Sort (keys, c) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%sSort [%s]\n" indent
+             (String.concat ", "
+                (List.map
+                   (fun (col, d) ->
+                     col ^ (match d with `Asc -> " asc" | `Desc -> " desc"))
+                   keys)));
+        go (indent ^ "  ") c
+  in
+  go "" plan;
+  Buffer.contents buf

@@ -1,0 +1,65 @@
+(** Physical evaluation plans.
+
+    {!Materialize} interprets the query state directly; this module
+    compiles the same state into an explicit operator tree — the shape
+    in which the paper's prototype pushed manipulations down to its
+    RDBMS — so that it can be inspected ([explain], the REPL's
+    [explain] command), optimized, and compared against the
+    interpreter (property-tested equal).
+
+    The compiled plan mirrors the stratified replay exactly: filters
+    sit at their precedence stratum, aggregate extensions carry their
+    grouping basis, and a final sort realizes the recursive grouping.
+    {!optimize} then applies classical, semantics-preserving
+    rewrites:
+
+    - {e filter fusion}: adjacent filters merge into one conjunction
+      (one pass over the data instead of several);
+    - {e filter pushdown}: a filter slides below formula extensions it
+      does not read (never below an aggregate extension — that would
+      change the aggregate, i.e. turn HAVING into WHERE — and never
+      below duplicate elimination, which could change the surviving
+      representative);
+    - {e projection pruning}: when the consumer only needs some
+      columns ([~keep]), a projection is pushed onto the scan and
+      extensions whose outputs are never consumed are dropped. *)
+
+open Sheet_rel
+
+type node =
+  | Scan of Relation.t
+  | Project of string list * node  (** keep the named columns *)
+  | Filter of Expr.t * node
+  | Distinct_on of string list * node
+      (** duplicate elimination keyed on the given columns; first
+          occurrence survives *)
+  | Extend_formula of extend * node
+  | Extend_aggregate of extend_agg * node
+  | Sort of (string * [ `Asc | `Desc ]) list * node
+
+and extend = { name : string; ty : Value.vtype; expr : Expr.t }
+
+and extend_agg = {
+  agg_name : string;
+  agg_ty : Value.vtype;
+  fn : Expr.agg_fun;
+  arg : Expr.t option;
+  basis : string list;  (** grouping columns of the aggregate's level *)
+}
+
+val of_sheet : Spreadsheet.t -> node
+(** Compile the sheet's query state. Executing the result equals
+    {!Materialize.full}. *)
+
+val execute : node -> Relation.t
+
+val optimize : ?keep:string list -> node -> node
+(** Rewrite the plan; [keep] lists the columns the consumer needs
+    (defaults to all columns the plan produces). Semantics are
+    preserved with respect to the kept columns. *)
+
+val explain : node -> string
+(** Indented operator tree, one line per node, leaves last. *)
+
+val output_columns : node -> string list
+(** Schema (names) the plan produces, in order. *)

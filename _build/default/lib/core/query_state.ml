@@ -1,0 +1,125 @@
+open Sheet_rel
+
+type selection = { id : int; pred : Expr.t }
+
+type t = {
+  selections : selection list;
+  hidden : string list;
+  computed : Computed.t list;
+  dedup : bool;
+  grouping : Grouping.t;
+}
+
+let empty =
+  { selections = [];
+    hidden = [];
+    computed = [];
+    dedup = false;
+    grouping = Grouping.empty }
+
+let add_selection t pred =
+  let id =
+    1 + List.fold_left (fun acc s -> max acc s.id) 0 t.selections
+  in
+  let sel = { id; pred } in
+  ({ t with selections = t.selections @ [ sel ] }, sel)
+
+let find_selection t id = List.find_opt (fun s -> s.id = id) t.selections
+
+let remove_selection t id =
+  if Option.is_none (find_selection t id) then
+    Error (Printf.sprintf "no selection #%d" id)
+  else Ok { t with selections = List.filter (fun s -> s.id <> id) t.selections }
+
+let replace_selection t id pred =
+  if Option.is_none (find_selection t id) then
+    Error (Printf.sprintf "no selection #%d" id)
+  else
+    Ok
+      { t with
+        selections =
+          List.map
+            (fun s -> if s.id = id then { s with pred } else s)
+            t.selections }
+
+let selections_on t col =
+  List.filter (fun s -> List.mem col (Expr.columns s.pred)) t.selections
+
+let add_computed t c = { t with computed = t.computed @ [ c ] }
+
+let find_computed t name =
+  List.find_opt (fun c -> c.Computed.name = name) t.computed
+
+let remove_computed t name =
+  { t with
+    computed = List.filter (fun c -> c.Computed.name <> name) t.computed }
+
+let computed_rank t name =
+  let rec go k = function
+    | [] -> 0
+    | c :: rest -> if c.Computed.name = name then k else go (k + 1) rest
+  in
+  go 1 t.computed
+
+let selection_stratum t pred =
+  List.fold_left
+    (fun acc col -> max acc (computed_rank t col))
+    0 (Expr.columns pred)
+
+let column_dependents t col =
+  let from_selections =
+    List.filter_map
+      (fun s ->
+        if List.mem col (Expr.columns s.pred) then
+          Some
+            (Printf.sprintf "selection #%d (%s)" s.id
+               (Expr.to_string s.pred))
+        else None)
+      t.selections
+  in
+  let from_computed =
+    List.filter_map
+      (fun c ->
+        if List.mem col (Computed.referenced_columns c) then
+          Some (Computed.describe c)
+        else None)
+      t.computed
+  in
+  from_selections @ from_computed
+
+let aggregates_broken_by_grouping_change t ~surviving_levels =
+  List.filter
+    (fun c ->
+      match c.Computed.spec with
+      | Computed.Aggregate { level; _ } -> level > surviving_levels
+      | Computed.Formula _ -> false)
+    t.computed
+
+let depends_on_aggregate t col =
+  let rec is_aggregate_dep name seen =
+    if List.mem name seen then false
+    else
+      match find_computed t name with
+      | None -> false
+      | Some c -> (
+          match c.Computed.spec with
+          | Computed.Aggregate _ -> true
+          | Computed.Formula _ ->
+              List.exists
+                (fun ref_col -> is_aggregate_dep ref_col (name :: seen))
+                (Computed.referenced_columns c))
+  in
+  is_aggregate_dep col []
+
+let rename_column t ~old_name ~new_name =
+  let ren a = if a = old_name then new_name else a in
+  let ren_expr e = Expr.map_columns ren e in
+  { selections =
+      List.map (fun s -> { s with pred = ren_expr s.pred }) t.selections;
+    hidden = List.map ren t.hidden;
+    computed = List.map (fun c -> Computed.rename_refs c ~old_name ~new_name)
+        t.computed;
+    dedup = t.dedup;
+    grouping = Grouping.rename t.grouping ~old_name ~new_name }
+
+let set_grouping t grouping = { t with grouping }

@@ -1,0 +1,72 @@
+(** The query state of a spreadsheet (Section V-A).
+
+    Operators are stored {e unordered}, associated with the objects
+    they affect: selections with the columns their predicates
+    reference, computed columns with their definitions, projections as
+    a hidden-column list, grouping and ordering as their
+    specifications. Theorem 3 makes modifying this state equivalent to
+    rewriting the (never explicitly articulated) query history,
+    because the unary operators commute under precedence.
+
+    Replay order is derived, not stored: a selection belongs to the
+    {e stratum} of the highest-ranked computed column it references
+    (base columns have rank 0, the [k]-th computed column rank [k]),
+    and is applied right after that column is computed. *)
+
+open Sheet_rel
+
+type selection = { id : int; pred : Expr.t }
+
+type t = {
+  selections : selection list;  (** in creation order; ids are stable *)
+  hidden : string list;  (** projected-out columns, restorable *)
+  computed : Computed.t list;  (** definition order = rank order *)
+  dedup : bool;  (** has duplicate elimination been requested *)
+  grouping : Grouping.t;
+}
+
+val empty : t
+
+(** {1 Selections} *)
+
+val add_selection : t -> Expr.t -> t * selection
+val remove_selection : t -> int -> (t, string) result
+val replace_selection : t -> int -> Expr.t -> (t, string) result
+val find_selection : t -> int -> selection option
+
+val selections_on : t -> string -> selection list
+(** Selections whose predicate references the column — what the
+    interface shows when the user right-clicks that column to modify
+    a previously applied predicate (Sec. V-B). *)
+
+(** {1 Computed columns} *)
+
+val add_computed : t -> Computed.t -> t
+val find_computed : t -> string -> Computed.t option
+val remove_computed : t -> string -> t
+val computed_rank : t -> string -> int
+(** 0 for base columns, the 1-based definition index for computed
+    ones. *)
+
+val selection_stratum : t -> Expr.t -> int
+(** Highest {!computed_rank} among the predicate's columns. *)
+
+(** {1 Dependencies} *)
+
+val column_dependents : t -> string -> string list
+(** Human-readable descriptions of every operator that reads the
+    column: selections and computed-column definitions. Used to refuse
+    removing a column that serves dependencies (Sec. V-B). *)
+
+val aggregates_broken_by_grouping_change : t -> surviving_levels:int -> Computed.t list
+(** Aggregates whose group level exceeds [surviving_levels] — they
+    would dangle if deeper levels were destroyed. *)
+
+val depends_on_aggregate : t -> string -> bool
+(** Does the (computed) column transitively read any aggregate
+    column? Grouping by such a column would be circular. *)
+
+(** {1 Whole-state edits} *)
+
+val rename_column : t -> old_name:string -> new_name:string -> t
+val set_grouping : t -> Grouping.t -> t

@@ -1,0 +1,80 @@
+open Sheet_rel
+
+let header_decoration sheet col =
+  let grouping = Spreadsheet.grouping sheet in
+  let level_marker =
+    let rec find_level idx = function
+      | [] -> None
+      | lv :: rest ->
+          if List.mem col lv.Grouping.basis_add then Some (idx + 1)
+          else find_level (idx + 1) rest
+    in
+    (* 1-based position among the stored (non-root) grouping levels *)
+    match find_level 0 grouping.Grouping.levels with
+    | Some lvl -> Printf.sprintf " *%d" lvl
+    | None -> ""
+  in
+  let arrow =
+    match List.assoc_opt col grouping.Grouping.leaf_order with
+    | Some Grouping.Asc -> " ^"
+    | Some Grouping.Desc -> " v"
+    | None -> (
+        let rec dir_of = function
+          | [] -> ""
+          | lv :: _ when List.mem col lv.Grouping.basis_add -> (
+              match lv.Grouping.dir with
+              | Grouping.Asc -> " ^"
+              | Grouping.Desc -> " v")
+          | _ :: rest -> dir_of rest
+        in
+        dir_of grouping.Grouping.levels)
+  in
+  let computed_marker = if Spreadsheet.is_computed sheet col then " =" else "" in
+  level_marker ^ arrow ^ computed_marker
+
+let to_string ?max_rows sheet =
+  let full = Materialize.full_cached sheet in
+  let visible_cols = Spreadsheet.visible_columns sheet in
+  let rel = Rel_algebra.project visible_cols full in
+  let boundaries = Materialize.finest_group_boundaries sheet full in
+  let header =
+    List.map (fun c -> c ^ header_decoration sheet c) visible_cols
+  in
+  let align_right =
+    List.map
+      (fun c -> Value.numeric c.Schema.ty)
+      (Schema.columns (Relation.schema rel))
+  in
+  let all_rows =
+    List.map
+      (fun row -> List.map Value.to_string (Row.to_list row))
+      (Relation.rows rel)
+  in
+  let total = List.length all_rows in
+  let rows, truncated =
+    match max_rows with
+    | Some m when total > m -> (List.filteri (fun i _ -> i < m) all_rows, true)
+    | _ -> (all_rows, false)
+  in
+  let separators_after =
+    match max_rows with
+    | Some m -> List.filter (fun i -> i < List.length rows - 1 && i < m - 1)
+                  boundaries
+    | None -> List.filter (fun i -> i < List.length rows - 1) boundaries
+  in
+  let table =
+    Table_print.render_cells ~align_right ~header ~separators_after rows
+  in
+  if truncated then
+    table ^ Printf.sprintf "... (%d more rows)\n" (total - List.length rows)
+  else table
+
+let print ?max_rows sheet = print_string (to_string ?max_rows sheet)
+
+let status_line sheet =
+  let rel = Materialize.full_cached sheet in
+  Format.asprintf "%s v%d | %d rows | %a" sheet.Spreadsheet.name
+    sheet.Spreadsheet.version
+    (Relation.cardinality rel)
+    Grouping.pp
+    (Spreadsheet.grouping sheet)

@@ -1,0 +1,16 @@
+(** Text rendering of a spreadsheet in presentation order.
+
+    Mirrors the interface design of Section VI: column headers carry
+    sort arrows ([^] ascending, [v] descending) and grouping-level
+    markers ([*1], [*2], ... outermost first); computed columns are
+    marked with [=]; horizontal rules separate finest-level groups. *)
+
+val to_string : ?max_rows:int -> Spreadsheet.t -> string
+(** Render the visible materialization. [max_rows] truncates long
+    sheets with an ellipsis line ("a chunk of the data set is visible
+    on the screen — all of it is not likely to fit"). *)
+
+val print : ?max_rows:int -> Spreadsheet.t -> unit
+
+val status_line : Spreadsheet.t -> string
+(** One-line summary: name, version, row count, grouping/order. *)

@@ -1,0 +1,117 @@
+open Sheet_rel
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let css =
+  {|  body { font-family: system-ui, sans-serif; margin: 2rem; }
+  h1 { font-size: 1.2rem; }
+  .meta { color: #555; margin-bottom: 1rem; }
+  table { border-collapse: collapse; }
+  th, td { padding: 0.25rem 0.6rem; border: 1px solid #ccc; }
+  th { background: #f2f2f2; text-align: left; }
+  td.num { text-align: right; font-variant-numeric: tabular-nums; }
+  th .arrow { color: #0a58ca; }
+  th .level { background: #0a58ca; color: white; border-radius: 0.6em;
+              padding: 0 0.4em; font-size: 0.75em; margin-left: 0.3em; }
+  th.computed, td.computed { background: #fff8e1; }
+  tr.group-b td { background: #f7fbff; }
+  tr.group-b td.computed { background: #f3ecd0; }
+  tr.boundary td { border-top: 2px solid #888; }
+|}
+
+let header_cell sheet col =
+  let grouping = Spreadsheet.grouping sheet in
+  let level_badge =
+    let rec find idx = function
+      | [] -> ""
+      | lv :: rest ->
+          if List.mem col lv.Grouping.basis_add then
+            Printf.sprintf {|<span class="level">g%d</span>|} (idx + 1)
+          else find (idx + 1) rest
+    in
+    find 0 grouping.Grouping.levels
+  in
+  let arrow_of = function
+    | Grouping.Asc -> {|<span class="arrow">&#9650;</span>|}
+    | Grouping.Desc -> {|<span class="arrow">&#9660;</span>|}
+  in
+  let arrow =
+    match List.assoc_opt col grouping.Grouping.leaf_order with
+    | Some dir -> arrow_of dir
+    | None -> (
+        let rec dir_of = function
+          | [] -> ""
+          | lv :: _ when List.mem col lv.Grouping.basis_add ->
+              arrow_of lv.Grouping.dir
+          | _ :: rest -> dir_of rest
+        in
+        dir_of grouping.Grouping.levels)
+  in
+  let cls = if Spreadsheet.is_computed sheet col then {| class="computed"|} else "" in
+  Printf.sprintf "<th%s>%s %s%s</th>" cls (escape col) arrow level_badge
+
+let to_html ?title sheet =
+  let title =
+    Option.value title ~default:(sheet.Spreadsheet.name ^ " — SheetMusiq")
+  in
+  let full = Materialize.full_cached sheet in
+  let visible = Spreadsheet.visible_columns sheet in
+  let rel = Rel_algebra.project visible full in
+  let schema = Relation.schema rel in
+  let boundaries = Materialize.finest_group_boundaries sheet full in
+  let numeric =
+    List.map (fun c -> Value.numeric c.Schema.ty) (Schema.columns schema)
+  in
+  let computed = List.map (Spreadsheet.is_computed sheet) visible in
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf
+    "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n<title>%s</title>\n<style>\n%s</style></head>\n<body>\n"
+    (escape title) css;
+  pf "<h1>%s</h1>\n" (escape title);
+  pf "<p class=\"meta\">%s</p>\n" (escape (Render.status_line sheet));
+  pf "<table>\n<thead><tr>";
+  List.iter (fun col -> Buffer.add_string buf (header_cell sheet col)) visible;
+  pf "</tr></thead>\n<tbody>\n";
+  let group_idx = ref 0 in
+  List.iteri
+    (fun i row ->
+      let classes =
+        (if !group_idx mod 2 = 1 then [ "group-b" ] else [])
+        @ if i > 0 && List.mem (i - 1) boundaries then [ "boundary" ]
+          else []
+      in
+      pf "<tr%s>"
+        (match classes with
+        | [] -> ""
+        | cs -> Printf.sprintf {| class="%s"|} (String.concat " " cs));
+      List.iteri
+        (fun j v ->
+          let cls =
+            (if List.nth numeric j then [ "num" ] else [])
+            @ if List.nth computed j then [ "computed" ] else []
+          in
+          pf "<td%s>%s</td>"
+            (match cls with
+            | [] -> ""
+            | cs -> Printf.sprintf {| class="%s"|} (String.concat " " cs))
+            (escape (Value.to_string v)))
+        (Row.to_list row);
+      pf "</tr>\n";
+      if List.mem i boundaries then incr group_idx)
+    (Relation.rows rel);
+  pf "</tbody>\n</table>\n</body></html>\n";
+  Buffer.contents buf
+
+let save ?title sheet ~path = Csv.write_file path (to_html ?title sheet)

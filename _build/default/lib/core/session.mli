@@ -1,0 +1,76 @@
+(** An interactive session: the current spreadsheet, the store of
+    saved sheets, and the operation history.
+
+    Realizes the paper's third direct-manipulation principle: "all
+    user actions are reversible. Users can access query history ...
+    shown as a numbered list, each with meaningful names. Users can do
+    one-step or multi-step undo/redo" (Sec. VI), plus the query
+    modification facility of Section V. *)
+
+open Sheet_rel
+
+type entry = {
+  index : int;  (** 1-based position in the history menu *)
+  label : string;  (** meaningful name (Op.describe or a modification) *)
+}
+
+type t
+
+val create : name:string -> Relation.t -> t
+(** Start a session on the base spreadsheet of a relation. *)
+
+val current : t -> Spreadsheet.t
+val store : t -> Store.t
+
+val apply : t -> Op.t -> (t, Errors.t) result
+(** Apply an operator; on success the result is pushed on the history
+    and the redo stack is cleared. *)
+
+val history : t -> entry list
+(** Oldest first. *)
+
+val can_undo : t -> bool
+val can_redo : t -> bool
+val undo : t -> t option
+val redo : t -> t option
+val undo_many : t -> int -> t
+(** Undo up to [n] steps (stops at the beginning). *)
+
+val goto : t -> int -> t option
+(** Jump to a history entry by its 1-based index (as shown by
+    {!history}), undoing or redoing as many steps as needed; [None]
+    when the index does not exist on the current timeline. *)
+
+(** {1 Housekeeping (Sec. III-C)} *)
+
+val save_as : t -> string -> t
+(** Save the current spreadsheet under a name. *)
+
+val open_sheet : t -> string -> (t, Errors.t) result
+(** Make a stored sheet current. This is a fresh line of work: history
+    is kept (the open is itself an entry) but the loaded sheet's own
+    state becomes current. *)
+
+val load_relation : t -> name:string -> Relation.t -> t
+(** Switch to the base spreadsheet of a new relation. *)
+
+val push_sheet : t -> label:string -> Spreadsheet.t -> t
+(** Make an externally obtained sheet (e.g. {!Persist.load}) current,
+    recording [label] in the history. *)
+
+(** {1 Query modification (Sec. V-B)} *)
+
+val selections_on : t -> string -> Query_state.selection list
+
+val replace_selection : t -> id:int -> Expr.t -> (t, Errors.t) result
+(** Rewrites history: the history menu gains a "Modified selection"
+    entry, and the resulting sheet is as if the new predicate had been
+    given originally (Theorem 3). *)
+
+val remove_selection : t -> id:int -> (t, Errors.t) result
+val remove_computed : t -> string -> (t, Errors.t) result
+
+(** {1 Views} *)
+
+val materialized : t -> Relation.t
+(** Visible materialization of the current sheet. *)

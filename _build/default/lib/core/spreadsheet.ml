@@ -1,0 +1,70 @@
+open Sheet_rel
+
+type t = {
+  uid : int;
+  name : string;
+  base_name : string;
+  version : int;
+  base : Relation.t;
+  state : Query_state.t;
+}
+
+let uid_counter = ref 0
+
+let fresh_uid () =
+  incr uid_counter;
+  !uid_counter
+
+let of_relation ~name base =
+  { uid = fresh_uid ();
+    name;
+    base_name = name;
+    version = 0;
+    base;
+    state = Query_state.empty }
+
+let bump t = { t with version = t.version + 1; uid = fresh_uid () }
+
+let grouping t = t.state.Query_state.grouping
+
+let base_schema t = Relation.schema t.base
+
+let full_schema t =
+  List.fold_left
+    (fun acc (c : Computed.t) ->
+      Schema.append acc { Schema.name = c.Computed.name; ty = c.Computed.ty })
+    (base_schema t) t.state.Query_state.computed
+
+let hidden_columns t = t.state.Query_state.hidden
+
+let is_hidden t name = List.mem name (hidden_columns t)
+
+let visible_columns t =
+  List.filter (fun n -> not (is_hidden t n)) (Schema.names (full_schema t))
+
+let visible_schema t = Schema.restrict (full_schema t) (visible_columns t)
+
+let column_exists t name = Schema.mem (full_schema t) name
+
+let is_computed t name =
+  Option.is_some (Query_state.find_computed t.state name)
+
+let is_aggregate_column t name =
+  match Query_state.find_computed t.state name with
+  | Some c -> Computed.is_aggregate c
+  | None -> false
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>spreadsheet %S (version %d, base %s, %d rows)@ columns: %s%s@ %a@ \
+     %d selection(s), %d computed, dedup=%b@]"
+    t.name t.version t.base_name
+    (Relation.cardinality t.base)
+    (String.concat ", " (visible_columns t))
+    (match hidden_columns t with
+    | [] -> ""
+    | h -> Printf.sprintf " (hidden: %s)" (String.concat ", " h))
+    Grouping.pp (grouping t)
+    (List.length t.state.Query_state.selections)
+    (List.length t.state.Query_state.computed)
+    t.state.Query_state.dedup

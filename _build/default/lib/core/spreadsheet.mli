@@ -1,0 +1,61 @@
+(** The spreadsheet: the paper's quadruple [S = (R, C, G, O)]
+    (Definition 1) together with its query state.
+
+    - [R] is the {e base relation}: the data as of the most recent
+      point of non-commutativity (initially the relation the sheet was
+      created from; replaced wholesale by every binary operator).
+      Selections and duplicate elimination accumulated since then live
+      in the query state and are applied on materialization, which is
+      what makes them modifiable (Section V).
+    - [C] is the column list: the base relation's columns (each
+      possibly hidden by projection) followed by computed columns.
+    - [G] and [O] are the grouping/ordering specification
+      ({!Grouping.t}), also part of the query state. *)
+
+open Sheet_rel
+
+type t = {
+  uid : int;
+      (** unique identity of this immutable sheet value; every operator
+          application produces a fresh one. Keys the materialization
+          cache. *)
+  name : string;  (** display name, used when saving to the store *)
+  base_name : string;  (** description of [R], e.g. ["cars × dealers"] *)
+  version : int;  (** the paper's superscript [j] *)
+  base : Relation.t;
+  state : Query_state.t;
+}
+
+val fresh_uid : unit -> int
+(** For constructors outside this module (e.g. deserialization). *)
+
+val of_relation : name:string -> Relation.t -> t
+(** The base spreadsheet [S^0] (Definition 2): columns inherited,
+    grouping and ordering empty. *)
+
+val bump : t -> t
+(** Next version of the same sheet. *)
+
+val grouping : t -> Grouping.t
+
+val base_schema : t -> Schema.t
+
+val full_schema : t -> Schema.t
+(** Base columns in base order, then computed columns in definition
+    order — including hidden ones. *)
+
+val visible_schema : t -> Schema.t
+
+val visible_columns : t -> string list
+val hidden_columns : t -> string list
+
+val is_hidden : t -> string -> bool
+val column_exists : t -> string -> bool
+(** In the full schema. *)
+
+val is_computed : t -> string -> bool
+val is_aggregate_column : t -> string -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Compact structural summary (not the data — see
+    {!Render.to_string}). *)

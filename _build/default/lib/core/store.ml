@@ -1,0 +1,19 @@
+type t = (string, Spreadsheet.t) Hashtbl.t
+
+let create () = Hashtbl.create 8
+
+let save t ~name sheet =
+  Hashtbl.replace t name { sheet with Spreadsheet.name }
+
+let open_ t name = Hashtbl.find_opt t name
+
+let close t name =
+  if Hashtbl.mem t name then begin
+    Hashtbl.remove t name;
+    true
+  end
+  else false
+
+let names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t []
+  |> List.sort String.compare

@@ -1,0 +1,21 @@
+(** Stored spreadsheets (Sec. III-B, III-C).
+
+    The interface presents a single spreadsheet at a time; binary
+    operators pair the current sheet with a previously {b Save}d one,
+    retrieved from this store by name. *)
+
+type t
+
+val create : unit -> t
+
+val save : t -> name:string -> Spreadsheet.t -> unit
+(** Stores a snapshot under [name], replacing any previous one. The
+    snapshot is the full spreadsheet value (immutable), so later
+    operations on the current sheet never affect it. *)
+
+val open_ : t -> string -> Spreadsheet.t option
+val close : t -> string -> bool
+(** [close t name] removes the sheet; false when absent. *)
+
+val names : t -> string list
+(** Saved names, sorted. *)

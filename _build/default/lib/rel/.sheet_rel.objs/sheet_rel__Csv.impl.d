@@ -1,0 +1,1 @@
+lib/rel/csv.ml: Buffer Fun List Option Printf Relation Row Schema String Value

@@ -1,0 +1,1 @@
+lib/rel/expr.ml: Buffer Format Hashtbl List Option Printf String Value

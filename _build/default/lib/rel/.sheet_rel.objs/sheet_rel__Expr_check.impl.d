@@ -1,0 +1,1 @@
+lib/rel/expr_check.ml: Expr List Option Printf Result Schema Value

@@ -1,0 +1,1 @@
+lib/rel/expr_check.mli: Expr Schema Value

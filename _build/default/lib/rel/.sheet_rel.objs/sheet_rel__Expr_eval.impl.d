@@ -1,0 +1,1 @@
+lib/rel/expr_eval.ml: Expr Float List Printf Row Schema String Value

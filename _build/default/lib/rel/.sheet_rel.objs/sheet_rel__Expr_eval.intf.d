@@ -1,0 +1,1 @@
+lib/rel/expr_eval.mli: Expr Row Schema Value

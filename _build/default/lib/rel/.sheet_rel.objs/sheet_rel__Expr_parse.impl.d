@@ -1,0 +1,1 @@
+lib/rel/expr_parse.ml: Cursor Expr Lexer List Printf String Value

@@ -1,0 +1,1 @@
+lib/rel/expr_parse.mli: Expr Lexer

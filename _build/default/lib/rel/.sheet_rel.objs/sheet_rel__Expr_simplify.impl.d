@@ -1,0 +1,1 @@
+lib/rel/expr_simplify.ml: Expr Expr_eval List Option Value

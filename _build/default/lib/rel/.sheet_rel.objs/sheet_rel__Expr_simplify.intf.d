@@ -1,0 +1,1 @@
+lib/rel/expr_simplify.mli: Expr

@@ -1,0 +1,1 @@
+lib/rel/lexer.ml: Array Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/rel/profile.ml: Hashtbl List Option Printf Relation Row Schema Table_print Value

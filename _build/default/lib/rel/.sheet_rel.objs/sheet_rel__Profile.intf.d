@@ -1,0 +1,1 @@
+lib/rel/profile.mli: Relation Value

@@ -1,0 +1,1 @@
+lib/rel/rel_algebra.ml: Expr Expr_check Expr_eval Hashtbl List Option Printf Relation Row Schema Value

@@ -1,0 +1,1 @@
+lib/rel/rel_algebra.mli: Expr Relation Row Value

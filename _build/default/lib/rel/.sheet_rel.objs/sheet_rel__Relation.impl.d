@@ -1,0 +1,1 @@
+lib/rel/relation.ml: Format List Printf Row Schema Value

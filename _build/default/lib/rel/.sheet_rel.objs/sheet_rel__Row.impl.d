@@ -1,0 +1,1 @@
+lib/rel/row.ml: Array Format Int List Value

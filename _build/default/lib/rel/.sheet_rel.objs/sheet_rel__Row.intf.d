@@ -1,0 +1,1 @@
+lib/rel/row.mli: Format Value

@@ -1,0 +1,1 @@
+lib/rel/sample_cars.ml: Array Int64 List Relation Row Schema Value

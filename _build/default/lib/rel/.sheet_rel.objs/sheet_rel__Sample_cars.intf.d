@@ -1,0 +1,1 @@
+lib/rel/sample_cars.mli: Relation Schema

@@ -1,0 +1,1 @@
+lib/rel/schema.ml: Array Format Hashtbl List Option Printf Seq Value

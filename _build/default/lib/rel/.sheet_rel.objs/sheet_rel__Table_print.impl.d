@@ -1,0 +1,1 @@
+lib/rel/table_print.ml: Array Buffer List Relation Row Schema String Value

@@ -1,0 +1,1 @@
+lib/rel/table_print.mli: Relation

@@ -1,0 +1,1 @@
+lib/rel/value.ml: Bool Float Format Hashtbl Int Option Printf String

@@ -1,0 +1,220 @@
+type arith = Add | Sub | Mul | Div | Mod
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type agg_fun = Count_star | Count | Count_distinct | Sum | Avg | Min | Max
+
+type scalar_fun =
+  | Year_of
+  | Month_of
+  | Day_of
+  | Abs
+  | Round
+  | Lower
+  | Upper
+  | Length
+
+type t =
+  | Const of Value.t
+  | Col of string
+  | Neg of t
+  | Arith of arith * t * t
+  | Concat of t * t
+  | Cmp of cmp * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Is_null of t
+  | Like of t * string
+  | In_list of t * Value.t list
+  | Between of t * t * t
+  | Fn of scalar_fun * t
+  | Case of (t * t) list * t option
+  | Agg of agg_fun * t option
+
+let rec fold f acc e =
+  let acc = f acc e in
+  match e with
+  | Const _ | Col _ -> acc
+  | Neg a | Not a | Is_null a | Like (a, _) | In_list (a, _) | Fn (_, a) ->
+      fold f acc a
+  | Agg (_, o) -> ( match o with Some a -> fold f acc a | None -> acc)
+  | Arith (_, a, b) | Concat (a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b)
+    ->
+      fold f (fold f acc a) b
+  | Between (a, b, c) -> fold f (fold f (fold f acc a) b) c
+  | Case (branches, default) ->
+      let acc =
+        List.fold_left
+          (fun acc (cond, expr) -> fold f (fold f acc cond) expr)
+          acc branches
+      in
+      ( match default with Some d -> fold f acc d | None -> acc)
+
+let columns e =
+  let cols =
+    fold (fun acc e -> match e with Col c -> c :: acc | _ -> acc) [] e
+  in
+  let seen = Hashtbl.create 8 in
+  List.fold_left
+    (fun acc c ->
+      if Hashtbl.mem seen c then acc
+      else (
+        Hashtbl.add seen c ();
+        c :: acc))
+    [] cols
+
+let has_agg e =
+  fold (fun acc e -> acc || match e with Agg _ -> true | _ -> false) false e
+
+let rec map_columns f = function
+  | Const v -> Const v
+  | Col c -> Col (f c)
+  | Neg a -> Neg (map_columns f a)
+  | Arith (op, a, b) -> Arith (op, map_columns f a, map_columns f b)
+  | Concat (a, b) -> Concat (map_columns f a, map_columns f b)
+  | Cmp (op, a, b) -> Cmp (op, map_columns f a, map_columns f b)
+  | And (a, b) -> And (map_columns f a, map_columns f b)
+  | Or (a, b) -> Or (map_columns f a, map_columns f b)
+  | Not a -> Not (map_columns f a)
+  | Is_null a -> Is_null (map_columns f a)
+  | Like (a, p) -> Like (map_columns f a, p)
+  | In_list (a, vs) -> In_list (map_columns f a, vs)
+  | Between (a, b, c) ->
+      Between (map_columns f a, map_columns f b, map_columns f c)
+  | Fn (g, a) -> Fn (g, map_columns f a)
+  | Case (branches, default) ->
+      Case
+        ( List.map
+            (fun (c, e) -> (map_columns f c, map_columns f e))
+            branches,
+          Option.map (map_columns f) default )
+  | Agg (g, o) -> Agg (g, Option.map (map_columns f) o)
+
+let rec conjuncts = function
+  | And (a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let agg_fun_name = function
+  | Count_star | Count -> "count"
+  | Count_distinct -> "count_distinct"
+  | Sum -> "sum"
+  | Avg -> "avg"
+  | Min -> "min"
+  | Max -> "max"
+
+let scalar_fun_name = function
+  | Year_of -> "year"
+  | Month_of -> "month"
+  | Day_of -> "day"
+  | Abs -> "abs"
+  | Round -> "round"
+  | Lower -> "lower"
+  | Upper -> "upper"
+  | Length -> "length"
+
+let scalar_fun_of_name name =
+  match String.lowercase_ascii name with
+  | "year" -> Some Year_of
+  | "month" -> Some Month_of
+  | "day" -> Some Day_of
+  | "abs" -> Some Abs
+  | "round" -> Some Round
+  | "lower" -> Some Lower
+  | "upper" -> Some Upper
+  | "length" -> Some Length
+  | _ -> None
+
+let cmp_name = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let arith_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+
+let equal (a : t) (b : t) = a = b
+
+let quote_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '\'';
+  String.iter
+    (fun c ->
+      if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '\'';
+  Buffer.contents buf
+
+let const_to_string = function
+  | Value.String s -> quote_string s
+  | Value.Date _ as d -> Printf.sprintf "DATE '%s'" (Value.to_string d)
+  | v -> Value.to_string v
+
+(* Precedence levels for parenthesis-minimal printing. *)
+let prec = function
+  | Or _ -> 1
+  | And _ -> 2
+  | Not _ -> 3
+  | Cmp _ | Is_null _ | Like _ | In_list _ | Between _ -> 4
+  | Case _ | Fn _ -> 9
+  | Concat _ -> 5
+  | Arith ((Add | Sub), _, _) -> 6
+  | Arith ((Mul | Div | Mod), _, _) -> 7
+  | Neg _ -> 8
+  | Const _ | Col _ | Agg _ -> 9
+
+let rec pp_prec level ppf e =
+  let p = prec e in
+  let wrap = p < level in
+  if wrap then Format.pp_print_char ppf '(';
+  (match e with
+  | Const v -> Format.pp_print_string ppf (const_to_string v)
+  | Col c -> Format.pp_print_string ppf c
+  | Neg a -> Format.fprintf ppf "-%a" (pp_prec 9) a
+  | Arith (op, a, b) ->
+      Format.fprintf ppf "%a %s %a" (pp_prec p) a (arith_name op)
+        (pp_prec (p + 1)) b
+  | Concat (a, b) ->
+      Format.fprintf ppf "%a || %a" (pp_prec p) a (pp_prec (p + 1)) b
+  | Cmp (op, a, b) ->
+      Format.fprintf ppf "%a %s %a" (pp_prec 5) a (cmp_name op) (pp_prec 5) b
+  | And (a, b) -> Format.fprintf ppf "%a AND %a" (pp_prec 2) a (pp_prec 3) b
+  | Or (a, b) -> Format.fprintf ppf "%a OR %a" (pp_prec 1) a (pp_prec 2) b
+  | Not a -> Format.fprintf ppf "NOT %a" (pp_prec 4) a
+  | Is_null a -> Format.fprintf ppf "%a IS NULL" (pp_prec 5) a
+  | Like (a, pat) ->
+      Format.fprintf ppf "%a LIKE %s" (pp_prec 5) a (quote_string pat)
+  | In_list (a, vs) ->
+      Format.fprintf ppf "%a IN (%s)" (pp_prec 5) a
+        (String.concat ", " (List.map const_to_string vs))
+  | Between (a, b, c) ->
+      Format.fprintf ppf "%a BETWEEN %a AND %a" (pp_prec 5) a (pp_prec 5) b
+        (pp_prec 5) c
+  | Fn (g, a) ->
+      Format.fprintf ppf "%s(%a)" (scalar_fun_name g) (pp_prec 0) a
+  | Case (branches, default) ->
+      Format.pp_print_string ppf "CASE";
+      List.iter
+        (fun (c, e) ->
+          Format.fprintf ppf " WHEN %a THEN %a" (pp_prec 0) c (pp_prec 0) e)
+        branches;
+      Option.iter
+        (fun d -> Format.fprintf ppf " ELSE %a" (pp_prec 0) d)
+        default;
+      Format.pp_print_string ppf " END"
+  | Agg (Count_star, _) -> Format.pp_print_string ppf "count(*)"
+  | Agg (Count_distinct, Some a) ->
+      Format.fprintf ppf "count(DISTINCT %a)" (pp_prec 0) a
+  | Agg (g, Some a) ->
+      Format.fprintf ppf "%s(%a)" (agg_fun_name g) (pp_prec 0) a
+  | Agg (g, None) -> Format.fprintf ppf "%s()" (agg_fun_name g));
+  if wrap then Format.pp_print_char ppf ')'
+
+let pp = pp_prec 0
+let to_string e = Format.asprintf "%a" pp e

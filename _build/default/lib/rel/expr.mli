@@ -1,0 +1,71 @@
+(** Scalar expression language over rows.
+
+    This is the language of the paper's selection conditions (Def. 5:
+    atomic predicates [A OP B] with optional arithmetic or string
+    operators, composed with AND/OR/NOT), of formula computation
+    (Def. 12), of join conditions (Def. 10), and — extended with
+    aggregate calls — of SQL select lists. *)
+
+type arith = Add | Sub | Mul | Div | Mod
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type agg_fun = Count_star | Count | Count_distinct | Sum | Avg | Min | Max
+
+(** Built-in scalar functions (an extension beyond the paper's atomic
+    predicates, needed for realistic formula computation): date parts,
+    numeric rounding, string casing/length. *)
+type scalar_fun =
+  | Year_of
+  | Month_of
+  | Day_of
+  | Abs
+  | Round  (** to the nearest integer *)
+  | Lower
+  | Upper
+  | Length
+
+type t =
+  | Const of Value.t
+  | Col of string
+  | Neg of t
+  | Arith of arith * t * t
+  | Concat of t * t
+  | Cmp of cmp * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Is_null of t
+  | Like of t * string  (** SQL LIKE with [%] and [_] wildcards *)
+  | In_list of t * Value.t list
+  | Between of t * t * t
+  | Fn of scalar_fun * t  (** scalar function application *)
+  | Case of (t * t) list * t option
+      (** searched CASE: WHEN cond THEN expr pairs, optional ELSE.
+          An extension beyond the paper's prototype, which "does not
+          support ... queries with keyword 'exist' and 'case'"
+          (Sec. VII-A.1). *)
+  | Agg of agg_fun * t option
+      (** aggregate call; only meaningful where a grouping context
+          exists (SQL select/having lists, spreadsheet aggregation) *)
+
+val columns : t -> string list
+(** Free column names, each listed once, in first-occurrence order. *)
+
+val has_agg : t -> bool
+(** Does the expression contain an [Agg] node? *)
+
+val map_columns : (string -> string) -> t -> t
+(** Rename every column reference. *)
+
+val conjuncts : t -> t list
+(** Flatten top-level [And] nesting into a list of conjuncts. *)
+
+val agg_fun_name : agg_fun -> string
+val scalar_fun_name : scalar_fun -> string
+val scalar_fun_of_name : string -> scalar_fun option
+val cmp_name : cmp -> string
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** SQL-ish rendering, suitable for showing to a user. *)
+
+val to_string : t -> string

@@ -1,0 +1,202 @@
+type ty = Value.vtype option
+
+let ( let* ) = Result.bind
+
+let errf fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let unify_tys (a : ty) (b : ty) : ty option =
+  match (a, b) with
+  | None, t | t, None -> Some t
+  | Some x, Some y -> (
+      match Value.unify x y with Some t -> Some (Some t) | None -> None)
+
+let comparable (a : ty) (b : ty) = Option.is_some (unify_tys a b)
+
+let require_numeric what (t : ty) =
+  match t with
+  | None -> Ok ()
+  | Some ty when Value.numeric ty -> Ok ()
+  | Some ty -> errf "%s requires a numeric operand, got %s" what
+                 (Value.type_name ty)
+
+let require_bool what (t : ty) =
+  match t with
+  | None | Some Value.TBool -> Ok ()
+  | Some ty -> errf "%s requires a boolean operand, got %s" what
+                 (Value.type_name ty)
+
+let rec check ?(allow_agg = false) schema (e : Expr.t) : (ty, string) result =
+  let chk x = check ~allow_agg schema x in
+  match e with
+  | Expr.Const v -> Ok (Value.type_of v)
+  | Expr.Col c -> (
+      match Schema.type_of schema c with
+      | Some ty -> Ok (Some ty)
+      | None -> errf "unknown column %S" c)
+  | Expr.Neg a ->
+      let* t = chk a in
+      let* () = require_numeric "negation" t in
+      Ok t
+  | Expr.Arith (op, a, b) -> (
+      let name = "arithmetic" in
+      let* ta = chk a in
+      let* tb = chk b in
+      (* calendar arithmetic: date ± int -> date, date - date -> int *)
+      match (op, ta, tb) with
+      | (Expr.Add | Expr.Sub), Some Value.TDate, (Some Value.TInt | None) ->
+          Ok (Some Value.TDate)
+      | Expr.Add, (Some Value.TInt | None), Some Value.TDate ->
+          Ok (Some Value.TDate)
+      | Expr.Sub, Some Value.TDate, Some Value.TDate ->
+          Ok (Some Value.TInt)
+      | (Expr.Mul | Expr.Div | Expr.Mod), Some Value.TDate, _
+      | (Expr.Mul | Expr.Div | Expr.Mod), _, Some Value.TDate
+      | Expr.Sub, _, Some Value.TDate ->
+          errf "dates support only date ± days and date - date"
+      | _ -> (
+          let* () = require_numeric name ta in
+          let* () = require_numeric name tb in
+          match unify_tys ta tb with
+          | Some t ->
+              (* Division of two ints stays int (truncating), matching
+                 the evaluator; other ops follow unification. *)
+              Ok t
+          | None -> errf "incompatible arithmetic operand types"))
+  | Expr.Concat (a, b) ->
+      let* _ = chk a in
+      let* _ = chk b in
+      Ok (Some Value.TString)
+  | Expr.Cmp (op, a, b) ->
+      let* ta = chk a in
+      let* tb = chk b in
+      if comparable ta tb then Ok (Some Value.TBool)
+      else
+        errf "cannot compare %s with %s using %s"
+          (match ta with Some t -> Value.type_name t | None -> "null")
+          (match tb with Some t -> Value.type_name t | None -> "null")
+          (Expr.cmp_name op)
+  | Expr.And (a, b) | Expr.Or (a, b) ->
+      let* ta = chk a in
+      let* tb = chk b in
+      let* () = require_bool "AND/OR" ta in
+      let* () = require_bool "AND/OR" tb in
+      Ok (Some Value.TBool)
+  | Expr.Not a ->
+      let* t = chk a in
+      let* () = require_bool "NOT" t in
+      Ok (Some Value.TBool)
+  | Expr.Is_null a ->
+      let* _ = chk a in
+      Ok (Some Value.TBool)
+  | Expr.Like (a, _) -> (
+      let* t = chk a in
+      match t with
+      | None | Some Value.TString -> Ok (Some Value.TBool)
+      | Some ty ->
+          errf "LIKE requires a string operand, got %s" (Value.type_name ty))
+  | Expr.In_list (a, vs) ->
+      let* ta = chk a in
+      let bad =
+        List.find_opt
+          (fun v -> not (comparable ta (Value.type_of v)))
+          vs
+      in
+      (match bad with
+      | Some v -> errf "IN list value %s has incompatible type"
+                    (Value.to_string v)
+      | None -> Ok (Some Value.TBool))
+  | Expr.Between (a, lo, hi) ->
+      let* ta = chk a in
+      let* tlo = chk lo in
+      let* thi = chk hi in
+      if comparable ta tlo && comparable ta thi then Ok (Some Value.TBool)
+      else errf "BETWEEN bounds have incompatible types"
+  | Expr.Fn (g, a) -> (
+      let* t = chk a in
+      let need what ok result =
+        match t with
+        | None -> Ok result
+        | Some ty when ok ty -> Ok result
+        | Some ty ->
+            errf "%s requires a %s operand, got %s"
+              (Expr.scalar_fun_name g) what (Value.type_name ty)
+      in
+      match g with
+      | Expr.Year_of | Expr.Month_of | Expr.Day_of ->
+          need "date" (fun ty -> ty = Value.TDate) (Some Value.TInt)
+      | Expr.Abs -> (
+          match t with
+          | None -> Ok None
+          | Some ty when Value.numeric ty -> Ok (Some ty)
+          | Some ty ->
+              errf "abs requires a numeric operand, got %s"
+                (Value.type_name ty))
+      | Expr.Round -> need "numeric" Value.numeric (Some Value.TInt)
+      | Expr.Lower | Expr.Upper ->
+          need "string" (fun ty -> ty = Value.TString) (Some Value.TString)
+      | Expr.Length ->
+          need "string" (fun ty -> ty = Value.TString) (Some Value.TInt))
+  | Expr.Case (branches, default) ->
+      if branches = [] then errf "CASE needs at least one WHEN branch"
+      else
+        let* () =
+          List.fold_left
+            (fun acc (cond, _) ->
+              let* () = acc in
+              let* t = chk cond in
+              require_bool "CASE WHEN" t)
+            (Ok ()) branches
+        in
+        let* tys =
+          List.fold_left
+            (fun acc (_, expr) ->
+              let* acc = acc in
+              let* t = chk expr in
+              Ok (t :: acc))
+            (Ok []) branches
+        in
+        let* tys =
+          match default with
+          | None -> Ok tys
+          | Some d ->
+              let* t = chk d in
+              Ok (t :: tys)
+        in
+        let rec unify_all = function
+          | [] -> Ok None
+          | [ t ] -> Ok t
+          | a :: b :: rest -> (
+              match unify_tys a b with
+              | Some t -> unify_all (t :: rest)
+              | None -> errf "CASE branches have incompatible types")
+        in
+        unify_all tys
+  | Expr.Agg (g, arg) ->
+      if not allow_agg then
+        errf "aggregate %s is not allowed here" (Expr.agg_fun_name g)
+      else (
+        match (g, arg) with
+        | Expr.Count_star, _ -> Ok (Some Value.TInt)
+        | _, None -> errf "aggregate %s needs an argument"
+                       (Expr.agg_fun_name g)
+        | _, Some a ->
+            if Expr.has_agg a then errf "nested aggregates are not allowed"
+            else
+              let* t = check ~allow_agg:false schema a in
+              (match g with
+              | Expr.Count | Expr.Count_distinct -> Ok (Some Value.TInt)
+              | Expr.Sum ->
+                  let* () = require_numeric "sum" t in
+                  Ok t
+              | Expr.Avg ->
+                  let* () = require_numeric "avg" t in
+                  Ok (Some Value.TFloat)
+              | Expr.Min | Expr.Max -> Ok t
+              | Expr.Count_star -> assert false))
+
+let check_pred ?allow_agg schema e =
+  let* t = check ?allow_agg schema e in
+  match t with
+  | None | Some Value.TBool -> Ok ()
+  | Some ty ->
+      errf "expected a boolean condition, got %s" (Value.type_name ty)

@@ -1,0 +1,19 @@
+(** Static type checking of expressions against a schema.
+
+    Run before an expression is accepted into the query state, so that
+    direct-manipulation operations fail fast with a user-readable
+    message instead of failing at evaluation time. *)
+
+type ty = Value.vtype option
+(** [None] is the type of the [NULL] literal (compatible with every
+    type). *)
+
+val check :
+  ?allow_agg:bool -> Schema.t -> Expr.t -> (ty, string) result
+(** Infer the expression's type. [allow_agg] (default [false])
+    permits [Agg] nodes (whose argument must itself be aggregate-free
+    and well-typed). Errors mention the offending column or operator. *)
+
+val check_pred :
+  ?allow_agg:bool -> Schema.t -> Expr.t -> (unit, string) result
+(** Like {!check} but additionally requires a boolean result. *)

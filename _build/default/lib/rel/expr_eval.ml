@@ -1,0 +1,218 @@
+exception Eval_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Eval_error s)) fmt
+
+let like_match ~pattern s =
+  let np = String.length pattern and ns = String.length s in
+  (* Classic two-pointer wildcard matching with backtracking on '%'. *)
+  let rec go pi si star_pi star_si =
+    if si >= ns then
+      let rec only_percents i =
+        i >= np || (pattern.[i] = '%' && only_percents (i + 1))
+      in
+      only_percents pi
+    else if pi < np && pattern.[pi] = '%' then go (pi + 1) si (pi + 1) si
+    else if pi < np && (pattern.[pi] = '_' || pattern.[pi] = s.[si]) then
+      go (pi + 1) (si + 1) star_pi star_si
+    else if star_pi >= 0 then go star_pi (star_si + 1) star_pi (star_si + 1)
+    else false
+  in
+  go 0 0 (-1) (-1)
+
+let arith_op op (a : Value.t) (b : Value.t) : Value.t =
+  match (a, b) with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  (* calendar arithmetic: date ± days, and date - date = days *)
+  | Value.Date d, Value.Int i -> (
+      match op with
+      | Expr.Add -> Value.Date (d + i)
+      | Expr.Sub -> Value.Date (d - i)
+      | _ ->
+          err "only + and - apply between a date and a number of days")
+  | Value.Int i, Value.Date d -> (
+      match op with
+      | Expr.Add -> Value.Date (d + i)
+      | _ -> err "only days + date is defined")
+  | Value.Date x, Value.Date y -> (
+      match op with
+      | Expr.Sub -> Value.Int (x - y)
+      | _ -> err "dates support only subtraction between each other")
+  | Value.Int x, Value.Int y -> (
+      match op with
+      | Expr.Add -> Value.Int (x + y)
+      | Expr.Sub -> Value.Int (x - y)
+      | Expr.Mul -> Value.Int (x * y)
+      | Expr.Div -> if y = 0 then Value.Null else Value.Int (x / y)
+      | Expr.Mod -> if y = 0 then Value.Null else Value.Int (x mod y))
+  | _ -> (
+      match (Value.to_float a, Value.to_float b) with
+      | Some x, Some y -> (
+          match op with
+          | Expr.Add -> Value.Float (x +. y)
+          | Expr.Sub -> Value.Float (x -. y)
+          | Expr.Mul -> Value.Float (x *. y)
+          | Expr.Div -> if y = 0. then Value.Null else Value.Float (x /. y)
+          | Expr.Mod ->
+              if y = 0. then Value.Null else Value.Float (Float.rem x y))
+      | _ ->
+          err "arithmetic on non-numeric values %s and %s"
+            (Value.to_string a) (Value.to_string b))
+
+let cmp_result op c =
+  match op with
+  | Expr.Eq -> c = 0
+  | Expr.Ne -> c <> 0
+  | Expr.Lt -> c < 0
+  | Expr.Le -> c <= 0
+  | Expr.Gt -> c > 0
+  | Expr.Ge -> c >= 0
+
+let truthy = function
+  | Value.Bool b -> b
+  | Value.Null -> false
+  | v -> err "expected boolean, got %s" (Value.to_string v)
+
+let rec eval ~lookup ?agg (e : Expr.t) : Value.t =
+  let ev x = eval ~lookup ?agg x in
+  match e with
+  | Expr.Const v -> v
+  | Expr.Col c -> (
+      try lookup c with Not_found -> err "unknown column %S" c)
+  | Expr.Neg a -> (
+      match ev a with
+      | Value.Null -> Value.Null
+      | Value.Int i -> Value.Int (-i)
+      | Value.Float f -> Value.Float (-.f)
+      | v -> err "cannot negate %s" (Value.to_string v))
+  | Expr.Arith (op, a, b) -> arith_op op (ev a) (ev b)
+  | Expr.Concat (a, b) -> (
+      match (ev a, ev b) with
+      | Value.Null, _ | _, Value.Null -> Value.Null
+      | x, y -> Value.String (Value.to_string x ^ Value.to_string y))
+  | Expr.Cmp (op, a, b) -> (
+      match Value.sql_compare (ev a) (ev b) with
+      | None -> Value.Bool false
+      | Some c -> Value.Bool (cmp_result op c))
+  | Expr.And (a, b) -> Value.Bool (truthy (ev a) && truthy (ev b))
+  | Expr.Or (a, b) -> Value.Bool (truthy (ev a) || truthy (ev b))
+  | Expr.Not a -> Value.Bool (not (truthy (ev a)))
+  | Expr.Is_null a -> Value.Bool (Value.is_null (ev a))
+  | Expr.Like (a, pattern) -> (
+      match ev a with
+      | Value.Null -> Value.Bool false
+      | Value.String s -> Value.Bool (like_match ~pattern s)
+      | v -> err "LIKE on non-string %s" (Value.to_string v))
+  | Expr.In_list (a, vs) -> (
+      match ev a with
+      | Value.Null -> Value.Bool false
+      | v -> Value.Bool (List.exists (fun x -> Value.equal v x) vs))
+  | Expr.Between (a, lo, hi) -> (
+      let v = ev a in
+      match (Value.sql_compare v (ev lo), Value.sql_compare v (ev hi)) with
+      | Some c1, Some c2 -> Value.Bool (c1 >= 0 && c2 <= 0)
+      | _ -> Value.Bool false)
+  | Expr.Fn (g, a) -> (
+      match (g, ev a) with
+      | _, Value.Null -> Value.Null
+      | Expr.Year_of, Value.Date d ->
+          let y, _, _ = Value.ymd_of_days d in
+          Value.Int y
+      | Expr.Month_of, Value.Date d ->
+          let _, m, _ = Value.ymd_of_days d in
+          Value.Int m
+      | Expr.Day_of, Value.Date d ->
+          let _, _, dd = Value.ymd_of_days d in
+          Value.Int dd
+      | Expr.Abs, Value.Int i -> Value.Int (abs i)
+      | Expr.Abs, Value.Float f -> Value.Float (Float.abs f)
+      | Expr.Round, Value.Int i -> Value.Int i
+      | Expr.Round, Value.Float f ->
+          Value.Int (int_of_float (Float.round f))
+      | Expr.Lower, Value.String s -> Value.String (String.lowercase_ascii s)
+      | Expr.Upper, Value.String s -> Value.String (String.uppercase_ascii s)
+      | Expr.Length, Value.String s -> Value.Int (String.length s)
+      | g, v ->
+          err "%s applied to %s" (Expr.scalar_fun_name g)
+            (Value.to_string v))
+  | Expr.Case (branches, default) -> (
+      let rec first = function
+        | [] -> ( match default with Some d -> ev d | None -> Value.Null)
+        | (cond, expr) :: rest -> if truthy (ev cond) then ev expr else first rest
+      in
+      first branches)
+  | Expr.Agg (g, arg) -> (
+      match agg with
+      | Some handler -> handler g arg
+      | None -> err "aggregate %s used outside a grouping context"
+                  (Expr.agg_fun_name g))
+
+let eval_pred ~lookup ?agg e = truthy (eval ~lookup ?agg e)
+
+let eval_row ~schema ~row e =
+  let lookup name = Row.get row (Schema.index_exn schema name) in
+  eval ~lookup e
+
+let apply_agg (g : Expr.agg_fun) (values : Value.t list) : Value.t =
+  let non_null = List.filter (fun v -> not (Value.is_null v)) values in
+  match g with
+  | Expr.Count_star -> Value.Int (List.length values)
+  | Expr.Count -> Value.Int (List.length non_null)
+  | Expr.Count_distinct ->
+      let distinct =
+        List.fold_left
+          (fun acc v ->
+            if List.exists (fun x -> Value.equal x v) acc then acc
+            else v :: acc)
+          [] non_null
+      in
+      Value.Int (List.length distinct)
+  | Expr.Sum ->
+      if non_null = [] then Value.Null
+      else
+        let all_int =
+          List.for_all (function Value.Int _ -> true | _ -> false) non_null
+        in
+        if all_int then
+          Value.Int
+            (List.fold_left
+               (fun acc v ->
+                 match v with Value.Int i -> acc + i | _ -> acc)
+               0 non_null)
+        else
+          let total =
+            List.fold_left
+              (fun acc v ->
+                match Value.to_float v with
+                | Some f -> acc +. f
+                | None ->
+                    err "sum over non-numeric value %s" (Value.to_string v))
+              0. non_null
+          in
+          Value.Float total
+  | Expr.Avg ->
+      if non_null = [] then Value.Null
+      else
+        let total =
+          List.fold_left
+            (fun acc v ->
+              match Value.to_float v with
+              | Some f -> acc +. f
+              | None ->
+                  err "avg over non-numeric value %s" (Value.to_string v))
+            0. non_null
+        in
+        Value.Float (total /. float_of_int (List.length non_null))
+  | Expr.Min ->
+      List.fold_left
+        (fun acc v ->
+          match acc with
+          | Value.Null -> v
+          | _ -> if Value.compare v acc < 0 then v else acc)
+        Value.Null non_null
+  | Expr.Max ->
+      List.fold_left
+        (fun acc v ->
+          match acc with
+          | Value.Null -> v
+          | _ -> if Value.compare v acc > 0 then v else acc)
+        Value.Null non_null

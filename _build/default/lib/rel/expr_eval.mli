@@ -1,0 +1,45 @@
+(** Evaluation of expressions against a row environment.
+
+    NULL semantics (documented in DESIGN.md): arithmetic, negation and
+    concatenation propagate [Null]; comparisons, [LIKE], [IN] and
+    [BETWEEN] involving [Null] are false; [AND]/[OR]/[NOT] treat a
+    [Null] operand as false (two-valued simplification of SQL's
+    three-valued logic — adequate for a direct-manipulation interface
+    where every predicate's effect is immediately visible). Division
+    by zero yields [Null]. *)
+
+exception Eval_error of string
+
+val eval :
+  lookup:(string -> Value.t) ->
+  ?agg:(Expr.agg_fun -> Expr.t option -> Value.t) ->
+  Expr.t ->
+  Value.t
+(** [eval ~lookup e] evaluates [e], resolving column references with
+    [lookup]. [Agg] nodes are delegated to [agg] when provided.
+    @raise Eval_error on unknown columns (when [lookup] raises
+    [Not_found]), type-mismatched operands, or an [Agg] node without
+    an [agg] handler. *)
+
+val eval_pred :
+  lookup:(string -> Value.t) ->
+  ?agg:(Expr.agg_fun -> Expr.t option -> Value.t) ->
+  Expr.t ->
+  bool
+(** Evaluate as a predicate: [Bool true] is true; [Bool false] and
+    [Null] are false.
+    @raise Eval_error when the expression yields a non-boolean. *)
+
+val eval_row : schema:Schema.t -> row:Row.t -> Expr.t -> Value.t
+(** Convenience wrapper resolving columns positionally via a schema. *)
+
+val apply_agg : Expr.agg_fun -> Value.t list -> Value.t
+(** Fold an aggregate function over the column values of one group
+    (one element per row; for [Count_star] the values are ignored).
+    SQL semantics: [Count]/[Count_star] never null; [Sum]/[Avg]/
+    [Min]/[Max] skip nulls and yield [Null] on an empty (or all-null)
+    input; [Avg] and [Sum] over any float are floats, [Avg] is always
+    a float. *)
+
+val like_match : pattern:string -> string -> bool
+(** SQL LIKE: [%] matches any sequence, [_] any single character. *)

@@ -1,0 +1,285 @@
+open Lexer
+
+module C = Cursor
+
+let agg_of_name s =
+  match String.lowercase_ascii s with
+  | "count" -> Some Expr.Count
+  | "sum" -> Some Expr.Sum
+  | "avg" -> Some Expr.Avg
+  | "min" -> Some Expr.Min
+  | "max" -> Some Expr.Max
+  | _ -> None
+
+let parse_literal c =
+  match C.next c with
+  | INT i -> Value.Int i
+  | FLOAT f -> Value.Float f
+  | STRING s -> Value.String s
+  | MINUS -> (
+      match C.next c with
+      | INT i -> Value.Int (-i)
+      | FLOAT f -> Value.Float (-.f)
+      | _ -> C.error c "expected number after '-'")
+  | IDENT s -> (
+      match String.uppercase_ascii s with
+      | "TRUE" -> Value.Bool true
+      | "FALSE" -> Value.Bool false
+      | "NULL" -> Value.Null
+      | "DATE" -> (
+          match C.next c with
+          | STRING d -> (
+              match Value.parse_typed Value.TDate d with
+              | Some v -> v
+              | None -> C.error c "malformed date literal")
+          | _ -> C.error c "expected string after DATE")
+      | _ -> C.error c "expected literal")
+  | _ -> C.error c "expected literal"
+
+let rec parse_expr c = parse_or c
+
+and parse_or c =
+  let left = parse_and c in
+  if C.keyword c "OR" then Expr.Or (left, parse_or c) else left
+
+and parse_and c =
+  let left = parse_not c in
+  if C.keyword c "AND" then Expr.And (left, parse_and c) else left
+
+and parse_not c =
+  if C.at_keyword c "NOT" then begin
+    C.advance c;
+    Expr.Not (parse_not c)
+  end
+  else parse_predicate c
+
+and parse_predicate c =
+  let left = parse_additive c in
+  match C.peek c with
+  | EQ ->
+      C.advance c;
+      Expr.Cmp (Expr.Eq, left, parse_additive c)
+  | NE ->
+      C.advance c;
+      Expr.Cmp (Expr.Ne, left, parse_additive c)
+  | LT ->
+      C.advance c;
+      Expr.Cmp (Expr.Lt, left, parse_additive c)
+  | LE ->
+      C.advance c;
+      Expr.Cmp (Expr.Le, left, parse_additive c)
+  | GT ->
+      C.advance c;
+      Expr.Cmp (Expr.Gt, left, parse_additive c)
+  | GE ->
+      C.advance c;
+      Expr.Cmp (Expr.Ge, left, parse_additive c)
+  | IDENT s -> (
+      match String.uppercase_ascii s with
+      | "IS" ->
+          C.advance c;
+          let negated = C.keyword c "NOT" in
+          C.expect_keyword c "NULL";
+          if negated then Expr.Not (Expr.Is_null left)
+          else Expr.Is_null left
+      | "LIKE" ->
+          C.advance c;
+          parse_like c left false
+      | "IN" ->
+          C.advance c;
+          parse_in c left false
+      | "BETWEEN" ->
+          C.advance c;
+          parse_between c left false
+      | "NOT" -> (
+          C.advance c;
+          match String.uppercase_ascii (C.ident c) with
+          | "LIKE" -> parse_like c left true
+          | "IN" -> parse_in c left true
+          | "BETWEEN" -> parse_between c left true
+          | _ -> C.error c "expected LIKE, IN or BETWEEN after NOT")
+      | _ -> left)
+  | _ -> left
+
+and parse_like c left negated =
+  match C.next c with
+  | STRING pat ->
+      let e = Expr.Like (left, pat) in
+      if negated then Expr.Not e else e
+  | _ -> C.error c "expected pattern string after LIKE"
+
+and parse_in c left negated =
+  C.eat c LPAREN;
+  let rec items acc =
+    let v = parse_literal c in
+    if C.peek c = COMMA then begin
+      C.advance c;
+      items (v :: acc)
+    end
+    else List.rev (v :: acc)
+  in
+  let vs = items [] in
+  C.eat c RPAREN;
+  let e = Expr.In_list (left, vs) in
+  if negated then Expr.Not e else e
+
+and parse_between c left negated =
+  let lo = parse_additive c in
+  C.expect_keyword c "AND";
+  let hi = parse_additive c in
+  let e = Expr.Between (left, lo, hi) in
+  if negated then Expr.Not e else e
+
+and parse_additive c =
+  let rec go left =
+    match C.peek c with
+    | PLUS ->
+        C.advance c;
+        go (Expr.Arith (Expr.Add, left, parse_multiplicative c))
+    | MINUS ->
+        C.advance c;
+        go (Expr.Arith (Expr.Sub, left, parse_multiplicative c))
+    | CONCAT_BARS ->
+        C.advance c;
+        go (Expr.Concat (left, parse_multiplicative c))
+    | _ -> left
+  in
+  go (parse_multiplicative c)
+
+and parse_multiplicative c =
+  let rec go left =
+    match C.peek c with
+    | STAR ->
+        C.advance c;
+        go (Expr.Arith (Expr.Mul, left, parse_unary c))
+    | SLASH ->
+        C.advance c;
+        go (Expr.Arith (Expr.Div, left, parse_unary c))
+    | PERCENT ->
+        C.advance c;
+        go (Expr.Arith (Expr.Mod, left, parse_unary c))
+    | _ -> left
+  in
+  go (parse_unary c)
+
+and parse_unary c =
+  match C.peek c with
+  | MINUS ->
+      C.advance c;
+      Expr.Neg (parse_unary c)
+  | _ -> parse_primary c
+
+and parse_primary c =
+  match C.peek c with
+  | INT i ->
+      C.advance c;
+      Expr.Const (Value.Int i)
+  | FLOAT f ->
+      C.advance c;
+      Expr.Const (Value.Float f)
+  | STRING s ->
+      C.advance c;
+      Expr.Const (Value.String s)
+  | LPAREN ->
+      C.advance c;
+      let e = parse_expr c in
+      C.eat c RPAREN;
+      e
+  | IDENT s -> (
+      match String.uppercase_ascii s with
+      | "TRUE" ->
+          C.advance c;
+          Expr.Const (Value.Bool true)
+      | "FALSE" ->
+          C.advance c;
+          Expr.Const (Value.Bool false)
+      | "NULL" ->
+          C.advance c;
+          Expr.Const Value.Null
+      | "DATE" when C.peek2 c <> LPAREN ->
+          Expr.Const (parse_literal c)
+      | "CASE" ->
+          C.advance c;
+          parse_case c
+      | _ -> (
+          match (Expr.scalar_fun_of_name s, C.peek2 c) with
+          | Some g, LPAREN ->
+              C.advance c;
+              C.advance c;
+              let arg = parse_expr c in
+              C.eat c RPAREN;
+              Expr.Fn (g, arg)
+          | _ ->
+          match (agg_of_name s, C.peek2 c) with
+          | Some g, LPAREN ->
+              C.advance c;
+              C.advance c;
+              if C.peek c = STAR then begin
+                C.advance c;
+                C.eat c RPAREN;
+                if g = Expr.Count then Expr.Agg (Expr.Count_star, None)
+                else C.error c "only count may take *"
+              end
+              else if g = Expr.Count && C.at_keyword c "DISTINCT" then begin
+                C.advance c;
+                let arg = parse_expr c in
+                C.eat c RPAREN;
+                Expr.Agg (Expr.Count_distinct, Some arg)
+              end
+              else begin
+                let arg = parse_expr c in
+                C.eat c RPAREN;
+                Expr.Agg (g, Some arg)
+              end
+          | _ ->
+              C.advance c;
+              (* qualified name "t.c" becomes a single dotted column
+                 reference; the SQL analyzer resolves the qualifier *)
+              if C.peek c = DOT then begin
+                C.advance c;
+                let field = C.ident c in
+                Expr.Col (s ^ "." ^ field)
+              end
+              else Expr.Col s))
+  | _ -> C.error c "expected expression"
+
+and parse_case c =
+  (* CASE WHEN cond THEN expr [WHEN ...]* [ELSE expr] END *)
+  let rec branches acc =
+    if C.keyword c "WHEN" then begin
+      let cond = parse_expr c in
+      C.expect_keyword c "THEN";
+      let expr = parse_expr c in
+      branches ((cond, expr) :: acc)
+    end
+    else List.rev acc
+  in
+  let bs = branches [] in
+  if bs = [] then C.error c "CASE needs at least one WHEN branch"
+  else begin
+    let default =
+      if C.keyword c "ELSE" then Some (parse_expr c) else None
+    in
+    C.expect_keyword c "END";
+    Expr.Case (bs, default)
+  end
+
+let parse_string s =
+  match tokenize s with
+  | exception Lex_error (msg, pos) ->
+      Error (Printf.sprintf "lex error at %d: %s" pos msg)
+  | toks -> (
+      let c = C.make toks in
+      match parse_expr c with
+      | exception C.Parse_error msg -> Error msg
+      | e ->
+          if C.at_end c then Ok e
+          else
+            Error
+              (Printf.sprintf "trailing input at token %s"
+                 (token_to_string (C.peek c))))
+
+let parse_string_exn s =
+  match parse_string s with
+  | Ok e -> e
+  | Error msg -> invalid_arg ("Expr_parse.parse_string_exn: " ^ msg)

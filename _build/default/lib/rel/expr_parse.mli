@@ -1,0 +1,33 @@
+(** Recursive-descent parser for the expression language.
+
+    Grammar (lowest precedence first):
+    {v
+      expr      ::= or
+      or        ::= and (OR and)*
+      and       ::= not (AND not)*
+      not       ::= NOT not | predicate
+      predicate ::= additive [ cmp additive
+                             | IS [NOT] NULL
+                             | [NOT] LIKE string
+                             | [NOT] IN '(' literal, ... ')'
+                             | [NOT] BETWEEN additive AND additive ]
+      additive  ::= multiplic (( + | - | '||' ) multiplic)*
+      multiplic ::= unary (( '*' | / | '%' ) unary)*
+      unary     ::= - unary | primary
+      primary   ::= literal | ident | aggfun '(' [expr | *] ')'
+                  | DATE string | '(' expr ')'
+    v}
+
+    SQL keywords are recognized case-insensitively. *)
+
+val parse_expr : Lexer.Cursor.t -> Expr.t
+(** Parse one expression starting at the cursor; leaves the cursor on
+    the first token after the expression.
+    @raise Lexer.Cursor.Parse_error on malformed input. *)
+
+val parse_string : string -> (Expr.t, string) result
+(** Parse a complete string as a single expression (must consume all
+    input). *)
+
+val parse_string_exn : string -> Expr.t
+(** @raise Invalid_argument on malformed input. *)

@@ -1,0 +1,68 @@
+let is_constant e = Expr.columns e = [] && not (Expr.has_agg e)
+
+let try_fold e =
+  if is_constant e then
+    match
+      Expr_eval.eval ~lookup:(fun _ -> raise Not_found) e
+    with
+    | v -> Expr.Const v
+    | exception Expr_eval.Eval_error _ -> e
+  else e
+
+let rec simplify (e : Expr.t) : Expr.t =
+  let s = simplify in
+  let e =
+    match e with
+    | Expr.Const _ | Expr.Col _ -> e
+    | Expr.Neg a -> Expr.Neg (s a)
+    | Expr.Arith (op, a, b) -> Expr.Arith (op, s a, s b)
+    | Expr.Concat (a, b) -> Expr.Concat (s a, s b)
+    | Expr.Cmp (op, a, b) -> Expr.Cmp (op, s a, s b)
+    | Expr.And (a, b) -> (
+        match (s a, s b) with
+        | Expr.Const (Value.Bool true), x | x, Expr.Const (Value.Bool true)
+          ->
+            x
+        | (Expr.Const (Value.Bool false) as f), _
+        | _, (Expr.Const (Value.Bool false) as f) ->
+            f
+        | a, b -> Expr.And (a, b))
+    | Expr.Or (a, b) -> (
+        match (s a, s b) with
+        | (Expr.Const (Value.Bool true) as t), _
+        | _, (Expr.Const (Value.Bool true) as t) ->
+            t
+        | Expr.Const (Value.Bool false), x
+        | x, Expr.Const (Value.Bool false) ->
+            x
+        | a, b -> Expr.Or (a, b))
+    | Expr.Not a -> (
+        match s a with
+        | Expr.Not inner -> inner
+        | Expr.Const (Value.Bool b) -> Expr.Const (Value.Bool (not b))
+        | a -> Expr.Not a)
+    | Expr.Is_null a -> Expr.Is_null (s a)
+    | Expr.Like (a, p) -> Expr.Like (s a, p)
+    | Expr.In_list (a, vs) -> Expr.In_list (s a, vs)
+    | Expr.Between (a, lo, hi) -> Expr.Between (s a, s lo, s hi)
+    | Expr.Fn (g, a) -> Expr.Fn (g, s a)
+    | Expr.Case (branches, default) -> (
+        (* drop statically-false branches; a statically-true branch
+           ends the CASE *)
+        let rec walk acc = function
+          | [] -> Expr.Case (List.rev acc, Option.map s default)
+          | (cond, v) :: rest -> (
+              match s cond with
+              | Expr.Const (Value.Bool false) -> walk acc rest
+              | Expr.Const (Value.Bool true) when acc = [] -> s v
+              | Expr.Const (Value.Bool true) ->
+                  Expr.Case (List.rev acc, Some (s v))
+              | cond -> walk ((cond, s v) :: acc) rest)
+        in
+        match walk [] branches with
+        | Expr.Case ([], Some d) -> d
+        | Expr.Case ([], None) -> Expr.Const Value.Null
+        | other -> other)
+    | Expr.Agg (fn, arg) -> Expr.Agg (fn, Option.map s arg)
+  in
+  try_fold e

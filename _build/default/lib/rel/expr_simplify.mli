@@ -1,0 +1,19 @@
+(** Expression simplification: constant folding and boolean identity
+    elimination.
+
+    Used by {!Sheet_core.Plan.optimize} before evaluating fused filter
+    conjunctions, and handy whenever an expression is shown to a user
+    (a rewritten predicate should not read [TRUE AND Price < 10]).
+    Semantics-preserving with respect to {!Expr_eval.eval}: folding
+    uses the evaluator itself on constant subtrees, so NULL
+    propagation and division-by-zero behave identically. *)
+
+val simplify : Expr.t -> Expr.t
+(** Bottom-up:
+    - any aggregate-free subtree without column references is folded
+      to its constant value;
+    - [TRUE AND e] → [e], [FALSE AND e] → [FALSE], [TRUE OR e] →
+      [TRUE], [FALSE OR e] → [e] (and symmetrically);
+    - [NOT NOT e] → [e];
+    - double negation of numeric literals is folded by the constant
+      rule. *)

@@ -1,0 +1,226 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | SEMI
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | CONCAT_BARS
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Lex_error of string * int
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let i = ref 0 in
+  let peek_at k = if !i + k < n then Some input.[!i + k] else None in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '-' && peek_at 1 = Some '-' then begin
+      (* SQL line comment *)
+      while !i < n && input.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do
+        incr i
+      done;
+      emit (IDENT (String.sub input start (!i - start)))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit input.[!i] do
+        incr i
+      done;
+      let is_float = ref false in
+      if !i < n && input.[!i] = '.' && !i + 1 < n && is_digit input.[!i + 1]
+      then begin
+        is_float := true;
+        incr i;
+        while !i < n && is_digit input.[!i] do
+          incr i
+        done
+      end;
+      if !i < n && (input.[!i] = 'e' || input.[!i] = 'E') then begin
+        let save = !i in
+        incr i;
+        if !i < n && (input.[!i] = '+' || input.[!i] = '-') then incr i;
+        if !i < n && is_digit input.[!i] then begin
+          is_float := true;
+          while !i < n && is_digit input.[!i] do
+            incr i
+          done
+        end
+        else i := save
+      end;
+      let text = String.sub input start (!i - start) in
+      if !is_float then emit (FLOAT (float_of_string text))
+      else
+        match int_of_string_opt text with
+        | Some v -> emit (INT v)
+        | None -> emit (FLOAT (float_of_string text))
+    end
+    else if c = '\'' then begin
+      let buf = Buffer.create 16 in
+      let start = !i in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if input.[!i] = '\'' then
+          if peek_at 1 = Some '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf input.[!i];
+          incr i
+        end
+      done;
+      if not !closed then raise (Lex_error ("unterminated string", start));
+      emit (STRING (Buffer.contents buf))
+    end
+    else begin
+      let two t =
+        emit t;
+        i := !i + 2
+      in
+      let one t =
+        emit t;
+        incr i
+      in
+      match (c, peek_at 1) with
+      | '|', Some '|' -> two CONCAT_BARS
+      | '<', Some '=' -> two LE
+      | '<', Some '>' -> two NE
+      | '>', Some '=' -> two GE
+      | '!', Some '=' -> two NE
+      | '<', _ -> one LT
+      | '>', _ -> one GT
+      | '=', _ -> one EQ
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | ',', _ -> one COMMA
+      | '.', _ -> one DOT
+      | ';', _ -> one SEMI
+      | '*', _ -> one STAR
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '/', _ -> one SLASH
+      | '%', _ -> one PERCENT
+      | _ ->
+          raise
+            (Lex_error (Printf.sprintf "unexpected character %C" c, !i))
+    end
+  done;
+  emit EOF;
+  Array.of_list (List.rev !toks)
+
+let token_to_string = function
+  | IDENT s -> s
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "'%s'" s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | DOT -> "."
+  | SEMI -> ";"
+  | STAR -> "*"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | CONCAT_BARS -> "||"
+  | EQ -> "="
+  | NE -> "<>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EOF -> "<eof>"
+
+module Cursor = struct
+  type t = { toks : token array; mutable pos : int }
+
+  exception Parse_error of string
+
+  let make toks =
+    assert (Array.length toks > 0);
+    { toks; pos = 0 }
+
+  let peek c = c.toks.(c.pos)
+
+  let peek2 c =
+    if c.pos + 1 < Array.length c.toks then c.toks.(c.pos + 1) else EOF
+
+  let advance c = if c.pos < Array.length c.toks - 1 then c.pos <- c.pos + 1
+
+  let next c =
+    let t = peek c in
+    advance c;
+    t
+
+  let error c msg =
+    raise
+      (Parse_error
+         (Printf.sprintf "%s (at %s, token %d)" msg
+            (token_to_string (peek c))
+            c.pos))
+
+  let eat c tok =
+    if peek c = tok then advance c
+    else error c (Printf.sprintf "expected %s" (token_to_string tok))
+
+  let ident c =
+    match peek c with
+    | IDENT s ->
+        advance c;
+        s
+    | _ -> error c "expected identifier"
+
+  let at_keyword c kw =
+    match peek c with
+    | IDENT s -> String.uppercase_ascii s = kw
+    | _ -> false
+
+  let keyword c kw =
+    if at_keyword c kw then begin
+      advance c;
+      true
+    end
+    else false
+
+  let expect_keyword c kw =
+    if not (keyword c kw) then error c (Printf.sprintf "expected %s" kw)
+
+  let at_end c = peek c = EOF
+end

@@ -1,0 +1,72 @@
+(** Tokenizer shared by the expression parser and the SQL parser.
+
+    Identifiers keep their original spelling; keyword recognition is
+    the parser's job (SQL keywords are case-insensitive, so parsers
+    compare uppercased spellings). *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string  (** contents of a ['...'] literal, unescaped *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | SEMI
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | CONCAT_BARS  (** [||] *)
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Lex_error of string * int  (** message, byte offset *)
+
+val tokenize : string -> token array
+(** Tokenize a whole input; the result always ends with [EOF].
+    @raise Lex_error on an unexpected character or unterminated
+    string. *)
+
+val token_to_string : token -> string
+
+(** Mutable cursor over a token array, used by recursive-descent
+    parsers. *)
+module Cursor : sig
+  type t
+
+  exception Parse_error of string
+
+  val make : token array -> t
+  val peek : t -> token
+  val peek2 : t -> token
+  val advance : t -> unit
+  val next : t -> token
+  (** [next c] returns the current token and advances. *)
+
+  val error : t -> string -> 'a
+  (** @raise Parse_error with context about the current token. *)
+
+  val eat : t -> token -> unit
+  (** Consume exactly the given token or fail. *)
+
+  val ident : t -> string
+  (** Consume an [IDENT] and return its spelling. *)
+
+  val keyword : t -> string -> bool
+  (** [keyword c kw] consumes the current token if it is an [IDENT]
+      whose uppercase spelling equals [kw] (already uppercase). *)
+
+  val expect_keyword : t -> string -> unit
+  val at_keyword : t -> string -> bool
+  (** Non-consuming test. *)
+
+  val at_end : t -> bool
+end

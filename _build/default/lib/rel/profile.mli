@@ -1,0 +1,24 @@
+(** Per-column data profiles: the at-a-glance summary a spreadsheet
+    user reads off a column before deciding how to filter or group it
+    (value range, distinct count, missing cells). Used by the REPL's
+    [describe] command and handy for choosing selection thresholds. *)
+
+type column_profile = {
+  name : string;
+  ty : Value.vtype;
+  non_null : int;
+  nulls : int;
+  distinct : int;
+  min_value : Value.t;  (** [Null] when the column has no values *)
+  max_value : Value.t;
+  mean : float option;  (** numeric columns only *)
+}
+
+val column : Relation.t -> string -> column_profile
+(** @raise Schema.Schema_error on an unknown column. *)
+
+val relation : Relation.t -> column_profile list
+(** Profile of every column, in schema order. *)
+
+val render : Relation.t -> string
+(** Text table: one row per column. *)

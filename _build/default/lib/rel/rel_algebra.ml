@@ -1,0 +1,167 @@
+exception Algebra_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Algebra_error s)) fmt
+
+let lookup_in schema row name = Row.get row (Schema.index_exn schema name)
+
+let eval_on (r : Relation.t) row e =
+  Expr_eval.eval ~lookup:(fun name -> lookup_in r.Relation.schema row name) e
+
+let select pred (r : Relation.t) =
+  (match Expr_check.check_pred r.Relation.schema pred with
+  | Ok () -> ()
+  | Error msg -> err "selection: %s" msg);
+  let keep row =
+    Expr_eval.eval_pred
+      ~lookup:(fun name -> lookup_in r.Relation.schema row name)
+      pred
+  in
+  Relation.unsafe_make r.Relation.schema (List.filter keep r.Relation.rows)
+
+let project names (r : Relation.t) =
+  let schema = Schema.restrict r.Relation.schema names in
+  let positions = List.map (Schema.index_exn r.Relation.schema) names in
+  Relation.unsafe_make schema
+    (List.map (fun row -> Row.project row positions) r.Relation.rows)
+
+let product (a : Relation.t) (b : Relation.t) =
+  let schema = Schema.concat a.Relation.schema b.Relation.schema in
+  let rows =
+    List.concat_map
+      (fun ra -> List.map (fun rb -> Row.append ra rb) b.Relation.rows)
+      a.Relation.rows
+  in
+  Relation.unsafe_make schema rows
+
+let union (a : Relation.t) (b : Relation.t) =
+  if not (Schema.union_compatible a.Relation.schema b.Relation.schema) then
+    err "union: schemas are not union-compatible";
+  Relation.unsafe_make a.Relation.schema (a.Relation.rows @ b.Relation.rows)
+
+let diff (a : Relation.t) (b : Relation.t) =
+  if not (Schema.union_compatible a.Relation.schema b.Relation.schema) then
+    err "difference: schemas are not union-compatible";
+  (* Bag difference: each row of [b] cancels one occurrence in [a]. *)
+  let budget = Hashtbl.create 64 in
+  List.iter
+    (fun row ->
+      let h = Row.hash row in
+      let existing = Hashtbl.find_opt budget h |> Option.value ~default:[] in
+      Hashtbl.replace budget h (row :: existing))
+    b.Relation.rows;
+  let rows =
+    List.filter
+      (fun row ->
+        let h = Row.hash row in
+        let bucket = Hashtbl.find_opt budget h |> Option.value ~default:[] in
+        match
+          List.partition (fun r -> Row.equal r row) bucket
+        with
+        | [], _ -> true
+        | _ :: rest_same, others ->
+            Hashtbl.replace budget h (rest_same @ others);
+            false)
+      a.Relation.rows
+  in
+  Relation.unsafe_make a.Relation.schema rows
+
+let join cond (a : Relation.t) (b : Relation.t) =
+  let prod = product a b in
+  (match Expr_check.check_pred prod.Relation.schema cond with
+  | Ok () -> ()
+  | Error msg -> err "join condition: %s" msg);
+  select cond prod
+
+let equijoin ~on:(left_col, right_col) (a : Relation.t) (b : Relation.t) =
+  let schema = Schema.concat a.Relation.schema b.Relation.schema in
+  let li = Schema.index_exn a.Relation.schema left_col in
+  let ri = Schema.index_exn b.Relation.schema right_col in
+  let index = Hashtbl.create 256 in
+  List.iter
+    (fun rb ->
+      let key = Row.get rb ri in
+      let h = Value.hash key in
+      let bucket = Hashtbl.find_opt index h |> Option.value ~default:[] in
+      Hashtbl.replace index h ((key, rb) :: bucket))
+    b.Relation.rows;
+  let rows =
+    List.concat_map
+      (fun ra ->
+        let key = Row.get ra li in
+        if Value.is_null key then []
+        else
+          Hashtbl.find_opt index (Value.hash key)
+          |> Option.value ~default:[]
+          |> List.filter_map (fun (k, rb) ->
+                 if Value.equal k key then Some (Row.append ra rb) else None)
+          |> List.rev)
+      a.Relation.rows
+  in
+  Relation.unsafe_make schema rows
+
+let distinct (r : Relation.t) =
+  let seen = Hashtbl.create 64 in
+  let rows =
+    List.filter
+      (fun row ->
+        let h = Row.hash row in
+        let bucket = Hashtbl.find_opt seen h |> Option.value ~default:[] in
+        if List.exists (fun x -> Row.equal x row) bucket then false
+        else begin
+          Hashtbl.replace seen h (row :: bucket);
+          true
+        end)
+      r.Relation.rows
+  in
+  Relation.unsafe_make r.Relation.schema rows
+
+let sort keys (r : Relation.t) =
+  let positions =
+    List.map
+      (fun (name, dir) -> (Schema.index_exn r.Relation.schema name, dir))
+      keys
+  in
+  let compare_rows ra rb =
+    let rec go = function
+      | [] -> 0
+      | (i, dir) :: rest ->
+          let c = Value.compare (Row.get ra i) (Row.get rb i) in
+          let c = match dir with `Asc -> c | `Desc -> -c in
+          if c <> 0 then c else go rest
+    in
+    go positions
+  in
+  Relation.unsafe_make r.Relation.schema
+    (List.stable_sort compare_rows r.Relation.rows)
+
+let extend name ty f (r : Relation.t) =
+  let schema = Schema.append r.Relation.schema { Schema.name; ty } in
+  Relation.unsafe_make schema
+    (List.map (fun row -> Row.append1 row (f row)) r.Relation.rows)
+
+let group_rows cols (r : Relation.t) =
+  let positions = List.map (Schema.index_exn r.Relation.schema) cols in
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun row ->
+      let key = Row.project row positions in
+      let h = Row.hash key in
+      let bucket = Hashtbl.find_opt tbl h |> Option.value ~default:[] in
+      match List.find_opt (fun (k, _) -> Row.equal k key) bucket with
+      | Some (_, cell) -> cell := row :: !cell
+      | None ->
+          let cell = ref [ row ] in
+          Hashtbl.replace tbl h ((key, cell) :: bucket);
+          order := (key, cell) :: !order)
+    r.Relation.rows;
+  List.rev_map (fun (key, cell) -> (key, List.rev !cell)) !order
+
+let aggregate_value (r : Relation.t) group_rows g arg =
+  let values =
+    match (g, arg) with
+    | Expr.Count_star, _ -> List.map (fun _ -> Value.Null) group_rows
+    | _, Some e -> List.map (fun row -> eval_on r row e) group_rows
+    | _, None -> err "aggregate %s needs an argument" (Expr.agg_fun_name g)
+  in
+  Expr_eval.apply_agg g values

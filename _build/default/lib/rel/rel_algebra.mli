@@ -1,0 +1,65 @@
+(** Relational algebra with multiset semantics.
+
+    These are the relational counterparts (subscript "r" in the paper)
+    that the spreadsheet operators are defined against: selection
+    [σ_r], projection [π_r], product [×_r], union [∪_r], difference
+    [−_r], join [⋈_r], plus sorting, duplicate elimination and
+    grouped aggregation used by the SQL executor. *)
+
+exception Algebra_error of string
+
+val select : Expr.t -> Relation.t -> Relation.t
+(** [σ_r]: keep rows satisfying the (aggregate-free) predicate.
+    @raise Algebra_error on an ill-typed predicate. *)
+
+val project : string list -> Relation.t -> Relation.t
+(** [π_r]: keep the named columns in the given order; duplicates are
+    NOT eliminated (multiset semantics). *)
+
+val product : Relation.t -> Relation.t -> Relation.t
+(** [×_r]: clashing right-hand column names get a numeric suffix (see
+    {!Schema.concat}). *)
+
+val union : Relation.t -> Relation.t -> Relation.t
+(** [∪_r] with bag semantics: the result contains each tuple as many
+    times as both operands combined.
+    @raise Algebra_error unless the schemas are union-compatible. *)
+
+val diff : Relation.t -> Relation.t -> Relation.t
+(** [−_r] with bag semantics: occurrences are subtracted, so
+    [{t,t} − {t} = {t}].
+    @raise Algebra_error unless the schemas are union-compatible. *)
+
+val join : Expr.t -> Relation.t -> Relation.t -> Relation.t
+(** [⋈_r]: product followed by selection on the join condition, which
+    may reference columns of both operands (right-hand clashes renamed
+    as in {!product}). *)
+
+val equijoin : on:(string * string) -> Relation.t -> Relation.t -> Relation.t
+(** Hash equijoin on one column pair [(left_col, right_col)];
+    semantically [join (left_col = right_col')] but linear-time, used
+    to build large pre-joined views. Result schema as in {!product}. *)
+
+val distinct : Relation.t -> Relation.t
+(** Remove duplicate rows, keeping the first occurrence of each. *)
+
+val sort : (string * [ `Asc | `Desc ]) list -> Relation.t -> Relation.t
+(** Stable sort by the given key columns; [Null]s sort last in
+    ascending order (see {!Value.compare}). *)
+
+val extend : string -> Value.vtype -> (Row.t -> Value.t) -> Relation.t
+  -> Relation.t
+(** Append a computed column. *)
+
+val group_rows : string list -> Relation.t -> (Row.t * Row.t list) list
+(** Partition rows by equality on the given columns. Each element is
+    (representative key row restricted to the grouping columns, rows
+    of the group); groups appear in first-occurrence order. *)
+
+val eval_on : Relation.t -> Row.t -> Expr.t -> Value.t
+(** Evaluate an aggregate-free expression on one row of the relation. *)
+
+val aggregate_value : Relation.t -> Row.t list -> Expr.agg_fun ->
+  Expr.t option -> Value.t
+(** Aggregate [f(arg)] over a set of rows of the relation;
+    [Count_star] ignores the argument. *)

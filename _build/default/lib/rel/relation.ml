@@ -1,0 +1,51 @@
+type t = { schema : Schema.t; rows : Row.t list }
+
+exception Relation_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Relation_error s)) fmt
+
+let validate_row schema row =
+  let arity = Schema.arity schema in
+  if Row.width row <> arity then
+    err "row width %d does not match schema arity %d" (Row.width row) arity;
+  for i = 0 to arity - 1 do
+    let c = Schema.column_at schema i in
+    match Value.type_of (Row.get row i) with
+    | None -> ()
+    | Some ty ->
+        if not (Value.subtype ty c.Schema.ty) then
+          err "value %s is not of column %s's type %s"
+            (Value.to_string (Row.get row i))
+            c.Schema.name
+            (Value.type_name c.Schema.ty)
+  done
+
+let make schema rows =
+  List.iter (validate_row schema) rows;
+  { schema; rows }
+
+let unsafe_make schema rows = { schema; rows }
+
+let empty schema = { schema; rows = [] }
+let cardinality t = List.length t.rows
+let schema t = t.schema
+let rows t = t.rows
+
+let column_values t name =
+  let i = Schema.index_exn t.schema name in
+  List.map (fun r -> Row.get r i) t.rows
+
+let normalize t = { t with rows = List.sort Row.compare t.rows }
+
+let equal a b =
+  Schema.equal a.schema b.schema
+  && List.equal Row.equal (normalize a).rows (normalize b).rows
+
+let equal_unordered_data a b =
+  Schema.names a.schema = Schema.names b.schema
+  && List.equal Row.equal (normalize a).rows (normalize b).rows
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@ %a@]" Schema.pp t.schema
+    (Format.pp_print_list Row.pp)
+    t.rows

@@ -1,0 +1,42 @@
+(** Multiset relations: a schema plus a bag of rows.
+
+    The paper defines every spreadsheet operator against a relational
+    counterpart with multiset semantics (Sec. III-B); this module is
+    that substrate. Rows are kept in a list whose order is incidental
+    — use {!normalize} or {!equal} for order-insensitive reasoning. *)
+
+type t = { schema : Schema.t; rows : Row.t list }
+
+exception Relation_error of string
+
+val make : Schema.t -> Row.t list -> t
+(** @raise Relation_error when a row's width or value types disagree
+    with the schema ([Null] fits every column). *)
+
+val unsafe_make : Schema.t -> Row.t list -> t
+(** No validation; for operators whose output is correct by
+    construction. *)
+
+val empty : Schema.t -> t
+val cardinality : t -> int
+val schema : t -> Schema.t
+val rows : t -> Row.t list
+
+val column_values : t -> string -> Value.t list
+(** All values of a column, in row order. *)
+
+val normalize : t -> t
+(** Rows sorted under {!Row.compare}; canonical form of the multiset. *)
+
+val equal : t -> t -> bool
+(** Multiset equality: same schema (names and types) and same rows
+    regardless of order. *)
+
+val equal_unordered_data : t -> t -> bool
+(** Multiset equality of the data only — column names must match but
+    types may differ where values still compare equal (used to compare
+    SQL results with spreadsheet results, where e.g. an AVG column may
+    be [TFloat] on both sides but an int-typed constant column can
+    surface as [TInt] vs [TFloat]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+type t = Value.t array
+
+let of_list = Array.of_list
+let to_list = Array.to_list
+let get (t : t) i = t.(i)
+let width = Array.length
+
+let append = Array.append
+let append1 t v = Array.append t [| v |]
+
+let remove_at t i =
+  Array.init
+    (Array.length t - 1)
+    (fun j -> if j < i then t.(j) else t.(j + 1))
+
+let set_at t i v =
+  let t' = Array.copy t in
+  t'.(i) <- v;
+  t'
+
+let project t positions =
+  Array.of_list (List.map (fun i -> t.(i)) positions)
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  let n = min la lb in
+  let rec go i =
+    if i >= n then Int.compare la lb
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let equal a b = compare a b = 0
+
+let hash t = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+
+let pp ppf t =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       Value.pp)
+    (to_list t)

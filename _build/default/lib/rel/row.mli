@@ -1,0 +1,25 @@
+(** Rows (tuples) are immutable arrays of values, positionally aligned
+    with a {!Schema.t}. *)
+
+type t = Value.t array
+
+val of_list : Value.t list -> t
+val to_list : t -> Value.t list
+val get : t -> int -> Value.t
+val width : t -> int
+
+val append : t -> t -> t
+val append1 : t -> Value.t -> t
+val remove_at : t -> int -> t
+val set_at : t -> int -> Value.t -> t
+(** Functional update: returns a fresh row. *)
+
+val project : t -> int list -> t
+(** Keep values at the given positions, in the order given. *)
+
+val compare : t -> t -> int
+(** Lexicographic order under {!Value.compare}. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

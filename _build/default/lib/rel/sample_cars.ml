@@ -1,0 +1,58 @@
+let schema =
+  Schema.of_list
+    [ ("ID", Value.TInt);
+      ("Model", Value.TString);
+      ("Price", Value.TInt);
+      ("Year", Value.TInt);
+      ("Mileage", Value.TInt);
+      ("Condition", Value.TString) ]
+
+let row id model price year mileage condition =
+  Row.of_list
+    [ Value.Int id;
+      Value.String model;
+      Value.Int price;
+      Value.Int year;
+      Value.Int mileage;
+      Value.String condition ]
+
+(* Table I of the paper, verbatim. *)
+let relation =
+  Relation.make schema
+    [ row 304 "Jetta" 14500 2005 76000 "Good";
+      row 872 "Jetta" 15000 2005 50000 "Excellent";
+      row 901 "Jetta" 16000 2005 40000 "Excellent";
+      row 423 "Jetta" 17000 2006 42000 "Good";
+      row 723 "Jetta" 17500 2006 39000 "Excellent";
+      row 725 "Jetta" 18000 2006 30000 "Excellent";
+      row 132 "Civic" 13500 2005 86000 "Good";
+      row 879 "Civic" 15000 2006 68000 "Good";
+      row 322 "Civic" 16000 2006 73000 "Good" ]
+
+let models = [| "Jetta"; "Civic"; "Accord"; "Camry"; "Focus"; "Mazda3" |]
+let conditions = [| "Excellent"; "Good"; "Fair"; "Poor" |]
+
+let scaled ~rows ~seed =
+  (* splitmix-style deterministic stream; avoids Stdlib.Random so runs
+     are reproducible across OCaml versions. *)
+  let state = ref (Int64.of_int (seed lxor 0x9E3779B9)) in
+  let next () =
+    state := Int64.add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+              0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+              0x94D049BB133111EBL in
+    Int64.to_int (Int64.logxor z (Int64.shift_right_logical z 31))
+    land max_int
+  in
+  let pick arr = arr.(next () mod Array.length arr) in
+  let data =
+    List.init rows (fun i ->
+        row (1000 + i) (pick models)
+          (10000 + (next () mod 15000))
+          (2000 + (next () mod 9))
+          (10000 + (next () mod 120000))
+          (pick conditions))
+  in
+  Relation.make schema data

@@ -1,0 +1,14 @@
+(** The used-car relation of the paper's Table I, used by the running
+    example, the examples directory, tests and benchmarks. *)
+
+val schema : Schema.t
+(** ID:int, Model:string, Price:int, Year:int, Mileage:int,
+    Condition:string. *)
+
+val relation : Relation.t
+(** The nine rows of Table I, in the paper's order. *)
+
+val scaled : rows:int -> seed:int -> Relation.t
+(** A synthetic enlargement with the same schema and value
+    distributions, for benchmarking operator scaling. Deterministic in
+    [seed]. *)

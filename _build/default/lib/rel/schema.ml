@@ -1,0 +1,107 @@
+type column = { name : string; ty : Value.vtype }
+
+type t = { cols : column array }
+
+exception Schema_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Schema_error s)) fmt
+
+let check_unique cols =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem seen c.name then err "duplicate column %S" c.name
+      else Hashtbl.add seen c.name ())
+    cols
+
+let make cols =
+  check_unique cols;
+  { cols = Array.of_list cols }
+
+let of_list l = make (List.map (fun (name, ty) -> { name; ty }) l)
+
+let columns t = Array.to_list t.cols
+let names t = Array.to_list (Array.map (fun c -> c.name) t.cols)
+let arity t = Array.length t.cols
+
+let find t name =
+  let n = Array.length t.cols in
+  let rec go i =
+    if i >= n then None
+    else if t.cols.(i).name = name then Some (i, t.cols.(i))
+    else go (i + 1)
+  in
+  go 0
+
+let mem t name = Option.is_some (find t name)
+
+let index_exn t name =
+  match find t name with
+  | Some (i, _) -> i
+  | None -> err "no such column %S" name
+
+let column_at t i = t.cols.(i)
+
+let type_of t name = Option.map (fun (_, c) -> c.ty) (find t name)
+
+let append t c =
+  if mem t c.name then err "column %S already exists" c.name;
+  { cols = Array.append t.cols [| c |] }
+
+let remove t name =
+  if not (mem t name) then err "no such column %S" name;
+  { cols = Array.of_seq (Seq.filter (fun c -> c.name <> name) (Array.to_seq t.cols)) }
+
+let rename t old_name new_name =
+  if not (mem t old_name) then err "no such column %S" old_name;
+  if old_name <> new_name && mem t new_name then
+    err "column %S already exists" new_name;
+  { cols =
+      Array.map
+        (fun c -> if c.name = old_name then { c with name = new_name } else c)
+        t.cols }
+
+let restrict t keep =
+  make
+    (List.map
+       (fun name ->
+         match find t name with
+         | Some (_, c) -> c
+         | None -> err "no such column %S" name)
+       keep)
+
+let fresh_name t base =
+  if not (mem t base) then base
+  else
+    let rec go i =
+      let cand = Printf.sprintf "%s_%d" base i in
+      if mem t cand then go (i + 1) else cand
+    in
+    go 2
+
+let concat_with_mapping a b =
+  let mapping = ref [] in
+  let result =
+    Array.fold_left
+      (fun acc c ->
+        let name = fresh_name acc c.name in
+        mapping := (c.name, name) :: !mapping;
+        append acc { c with name })
+      a b.cols
+  in
+  (result, List.rev !mapping)
+
+let concat a b = fst (concat_with_mapping a b)
+
+let union_compatible a b =
+  arity a = arity b
+  && Array.for_all2 (fun x y -> x.name = y.name && x.ty = y.ty) a.cols b.cols
+
+let equal = union_compatible
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf c -> Format.fprintf ppf "%s:%s" c.name (Value.type_name c.ty)))
+    (columns t)

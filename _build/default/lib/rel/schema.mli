@@ -1,0 +1,54 @@
+(** Relation schemas: ordered lists of named, typed columns.
+
+    Column names are case-sensitive and must be unique within a
+    schema. Positions are 0-based. *)
+
+type column = { name : string; ty : Value.vtype }
+
+type t
+
+exception Schema_error of string
+
+val make : column list -> t
+(** @raise Schema_error on duplicate column names. *)
+
+val of_list : (string * Value.vtype) list -> t
+
+val columns : t -> column list
+val names : t -> string list
+val arity : t -> int
+
+val mem : t -> string -> bool
+val find : t -> string -> (int * column) option
+val index_exn : t -> string -> int
+(** @raise Schema_error when the column is absent. *)
+
+val column_at : t -> int -> column
+val type_of : t -> string -> Value.vtype option
+
+val append : t -> column -> t
+(** Add a column at the end. @raise Schema_error on a name clash. *)
+
+val remove : t -> string -> t
+(** Drop a column by name. @raise Schema_error when absent. *)
+
+val rename : t -> string -> string -> t
+(** [rename s old new_]. @raise Schema_error when [old] is absent or
+    [new_] clashes. *)
+
+val restrict : t -> string list -> t
+(** Keep only the named columns, in the order given. *)
+
+val concat : t -> t -> t
+(** Schema of a product/join result; clashing names from the right
+    schema are disambiguated with a ["_2"] (then ["_3"], ...) suffix. *)
+
+val concat_with_mapping : t -> t -> t * (string * string) list
+(** Like {!concat}, also returning the (original, disambiguated) name
+    mapping for the right-hand schema's columns. *)
+
+val union_compatible : t -> t -> bool
+(** Same column names and types, in the same order. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+let pad align_right width s =
+  let len = String.length s in
+  if len >= width then s
+  else
+    let fill = String.make (width - len) ' ' in
+    if align_right then fill ^ s else s ^ fill
+
+let render_cells ?align_right ~header ?(separators_after = []) rows =
+  let ncols = List.length header in
+  let align =
+    match align_right with
+    | Some l ->
+        assert (List.length l = ncols);
+        Array.of_list l
+    | None -> Array.make ncols false
+  in
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    rows;
+  let buf = Buffer.create 1024 in
+  let rule () =
+    Array.iter
+      (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-'))
+      widths;
+    Buffer.add_string buf "+\n"
+  in
+  let emit_row cells =
+    List.iteri
+      (fun i cell ->
+        Buffer.add_string buf "| ";
+        Buffer.add_string buf (pad align.(i) widths.(i) cell);
+        Buffer.add_char buf ' ')
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  rule ();
+  emit_row header;
+  rule ();
+  List.iteri
+    (fun idx row ->
+      emit_row row;
+      if List.mem idx separators_after then rule ())
+    rows;
+  rule ();
+  Buffer.contents buf
+
+let render (r : Relation.t) =
+  let header = Schema.names r.Relation.schema in
+  let align_right =
+    List.map
+      (fun c -> Value.numeric c.Schema.ty)
+      (Schema.columns r.Relation.schema)
+  in
+  let rows =
+    List.map
+      (fun row -> List.map Value.to_string (Row.to_list row))
+      r.Relation.rows
+  in
+  render_cells ~align_right ~header rows
+
+let print r = print_string (render r)

@@ -1,0 +1,21 @@
+(** ASCII table rendering for relations and arbitrary cell grids.
+
+    The spreadsheet renderer in [Sheet_core.Render] builds on
+    {!render_cells} to add group separators and header decorations. *)
+
+val render_cells :
+  ?align_right:bool list ->
+  header:string list ->
+  ?separators_after:int list ->
+  string list list ->
+  string
+(** Render a grid with a header, column-width padding, and horizontal
+    rules. [align_right] flags right-aligned columns (default: all
+    left). [separators_after] lists 0-based data-row indices after
+    which an extra horizontal rule is drawn (used for group
+    boundaries). *)
+
+val render : Relation.t -> string
+(** Render a relation; numeric columns are right-aligned. *)
+
+val print : Relation.t -> unit

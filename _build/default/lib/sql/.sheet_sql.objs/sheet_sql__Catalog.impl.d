@@ -1,0 +1,1 @@
+lib/sql/catalog.ml: Hashtbl List Relation Sheet_rel String

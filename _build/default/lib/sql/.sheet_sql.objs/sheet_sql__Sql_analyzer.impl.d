@@ -1,0 +1,1 @@
+lib/sql/sql_analyzer.ml: Catalog Expr Expr_check List Option Printf Relation Result Schema Sheet_rel Sql_ast String Value

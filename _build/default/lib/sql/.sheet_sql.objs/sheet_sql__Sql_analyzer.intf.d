@@ -1,0 +1,1 @@
+lib/sql/sql_analyzer.mli: Catalog Schema Sheet_rel Sql_ast Value

@@ -1,0 +1,1 @@
+lib/sql/sql_ast.ml: Expr Format List Option Sheet_rel String

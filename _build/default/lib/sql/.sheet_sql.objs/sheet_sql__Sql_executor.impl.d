@@ -1,0 +1,1 @@
+lib/sql/sql_executor.ml: Array Catalog Expr Expr_eval Hashtbl List Option Printf Rel_algebra Relation Result Row Schema Sheet_rel Sql_analyzer Sql_ast Sql_parser Value

@@ -1,0 +1,1 @@
+lib/sql/sql_executor.mli: Catalog Relation Sheet_rel Sql_ast

@@ -1,0 +1,1 @@
+lib/sql/sql_of_sheet.ml: Computed Expr Grouping List Printf Query_state Result Sheet_core Sheet_rel Spreadsheet Sql_ast

@@ -1,0 +1,1 @@
+lib/sql/sql_of_sheet.mli: Sheet_core Spreadsheet Sql_ast

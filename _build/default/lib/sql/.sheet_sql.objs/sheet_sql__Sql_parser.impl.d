@@ -1,0 +1,1 @@
+lib/sql/sql_parser.ml: Cursor Expr_parse Lexer List Printf Sheet_rel Sql_ast String

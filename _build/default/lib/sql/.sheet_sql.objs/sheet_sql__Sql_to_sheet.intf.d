@@ -1,0 +1,1 @@
+lib/sql/sql_to_sheet.mli: Catalog Op Relation Session Sheet_core Sheet_rel Sql_ast

@@ -1,0 +1,17 @@
+open Sheet_rel
+
+type t = (string, Relation.t) Hashtbl.t
+
+let create () = Hashtbl.create 16
+let add t ~name rel = Hashtbl.replace t name rel
+let find t name = Hashtbl.find_opt t name
+let find_exn t name = Hashtbl.find t name
+
+let names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t []
+  |> List.sort String.compare
+
+let of_list l =
+  let t = create () in
+  List.iter (fun (name, rel) -> add t ~name rel) l;
+  t

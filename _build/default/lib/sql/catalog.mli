@@ -1,0 +1,17 @@
+(** A named collection of relations — the "database" that SQL queries
+    and spreadsheet sessions read from. *)
+
+open Sheet_rel
+
+type t
+
+val create : unit -> t
+val add : t -> name:string -> Relation.t -> unit
+val find : t -> string -> Relation.t option
+val find_exn : t -> string -> Relation.t
+(** @raise Not_found *)
+
+val names : t -> string list
+(** Sorted. *)
+
+val of_list : (string * Relation.t) list -> t

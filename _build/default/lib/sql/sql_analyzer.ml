@@ -1,0 +1,290 @@
+open Sheet_rel
+
+let ( let* ) = Result.bind
+let errf fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+type resolved = {
+  query : Sql_ast.query;
+  source_schema : Schema.t;
+  grouped : bool;
+  output : (string * Value.vtype) list;
+}
+
+(* Build the FROM-product schema and, per FROM item, the mapping from
+   the item's original column names to their names in the product
+   (clashes get numeric suffixes, exactly as the executor's product
+   will produce). *)
+let build_source catalog (from : Sql_ast.from_item list) =
+  let rec go acc_schema acc_maps = function
+    | [] -> Ok (acc_schema, List.rev acc_maps)
+    | (item : Sql_ast.from_item) :: rest -> (
+        match Catalog.find catalog item.Sql_ast.rel with
+        | None -> errf "unknown relation %S" item.Sql_ast.rel
+        | Some rel ->
+            let schema = Relation.schema rel in
+            let label =
+              Option.value item.Sql_ast.alias ~default:item.Sql_ast.rel
+            in
+            let combined, mapping =
+              match acc_schema with
+              | None -> (schema, List.map (fun n -> (n, n)) (Schema.names schema))
+              | Some acc -> Schema.concat_with_mapping acc schema
+            in
+            go (Some combined) ((label, mapping) :: acc_maps) rest)
+  in
+  let* schema, maps = go None [] from in
+  match schema with
+  | None -> errf "empty FROM list"
+  | Some s -> Ok (s, maps)
+
+(* Resolve one (possibly qualified) column reference to its name in
+   the product schema. *)
+let resolve_name maps name =
+  match String.index_opt name '.' with
+  | Some i ->
+      let qualifier = String.sub name 0 i in
+      let col = String.sub name (i + 1) (String.length name - i - 1) in
+      let rec find = function
+        | [] -> errf "unknown table or alias %S" qualifier
+        | (label, mapping) :: rest ->
+            if label = qualifier then
+              match List.assoc_opt col mapping with
+              | Some final -> Ok final
+              | None -> errf "no column %S in %S" col qualifier
+            else find rest
+      in
+      find maps
+  | None -> (
+      let hits =
+        List.concat_map
+          (fun (label, mapping) ->
+            match List.assoc_opt name mapping with
+            | Some final -> [ (label, final) ]
+            | None -> [])
+          maps
+      in
+      match hits with
+      | [ (_, final) ] -> Ok final
+      | [] -> errf "unknown column %S" name
+      | _ -> errf "ambiguous column %S; qualify it" name)
+
+let resolve_expr maps e =
+  (* Expr.map_columns cannot fail, so collect errors first. *)
+  let* () =
+    List.fold_left
+      (fun acc col ->
+        let* () = acc in
+        let* _ = resolve_name maps col in
+        Ok ())
+      (Ok ()) (Expr.columns e)
+  in
+  Ok
+    (Expr.map_columns
+       (fun col ->
+         match resolve_name maps col with
+         | Ok final -> final
+         | Error _ -> col (* unreachable: checked above *))
+       e)
+
+(* Columns referenced outside aggregate arguments. *)
+let rec bare_columns (e : Expr.t) =
+  match e with
+  | Expr.Agg _ -> []
+  | Expr.Const _ -> []
+  | Expr.Col c -> [ c ]
+  | Expr.Neg a | Expr.Not a | Expr.Is_null a | Expr.Like (a, _)
+  | Expr.In_list (a, _) | Expr.Fn (_, a) ->
+      bare_columns a
+  | Expr.Arith (_, a, b) | Expr.Concat (a, b) | Expr.Cmp (_, a, b)
+  | Expr.And (a, b) | Expr.Or (a, b) ->
+      bare_columns a @ bare_columns b
+  | Expr.Between (a, b, c) ->
+      bare_columns a @ bare_columns b @ bare_columns c
+  | Expr.Case (branches, default) ->
+      List.concat_map
+        (fun (c, e) -> bare_columns c @ bare_columns e)
+        branches
+      @ (match default with Some d -> bare_columns d | None -> [])
+
+let check_grouped_refs what group_by e =
+  match
+    List.find_opt (fun c -> not (List.mem c group_by)) (bare_columns e)
+  with
+  | Some c ->
+      errf "%s references column %S which is not in GROUP BY" what c
+  | None -> Ok ()
+
+let fresh_output_name used base =
+  if not (List.mem base !used) then begin
+    used := base :: !used;
+    base
+  end
+  else
+    let rec go i =
+      let cand = Printf.sprintf "%s_%d" base i in
+      if List.mem cand !used then go (i + 1)
+      else begin
+        used := cand :: !used;
+        cand
+      end
+    in
+    go 2
+
+let analyze catalog (q : Sql_ast.query) =
+  let* source_schema, maps = build_source catalog q.Sql_ast.from in
+  (* Resolve every expression in the query. *)
+  let resolve = resolve_expr maps in
+  let* select =
+    List.fold_left
+      (fun acc (item : Sql_ast.select_item) ->
+        let* acc = acc in
+        let* expr = resolve item.Sql_ast.expr in
+        Ok (acc @ [ { item with Sql_ast.expr } ]))
+      (Ok []) q.Sql_ast.select
+  in
+  let* where =
+    match q.Sql_ast.where with
+    | None -> Ok None
+    | Some e ->
+        let* e = resolve e in
+        if Expr.has_agg e then errf "aggregates are not allowed in WHERE"
+        else Ok (Some e)
+  in
+  let* group_by =
+    List.fold_left
+      (fun acc name ->
+        let* acc = acc in
+        let* final = resolve_name maps name in
+        Ok (acc @ [ final ]))
+      (Ok []) q.Sql_ast.group_by
+  in
+  let* having =
+    match q.Sql_ast.having with
+    | None -> Ok None
+    | Some e ->
+        let* e = resolve e in
+        Ok (Some e)
+  in
+  let* order_by =
+    List.fold_left
+      (fun acc (o : Sql_ast.order_item) ->
+        let* acc = acc in
+        (* an ORDER BY name may refer to a SELECT alias *)
+        let by_alias =
+          match o.Sql_ast.expr with
+          | Expr.Col c -> (
+              match
+                List.find_opt
+                  (fun (item : Sql_ast.select_item) ->
+                    item.Sql_ast.alias = Some c)
+                  select
+              with
+              | Some item -> Some item.Sql_ast.expr
+              | None -> None)
+          | _ -> None
+        in
+        let* expr =
+          match by_alias with Some e -> Ok e | None -> resolve o.Sql_ast.expr
+        in
+        Ok (acc @ [ { o with Sql_ast.expr } ]))
+      (Ok []) q.Sql_ast.order_by
+  in
+  let has_any_agg =
+    List.exists
+      (fun (i : Sql_ast.select_item) -> Expr.has_agg i.Sql_ast.expr)
+      select
+    || Option.fold ~none:false ~some:Expr.has_agg having
+    || List.exists (fun o -> Expr.has_agg o.Sql_ast.expr) order_by
+  in
+  let grouped = group_by <> [] || has_any_agg in
+  (* Structural checks for grouped queries. *)
+  let* () =
+    if not grouped then
+      match having with
+      | Some _ -> errf "HAVING requires GROUP BY or aggregates"
+      | None -> Ok ()
+    else
+      let* () =
+        List.fold_left
+          (fun acc (item : Sql_ast.select_item) ->
+            let* () = acc in
+            check_grouped_refs "SELECT" group_by item.Sql_ast.expr)
+          (Ok ()) select
+      in
+      let* () =
+        match having with
+        | None -> Ok ()
+        | Some e -> check_grouped_refs "HAVING" group_by e
+      in
+      List.fold_left
+        (fun acc (o : Sql_ast.order_item) ->
+          let* () = acc in
+          check_grouped_refs "ORDER BY" group_by o.Sql_ast.expr)
+        (Ok ()) order_by
+  in
+  (* SELECT * in a grouped query is not part of the core fragment. *)
+  let* select =
+    if select <> [] then Ok select
+    else if grouped then errf "SELECT * cannot be combined with grouping"
+    else
+      Ok
+        (List.map
+           (fun name -> { Sql_ast.expr = Expr.Col name; alias = None })
+           (Schema.names source_schema))
+  in
+  (* Type-check everything and compute output schema. *)
+  let check_expr e =
+    match Expr_check.check ~allow_agg:grouped source_schema e with
+    | Ok ty -> Ok ty
+    | Error msg -> Error msg
+  in
+  let used = ref [] in
+  let* output =
+    List.fold_left
+      (fun acc (item : Sql_ast.select_item) ->
+        let* acc = acc in
+        let* ty = check_expr item.Sql_ast.expr in
+        let ty = Option.value ty ~default:Value.TString in
+        let name = fresh_output_name used (Sql_ast.output_name item) in
+        Ok (acc @ [ (name, ty) ]))
+      (Ok []) select
+  in
+  let* () =
+    match where with
+    | None -> Ok ()
+    | Some e -> (
+        match Expr_check.check_pred source_schema e with
+        | Ok () -> Ok ()
+        | Error msg -> errf "WHERE: %s" msg)
+  in
+  let* () =
+    match having with
+    | None -> Ok ()
+    | Some e -> (
+        match Expr_check.check_pred ~allow_agg:true source_schema e with
+        | Ok () -> Ok ()
+        | Error msg -> errf "HAVING: %s" msg)
+  in
+  let* () =
+    List.fold_left
+      (fun acc (o : Sql_ast.order_item) ->
+        let* () = acc in
+        match check_expr o.Sql_ast.expr with
+        | Ok _ -> Ok ()
+        | Error msg -> errf "ORDER BY: %s" msg)
+      (Ok ()) order_by
+  in
+  let* () =
+    List.fold_left
+      (fun acc col ->
+        let* () = acc in
+        if Schema.mem source_schema col then Ok ()
+        else errf "GROUP BY column %S not found" col)
+      (Ok ()) group_by
+  in
+  Ok
+    { query =
+        { q with Sql_ast.select; where; group_by; having; order_by };
+      source_schema;
+      grouped;
+      output }

@@ -1,0 +1,25 @@
+(** Semantic analysis of core single-block SQL.
+
+    Resolves column references against the FROM product (including
+    qualified [alias.column] names and the disambiguating renames the
+    product applies to clashing column names), classifies the query as
+    plain or grouped, and enforces the well-formedness rules of the
+    paper's core-query definition:
+    - the WHERE predicate is aggregate-free;
+    - in a grouped query, every non-aggregated column in SELECT,
+      HAVING and ORDER BY appears in the GROUP BY list;
+    - everything type-checks. *)
+
+open Sheet_rel
+
+type resolved = {
+  query : Sql_ast.query;
+      (** all column references rewritten to plain, unambiguous names
+          in the FROM-product schema *)
+  source_schema : Schema.t;  (** schema of the FROM product *)
+  grouped : bool;  (** GROUP BY present or any aggregate used *)
+  output : (string * Value.vtype) list;
+      (** result column names (unique) and types, in SELECT order *)
+}
+
+val analyze : Catalog.t -> Sql_ast.query -> (resolved, string) result

@@ -1,0 +1,66 @@
+open Sheet_rel
+
+type select_item = { expr : Expr.t; alias : string option }
+
+type from_item = { rel : string; alias : string option }
+
+type order_item = { expr : Expr.t; dir : [ `Asc | `Desc ] }
+
+type query = {
+  distinct : bool;
+  select : select_item list;
+  from : from_item list;
+  where : Expr.t option;
+  group_by : string list;
+  having : Expr.t option;
+  order_by : order_item list;
+}
+
+let output_name (item : select_item) =
+  match item.alias with
+  | Some a -> a
+  | None -> (
+      match item.expr with
+      | Expr.Col c -> c
+      | e -> Expr.to_string e)
+
+let select_is_star q = q.select = []
+
+let pp ppf q =
+  let open Format in
+  fprintf ppf "@[<v>SELECT %s"
+    (if q.distinct then "DISTINCT " else "");
+  (if select_is_star q then pp_print_string ppf "*"
+   else
+     pp_print_list
+       ~pp_sep:(fun ppf () -> fprintf ppf ", ")
+       (fun ppf (item : select_item) ->
+         Expr.pp ppf item.expr;
+         match item.alias with
+         | Some a -> fprintf ppf " AS %s" a
+         | None -> ())
+       ppf q.select);
+  fprintf ppf "@ FROM %s"
+    (String.concat ", "
+       (List.map
+          (fun (f : from_item) ->
+            match f.alias with
+            | Some a -> f.rel ^ " " ^ a
+            | None -> f.rel)
+          q.from));
+  Option.iter (fun e -> fprintf ppf "@ WHERE %a" Expr.pp e) q.where;
+  if q.group_by <> [] then
+    fprintf ppf "@ GROUP BY %s" (String.concat ", " q.group_by);
+  Option.iter (fun e -> fprintf ppf "@ HAVING %a" Expr.pp e) q.having;
+  if q.order_by <> [] then begin
+    fprintf ppf "@ ORDER BY ";
+    pp_print_list
+      ~pp_sep:(fun ppf () -> fprintf ppf ", ")
+      (fun ppf o ->
+        Expr.pp ppf o.expr;
+        fprintf ppf " %s" (match o.dir with `Asc -> "ASC" | `Desc -> "DESC"))
+      ppf q.order_by
+  end;
+  fprintf ppf "@]"
+
+let to_string q = Format.asprintf "%a" pp q

@@ -1,0 +1,43 @@
+(** Abstract syntax of the paper's {e core single-block SQL}
+    (Section IV-A):
+
+    {v
+    SELECT [DISTINCT] <projection-list> <aggregation-list>
+    FROM <relation-list>
+    WHERE <selection-predicate>
+    GROUP BY <grouping-list>
+    HAVING <group-selection-predicate>
+    ORDER BY <ordering-list>
+    v} *)
+
+open Sheet_rel
+
+type select_item = {
+  expr : Expr.t;  (** may contain aggregate calls *)
+  alias : string option;
+}
+
+type from_item = { rel : string; alias : string option }
+
+type order_item = { expr : Expr.t; dir : [ `Asc | `Desc ] }
+
+type query = {
+  distinct : bool;
+  select : select_item list;  (** empty means [SELECT *] *)
+  from : from_item list;
+  where : Expr.t option;
+  group_by : string list;
+  having : Expr.t option;
+  order_by : order_item list;
+}
+
+val output_name : select_item -> string
+(** Result column name: the alias if given, the column name for a bare
+    column reference, otherwise the printed expression. *)
+
+val select_is_star : query -> bool
+
+val pp : Format.formatter -> query -> unit
+(** Print back as SQL. *)
+
+val to_string : query -> string

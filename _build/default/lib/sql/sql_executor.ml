@@ -1,0 +1,185 @@
+open Sheet_rel
+
+let ( let* ) = Result.bind
+let errf fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+(* Comparison of sort-key vectors with per-key direction. *)
+let compare_keys dirs a b =
+  let rec go i =
+    if i >= Array.length a then 0
+    else
+      let c = Value.compare a.(i) b.(i) in
+      let c = match List.nth dirs i with `Asc -> c | `Desc -> -c in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let eval_plain schema row e =
+  Expr_eval.eval
+    ~lookup:(fun name -> Row.get row (Schema.index_exn schema name))
+    e
+
+let eval_with_group schema group_rows row e =
+  let agg fn arg =
+    let values =
+      match (fn, arg) with
+      | Expr.Count_star, _ -> List.map (fun _ -> Value.Null) group_rows
+      | _, Some a -> List.map (fun r -> eval_plain schema r a) group_rows
+      | _, None -> failwith "aggregate without argument"
+    in
+    Expr_eval.apply_agg fn values
+  in
+  Expr_eval.eval
+    ~lookup:(fun name -> Row.get row (Schema.index_exn schema name))
+    ~agg e
+
+let run catalog (q : Sql_ast.query) =
+  let* resolved = Sql_analyzer.analyze catalog q in
+  let q = resolved.Sql_analyzer.query in
+  (* FROM: product of the named relations (renaming handled by
+     Rel_algebra.product, mirroring the analyzer). *)
+  let* source =
+    List.fold_left
+      (fun acc (item : Sql_ast.from_item) ->
+        let* acc = acc in
+        let rel = Catalog.find_exn catalog item.Sql_ast.rel in
+        match acc with
+        | None -> Ok (Some rel)
+        | Some left -> Ok (Some (Rel_algebra.product left rel)))
+      (Ok None) q.Sql_ast.from
+  in
+  let* source =
+    match source with None -> errf "empty FROM" | Some s -> Ok s
+  in
+  let schema = Relation.schema source in
+  assert (Schema.equal schema resolved.Sql_analyzer.source_schema);
+  (* WHERE *)
+  let rows =
+    match q.Sql_ast.where with
+    | None -> Relation.rows source
+    | Some pred ->
+        List.filter
+          (fun row ->
+            Expr_eval.eval_pred
+              ~lookup:(fun name -> Row.get row (Schema.index_exn schema name))
+              pred)
+          (Relation.rows source)
+  in
+  let out_schema =
+    Schema.of_list resolved.Sql_analyzer.output
+  in
+  let select_exprs =
+    List.map (fun (i : Sql_ast.select_item) -> i.Sql_ast.expr) q.Sql_ast.select
+  in
+  let order_dirs = List.map (fun o -> o.Sql_ast.dir) q.Sql_ast.order_by in
+  let order_exprs = List.map (fun o -> o.Sql_ast.expr) q.Sql_ast.order_by in
+  (* Produce (output row, sort key) pairs. *)
+  let pairs =
+    if not resolved.Sql_analyzer.grouped then
+      List.map
+        (fun row ->
+          let out =
+            Array.of_list (List.map (eval_plain schema row) select_exprs)
+          in
+          let key =
+            Array.of_list (List.map (eval_plain schema row) order_exprs)
+          in
+          (out, key))
+        rows
+    else begin
+      let positions =
+        List.map (Schema.index_exn schema) q.Sql_ast.group_by
+      in
+      let groups =
+        if q.Sql_ast.group_by = [] then
+          (* aggregates without GROUP BY: one group over everything,
+             even when empty *)
+          [ (Row.of_list [], rows) ]
+        else
+          let tbl = Hashtbl.create 64 in
+          let order = ref [] in
+          List.iter
+            (fun row ->
+              let key = Row.project row positions in
+              let h = Row.hash key in
+              let bucket =
+                Hashtbl.find_opt tbl h |> Option.value ~default:[]
+              in
+              match
+                List.find_opt (fun (k, _) -> Row.equal k key) bucket
+              with
+              | Some (_, cell) -> cell := row :: !cell
+              | None ->
+                  let cell = ref [ row ] in
+                  Hashtbl.replace tbl h ((key, cell) :: bucket);
+                  order := (key, cell) :: !order)
+            rows;
+          List.rev_map (fun (k, cell) -> (k, List.rev !cell)) !order
+      in
+      List.filter_map
+        (fun (_, group_rows) ->
+          let repr =
+            match group_rows with
+            | r :: _ -> r
+            | [] -> Row.of_list (List.map (fun _ -> Value.Null)
+                                   (Schema.names schema))
+          in
+          let keep =
+            match q.Sql_ast.having with
+            | None -> true
+            | Some pred -> (
+                match eval_with_group schema group_rows repr pred with
+                | Value.Bool b -> b
+                | Value.Null -> false
+                | _ -> false)
+          in
+          if not keep then None
+          else
+            let out =
+              Array.of_list
+                (List.map (eval_with_group schema group_rows repr)
+                   select_exprs)
+            in
+            let key =
+              Array.of_list
+                (List.map (eval_with_group schema group_rows repr)
+                   order_exprs)
+            in
+            Some (out, key))
+        groups
+    end
+  in
+  (* DISTINCT (on output rows), then ORDER BY. *)
+  let pairs =
+    if not q.Sql_ast.distinct then pairs
+    else begin
+      let seen = Hashtbl.create 64 in
+      List.filter
+        (fun (out, _) ->
+          let h = Row.hash out in
+          let bucket = Hashtbl.find_opt seen h |> Option.value ~default:[] in
+          if List.exists (fun x -> Row.equal x out) bucket then false
+          else begin
+            Hashtbl.replace seen h (out :: bucket);
+            true
+          end)
+        pairs
+    end
+  in
+  let pairs =
+    if order_exprs = [] then pairs
+    else
+      List.stable_sort
+        (fun (_, ka) (_, kb) -> compare_keys order_dirs ka kb)
+        pairs
+  in
+  Ok (Relation.unsafe_make out_schema (List.map fst pairs))
+
+let run_string catalog text =
+  let* q = Sql_parser.parse text in
+  run catalog q
+
+let run_exn catalog text =
+  match run_string catalog text with
+  | Ok rel -> rel
+  | Error msg -> invalid_arg ("Sql_executor.run_exn: " ^ msg)

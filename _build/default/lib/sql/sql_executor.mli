@@ -1,0 +1,20 @@
+(** Reference executor for core single-block SQL, used as ground truth
+    when validating Theorem 1's translation and as the backend of the
+    simulated visual query builder.
+
+    Pipeline (standard SQL semantics over multisets): FROM product →
+    WHERE → GROUP BY partition → HAVING → SELECT evaluation (one row
+    per group when grouped) → DISTINCT → ORDER BY. *)
+
+open Sheet_rel
+
+val run : Catalog.t -> Sql_ast.query -> (Relation.t, string) result
+(** Result column names and types follow
+    {!Sql_analyzer.resolved.output}; rows are in ORDER BY order (or
+    arbitrary order without ORDER BY). *)
+
+val run_string : Catalog.t -> string -> (Relation.t, string) result
+(** Parse then run. *)
+
+val run_exn : Catalog.t -> string -> Relation.t
+(** @raise Invalid_argument on parse/analysis/execution errors. *)

@@ -1,0 +1,144 @@
+open Sheet_rel
+open Lexer
+
+module C = Cursor
+
+(* Keywords that terminate an expression or identifier list. *)
+let clause_keywords =
+  [ "FROM"; "WHERE"; "GROUP"; "HAVING"; "ORDER"; "BY"; "ASC"; "DESC";
+    "AS"; "SELECT"; "DISTINCT" ]
+
+let at_clause_boundary c =
+  match C.peek c with
+  | IDENT s -> List.mem (String.uppercase_ascii s) clause_keywords
+  | COMMA | SEMI | EOF -> true
+  | _ -> false
+
+let parse_select_item c =
+  let expr = Expr_parse.parse_expr c in
+  let alias =
+    if C.keyword c "AS" then Some (C.ident c)
+    else
+      match C.peek c with
+      | IDENT s when not (at_clause_boundary c) ->
+          C.advance c;
+          Some s
+      | _ -> None
+  in
+  { Sql_ast.expr; alias }
+
+let parse_select_list c =
+  if C.peek c = STAR then begin
+    C.advance c;
+    []
+  end
+  else
+    let rec go acc =
+      let item = parse_select_item c in
+      if C.peek c = COMMA then begin
+        C.advance c;
+        go (item :: acc)
+      end
+      else List.rev (item :: acc)
+    in
+    go []
+
+let parse_from_list c =
+  let rec go acc =
+    let rel = C.ident c in
+    let alias =
+      match C.peek c with
+      | IDENT s when not (at_clause_boundary c) ->
+          C.advance c;
+          Some s
+      | _ -> None
+    in
+    let item = { Sql_ast.rel; alias } in
+    if C.peek c = COMMA then begin
+      C.advance c;
+      go (item :: acc)
+    end
+    else List.rev (item :: acc)
+  in
+  go []
+
+let parse_ident_list c =
+  let rec go acc =
+    let id = C.ident c in
+    (* allow qualified names in GROUP BY *)
+    let id =
+      if C.peek c = DOT then begin
+        C.advance c;
+        id ^ "." ^ C.ident c
+      end
+      else id
+    in
+    if C.peek c = COMMA then begin
+      C.advance c;
+      go (id :: acc)
+    end
+    else List.rev (id :: acc)
+  in
+  go []
+
+let parse_order_list c =
+  let rec go acc =
+    let expr = Expr_parse.parse_expr c in
+    let dir =
+      if C.keyword c "ASC" then `Asc
+      else if C.keyword c "DESC" then `Desc
+      else `Asc
+    in
+    let item = { Sql_ast.expr; dir } in
+    if C.peek c = COMMA then begin
+      C.advance c;
+      go (item :: acc)
+    end
+    else List.rev (item :: acc)
+  in
+  go []
+
+let parse_query c =
+  C.expect_keyword c "SELECT";
+  let distinct = C.keyword c "DISTINCT" in
+  let select = parse_select_list c in
+  C.expect_keyword c "FROM";
+  let from = parse_from_list c in
+  let where =
+    if C.keyword c "WHERE" then Some (Expr_parse.parse_expr c) else None
+  in
+  let group_by =
+    if C.keyword c "GROUP" then begin
+      C.expect_keyword c "BY";
+      parse_ident_list c
+    end
+    else []
+  in
+  let having =
+    if C.keyword c "HAVING" then Some (Expr_parse.parse_expr c) else None
+  in
+  let order_by =
+    if C.keyword c "ORDER" then begin
+      C.expect_keyword c "BY";
+      parse_order_list c
+    end
+    else []
+  in
+  if C.peek c = SEMI then C.advance c;
+  if not (C.at_end c) then C.error c "trailing input after query";
+  { Sql_ast.distinct; select; from; where; group_by; having; order_by }
+
+let parse text =
+  match tokenize text with
+  | exception Lex_error (msg, pos) ->
+      Error (Printf.sprintf "lex error at %d: %s" pos msg)
+  | toks -> (
+      let c = C.make toks in
+      match parse_query c with
+      | q -> Ok q
+      | exception C.Parse_error msg -> Error msg)
+
+let parse_exn text =
+  match parse text with
+  | Ok q -> q
+  | Error msg -> invalid_arg ("Sql_parser.parse_exn: " ^ msg)

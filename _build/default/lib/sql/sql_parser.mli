@@ -1,0 +1,8 @@
+(** Parser for core single-block SQL, reusing the shared tokenizer and
+    expression parser of [Sheet_rel]. Keywords are case-insensitive;
+    a trailing semicolon is allowed. *)
+
+val parse : string -> (Sql_ast.query, string) result
+
+val parse_exn : string -> Sql_ast.query
+(** @raise Invalid_argument on malformed input. *)

@@ -1,0 +1,45 @@
+(** Theorem 1, constructively: translate any core single-block SQL
+    query into a sequence of spreadsheet-algebra operators whose
+    evaluation yields the same result.
+
+    The translation follows the paper's 7-step procedure (Sec. IV-A):
+    + product of the FROM relations, one at a time;
+    + WHERE as a selection;
+    + each GROUP BY item as a new grouping level, left to right;
+    + each aggregate as an aggregation operator at the finest level
+      (aggregates over expressions first create the expression as a
+      formula column);
+    + HAVING as a selection over the aggregate columns;
+    + ORDER BY via the ordering operator at the appropriate level;
+    + projection of every column not in the output, one at a time.
+
+    Deviations needed for exact result equality (documented in
+    DESIGN.md): a grouped query additionally applies duplicate
+    elimination at the end (SQL yields one row per group; the
+    spreadsheet repeats group values on every row, which collapse to
+    exactly the SQL rows once non-output columns are projected out),
+    and non-column output expressions are realized as formula
+    columns. *)
+
+open Sheet_rel
+open Sheet_core
+
+type plan = {
+  first_relation : string;  (** the sheet the session starts on *)
+  ops : Op.t list;  (** operator sequence in application order *)
+  output : string list;
+      (** visible column names of the final sheet, positionally
+          matching the SQL output columns *)
+}
+
+val translate : Catalog.t -> Sql_ast.query -> (plan, string) result
+
+val execute : Catalog.t -> Sql_ast.query -> (Relation.t, string) result
+(** Run the plan in a fresh session (all catalog relations saved to
+    the sheet store first) and return the visible materialization with
+    columns renamed/ordered to match the SQL output. *)
+
+val session_of_plan :
+  Catalog.t -> plan -> (Session.t, string) result
+(** The session after applying the plan — for callers that want to
+    keep manipulating the result interactively. *)

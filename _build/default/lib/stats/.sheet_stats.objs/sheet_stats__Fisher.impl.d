@@ -1,0 +1,1 @@
+lib/stats/fisher.ml: Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/stats/mann_whitney.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/stats/mann_whitney.mli:

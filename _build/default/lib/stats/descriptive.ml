@@ -1,0 +1,56 @@
+let sum = List.fold_left ( +. ) 0.0
+
+let mean xs =
+  match xs with [] -> 0.0 | _ -> sum xs /. float_of_int (List.length xs)
+
+let variance xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let ss = sum (List.map (fun x -> (x -. m) ** 2.0) xs) in
+      ss /. float_of_int (List.length xs - 1)
+
+let stddev xs = sqrt (variance xs)
+
+let percentile p xs =
+  match List.sort Float.compare xs with
+  | [] -> 0.0
+  | sorted ->
+      let n = List.length sorted in
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = min (n - 1) (lo + 1) in
+      let frac = rank -. float_of_int lo in
+      let at i = List.nth sorted i in
+      at lo +. (frac *. (at hi -. at lo))
+
+let median xs = percentile 50.0 xs
+
+let bootstrap_ci rng ?(level = 0.95) ?(resamples = 2000) xs =
+  match xs with
+  | [] | [ _ ] ->
+      let m = mean xs in
+      (m, m)
+  | _ ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let means =
+        List.init resamples (fun _ ->
+            let total = ref 0.0 in
+            for _ = 1 to n do
+              total := !total +. arr.(Rng.int rng n)
+            done;
+            !total /. float_of_int n)
+      in
+      let alpha = (1.0 -. level) /. 2.0 in
+      ( percentile (100.0 *. alpha) means,
+        percentile (100.0 *. (1.0 -. alpha)) means )
+
+let minimum = function
+  | [] -> 0.0
+  | x :: rest -> List.fold_left Float.min x rest
+
+let maximum = function
+  | [] -> 0.0
+  | x :: rest -> List.fold_left Float.max x rest

@@ -1,0 +1,24 @@
+(** Descriptive statistics over float samples. *)
+
+val mean : float list -> float
+(** 0 on empty input. *)
+
+val stddev : float list -> float
+(** Sample standard deviation (n-1 denominator); 0 for fewer than two
+    points. This matches the "standard deviation of speeds" the paper
+    plots in Fig. 4. *)
+
+val variance : float list -> float
+val median : float list -> float
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0,100], linear interpolation. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+val sum : float list -> float
+
+val bootstrap_ci :
+  Rng.t -> ?level:float -> ?resamples:int -> float list -> float * float
+(** Percentile-bootstrap confidence interval for the mean
+    ([level] defaults to 0.95, [resamples] to 2000). Degenerates to
+    [(mean, mean)] for fewer than two points. *)

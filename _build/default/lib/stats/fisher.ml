@@ -1,0 +1,51 @@
+type table = { a : int; b : int; c : int; d : int }
+
+(* log n! via lgamma-style summation; n stays small (≤ a few hundred)
+   so direct summation is exact enough and dependency-free. *)
+let log_fact =
+  let cache = Hashtbl.create 512 in
+  fun n ->
+    match Hashtbl.find_opt cache n with
+    | Some v -> v
+    | None ->
+        let rec go acc k = if k <= 1 then acc else go (acc +. log (float_of_int k)) (k - 1) in
+        let v = go 0.0 n in
+        Hashtbl.add cache n v;
+        v
+
+(* Hypergeometric probability of a table with fixed margins. *)
+let prob { a; b; c; d } =
+  let lf = log_fact in
+  exp
+    (lf (a + b) +. lf (c + d) +. lf (a + c) +. lf (b + d)
+    -. lf (a + b + c + d) -. lf a -. lf b -. lf c -. lf d)
+
+(* All tables sharing the observed margins, indexed by their top-left
+   cell. *)
+let tables_with_margins t =
+  let row1 = t.a + t.b and col1 = t.a + t.c in
+  let lo = max 0 (col1 - (t.c + t.d)) in
+  let hi = min row1 col1 in
+  List.init (hi - lo + 1) (fun i ->
+      let a = lo + i in
+      { a; b = row1 - a; c = col1 - a; d = t.c + t.d - (col1 - a) })
+
+let p_two_tailed t =
+  let observed = prob t in
+  let total =
+    List.fold_left
+      (fun acc t' ->
+        let p = prob t' in
+        if p <= observed *. (1.0 +. 1e-9) then acc +. p else acc)
+      0.0 (tables_with_margins t)
+  in
+  Float.min 1.0 total
+
+let p_one_tailed t =
+  (* direction: association as observed or stronger (larger a) *)
+  let total =
+    List.fold_left
+      (fun acc t' -> if t'.a >= t.a then acc +. prob t' else acc)
+      0.0 (tables_with_margins t)
+  in
+  Float.min 1.0 total

@@ -1,0 +1,16 @@
+(** Fisher's exact test for 2×2 contingency tables — the paper's test
+    on the total correct/incorrect counts (95/100 vs 81/100, p < 0.004,
+    Sec. VII-A.3). *)
+
+type table = { a : int; b : int; c : int; d : int }
+(** Row 1 = (a, b), row 2 = (c, d); e.g. a = SheetMusiq correct,
+    b = SheetMusiq wrong, c = Navicat correct, d = Navicat wrong. *)
+
+val p_two_tailed : table -> float
+(** Two-tailed p: the sum of the probabilities of all tables with the
+    same margins whose hypergeometric probability does not exceed the
+    observed table's. *)
+
+val p_one_tailed : table -> float
+(** Probability of a table at least as extreme in the direction of the
+    observed association (larger [a]). *)

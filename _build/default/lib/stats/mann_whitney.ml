@@ -1,0 +1,86 @@
+type result = {
+  u : float;
+  u1 : float;
+  u2 : float;
+  z : float;
+  p_two_tailed : float;
+}
+
+(* Abramowitz & Stegun 7.1.26 erf approximation. *)
+let erf x =
+  let sign = if x < 0.0 then -1.0 else 1.0 in
+  let x = Float.abs x in
+  let a1 = 0.254829592
+  and a2 = -0.284496736
+  and a3 = 1.421413741
+  and a4 = -1.453152027
+  and a5 = 1.061405429
+  and p = 0.3275911 in
+  let t = 1.0 /. (1.0 +. (p *. x)) in
+  let y =
+    1.0
+    -. (((((a5 *. t) +. a4) *. t +. a3) *. t +. a2) *. t +. a1)
+       *. t *. exp (-.x *. x)
+  in
+  sign *. y
+
+let normal_cdf x = 0.5 *. (1.0 +. erf (x /. sqrt 2.0))
+
+(* Midranks of the pooled sample, and the tie-correction term
+   Σ (t^3 - t) over tie groups. *)
+let ranks pooled =
+  let arr =
+    List.mapi (fun i v -> (v, i)) pooled
+    |> List.sort (fun (a, _) (b, _) -> Float.compare a b)
+    |> Array.of_list
+  in
+  let n = Array.length arr in
+  let rank_of = Array.make n 0.0 in
+  let tie_term = ref 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && fst arr.(!j + 1) = fst arr.(!i) do
+      incr j
+    done;
+    (* positions !i..!j share the midrank *)
+    let t = float_of_int (!j - !i + 1) in
+    let midrank = (float_of_int (!i + !j + 2)) /. 2.0 in
+    for k = !i to !j do
+      rank_of.(snd arr.(k)) <- midrank
+    done;
+    if t > 1.0 then tie_term := !tie_term +. ((t ** 3.0) -. t);
+    i := !j + 1
+  done;
+  (rank_of, !tie_term)
+
+let test xs ys =
+  if xs = [] || ys = [] then
+    invalid_arg "Mann_whitney.test: empty sample";
+  let n1 = float_of_int (List.length xs) in
+  let n2 = float_of_int (List.length ys) in
+  let rank_of, tie_term = ranks (xs @ ys) in
+  let r1 =
+    List.fold_left ( +. ) 0.0
+      (List.mapi (fun i _ -> rank_of.(i)) xs)
+  in
+  let u1 = r1 -. (n1 *. (n1 +. 1.0) /. 2.0) in
+  let u2 = (n1 *. n2) -. u1 in
+  let u = Float.min u1 u2 in
+  let n = n1 +. n2 in
+  let mu = n1 *. n2 /. 2.0 in
+  let sigma2 =
+    n1 *. n2 /. 12.0
+    *. ((n +. 1.0) -. (tie_term /. (n *. (n -. 1.0))))
+  in
+  let sigma = sqrt (Float.max sigma2 1e-12) in
+  (* continuity correction *)
+  let z =
+    if u1 = u2 then 0.0
+    else
+      let diff = u -. mu in
+      (diff +. 0.5) /. sigma
+  in
+  let p = 2.0 *. normal_cdf (-.Float.abs z) in
+  let p = Float.min 1.0 p in
+  { u; u1; u2; z; p_two_tailed = p }

@@ -1,0 +1,20 @@
+(** Mann–Whitney U test (Wilcoxon rank-sum), the significance test the
+    paper applies to per-query completion times (Sec. VII-A.2,
+    "statistically significant (with p-value < 0.002)"). *)
+
+type result = {
+  u : float;  (** the smaller of U1, U2 *)
+  u1 : float;
+  u2 : float;
+  z : float;  (** normal approximation with tie correction *)
+  p_two_tailed : float;
+}
+
+val test : float list -> float list -> result
+(** [test xs ys]; both samples must be non-empty. Uses midranks for
+    ties and the tie-corrected normal approximation (exact enough for
+    the paper's n = 10 vs 10 comparisons).
+    @raise Invalid_argument on an empty sample. *)
+
+val normal_cdf : float -> float
+(** Φ, via the Abramowitz–Stegun erf approximation (|error| < 1.5e-7). *)

@@ -1,0 +1,69 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int (seed * 2 + 1)) }
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t = { state = mix (next t) }
+
+let next_nonneg t =
+  (* shift_right_logical 1 still exceeds OCaml's 63-bit max_int, so
+     mask to keep the conversion non-negative *)
+  Int64.to_int (Int64.shift_right_logical (next t) 1) land max_int
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  next_nonneg t mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let unit_float t =
+  (* 53 random bits into [0,1) *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next t) 11) in
+  float_of_int bits /. 9007199254740992.0
+
+let float t bound = unit_float t *. bound
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Rng.pick_list: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let shuffle t l =
+  let arr = Array.of_list l in
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let gaussian t ~mu ~sigma =
+  (* Box–Muller; avoid log 0 *)
+  let u1 = 1.0 -. unit_float t in
+  let u2 = unit_float t in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let lognormal t ~mu ~sigma = exp (gaussian t ~mu ~sigma)
+
+let exponential t ~mean = -.mean *. log (1.0 -. unit_float t)

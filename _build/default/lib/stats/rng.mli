@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    The TPC-H generator and the user-study simulator must be exactly
+    reproducible across runs and OCaml versions, so no dependency on
+    [Stdlib.Random]. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator; equal seeds give equal streams. *)
+
+val split : t -> t
+(** An independent generator derived from the current state (advances
+    the parent). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive. *)
+
+val float : t -> float -> float
+(** Uniform in [0, bound). *)
+
+val bool : t -> bool
+val pick : t -> 'a array -> 'a
+val pick_list : t -> 'a list -> 'a
+val shuffle : t -> 'a list -> 'a list
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Box–Muller normal deviate. *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** exp of a normal deviate: the standard model for human task-time
+    multipliers. *)
+
+val exponential : t -> mean:float -> float

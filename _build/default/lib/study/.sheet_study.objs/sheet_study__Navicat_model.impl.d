@@ -1,0 +1,1 @@
+lib/study/navicat_model.ml: Klm List Sheet_tpch Tool_model Tpch_tasks

@@ -1,0 +1,1 @@
+lib/study/navicat_model.mli: Tool_model

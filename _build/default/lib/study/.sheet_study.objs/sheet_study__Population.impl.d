@@ -1,0 +1,1 @@
+lib/study/population.ml: Float List Rng Sheet_stats

@@ -1,0 +1,1 @@
+lib/study/population.mli: Sheet_stats

@@ -1,0 +1,1 @@
+lib/study/report.ml: Buffer Descriptive Fisher Float Int List Mann_whitney Navicat_model Printf Rng Sheet_stats Sheet_tpch Sheetmusiq_model Simulator String Tool_model

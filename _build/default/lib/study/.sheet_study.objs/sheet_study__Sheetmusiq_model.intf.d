@@ -1,0 +1,1 @@
+lib/study/sheetmusiq_model.mli: Tool_model

@@ -1,0 +1,1 @@
+lib/study/simulator.ml: Float List Navicat_model Population Rng Sheet_stats Sheet_tpch Sheetmusiq_model Tool_model Tpch_tasks

@@ -1,0 +1,1 @@
+lib/study/tool_model.ml: Klm Sheet_tpch

@@ -1,0 +1,1 @@
+lib/study/tool_model.mli: Klm Sheet_tpch

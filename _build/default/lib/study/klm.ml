@@ -1,0 +1,20 @@
+type op = K | K_slow | P | B | H | M | R of float
+
+let time = function
+  | K -> 0.28
+  | K_slow -> 0.50
+  | P -> 1.10
+  | B -> 0.10
+  | H -> 0.40
+  | M -> 1.35
+  | R t -> t
+
+let total ops = List.fold_left (fun acc op -> acc +. time op) 0.0 ops
+
+let click = [ P; B ]
+let menu_pick = [ P; B; P; B ]
+
+let type_text ?(slow = false) n =
+  H :: List.init (max 0 n) (fun _ -> if slow then K_slow else K)
+
+let dialog_confirm = [ P; B ]

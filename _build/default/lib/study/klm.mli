@@ -1,0 +1,33 @@
+(** Keystroke-Level Model (Card, Moran & Newell, 1980) operators, the
+    standard predictive model for expert-free interface time
+    comparisons. The user study cannot be re-run with humans in a
+    sealed environment; per DESIGN.md §3 we predict per-task
+    interaction time from the motor/mental operation sequence each
+    interface requires and add population-level variation on top
+    ({!Population}). *)
+
+type op =
+  | K  (** keystroke — 0.28 s (average skilled typist) *)
+  | K_slow  (** keystroke, non-expert SQL typing — 0.50 s *)
+  | P  (** point with mouse — 1.10 s *)
+  | B  (** mouse button press/release — 0.10 s *)
+  | H  (** homing hands between mouse and keyboard — 0.40 s *)
+  | M  (** mental preparation — 1.35 s *)
+  | R of float  (** system response time in seconds *)
+
+val time : op -> float
+val total : op list -> float
+
+(** Composite interactions. *)
+
+val click : op list
+(** [P; B] — point and click. *)
+
+val menu_pick : op list
+(** Open a contextual menu and choose an entry: [P; B; P; B]. *)
+
+val type_text : ?slow:bool -> int -> op list
+(** [type_text n]: home to keyboard, [n] keystrokes. *)
+
+val dialog_confirm : op list
+(** Point at and press an OK button. *)

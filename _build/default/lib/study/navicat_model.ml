@@ -1,0 +1,89 @@
+open Sheet_tpch
+
+let repeat n l = List.concat (List.init (max 0 n) (fun _ -> l))
+
+(* Builder-grid interactions (the graphical window). *)
+let grid_selection =
+  (Klm.M :: Klm.menu_pick) @ Klm.click @ Klm.type_text 8 @ Klm.dialog_confirm
+
+let grid_sort = Klm.M :: (Klm.menu_pick @ Klm.click)
+
+(* Typing one SQL clause in the text window: switch windows, think,
+   type slowly, run, read the output/error. *)
+let sql_clause ~chars =
+  (Klm.M :: Klm.M :: Klm.click) @ Klm.type_text ~slow:true chars
+  @ Klm.click @ [ Klm.R 0.8 ]
+
+let group_by_chars per_col = 9 + per_col (* "GROUP BY " + column *)
+let aggregate_chars = 28 (* "sum(l_extendedprice)," plus select-list edit *)
+let having_chars = 24 (* "HAVING count(*) >= 3" plus placement *)
+let formula_chars = 38 (* "l_extendedprice * (1 - l_discount)" *)
+
+let plan_of_task (task : Tpch_tasks.t) =
+  let f = task.Tpch_tasks.features in
+  let needs_sql =
+    f.Tpch_tasks.n_group_levels > 0
+    || f.Tpch_tasks.n_aggregates > 0
+    || f.Tpch_tasks.n_formulas > 0
+    || f.Tpch_tasks.has_having
+  in
+  let base_ops =
+    repeat f.Tpch_tasks.n_selections grid_selection
+    @ repeat f.Tpch_tasks.n_orderings grid_sort
+    @ repeat f.Tpch_tasks.n_projections Klm.click
+    @ (if f.Tpch_tasks.n_group_levels > 0 then
+         sql_clause ~chars:(group_by_chars (12 * f.Tpch_tasks.n_group_levels))
+       else [])
+    @ repeat f.Tpch_tasks.n_aggregates (sql_clause ~chars:aggregate_chars)
+    @ repeat f.Tpch_tasks.n_formulas (sql_clause ~chars:formula_chars)
+    @ (if f.Tpch_tasks.has_having then sql_clause ~chars:having_chars
+       else [])
+    (* one extra full review pass when any SQL was typed *)
+    @ if needs_sql then [ Klm.M; Klm.M; Klm.R 1.0 ] else []
+  in
+  let typed_clauses =
+    (if f.Tpch_tasks.n_group_levels > 0 then 1 else 0)
+    + f.Tpch_tasks.n_aggregates + f.Tpch_tasks.n_formulas
+    + if f.Tpch_tasks.has_having then 1 else 0
+  in
+  let errors =
+    (* grid mistakes: like SheetMusiq's but detection is weaker — the
+       result is only visible after running the whole query *)
+    List.init f.Tpch_tasks.n_selections (fun _ ->
+        { Tool_model.concept = "selection"; prob = 0.07;
+          detect_prob = 0.80; recovery_s = Klm.total grid_selection })
+    (* each typed clause risks a syntax error: always detected (the
+       database refuses the query) but costly to diagnose for a
+       non-technical user *)
+    @ List.init typed_clauses (fun _ ->
+          { Tool_model.concept = "sql-syntax"; prob = 0.35;
+            detect_prob = 1.0; recovery_s = 45.0 })
+    (* conceptual hazards: silent wrong results *)
+    @ (if f.Tpch_tasks.n_group_levels > 0 then
+         [ { Tool_model.concept = "grouping"; prob = 0.18;
+             detect_prob = 0.40; recovery_s = 90.0 } ]
+       else [])
+    @ (if f.Tpch_tasks.has_having then
+         [ { Tool_model.concept = "subquery-having"; prob = 0.35;
+             detect_prob = 0.35; recovery_s = 120.0 } ]
+       else [])
+    @
+    if f.Tpch_tasks.n_formulas > 0 then
+      [ { Tool_model.concept = "expression"; prob = 0.15;
+          detect_prob = 0.50; recovery_s = 60.0 } ]
+    else []
+  in
+  { Tool_model.tool = "Navicat"; base_ops; errors }
+
+let model =
+  { Tool_model.name = "Navicat";
+    plan_of_task;
+    (* subjects kept struggling with the builder noticeably longer *)
+    learning =
+      (fun ~trial ->
+        match trial with
+        | 1 -> 1.60
+        | 2 -> 1.35
+        | 3 -> 1.15
+        | 4 -> 1.05
+        | _ -> 1.0) }

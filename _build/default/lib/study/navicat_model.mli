@@ -1,0 +1,14 @@
+(** Cost model of the representative visual query builder ("Navicat
+    for PostgreSQL" in the paper).
+
+    Per the paper's own analysis (Sec. VII-A.4): "only queries with
+    simple selection, sorting, and joins can be built graphically,
+    while the vast majority of the queries need to be completed by
+    adding to the SQL query". So simple selections and sorts cost a
+    grid interaction; grouping, aggregation, computed expressions and
+    HAVING force the user to type SQL clauses (slow non-expert typing,
+    syntax-error retry loops) and to understand concepts — grouping
+    restrictions, and sub-queries for selection-on-aggregation — that
+    carry a substantial silent-wrong-result probability. *)
+
+val model : Tool_model.t

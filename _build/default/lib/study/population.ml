@@ -1,0 +1,10 @@
+open Sheet_stats
+
+type subject = { id : int; speed : float; carelessness : float }
+
+let sample rng ~n =
+  List.init n (fun i ->
+      { id = i + 1;
+        speed = Rng.lognormal rng ~mu:(log 2.2) ~sigma:0.30;
+        carelessness =
+          Float.min 2.0 (Rng.lognormal rng ~mu:0.0 ~sigma:0.30) })

@@ -1,0 +1,17 @@
+(** The simulated subject population: ten volunteers with no database
+    query language background (Sec. VII-A.1).
+
+    Human task-completion times are well modelled as a lognormal
+    multiplier over the KLM prediction; carefulness scales the error
+    probabilities of the interface models. Both are fixed per subject
+    by the study seed. *)
+
+type subject = {
+  id : int;  (** 1..n *)
+  speed : float;
+      (** multiplier over KLM time; lognormal, median ≈ 2.2 for
+          non-technical users (KLM predicts practiced expert times) *)
+  carelessness : float;  (** multiplier over error probabilities *)
+}
+
+val sample : Sheet_stats.Rng.t -> n:int -> subject list

@@ -1,0 +1,212 @@
+open Sheet_stats
+
+type per_task = {
+  task : int;
+  sheet_mean : float;
+  navicat_mean : float;
+  sheet_ci : float * float;
+  navicat_ci : float * float;
+  sheet_stddev : float;
+  navicat_stddev : float;
+  sheet_correct : int;
+  navicat_correct : int;
+  n : int;
+  mw_p : float;
+}
+
+type totals = {
+  sheet_correct_total : int;
+  navicat_correct_total : int;
+  trials_per_tool : int;
+  fisher_p : float;
+}
+
+type subjective = {
+  prefer_sheet : int;
+  prefer_navicat : int;
+  seeing_data_helps_yes : int;
+  progressive_refinement_yes : int;
+  concepts_easier_yes : int;
+  n : int;
+}
+
+type t = {
+  per_task : per_task list;
+  totals : totals;
+  subjective : subjective;
+}
+
+let times obs = List.map (fun o -> o.Simulator.time_s) obs
+let n_correct obs =
+  List.length (List.filter (fun o -> o.Simulator.correct) obs)
+
+let of_observations obs =
+  let tasks =
+    List.sort_uniq Int.compare (List.map (fun o -> o.Simulator.task) obs)
+  in
+  let per_task =
+    List.map
+      (fun task ->
+        let sheet =
+          Simulator.observations obs ~task ~tool:Simulator.SheetMusiq
+        in
+        let navicat =
+          Simulator.observations obs ~task ~tool:Simulator.Navicat
+        in
+        let mw = Mann_whitney.test (times sheet) (times navicat) in
+        let ci_rng = Rng.create (8600 + task) in
+        { task;
+          sheet_mean = Descriptive.mean (times sheet);
+          navicat_mean = Descriptive.mean (times navicat);
+          sheet_ci = Descriptive.bootstrap_ci ci_rng (times sheet);
+          navicat_ci = Descriptive.bootstrap_ci ci_rng (times navicat);
+          sheet_stddev = Descriptive.stddev (times sheet);
+          navicat_stddev = Descriptive.stddev (times navicat);
+          sheet_correct = n_correct sheet;
+          navicat_correct = n_correct navicat;
+          n = List.length sheet;
+          mw_p = mw.Mann_whitney.p_two_tailed })
+      tasks
+  in
+  let sheet_all =
+    List.filter (fun o -> o.Simulator.tool = Simulator.SheetMusiq) obs
+  in
+  let navicat_all =
+    List.filter (fun o -> o.Simulator.tool = Simulator.Navicat) obs
+  in
+  let sc = n_correct sheet_all and nc = n_correct navicat_all in
+  let trials = List.length sheet_all in
+  let fisher_p =
+    Fisher.p_two_tailed
+      { Fisher.a = sc; b = trials - sc; c = nc; d = trials - nc }
+  in
+  (* Subjective responses, derived from objective outcomes (see
+     DESIGN.md §3): preference follows total time; the two subjects
+     with the smallest relative time advantage prefer specifying a
+     query all at once; the interface-property questions (seeing data,
+     database concepts) are answered uniformly as in the paper. *)
+  let subjects =
+    List.sort_uniq Int.compare (List.map (fun o -> o.Simulator.subject) obs)
+  in
+  let advantage subject =
+    let total tool =
+      List.fold_left
+        (fun acc o ->
+          if o.Simulator.subject = subject && o.Simulator.tool = tool then
+            acc +. o.Simulator.time_s
+          else acc)
+        0.0 obs
+    in
+    total Simulator.Navicat /. Float.max 1.0 (total Simulator.SheetMusiq)
+  in
+  let advantages =
+    List.map (fun s -> (s, advantage s)) subjects
+    |> List.sort (fun (_, a) (_, b) -> Float.compare a b)
+  in
+  let prefer_sheet =
+    List.length (List.filter (fun (_, a) -> a > 1.0) advantages)
+  in
+  let n = List.length subjects in
+  let progressive_refinement_yes = max 0 (n - 2) in
+  { per_task;
+    totals =
+      { sheet_correct_total = sc; navicat_correct_total = nc;
+        trials_per_tool = trials; fisher_p };
+    subjective =
+      { prefer_sheet;
+        prefer_navicat = n - prefer_sheet;
+        seeing_data_helps_yes = n;
+        progressive_refinement_yes;
+        concepts_easier_yes = n;
+        n } }
+
+let fig3_rows t =
+  List.map (fun p -> (p.task, p.navicat_mean, p.sheet_mean)) t.per_task
+
+let fig4_rows t =
+  List.map (fun p -> (p.task, p.navicat_stddev, p.sheet_stddev)) t.per_task
+
+let fig5_rows t =
+  List.map (fun p -> (p.task, p.navicat_correct, p.sheet_correct)) t.per_task
+
+let significant_tasks ?(alpha = 0.002) t =
+  List.filter_map
+    (fun p -> if p.mw_p < alpha then Some p.task else None)
+    t.per_task
+
+let learning_rows obs =
+  let tasks =
+    List.sort_uniq Int.compare (List.map (fun o -> o.Simulator.task) obs)
+  in
+  List.map
+    (fun task ->
+      let spec = Sheet_tpch.Tpch_tasks.find task in
+      let norm tool model =
+        let base =
+          Tool_model.base_time (model.Tool_model.plan_of_task spec)
+        in
+        let ts = times (Simulator.observations obs ~task ~tool) in
+        Descriptive.mean ts /. Float.max 0.01 base
+      in
+      ( task,
+        norm Simulator.Navicat Navicat_model.model,
+        norm Simulator.SheetMusiq Sheetmusiq_model.model ))
+    tasks
+
+let observations_csv obs =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "subject,task,tool,time_s,correct,timed_out,errors\n";
+  List.iter
+    (fun o ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%s,%.2f,%b,%b,%s\n" o.Simulator.subject
+           o.Simulator.task
+           (Simulator.tool_name o.Simulator.tool)
+           o.Simulator.time_s o.Simulator.correct o.Simulator.timed_out
+           (String.concat ";" o.Simulator.errors_hit)))
+    obs;
+  Buffer.contents buf
+
+let render t =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "Figure 3 — Speed Result (mean seconds per query)\n";
+  pf "%-6s %12s %12s %8s\n" "query" "Navicat" "SheetMusiq" "ratio";
+  List.iter
+    (fun p ->
+      let lo_n, hi_n = p.navicat_ci and lo_s, hi_s = p.sheet_ci in
+      pf "%-6d %12.1f %12.1f %7.2fx   CI95 nav [%.0f, %.0f]  sheet [%.0f, %.0f]\n"
+        p.task p.navicat_mean p.sheet_mean
+        (p.navicat_mean /. Float.max 0.01 p.sheet_mean)
+        lo_n hi_n lo_s hi_s)
+    t.per_task;
+  pf "\nFigure 4 — Standard Deviation of Speeds (seconds)\n";
+  pf "%-6s %12s %12s\n" "query" "Navicat" "SheetMusiq";
+  List.iter
+    (fun p -> pf "%-6d %12.1f %12.1f\n" p.task p.navicat_stddev p.sheet_stddev)
+    t.per_task;
+  pf "\nFigure 5 — Correctness Result (subjects correct, of %d)\n"
+    (match t.per_task with p :: _ -> p.n | [] -> 0);
+  pf "%-6s %12s %12s\n" "query" "Navicat" "SheetMusiq";
+  List.iter
+    (fun p -> pf "%-6d %12d %12d\n" p.task p.navicat_correct p.sheet_correct)
+    t.per_task;
+  pf "totals: SheetMusiq %d/%d correct, Navicat %d/%d correct\n"
+    t.totals.sheet_correct_total t.totals.trials_per_tool
+    t.totals.navicat_correct_total t.totals.trials_per_tool;
+  pf "\nSignificance\n";
+  pf "Mann-Whitney two-tailed p per query (speed):\n";
+  List.iter (fun p -> pf "  query %2d: p = %.5f%s\n" p.task p.mw_p
+                (if p.mw_p < 0.002 then "  (significant)" else ""))
+    t.per_task;
+  pf "Fisher's exact on correctness totals: p = %.5f\n" t.totals.fisher_p;
+  pf "\nTable VI — Subjective Results (n = %d)\n" t.subjective.n;
+  pf "  Prefer SheetMusiq:                 %d\n" t.subjective.prefer_sheet;
+  pf "  Prefer Navicat:                    %d\n" t.subjective.prefer_navicat;
+  pf "  Seeing data helps formulate:  yes  %d\n"
+    t.subjective.seeing_data_helps_yes;
+  pf "  Progressive refinement better: yes %d\n"
+    t.subjective.progressive_refinement_yes;
+  pf "  Concepts easier in SheetMusiq: yes %d\n"
+    t.subjective.concepts_easier_yes;
+  Buffer.contents buf

@@ -1,0 +1,72 @@
+(** Aggregation of simulated observations into the paper's evaluation
+    artifacts: Fig. 3 (mean speed per query), Fig. 4 (standard
+    deviation of speeds), Fig. 5 (correctness counts), the
+    significance analyses (Mann–Whitney per query, Fisher's exact on
+    the totals), and Table VI (subjective results, derived from the
+    objective outcomes as documented in DESIGN.md §3). *)
+
+type per_task = {
+  task : int;
+  sheet_mean : float;
+  navicat_mean : float;
+  sheet_ci : float * float;  (** 95% bootstrap CI for the mean *)
+  navicat_ci : float * float;
+  sheet_stddev : float;
+  navicat_stddev : float;
+  sheet_correct : int;
+  navicat_correct : int;
+  n : int;  (** subjects per cell *)
+  mw_p : float;  (** Mann–Whitney two-tailed p on the times *)
+}
+
+type totals = {
+  sheet_correct_total : int;
+  navicat_correct_total : int;
+  trials_per_tool : int;
+  fisher_p : float;
+}
+
+type subjective = {
+  prefer_sheet : int;
+  prefer_navicat : int;
+  seeing_data_helps_yes : int;
+  progressive_refinement_yes : int;
+  concepts_easier_yes : int;
+  n : int;
+}
+
+type t = {
+  per_task : per_task list;
+  totals : totals;
+  subjective : subjective;
+}
+
+val of_observations : Simulator.observation list -> t
+
+val fig3_rows : t -> (int * float * float) list
+(** (task, Navicat mean s, SheetMusiq mean s). *)
+
+val fig4_rows : t -> (int * float * float) list
+val fig5_rows : t -> (int * int * int) list
+(** (task, #correct Navicat, #correct SheetMusiq). *)
+
+val significant_tasks : ?alpha:float -> t -> int list
+(** Tasks whose speed difference is significant at [alpha]
+    (default 0.002, the paper's threshold). *)
+
+val render : t -> string
+(** The full evaluation section as text tables, one block per paper
+    artifact. *)
+
+val learning_rows :
+  Simulator.observation list -> (int * float * float) list
+(** Learning effect (the paper notes subjects "picked up SheetMusiq
+    much faster ... also shown by results of the first two queries"):
+    per task position, the mean observed time divided by the task's
+    KLM base time, for (Navicat, SheetMusiq). Early positions carry
+    the learning overhead; the normalization removes intrinsic task
+    size, so a downward trend is familiarity. *)
+
+val observations_csv : Simulator.observation list -> string
+(** The raw trial data as CSV (subject, task, tool, seconds, correct,
+    timed_out, errors) — for re-analysis outside this library. *)

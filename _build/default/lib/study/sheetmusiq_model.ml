@@ -1,0 +1,85 @@
+open Sheet_tpch
+
+let repeat n l = List.concat (List.init (max 0 n) (fun _ -> l))
+
+(* Interaction sequences per operator, from the Sec. VI designs. *)
+
+(* right-click a cell or header, pick "Selection", fill the small
+   condition dialog (operator choice + a short constant), confirm *)
+let selection =
+  (Klm.M :: Klm.menu_pick) @ Klm.click @ Klm.type_text 8 @ Klm.dialog_confirm
+
+(* right-click, pick Grouping, answer the add-or-replace prompt *)
+let grouping = (Klm.M :: Klm.menu_pick) @ Klm.dialog_confirm
+
+(* right-click a cell, choose "aggregation", pick the function, pick
+   the grouping level (Fig. 1's dialog) *)
+let aggregation = (Klm.M :: Klm.menu_pick) @ Klm.click @ Klm.dialog_confirm
+
+(* FC dialog: choose columns and operators graphically, optionally
+   name the column *)
+let formula =
+  (Klm.M :: Klm.M :: Klm.menu_pick)
+  @ repeat 3 Klm.click @ Klm.type_text 6 @ Klm.dialog_confirm
+
+(* click the column header; one more dialog click when grouped *)
+let ordering ~grouped =
+  (Klm.M :: Klm.click) @ if grouped then Klm.dialog_confirm else []
+
+(* group qualification = ordinary selection on the aggregate column *)
+let having = selection
+
+let projection = Klm.click (* uncheck the header checkbox *)
+
+let reading_pause = [ Klm.R 0.3 ] (* redisplay after each manipulation *)
+
+let plan_of_task (task : Tpch_tasks.t) =
+  let f = task.Tpch_tasks.features in
+  let n_steps =
+    f.Tpch_tasks.n_selections + f.Tpch_tasks.n_group_levels
+    + f.Tpch_tasks.n_aggregates + f.Tpch_tasks.n_formulas
+    + f.Tpch_tasks.n_orderings + f.Tpch_tasks.n_projections
+    + if f.Tpch_tasks.has_having then 1 else 0
+  in
+  let base_ops =
+    repeat f.Tpch_tasks.n_selections selection
+    @ repeat f.Tpch_tasks.n_group_levels grouping
+    @ repeat f.Tpch_tasks.n_aggregates aggregation
+    @ repeat f.Tpch_tasks.n_formulas formula
+    @ repeat f.Tpch_tasks.n_orderings
+        (ordering ~grouped:(f.Tpch_tasks.n_group_levels > 0))
+    @ repeat f.Tpch_tasks.n_projections projection
+    @ (if f.Tpch_tasks.has_having then having else [])
+    @ repeat n_steps reading_pause
+  in
+  (* Each small step can still be mis-specified (wrong constant, wrong
+     column), but the intermediate result is on screen immediately, so
+     detection is near-certain and recovery is one redone step. *)
+  let step_error concept n prob recovery =
+    List.init n (fun _ ->
+        { Tool_model.concept; prob; detect_prob = 0.93;
+          recovery_s = recovery })
+  in
+  { Tool_model.tool = "SheetMusiq";
+    base_ops;
+    errors =
+      step_error "selection" f.Tpch_tasks.n_selections 0.05
+        (Klm.total selection)
+      @ step_error "grouping" f.Tpch_tasks.n_group_levels 0.04
+          (Klm.total grouping)
+      @ step_error "aggregation" f.Tpch_tasks.n_aggregates 0.05
+          (Klm.total aggregation)
+      @ step_error "formula" f.Tpch_tasks.n_formulas 0.08
+          (Klm.total formula)
+      @ step_error "group-qualification"
+          (if f.Tpch_tasks.has_having then 1 else 0)
+          0.05 (Klm.total having) }
+
+let model =
+  { Tool_model.name = "SheetMusiq";
+    plan_of_task;
+    (* "most users picked up SheetMusiq much faster" — mild initial
+       slow-down, gone by the third task *)
+    learning =
+      (fun ~trial ->
+        match trial with 1 -> 1.30 | 2 -> 1.10 | _ -> 1.0) }

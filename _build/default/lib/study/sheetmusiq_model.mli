@@ -1,0 +1,8 @@
+(** Cost model of the SheetMusiq direct-manipulation interface,
+    derived from the per-operator interaction designs of Section VI:
+    every operation is a contextual-menu interaction with at most a
+    short constant to type; the result of each step is immediately
+    visible, so mistakes are almost always noticed and cheaply redone;
+    no SQL is ever typed, so there are no syntax errors. *)
+
+val model : Tool_model.t

@@ -1,0 +1,119 @@
+open Sheet_stats
+open Sheet_tpch
+
+type tool = SheetMusiq | Navicat
+
+let tool_name = function SheetMusiq -> "SheetMusiq" | Navicat -> "Navicat"
+
+type observation = {
+  subject : int;
+  task : int;
+  tool : tool;
+  time_s : float;
+  correct : bool;
+  timed_out : bool;
+  errors_hit : string list;
+}
+
+type config = {
+  seed : int;
+  n_subjects : int;
+  timeout_s : float;
+  second_tool_discount : float;
+}
+
+let default_config =
+  { seed = 2115; n_subjects = 10; timeout_s = 900.0;
+    second_tool_discount = 0.85 }
+
+let model_of = function
+  | SheetMusiq -> Sheetmusiq_model.model
+  | Navicat -> Navicat_model.model
+
+(* Sample the error sources of a plan: accumulate recovery time for
+   detected mistakes (re-rolling up to twice — a redone step can go
+   wrong again) and collect silently-kept mistakes. *)
+let sample_errors rng (subject : Population.subject) plan =
+  let recovery = ref 0.0 in
+  let silent = ref [] in
+  let hit = ref [] in
+  List.iter
+    (fun (e : Tool_model.error_source) ->
+      let p = Float.min 0.95 (e.Tool_model.prob *. subject.Population.carelessness) in
+      let rec attempt tries =
+        if Rng.float rng 1.0 < p then begin
+          hit := e.Tool_model.concept :: !hit;
+          if Rng.float rng 1.0 < e.Tool_model.detect_prob then begin
+            recovery := !recovery +. e.Tool_model.recovery_s;
+            if tries < 2 then attempt (tries + 1)
+          end
+          else silent := e.Tool_model.concept :: !silent
+        end
+      in
+      attempt 0)
+    plan.Tool_model.errors;
+  (!recovery, List.rev !silent, List.rev !hit)
+
+(* One task-comprehension hazard per trial, shared by both tools: the
+   subject misreads the task and delivers a wrong (but syntactically
+   fine) answer. *)
+let comprehension_error =
+  { Tool_model.concept = "task-comprehension"; prob = 0.035;
+    detect_prob = 0.35; recovery_s = 30.0 }
+
+let run_trial rng subject task tool ~order_factor ~trial_index =
+  let model = model_of tool in
+  let plan = model.Tool_model.plan_of_task task in
+  let plan =
+    { plan with
+      Tool_model.errors = comprehension_error :: plan.Tool_model.errors }
+  in
+  let base = Tool_model.base_time plan in
+  let recovery, silent, hit = sample_errors rng subject plan in
+  let learning = model.Tool_model.learning ~trial:trial_index in
+  let noise = Rng.lognormal rng ~mu:0.0 ~sigma:0.15 in
+  let time =
+    ((base *. subject.Population.speed *. learning) +. recovery)
+    *. order_factor *. noise
+  in
+  (time, silent, hit)
+
+let run ?(config = default_config) () =
+  let rng = Rng.create config.seed in
+  let subjects = Rng.split rng |> fun r -> Population.sample r ~n:config.n_subjects in
+  let tasks = Tpch_tasks.all in
+  List.concat_map
+    (fun subject ->
+      let srng = Rng.split rng in
+      List.concat_map
+        (fun (task : Tpch_tasks.t) ->
+          let t = task.Tpch_tasks.id in
+          (* alternate which tool goes first: half the tasks for each
+             subject, shifted per subject *)
+          let sheet_first = (subject.Population.id + t) mod 2 = 0 in
+          let second = config.second_tool_discount in
+          let obs tool ~order_factor =
+            let time, silent, hit =
+              run_trial srng subject task tool ~order_factor
+                ~trial_index:t
+            in
+            let timed_out = time >= config.timeout_s in
+            { subject = subject.Population.id;
+              task = t;
+              tool;
+              time_s = Float.min time config.timeout_s;
+              correct = (not timed_out) && silent = [];
+              timed_out;
+              errors_hit = hit }
+          in
+          if sheet_first then
+            [ obs SheetMusiq ~order_factor:1.0;
+              obs Navicat ~order_factor:second ]
+          else
+            [ obs Navicat ~order_factor:1.0;
+              obs SheetMusiq ~order_factor:second ])
+        tasks)
+    subjects
+
+let observations obs ~task ~tool =
+  List.filter (fun o -> o.task = task && o.tool = tool) obs

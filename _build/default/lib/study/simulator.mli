@@ -1,0 +1,42 @@
+(** The study protocol of Section VII-A.1, simulated.
+
+    Ten subjects complete all ten tasks with both tools. Timing starts
+    when the subject has understood the task (so comprehension time is
+    excluded, as in the paper); the tool order alternates per task so
+    that "each package was used first half the time", and the tool
+    used second benefits from the query having been mentally
+    formulated once. A task not finished within 900 seconds counts as
+    wrong with time 900 s. *)
+
+type tool = SheetMusiq | Navicat
+
+val tool_name : tool -> string
+
+type observation = {
+  subject : int;
+  task : int;  (** 1..10 *)
+  tool : tool;
+  time_s : float;
+  correct : bool;
+  timed_out : bool;
+  errors_hit : string list;  (** concepts that went wrong, detected or not *)
+}
+
+type config = {
+  seed : int;
+  n_subjects : int;
+  timeout_s : float;
+  second_tool_discount : float;
+      (** multiplier for the tool used second on a task (default 0.85) *)
+}
+
+val default_config : config
+(** [seed = 2115], [n_subjects = 10], [timeout_s = 900],
+    [second_tool_discount = 0.85]. *)
+
+val run : ?config:config -> unit -> observation list
+(** All 200 observations (10 subjects × 10 tasks × 2 tools),
+    deterministic in the seed. *)
+
+val observations :
+  observation list -> task:int -> tool:tool -> observation list

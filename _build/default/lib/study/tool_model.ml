@@ -1,0 +1,20 @@
+type error_source = {
+  concept : string;
+  prob : float;
+  detect_prob : float;
+  recovery_s : float;
+}
+
+type plan = {
+  tool : string;
+  base_ops : Klm.op list;
+  errors : error_source list;
+}
+
+let base_time plan = Klm.total plan.base_ops
+
+type t = {
+  name : string;
+  plan_of_task : Sheet_tpch.Tpch_tasks.t -> plan;
+  learning : trial:int -> float;
+}

@@ -1,0 +1,33 @@
+(** Interface cost models: what each tool requires of the user to
+    specify one study task.
+
+    A model maps a task's interaction structure ({!Sheet_tpch.Tpch_tasks.features})
+    to a {!plan}: the deterministic KLM action sequence plus the error
+    sources that the simulator samples stochastically. *)
+
+type error_source = {
+  concept : string;  (** e.g. ["sql-syntax"], ["subquery"], ["grouping"] *)
+  prob : float;  (** per-attempt probability the step goes wrong *)
+  detect_prob : float;
+      (** probability the user notices the mistake (and pays
+          [recovery_s] to redo the step) rather than silently keeping a
+          wrong result. Immediate visual feedback pushes this toward 1
+          — the paper's second direct-manipulation principle. *)
+  recovery_s : float;  (** time to diagnose and redo once noticed *)
+}
+
+type plan = {
+  tool : string;
+  base_ops : Klm.op list;  (** error-free action sequence *)
+  errors : error_source list;
+}
+
+val base_time : plan -> float
+
+type t = {
+  name : string;
+  plan_of_task : Sheet_tpch.Tpch_tasks.t -> plan;
+  learning : trial:int -> float;
+      (** slow-down multiplier for the [trial]-th task performed with
+          this tool (1-based); decays to 1.0 as familiarity grows *)
+}

@@ -1,0 +1,1 @@
+lib/tpch/tpch_gen.ml: Array Float Fun List Printf Relation Rng Row Sheet_rel Sheet_sql Sheet_stats String Tpch_schema Tpch_text Value

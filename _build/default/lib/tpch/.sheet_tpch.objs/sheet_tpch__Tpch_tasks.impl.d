@@ -1,0 +1,1 @@
+lib/tpch/tpch_tasks.ml: List Printf Rel_algebra Relation Result Schema Sheet_core Sheet_rel Sheet_sql

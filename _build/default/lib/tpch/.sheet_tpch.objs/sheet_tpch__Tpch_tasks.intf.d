@@ -1,0 +1,1 @@
+lib/tpch/tpch_tasks.mli: Sheet_rel Sheet_sql

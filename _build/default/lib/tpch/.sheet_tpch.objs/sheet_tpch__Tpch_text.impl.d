@@ -1,0 +1,1 @@
+lib/tpch/tpch_text.ml: Array Buffer List Printf Rng Sheet_stats String

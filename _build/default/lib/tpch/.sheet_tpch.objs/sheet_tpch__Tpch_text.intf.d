@@ -1,0 +1,1 @@
+lib/tpch/tpch_text.mli: Rng Sheet_stats

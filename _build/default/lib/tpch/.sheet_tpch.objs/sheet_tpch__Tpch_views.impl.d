@@ -1,0 +1,1 @@
+lib/tpch/tpch_views.ml: Rel_algebra Sheet_rel Sheet_sql

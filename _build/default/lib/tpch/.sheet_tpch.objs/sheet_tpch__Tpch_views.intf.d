@@ -1,0 +1,1 @@
+lib/tpch/tpch_views.mli: Sheet_rel Sheet_sql

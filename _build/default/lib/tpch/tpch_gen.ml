@@ -1,0 +1,177 @@
+open Sheet_rel
+open Sheet_stats
+
+type config = { sf : float; seed : int }
+
+let default = { sf = 0.002; seed = 20090329 }
+
+let vi i = Value.Int i
+let vf f = Value.Float (Float.round (f *. 100.0) /. 100.0)
+let vs s = Value.String s
+let vd days = Value.Date days
+
+let scaled sf base floor_ =
+  max floor_ (int_of_float (float_of_int base *. sf))
+
+let date_range_start = (* 1992-01-01 *) 8035
+let date_range_days = 2557 (* through 1998-12-31 *)
+
+let gen_region rng =
+  Relation.make Tpch_schema.region
+    (List.init 5 (fun i ->
+         Row.of_list
+           [ vi i; vs Tpch_text.region_names.(i);
+             vs (Tpch_text.comment rng 80) ]))
+
+let gen_nation rng =
+  Relation.make Tpch_schema.nation
+    (List.init 25 (fun i ->
+         Row.of_list
+           [ vi i; vs Tpch_text.nation_names.(i);
+             vi (Tpch_text.region_of_nation i);
+             vs (Tpch_text.comment rng 80) ]))
+
+let gen_supplier rng n =
+  Relation.make Tpch_schema.supplier
+    (List.init n (fun i ->
+         let key = i + 1 in
+         let nation = Rng.int rng 25 in
+         Row.of_list
+           [ vi key;
+             vs (Printf.sprintf "Supplier#%09d" key);
+             vs (Tpch_text.comment rng 25);
+             vi nation;
+             vs (Tpch_text.phone rng nation);
+             vf (Rng.float rng 11000.0 -. 1000.0);
+             vs (Tpch_text.comment rng 60) ]))
+
+let gen_customer rng n =
+  Relation.make Tpch_schema.customer
+    (List.init n (fun i ->
+         let key = i + 1 in
+         let nation = Rng.int rng 25 in
+         Row.of_list
+           [ vi key;
+             vs (Printf.sprintf "Customer#%09d" key);
+             vs (Tpch_text.comment rng 25);
+             vi nation;
+             vs (Tpch_text.phone rng nation);
+             vf (Rng.float rng 10999.99 -. 999.99);
+             vs (Tpch_text.segment rng);
+             vs (Tpch_text.comment rng 70) ]))
+
+let gen_part rng n =
+  Relation.make Tpch_schema.part
+    (List.init n (fun i ->
+         let key = i + 1 in
+         let m = Rng.int_in rng 1 5 in
+         let brand = Printf.sprintf "Brand#%d%d" m (Rng.int_in rng 1 5) in
+         Row.of_list
+           [ vi key;
+             vs (Tpch_text.part_name rng);
+             vs (Printf.sprintf "Manufacturer#%d" m);
+             vs brand;
+             vs (Tpch_text.part_type rng);
+             vi (Rng.int_in rng 1 50);
+             vs (Tpch_text.container rng);
+             vf (900.0 +. (float_of_int (key mod 200001) /. 10.0)
+                 +. (100.0 *. float_of_int (key mod 1000)) /. 1000.0);
+             vs (Tpch_text.comment rng 14) ]))
+
+let gen_partsupp rng n_parts n_suppliers =
+  let rows =
+    List.concat_map
+      (fun p ->
+        let partkey = p + 1 in
+        List.init 4 (fun j ->
+            let suppkey =
+              1 + ((partkey + (j * ((n_suppliers / 4) + 1))) mod n_suppliers)
+            in
+            Row.of_list
+              [ vi partkey; vi suppkey;
+                vi (Rng.int_in rng 1 9999);
+                vf (Rng.float rng 999.0 +. 1.0);
+                vs (Tpch_text.comment rng 50) ]))
+      (List.init n_parts Fun.id)
+  in
+  Relation.make Tpch_schema.partsupp rows
+
+let gen_orders_lineitem rng n_customers n_orders n_parts n_suppliers =
+  let orders = ref [] in
+  let lineitems = ref [] in
+  for o = 1 to n_orders do
+    let orderkey = o in
+    let custkey = Rng.int_in rng 1 n_customers in
+    let orderdate = date_range_start + Rng.int rng (date_range_days - 151) in
+    let n_lines = Rng.int_in rng 1 7 in
+    let total = ref 0.0 in
+    let statuses = ref [] in
+    for line = 1 to n_lines do
+      let quantity = Rng.int_in rng 1 50 in
+      let partkey = Rng.int_in rng 1 n_parts in
+      let suppkey = Rng.int_in rng 1 n_suppliers in
+      let retail = 900.0 +. (float_of_int partkey /. 10.0) in
+      let extended = float_of_int quantity *. retail in
+      let discount = float_of_int (Rng.int_in rng 0 10) /. 100.0 in
+      let tax = float_of_int (Rng.int_in rng 0 8) /. 100.0 in
+      let shipdate = orderdate + Rng.int_in rng 1 121 in
+      let commitdate = orderdate + Rng.int_in rng 30 90 in
+      let receiptdate = shipdate + Rng.int_in rng 1 30 in
+      let today = date_range_start + date_range_days - 151 in
+      let returnflag =
+        if receiptdate <= today - 60 then
+          if Rng.bool rng then "R" else "A"
+        else "N"
+      in
+      let linestatus = if shipdate > today then "O" else "F" in
+      statuses := linestatus :: !statuses;
+      total := !total +. (extended *. (1.0 -. discount) *. (1.0 +. tax));
+      lineitems :=
+        Row.of_list
+          [ vi orderkey; vi partkey; vi suppkey; vi line; vi quantity;
+            vf extended; vf discount; vf tax; vs returnflag;
+            vs linestatus; vd shipdate; vd commitdate; vd receiptdate;
+            vs (Tpch_text.ship_instruct rng); vs (Tpch_text.ship_mode rng);
+            vs (Tpch_text.comment rng 40) ]
+        :: !lineitems
+    done;
+    let status =
+      if List.for_all (String.equal "F") !statuses then "F"
+      else if List.for_all (String.equal "O") !statuses then "O"
+      else "P"
+    in
+    orders :=
+      Row.of_list
+        [ vi orderkey; vi custkey; vs status; vf !total; vd orderdate;
+          vs (Tpch_text.priority rng); vs (Tpch_text.clerk rng);
+          vi 0; vs (Tpch_text.comment rng 60) ]
+      :: !orders
+  done;
+  ( Relation.make Tpch_schema.orders (List.rev !orders),
+    Relation.make Tpch_schema.lineitem (List.rev !lineitems) )
+
+let generate { sf; seed } =
+  let rng = Rng.create seed in
+  let n_suppliers = scaled sf 10_000 10 in
+  let n_customers = scaled sf 150_000 30 in
+  let n_parts = scaled sf 200_000 50 in
+  let n_orders = scaled sf 1_500_000 120 in
+  let region = gen_region rng in
+  let nation = gen_nation rng in
+  let supplier = gen_supplier rng n_suppliers in
+  let customer = gen_customer rng n_customers in
+  let part = gen_part rng n_parts in
+  let partsupp = gen_partsupp rng n_parts n_suppliers in
+  let orders, lineitem =
+    gen_orders_lineitem rng n_customers n_orders n_parts n_suppliers
+  in
+  Sheet_sql.Catalog.of_list
+    [ ("region", region); ("nation", nation); ("supplier", supplier);
+      ("customer", customer); ("part", part); ("partsupp", partsupp);
+      ("orders", orders); ("lineitem", lineitem) ]
+
+let row_counts catalog =
+  List.map
+    (fun name ->
+      (name, Relation.cardinality (Sheet_sql.Catalog.find_exn catalog name)))
+    (Sheet_sql.Catalog.names catalog)

@@ -1,0 +1,25 @@
+(** Deterministic TPC-H data generator.
+
+    The paper's evaluation used "the demonstration dataset in the
+    benchmark, which was 31MB in size"; since dbgen and its output are
+    not available in a sealed environment, this generator produces the
+    same eight tables with the specification's cardinality ratios and
+    value distributions (scaled by [sf]), fully determined by [seed].
+
+    Cardinalities at scale factor [sf] (with floors so that tiny test
+    scale factors still produce meaningful data):
+    region 5, nation 25, supplier 10000·sf, customer 150000·sf,
+    part 200000·sf, partsupp 4/part, orders 10/customer,
+    lineitem 1–7/order. *)
+
+type config = { sf : float; seed : int }
+
+val default : config
+(** [sf = 0.002], [seed = 20090329] — a workload of a few thousand
+    lineitems, proportionate to the paper's demo dataset for an
+    in-memory engine. *)
+
+val generate : config -> Sheet_sql.Catalog.t
+(** All eight base tables. *)
+
+val row_counts : Sheet_sql.Catalog.t -> (string * int) list

@@ -1,0 +1,57 @@
+open Sheet_rel
+
+let s = Schema.of_list
+
+let region =
+  s [ ("r_regionkey", Value.TInt); ("r_name", Value.TString);
+      ("r_comment", Value.TString) ]
+
+let nation =
+  s [ ("n_nationkey", Value.TInt); ("n_name", Value.TString);
+      ("n_regionkey", Value.TInt); ("n_comment", Value.TString) ]
+
+let supplier =
+  s [ ("s_suppkey", Value.TInt); ("s_name", Value.TString);
+      ("s_address", Value.TString); ("s_nationkey", Value.TInt);
+      ("s_phone", Value.TString); ("s_acctbal", Value.TFloat);
+      ("s_comment", Value.TString) ]
+
+let customer =
+  s [ ("c_custkey", Value.TInt); ("c_name", Value.TString);
+      ("c_address", Value.TString); ("c_nationkey", Value.TInt);
+      ("c_phone", Value.TString); ("c_acctbal", Value.TFloat);
+      ("c_mktsegment", Value.TString); ("c_comment", Value.TString) ]
+
+let part =
+  s [ ("p_partkey", Value.TInt); ("p_name", Value.TString);
+      ("p_mfgr", Value.TString); ("p_brand", Value.TString);
+      ("p_type", Value.TString); ("p_size", Value.TInt);
+      ("p_container", Value.TString); ("p_retailprice", Value.TFloat);
+      ("p_comment", Value.TString) ]
+
+let partsupp =
+  s [ ("ps_partkey", Value.TInt); ("ps_suppkey", Value.TInt);
+      ("ps_availqty", Value.TInt); ("ps_supplycost", Value.TFloat);
+      ("ps_comment", Value.TString) ]
+
+let orders =
+  s [ ("o_orderkey", Value.TInt); ("o_custkey", Value.TInt);
+      ("o_orderstatus", Value.TString); ("o_totalprice", Value.TFloat);
+      ("o_orderdate", Value.TDate); ("o_orderpriority", Value.TString);
+      ("o_clerk", Value.TString); ("o_shippriority", Value.TInt);
+      ("o_comment", Value.TString) ]
+
+let lineitem =
+  s [ ("l_orderkey", Value.TInt); ("l_partkey", Value.TInt);
+      ("l_suppkey", Value.TInt); ("l_linenumber", Value.TInt);
+      ("l_quantity", Value.TInt); ("l_extendedprice", Value.TFloat);
+      ("l_discount", Value.TFloat); ("l_tax", Value.TFloat);
+      ("l_returnflag", Value.TString); ("l_linestatus", Value.TString);
+      ("l_shipdate", Value.TDate); ("l_commitdate", Value.TDate);
+      ("l_receiptdate", Value.TDate); ("l_shipinstruct", Value.TString);
+      ("l_shipmode", Value.TString); ("l_comment", Value.TString) ]
+
+let all =
+  [ ("region", region); ("nation", nation); ("supplier", supplier);
+    ("customer", customer); ("part", part); ("partsupp", partsupp);
+    ("orders", orders); ("lineitem", lineitem) ]

@@ -1,0 +1,18 @@
+(** Schemas of the eight TPC-H base tables (TPC-H Benchmark
+    Specification §1.4), with types mapped onto the value domain of
+    [Sheet_rel]: keys and quantities as ints, monetary amounts as
+    floats, dates as dates. *)
+
+open Sheet_rel
+
+val region : Schema.t
+val nation : Schema.t
+val supplier : Schema.t
+val customer : Schema.t
+val part : Schema.t
+val partsupp : Schema.t
+val orders : Schema.t
+val lineitem : Schema.t
+
+val all : (string * Schema.t) list
+(** Table name → schema, in population order. *)

@@ -1,0 +1,318 @@
+open Sheet_rel
+
+type features = {
+  n_selections : int;
+  n_group_levels : int;
+  n_aggregates : int;
+  n_formulas : int;
+  has_having : bool;
+  n_orderings : int;
+  n_projections : int;
+}
+
+type t = {
+  id : int;
+  title : string;
+  english : string;
+  base : string;
+  sql : string;
+  script : string;
+  output : string list;
+  grouped : bool;
+  features : features;
+}
+
+let task ~id ~title ~english ~base ~sql ~script ~output ~grouped ~features =
+  { id; title; english; base; sql; script; output; grouped; features }
+
+let all =
+  [ task ~id:1 ~title:"Pricing summary report"
+      ~english:
+        "For all items shipped on or before 1998-09-01, report per return \
+         flag and line status: total quantity, total extended price, \
+         average discount, and the number of line items; present the \
+         report grouped by return flag and line status."
+      ~base:"lineitem"
+      ~sql:
+        "SELECT l_returnflag, l_linestatus, sum(l_quantity) AS sum_qty, \
+         sum(l_extendedprice) AS sum_price, avg(l_discount) AS avg_disc, \
+         count(*) AS cnt FROM lineitem WHERE l_shipdate <= DATE \
+         '1998-09-01' GROUP BY l_returnflag, l_linestatus"
+      ~script:
+        {|select l_shipdate <= DATE '1998-09-01'
+group l_returnflag asc
+group l_linestatus asc
+agg sum l_quantity as sum_qty
+agg sum l_extendedprice as sum_price
+agg avg l_discount as avg_disc
+agg count as cnt|}
+      ~output:
+        [ "l_returnflag"; "l_linestatus"; "sum_qty"; "sum_price";
+          "avg_disc"; "cnt" ]
+      ~grouped:true
+      ~features:
+        { n_selections = 1; n_group_levels = 2; n_aggregates = 4;
+          n_formulas = 0; has_having = false; n_orderings = 0;
+          n_projections = 0 };
+    task ~id:2 ~title:"Revenue of building-segment orders"
+      ~english:
+        "For orders of customers in the BUILDING market segment placed \
+         before 1995-03-15, compute the revenue (extended price less \
+         discount) of their line items shipped after 1995-03-15, per \
+         order, largest revenue first."
+      ~base:"v_lineitem_orders"
+      ~sql:
+        "SELECT l_orderkey, sum(l_extendedprice * (1 - l_discount)) AS \
+         revenue FROM v_lineitem_orders WHERE c_mktsegment = 'BUILDING' \
+         AND o_orderdate < DATE '1995-03-15' AND l_shipdate > DATE \
+         '1995-03-15' GROUP BY l_orderkey"
+      ~script:
+        {|select c_mktsegment = 'BUILDING'
+select o_orderdate < DATE '1995-03-15'
+select l_shipdate > DATE '1995-03-15'
+formula disc_price = l_extendedprice * (1 - l_discount)
+group l_orderkey asc
+agg sum disc_price as revenue
+order-groups revenue desc|}
+      ~output:[ "l_orderkey"; "revenue" ] ~grouped:true
+      ~features:
+        { n_selections = 3; n_group_levels = 1; n_aggregates = 1;
+          n_formulas = 1; has_having = false; n_orderings = 1;
+          n_projections = 0 };
+    task ~id:3 ~title:"Forecast revenue change"
+      ~english:
+        "How much revenue (extended price times discount) was produced in \
+         1994 by line items with a discount between 0.05 and 0.07 and \
+         quantity below 24?"
+      ~base:"lineitem"
+      ~sql:
+        "SELECT sum(l_extendedprice * l_discount) AS revenue FROM \
+         lineitem WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < \
+         DATE '1995-01-01' AND l_discount BETWEEN 0.05 AND 0.07 AND \
+         l_quantity < 24"
+      ~script:
+        {|select l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01'
+select l_discount BETWEEN 0.05 AND 0.07
+select l_quantity < 24
+formula disc_rev = l_extendedprice * l_discount
+agg sum disc_rev as revenue|}
+      ~output:[ "revenue" ] ~grouped:true
+      ~features:
+        { n_selections = 3; n_group_levels = 0; n_aggregates = 1;
+          n_formulas = 1; has_having = false; n_orderings = 0;
+          n_projections = 0 };
+    task ~id:4 ~title:"Returned items by customer"
+      ~english:
+        "Which customers returned items, and how much revenue (extended \
+         price less discount) did those returned items represent per \
+         customer? Show the largest revenue first."
+      ~base:"v_lineitem_orders"
+      ~sql:
+        "SELECT c_name, sum(l_extendedprice * (1 - l_discount)) AS \
+         revenue FROM v_lineitem_orders WHERE l_returnflag = 'R' GROUP \
+         BY c_name"
+      ~script:
+        {|select l_returnflag = 'R'
+formula disc_price = l_extendedprice * (1 - l_discount)
+group c_name asc
+agg sum disc_price as revenue
+order-groups revenue desc|}
+      ~output:[ "c_name"; "revenue" ] ~grouped:true
+      ~features:
+        { n_selections = 1; n_group_levels = 1; n_aggregates = 1;
+          n_formulas = 1; has_having = false; n_orderings = 1;
+          n_projections = 0 };
+    task ~id:5 ~title:"Parts of size 15"
+      ~english:
+        "List the name and retail price of parts of size 15, most \
+         expensive first."
+      ~base:"part"
+      ~sql:
+        "SELECT p_name, p_retailprice FROM part WHERE p_size = 15 ORDER \
+         BY p_retailprice DESC"
+      ~script:{|select p_size = 15
+order p_retailprice desc|}
+      ~output:[ "p_name"; "p_retailprice" ] ~grouped:false
+      ~features:
+        { n_selections = 1; n_group_levels = 0; n_aggregates = 0;
+          n_formulas = 0; has_having = false; n_orderings = 1;
+          n_projections = 0 };
+    task ~id:6 ~title:"Shipping mode counts"
+      ~english:
+        "Count the line items received in 1994 that were shipped by MAIL \
+         or SHIP, per shipping mode."
+      ~base:"lineitem"
+      ~sql:
+        "SELECT l_shipmode, count(*) AS cnt FROM lineitem WHERE \
+         l_shipmode IN ('MAIL', 'SHIP') AND l_receiptdate >= DATE \
+         '1994-01-01' AND l_receiptdate < DATE '1995-01-01' GROUP BY \
+         l_shipmode"
+      ~script:
+        {|select l_shipmode IN ('MAIL', 'SHIP')
+select l_receiptdate >= DATE '1994-01-01' AND l_receiptdate < DATE '1995-01-01'
+group l_shipmode asc
+agg count as cnt|}
+      ~output:[ "l_shipmode"; "cnt" ] ~grouped:true
+      ~features:
+        { n_selections = 2; n_group_levels = 1; n_aggregates = 1;
+          n_formulas = 0; has_having = false; n_orderings = 0;
+          n_projections = 0 };
+    task ~id:7 ~title:"Customers of a market segment"
+      ~english:
+        "List the name and account balance of customers in the \
+         AUTOMOBILE market segment, richest first."
+      ~base:"customer"
+      ~sql:
+        "SELECT c_name, c_acctbal FROM customer WHERE c_mktsegment = \
+         'AUTOMOBILE' ORDER BY c_acctbal DESC"
+      ~script:{|select c_mktsegment = 'AUTOMOBILE'
+order c_acctbal desc|}
+      ~output:[ "c_name"; "c_acctbal" ] ~grouped:false
+      ~features:
+        { n_selections = 1; n_group_levels = 0; n_aggregates = 0;
+          n_formulas = 0; has_having = false; n_orderings = 1;
+          n_projections = 0 };
+    task ~id:8 ~title:"Brand revenue with quantity bounds"
+      ~english:
+        "Compute the revenue (extended price less discount) of Brand#12 \
+         parts of size at most 25 sold in quantities between 5 and 40."
+      ~base:"v_lineitem_parts"
+      ~sql:
+        "SELECT sum(l_extendedprice * (1 - l_discount)) AS revenue FROM \
+         v_lineitem_parts WHERE p_brand = 'Brand#12' AND l_quantity \
+         BETWEEN 5 AND 40 AND p_size <= 25"
+      ~script:
+        {|select p_brand = 'Brand#12'
+select l_quantity BETWEEN 5 AND 40
+select p_size <= 25
+formula disc_price = l_extendedprice * (1 - l_discount)
+agg sum disc_price as revenue|}
+      ~output:[ "revenue" ] ~grouped:true
+      ~features:
+        { n_selections = 3; n_group_levels = 0; n_aggregates = 1;
+          n_formulas = 1; has_having = false; n_orderings = 0;
+          n_projections = 0 };
+    task ~id:9 ~title:"Busy clerks"
+      ~english:
+        "Which clerks processed at least three orders, and how many \
+         orders did each of them process?"
+      ~base:"orders"
+      ~sql:
+        "SELECT o_clerk, count(*) AS cnt FROM orders GROUP BY o_clerk \
+         HAVING count(*) >= 3"
+      ~script:{|group o_clerk asc
+agg count as cnt
+select cnt >= 3|}
+      ~output:[ "o_clerk"; "cnt" ] ~grouped:true
+      ~features:
+        { n_selections = 0; n_group_levels = 1; n_aggregates = 1;
+          n_formulas = 0; has_having = true; n_orderings = 0;
+          n_projections = 0 };
+    task ~id:10 ~title:"Expensive orders"
+      ~english:
+        "List the key, total price and date of orders whose total price \
+         exceeds 150000, oldest first."
+      ~base:"orders"
+      ~sql:
+        "SELECT o_orderkey, o_totalprice, o_orderdate FROM orders WHERE \
+         o_totalprice > 150000 ORDER BY o_orderdate ASC"
+      ~script:{|select o_totalprice > 150000
+order o_orderdate asc|}
+      ~output:[ "o_orderkey"; "o_totalprice"; "o_orderdate" ]
+      ~grouped:false
+      ~features:
+        { n_selections = 1; n_group_levels = 0; n_aggregates = 0;
+          n_formulas = 0; has_having = false; n_orderings = 1;
+          n_projections = 0 } ]
+
+let extensions =
+  [ task ~id:11 ~title:"Priority shipping by mode (Q12 pattern)"
+      ~english:
+        "For line items received in 1994, count per shipping mode how \
+         many belong to urgent-or-high-priority orders and how many do \
+         not."
+      ~base:"v_lineitem_orders"
+      ~sql:
+        "SELECT l_shipmode, sum(CASE WHEN o_orderpriority = '1-URGENT' \
+         OR o_orderpriority = '2-HIGH' THEN 1 ELSE 0 END) AS high_line, \
+         sum(CASE WHEN o_orderpriority <> '1-URGENT' AND o_orderpriority \
+         <> '2-HIGH' THEN 1 ELSE 0 END) AS low_line FROM \
+         v_lineitem_orders WHERE l_receiptdate >= DATE '1994-01-01' AND \
+         l_receiptdate < DATE '1995-01-01' GROUP BY l_shipmode"
+      ~script:
+        {|select l_receiptdate >= DATE '1994-01-01' AND l_receiptdate < DATE '1995-01-01'
+formula is_high = CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH' THEN 1 ELSE 0 END
+formula is_low = CASE WHEN o_orderpriority <> '1-URGENT' AND o_orderpriority <> '2-HIGH' THEN 1 ELSE 0 END
+group l_shipmode asc
+agg sum is_high as high_line
+agg sum is_low as low_line|}
+      ~output:[ "l_shipmode"; "high_line"; "low_line" ] ~grouped:true
+      ~features:
+        { n_selections = 1; n_group_levels = 1; n_aggregates = 2;
+          n_formulas = 2; has_having = false; n_orderings = 0;
+          n_projections = 0 };
+    task ~id:12 ~title:"Promotion revenue share (Q14 pattern)"
+      ~english:
+        "Of the revenue from line items shipped in a given month, which \
+         part came from promotional parts? Compute both the promotional \
+         and the total revenue."
+      ~base:"v_lineitem_parts"
+      ~sql:
+        "SELECT sum(CASE WHEN p_type LIKE 'PROMO%' THEN l_extendedprice \
+         * (1 - l_discount) ELSE 0 END) AS promo_rev, \
+         sum(l_extendedprice * (1 - l_discount)) AS total_rev FROM \
+         v_lineitem_parts WHERE l_shipdate >= DATE '1995-09-01' AND \
+         l_shipdate < DATE '1995-10-01'"
+      ~script:
+        {|select l_shipdate >= DATE '1995-09-01' AND l_shipdate < DATE '1995-10-01'
+formula disc_price = l_extendedprice * (1 - l_discount)
+formula promo_part = CASE WHEN p_type LIKE 'PROMO%' THEN disc_price ELSE 0 END
+agg sum promo_part as promo_rev
+agg sum disc_price as total_rev|}
+      ~output:[ "promo_rev"; "total_rev" ] ~grouped:true
+      ~features:
+        { n_selections = 1; n_group_levels = 0; n_aggregates = 2;
+          n_formulas = 2; has_having = false; n_orderings = 0;
+          n_projections = 0 } ]
+
+let find id =
+  match List.find_opt (fun t -> t.id = id) (all @ extensions) with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Tpch_tasks.find: no task %d" id)
+
+let ( let* ) = Result.bind
+
+let project_output rel output =
+  let schema = Relation.schema rel in
+  match
+    List.find_opt (fun c -> not (Schema.mem schema c)) output
+  with
+  | Some c -> Error (Printf.sprintf "output column %S missing" c)
+  | None -> Ok (Rel_algebra.project output rel)
+
+let sheet_result catalog task =
+  match Sheet_sql.Catalog.find catalog task.base with
+  | None -> Error (Printf.sprintf "no base %S in catalog" task.base)
+  | Some base ->
+      let session = Sheet_core.Session.create ~name:task.base base in
+      let* session = Sheet_core.Script.run_silent session task.script in
+      let rel = Sheet_core.Session.materialized session in
+      let* projected = project_output rel task.output in
+      Ok
+        (if task.grouped then Rel_algebra.distinct projected else projected)
+
+let sql_result catalog task =
+  Sheet_sql.Sql_executor.run_string catalog task.sql
+
+let verify catalog task =
+  let* sheet = sheet_result catalog task in
+  let* sql = sql_result catalog task in
+  if Relation.equal_unordered_data sheet sql then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "task %d: sheet result (%d rows) differs from SQL result (%d \
+          rows)"
+         task.id
+         (Relation.cardinality sheet)
+         (Relation.cardinality sql))

@@ -1,0 +1,115 @@
+open Sheet_stats
+
+let colors =
+  [| "almond"; "antique"; "aquamarine"; "azure"; "beige"; "bisque";
+     "black"; "blanched"; "blue"; "blush"; "brown"; "burlywood";
+     "burnished"; "chartreuse"; "chiffon"; "chocolate"; "coral";
+     "cornflower"; "cornsilk"; "cream"; "cyan"; "dark"; "deep"; "dim";
+     "dodger"; "drab"; "firebrick"; "floral"; "forest"; "frosted";
+     "gainsboro"; "ghost"; "goldenrod"; "green"; "grey"; "honeydew";
+     "hot"; "indian"; "ivory"; "khaki"; "lace"; "lavender"; "lawn";
+     "lemon"; "light"; "lime"; "linen"; "magenta"; "maroon"; "medium";
+     "metallic"; "midnight"; "mint"; "misty"; "moccasin"; "navajo";
+     "navy"; "olive"; "orange"; "orchid"; "pale"; "papaya"; "peach";
+     "peru"; "pink"; "plum"; "powder"; "puff"; "purple"; "red"; "rose";
+     "rosy"; "royal"; "saddle"; "salmon"; "sandy"; "seashell"; "sienna";
+     "sky"; "slate"; "smoke"; "snow"; "spring"; "steel"; "tan";
+     "thistle"; "tomato"; "turquoise"; "violet"; "wheat"; "white";
+     "yellow" |]
+
+let type_syllable_1 = [| "STANDARD"; "SMALL"; "MEDIUM"; "LARGE"; "ECONOMY"; "PROMO" |]
+let type_syllable_2 = [| "ANODIZED"; "BURNISHED"; "PLATED"; "POLISHED"; "BRUSHED" |]
+let type_syllable_3 = [| "TIN"; "NICKEL"; "BRASS"; "STEEL"; "COPPER" |]
+
+let container_1 = [| "SM"; "LG"; "MED"; "JUMBO"; "WRAP" |]
+let container_2 = [| "CASE"; "BOX"; "BAG"; "JAR"; "PKG"; "PACK"; "CAN"; "DRUM" |]
+
+let nouns =
+  [| "packages"; "requests"; "accounts"; "deposits"; "foxes"; "ideas";
+     "theodolites"; "pinto beans"; "instructions"; "dependencies";
+     "excuses"; "platelets"; "asymptotes"; "courts"; "dolphins";
+     "multipliers"; "sauternes"; "warthogs"; "frets"; "dinos" |]
+
+let verbs =
+  [| "sleep"; "wake"; "are"; "cajole"; "haggle"; "nag"; "use"; "boost";
+     "affix"; "detect"; "integrate"; "maintain"; "nod"; "was"; "lose";
+     "sublate"; "solve"; "thrash"; "promise"; "engage" |]
+
+let adverbs =
+  [| "quickly"; "slowly"; "carefully"; "blithely"; "furiously";
+     "slyly"; "silently"; "daringly"; "fluffily"; "ruthlessly" |]
+
+let part_name rng =
+  let rec pick3 acc =
+    if List.length acc = 3 then acc
+    else
+      let w = Rng.pick rng colors in
+      if List.mem w acc then pick3 acc else pick3 (w :: acc)
+  in
+  String.concat " " (pick3 [])
+
+let part_type rng =
+  Printf.sprintf "%s %s %s"
+    (Rng.pick rng type_syllable_1)
+    (Rng.pick rng type_syllable_2)
+    (Rng.pick rng type_syllable_3)
+
+let container rng =
+  Printf.sprintf "%s %s" (Rng.pick rng container_1) (Rng.pick rng container_2)
+
+let comment rng max_len =
+  let buf = Buffer.create max_len in
+  let rec go () =
+    let clause =
+      Printf.sprintf "%s %s %s"
+        (Rng.pick rng adverbs) (Rng.pick rng nouns) (Rng.pick rng verbs)
+    in
+    if Buffer.length buf + String.length clause + 2 <= max_len then begin
+      if Buffer.length buf > 0 then Buffer.add_string buf ". ";
+      Buffer.add_string buf clause;
+      if Rng.bool rng then go ()
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+let phone rng nation_key =
+  Printf.sprintf "%02d-%03d-%03d-%04d" (10 + nation_key)
+    (Rng.int_in rng 100 999) (Rng.int_in rng 100 999)
+    (Rng.int_in rng 1000 9999)
+
+let segments =
+  [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "MACHINERY"; "HOUSEHOLD" |]
+
+let priorities =
+  [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" |]
+
+let ship_modes =
+  [| "REG AIR"; "AIR"; "RAIL"; "SHIP"; "TRUCK"; "MAIL"; "FOB" |]
+
+let ship_instructs =
+  [| "DELIVER IN PERSON"; "COLLECT COD"; "NONE"; "TAKE BACK RETURN" |]
+
+let segment rng = Rng.pick rng segments
+let priority rng = Rng.pick rng priorities
+let ship_mode rng = Rng.pick rng ship_modes
+let ship_instruct rng = Rng.pick rng ship_instructs
+
+let clerk rng = Printf.sprintf "Clerk#%09d" (Rng.int_in rng 1 1000)
+
+let nation_names =
+  [| "ALGERIA"; "ARGENTINA"; "BRAZIL"; "CANADA"; "EGYPT"; "ETHIOPIA";
+     "FRANCE"; "GERMANY"; "INDIA"; "INDONESIA"; "IRAN"; "IRAQ"; "JAPAN";
+     "JORDAN"; "KENYA"; "MOROCCO"; "MOZAMBIQUE"; "PERU"; "CHINA";
+     "ROMANIA"; "SAUDI ARABIA"; "VIETNAM"; "RUSSIA"; "UNITED KINGDOM";
+     "UNITED STATES" |]
+
+let region_names =
+  [| "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" |]
+
+(* The fixed nation → region assignment of the TPC-H specification. *)
+let nation_regions =
+  [| 0; 1; 1; 1; 4; 0; 3; 3; 2; 2; 4; 4; 2; 4; 0; 0; 0; 1; 2; 3; 4; 2;
+     3; 3; 1 |]
+
+let region_of_nation i = nation_regions.(i)

@@ -1,0 +1,32 @@
+(** Deterministic text generation in the spirit of TPC-H dbgen: part
+    names from color/adjective word lists, V2-grammar-ish comments,
+    formatted phone numbers and clerk names. *)
+
+open Sheet_stats
+
+val part_name : Rng.t -> string
+(** Three distinct color words, e.g. ["goldenrod lavender spring"]. *)
+
+val part_type : Rng.t -> string
+(** E.g. ["STANDARD POLISHED BRASS"]. *)
+
+val container : Rng.t -> string
+(** E.g. ["JUMBO PKG"]. *)
+
+val comment : Rng.t -> int -> string
+(** [comment rng max_len]: pseudo-sentence of at most [max_len]
+    characters. *)
+
+val phone : Rng.t -> int -> string
+(** [phone rng nation_key]: TPC-H format
+    ["NN-NNN-NNN-NNNN"] with country code [10 + nation_key]. *)
+
+val segment : Rng.t -> string
+val priority : Rng.t -> string
+val ship_mode : Rng.t -> string
+val ship_instruct : Rng.t -> string
+val clerk : Rng.t -> string
+val nation_names : string array
+val region_names : string array
+val region_of_nation : int -> int
+(** Region index of nation index, fixed as in TPC-H. *)

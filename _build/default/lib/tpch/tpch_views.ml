@@ -1,0 +1,57 @@
+open Sheet_rel
+
+let project = Rel_algebra.project
+let equijoin = Rel_algebra.equijoin
+
+let find = Sheet_sql.Catalog.find_exn
+
+let v_customer_orders catalog =
+  let orders = find catalog "orders" in
+  let customer = find catalog "customer" in
+  let nation = find catalog "nation" in
+  equijoin ~on:("o_custkey", "c_custkey") orders customer
+  |> equijoin ~on:("c_nationkey", "n_nationkey")
+  |> fun joined ->
+  project
+    [ "o_orderkey"; "o_orderstatus"; "o_totalprice"; "o_orderdate";
+      "o_orderpriority"; "o_clerk"; "c_name"; "c_acctbal";
+      "c_mktsegment"; "n_name" ]
+    (joined nation)
+
+let v_lineitem_orders catalog =
+  let lineitem = find catalog "lineitem" in
+  let orders = find catalog "orders" in
+  let customer = find catalog "customer" in
+  let joined =
+    equijoin ~on:("l_orderkey", "o_orderkey") lineitem orders
+    |> fun lo -> equijoin ~on:("o_custkey", "c_custkey") lo customer
+  in
+  project
+    [ "l_orderkey"; "l_linenumber"; "l_quantity"; "l_extendedprice";
+      "l_discount"; "l_returnflag"; "l_linestatus"; "l_shipdate";
+      "l_receiptdate"; "l_shipmode"; "o_orderdate"; "o_orderpriority";
+      "o_totalprice"; "c_name"; "c_mktsegment" ]
+    joined
+
+let v_lineitem_parts catalog =
+  let lineitem = find catalog "lineitem" in
+  let part = find catalog "part" in
+  let supplier = find catalog "supplier" in
+  let joined =
+    equijoin ~on:("l_partkey", "p_partkey") lineitem part
+    |> fun lp -> equijoin ~on:("l_suppkey", "s_suppkey") lp supplier
+  in
+  project
+    [ "l_orderkey"; "l_quantity"; "l_extendedprice"; "l_discount";
+      "l_shipdate"; "l_shipinstruct"; "l_shipmode"; "p_name"; "p_brand";
+      "p_type"; "p_size"; "p_container"; "p_retailprice"; "s_name" ]
+    joined
+
+let install catalog =
+  Sheet_sql.Catalog.add catalog ~name:"v_customer_orders"
+    (v_customer_orders catalog);
+  Sheet_sql.Catalog.add catalog ~name:"v_lineitem_orders"
+    (v_lineitem_orders catalog);
+  Sheet_sql.Catalog.add catalog ~name:"v_lineitem_parts"
+    (v_lineitem_parts catalog);
+  catalog

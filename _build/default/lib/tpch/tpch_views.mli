@@ -1,0 +1,22 @@
+(** Pre-joined single-table views over the TPC-H catalog.
+
+    The paper "predefined views for queries involving many joins so
+    that users always query a single table" (Sec. VII-A.1); these are
+    those views. Each is materialized once from the base tables. *)
+
+val v_customer_orders : Sheet_sql.Catalog.t -> Sheet_rel.Relation.t
+(** orders ⋈ customer ⋈ nation: order identity/price/date columns,
+    customer name/segment/balance, nation name. *)
+
+val v_lineitem_orders : Sheet_sql.Catalog.t -> Sheet_rel.Relation.t
+(** lineitem ⋈ orders ⋈ customer: line quantities/prices/dates/flags
+    plus order date/priority and customer name/segment. *)
+
+val v_lineitem_parts : Sheet_sql.Catalog.t -> Sheet_rel.Relation.t
+(** lineitem ⋈ part ⋈ supplier: line columns plus part
+    brand/type/size/container and supplier name. *)
+
+val install : Sheet_sql.Catalog.t -> Sheet_sql.Catalog.t
+(** Add all three views (names [v_customer_orders],
+    [v_lineitem_orders], [v_lineitem_parts]) to the catalog; returns
+    the same catalog for chaining. *)

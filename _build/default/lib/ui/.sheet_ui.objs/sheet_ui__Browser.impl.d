@@ -1,0 +1,1 @@
+lib/ui/browser.ml: Buffer Context_menu Grouping List Materialize Option Printf Relation Render Row Schema Script Session Sheet_core Sheet_rel Spreadsheet Store String Value

@@ -1,0 +1,1 @@
+lib/ui/browser.mli: Context_menu Relation Session Sheet_core Sheet_rel Value

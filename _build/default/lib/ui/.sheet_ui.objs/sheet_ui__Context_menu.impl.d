@@ -1,0 +1,1 @@
+lib/ui/context_menu.ml: Expr Grouping List Option Printf Query_state Schema Sheet_core Sheet_rel Spreadsheet String Value

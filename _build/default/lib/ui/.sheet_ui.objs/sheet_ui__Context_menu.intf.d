@@ -1,0 +1,1 @@
+lib/ui/context_menu.mli: Sheet_core Sheet_rel Value

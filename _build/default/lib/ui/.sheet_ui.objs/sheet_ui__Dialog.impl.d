@@ -1,0 +1,1 @@
+lib/ui/dialog.ml: Expr Expr_parse Grouping List Op Printf Schema Sheet_core Sheet_rel Spreadsheet String Value

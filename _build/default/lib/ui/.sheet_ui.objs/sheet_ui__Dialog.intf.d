@@ -1,0 +1,1 @@
+lib/ui/dialog.mli: Op Sheet_core Spreadsheet

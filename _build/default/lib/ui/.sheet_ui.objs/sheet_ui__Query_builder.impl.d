@@ -1,0 +1,1 @@
+lib/ui/query_builder.ml: Expr List Option Printf Sheet_rel Sheet_sql Sheet_tpch String Tpch_tasks Value

@@ -1,0 +1,1 @@
+lib/ui/query_builder.mli: Expr Relation Sheet_rel Sheet_sql Sheet_tpch Value

@@ -1,0 +1,265 @@
+open Sheet_rel
+open Sheet_core
+
+type mode =
+  | Grid
+  | Menu of { items : Context_menu.item list; selected : int }
+  | Command of string
+
+type t = {
+  session : Session.t;
+  row : int;
+  col : int;
+  top : int;
+  mode : mode;
+  message : string;
+  quit : bool;
+}
+
+type event =
+  | Up
+  | Down
+  | Left
+  | Right
+  | Page_down
+  | Page_up
+  | Enter
+  | Escape
+  | Backspace
+  | Key of char
+
+let init session =
+  { session; row = 0; col = 0; top = 0; mode = Grid;
+    message = "f filter  s sort  g group  a avg  c count  h hide  u undo  \
+               m menu  : command  q quit";
+    quit = false }
+
+let visible t = Session.materialized t.session
+
+let dims t =
+  let rel = visible t in
+  (Relation.cardinality rel, Schema.arity (Relation.schema rel))
+
+let clamp t ~page =
+  let rows, cols = dims t in
+  let row = max 0 (min t.row (rows - 1)) in
+  let col = max 0 (min t.col (cols - 1)) in
+  let top =
+    if row < t.top then row
+    else if row >= t.top + page then row - page + 1
+    else t.top
+  in
+  { t with row; col; top = max 0 top }
+
+let cursor_cell t =
+  let rel = visible t in
+  match List.nth_opt (Relation.rows rel) t.row with
+  | Some r when Schema.arity (Relation.schema rel) > t.col ->
+      let c = Schema.column_at (Relation.schema rel) t.col in
+      Some (c.Schema.name, Row.get r t.col)
+  | _ -> None
+
+let cursor_column t =
+  let rel = visible t in
+  if Schema.arity (Relation.schema rel) > t.col then
+    Some (Schema.column_at (Relation.schema rel) t.col).Schema.name
+  else None
+
+(* current sort direction of a column, to flip on repeated 's' *)
+let next_dir t col =
+  let grouping = Spreadsheet.grouping (Session.current t.session) in
+  match List.assoc_opt col grouping.Grouping.leaf_order with
+  | Some Grouping.Asc -> "desc"
+  | _ -> "asc"
+
+let run_command t text =
+  match Script.run_line t.session text with
+  | Ok { Script.session; output } ->
+      { t with
+        session;
+        mode = Grid;
+        message =
+          (match output with
+          | Some out -> (
+              (* keep single-line outputs in the status line *)
+              match String.index_opt out '\n' with
+              | None -> out
+              | Some _ -> "ok")
+          | None -> text) }
+  | Error msg -> { t with mode = Grid; message = "error: " ^ msg }
+
+let apply_key t ~page key =
+  match (key, cursor_cell t, cursor_column t) with
+  | 'q', _, _ -> { t with quit = true }
+  | 'u', _, _ ->
+      run_command t "undo"
+  | 'r', _, _ -> (
+      match Session.redo t.session with
+      | Some session -> { t with session; message = "redo" }
+      | None -> { t with message = "nothing to redo" })
+  | 'f', Some (col, value), _ ->
+      let literal =
+        match value with
+        | Value.String s -> Printf.sprintf "'%s'" s
+        | Value.Date _ ->
+            Printf.sprintf "DATE '%s'" (Value.to_string value)
+        | Value.Null -> ""
+        | v -> Value.to_string v
+      in
+      if Value.is_null value then
+        run_command t (Printf.sprintf "select %s IS NULL" col)
+      else run_command t (Printf.sprintf "select %s = %s" col literal)
+  | 's', _, Some col ->
+      run_command t (Printf.sprintf "order %s %s" col (next_dir t col))
+  | 'g', _, Some col -> run_command t (Printf.sprintf "group %s" col)
+  | 'a', _, Some col -> run_command t (Printf.sprintf "agg avg %s" col)
+  | 'c', _, _ -> run_command t "agg count"
+  | 'h', _, Some col -> run_command t (Printf.sprintf "hide %s" col)
+  | 'm', _, Some col ->
+      let items =
+        Context_menu.menu
+          ~stored:(Store.names (Session.store t.session))
+          (Session.current t.session)
+          (Context_menu.Header col)
+      in
+      { t with mode = Menu { items; selected = 0 } }
+  | ':', _, _ -> { t with mode = Command "" }
+  | _ -> { t with message = Printf.sprintf "unbound key %C" key }
+  [@@warning "-27"]
+
+let handle_grid t ~page = function
+  | Up -> clamp ~page { t with row = t.row - 1 }
+  | Down -> clamp ~page { t with row = t.row + 1 }
+  | Left -> clamp ~page { t with col = t.col - 1 }
+  | Right -> clamp ~page { t with col = t.col + 1 }
+  | Page_down -> clamp ~page { t with row = t.row + page }
+  | Page_up -> clamp ~page { t with row = t.row - page }
+  | Enter | Escape | Backspace -> t
+  | Key k -> clamp ~page (apply_key t ~page k)
+
+let handle_menu t ~page items selected = function
+  | Up ->
+      { t with
+        mode = Menu { items; selected = max 0 (selected - 1) } }
+  | Down ->
+      { t with
+        mode =
+          Menu
+            { items;
+              selected = min (List.length items - 1) (selected + 1) } }
+  | Escape -> { t with mode = Grid; message = "" }
+  | Enter ->
+      let item = List.nth items selected in
+      { t with
+        mode = Grid;
+        message =
+          (if item.Context_menu.enabled then
+             item.Context_menu.label ^ ": " ^ item.Context_menu.hint
+           else
+             "unavailable: "
+             ^ Option.value item.Context_menu.reason ~default:"") }
+  | _ -> clamp ~page t
+
+let handle_command t ~page text = function
+  | Enter -> clamp ~page (run_command t text)
+  | Escape -> { t with mode = Grid; message = "" }
+  | Backspace ->
+      { t with
+        mode =
+          Command
+            (if text = "" then ""
+             else String.sub text 0 (String.length text - 1)) }
+  | Key c -> { t with mode = Command (text ^ String.make 1 c) }
+  | _ -> t
+
+let handle ?(page = 20) t event =
+  if t.quit then t
+  else
+    match t.mode with
+    | Grid -> handle_grid t ~page event
+    | Menu { items; selected } -> handle_menu t ~page items selected event
+    | Command text -> handle_command t ~page text event
+
+(* ---------- text rendering ---------- *)
+
+let pad width s =
+  let n = String.length s in
+  if n >= width then String.sub s 0 width else s ^ String.make (width - n) ' '
+
+let render_text ?(width = 100) ?(height = 24) t =
+  let rel = visible t in
+  let schema = Relation.schema rel in
+  let cols = Schema.names schema in
+  let rows = Relation.rows rel in
+  (* content-based column widths (header and visible cells) *)
+  let widths =
+    List.mapi
+      (fun j name ->
+        List.fold_left
+          (fun acc row ->
+            max acc (String.length (Value.to_string (Row.get row j)) + 2))
+          (max 8 (String.length name + 2))
+          rows)
+      cols
+  in
+  let boundaries =
+    Materialize.finest_group_boundaries (Session.current t.session)
+      (Materialize.full_cached (Session.current t.session))
+  in
+  let buf = Buffer.create 2048 in
+  (* status *)
+  Buffer.add_string buf
+    (pad width (Render.status_line (Session.current t.session)));
+  Buffer.add_char buf '\n';
+  (* header with cursor column marked *)
+  let header =
+    String.concat " "
+      (List.mapi
+         (fun i c ->
+           let w = List.nth widths i in
+           pad w (if i = t.col then "[" ^ c ^ "]" else " " ^ c))
+         cols)
+  in
+  Buffer.add_string buf (pad width header);
+  Buffer.add_char buf '\n';
+  (* grid with group separators *)
+  let page = max 1 (height - 4) in
+  List.iteri
+    (fun i row ->
+      if i >= t.top && i < t.top + page then begin
+        let line =
+          String.concat " "
+            (List.mapi
+               (fun j v ->
+                 let w = List.nth widths j in
+                 let text = Value.to_string v in
+                 pad w
+                   (if i = t.row && j = t.col then "[" ^ text ^ "]"
+                    else " " ^ text))
+               (Row.to_list row))
+        in
+        Buffer.add_string buf (pad width line);
+        Buffer.add_char buf '\n';
+        if List.mem i boundaries && i < t.top + page - 1 then begin
+          Buffer.add_string buf
+            (pad width (String.make (min width 40) '-'));
+          Buffer.add_char buf '\n'
+        end
+      end)
+    rows;
+  (* mode line *)
+  (match t.mode with
+  | Grid -> Buffer.add_string buf (pad width t.message)
+  | Command text -> Buffer.add_string buf (pad width (":" ^ text))
+  | Menu { items; selected } ->
+      List.iteri
+        (fun i item ->
+          let marker = if i = selected then "> " else "  " in
+          let label =
+            if item.Context_menu.enabled then item.Context_menu.label
+            else "(" ^ item.Context_menu.label ^ ")"
+          in
+          Buffer.add_string buf (pad width (marker ^ label));
+          Buffer.add_char buf '\n')
+        items);
+  Buffer.contents buf

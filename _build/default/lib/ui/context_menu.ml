@@ -1,0 +1,148 @@
+open Sheet_rel
+open Sheet_core
+
+type target =
+  | Header of string
+  | Cell of { column : string; value : Value.t }
+  | Sheet
+
+type item = {
+  label : string;
+  hint : string;
+  enabled : bool;
+  reason : string option;
+}
+
+let item ?(enabled = true) ?reason label hint =
+  { label; hint; enabled; reason }
+
+let column_type sheet col =
+  Schema.type_of (Spreadsheet.full_schema sheet) col
+
+let numeric sheet col =
+  match column_type sheet col with
+  | Some ty -> Value.numeric ty
+  | None -> false
+
+let aggregates_depend_on_grouping sheet =
+  Query_state.aggregates_broken_by_grouping_change
+    sheet.Spreadsheet.state ~surviving_levels:1
+  <> []
+
+let level_hint sheet =
+  let n = Grouping.num_levels (Spreadsheet.grouping sheet) in
+  if n = 1 then "over the whole spreadsheet"
+  else Printf.sprintf "choose group level 1..%d" n
+
+let column_items sheet col =
+  let grouped = Grouping.num_levels (Spreadsheet.grouping sheet) > 1 in
+  let agg_dep = aggregates_depend_on_grouping sheet in
+  let selection =
+    item "Selection..."
+      (Printf.sprintf "specify a condition on %s" col)
+  in
+  let existing =
+    match Query_state.selections_on sheet.Spreadsheet.state col with
+    | [] -> []
+    | sels ->
+        [ item "Modify previous selection..."
+            (Printf.sprintf "replace or delete: %s"
+               (String.concat "; "
+                  (List.map
+                     (fun s ->
+                       Printf.sprintf "#%d %s" s.Query_state.id
+                         (Expr.to_string s.Query_state.pred))
+                     sels))) ]
+  in
+  let order =
+    item "Sort ascending/descending"
+      (if grouped then "asked for the group level to apply the order to"
+       else "orders the whole sheet")
+  in
+  let group_add =
+    if grouped then
+      [ item "Group by (add to existing grouping)"
+          (Printf.sprintf "adds %s as the innermost grouping level" col);
+        (if agg_dep then
+           item "Group by (replace current grouping)"
+             "destroys the current grouping first" ~enabled:false
+             ~reason:
+               "aggregation columns depend on the current grouping; \
+                remove them first"
+         else
+           item "Group by (replace current grouping)"
+             "destroys the current grouping first") ]
+    else [ item "Group by" (Printf.sprintf "groups the sheet by %s" col) ]
+  in
+  let aggregation =
+    let fns =
+      if numeric sheet col then "count, sum, avg, min, max"
+      else "count, min, max"
+    in
+    [ item "Aggregation..."
+        (Printf.sprintf "%s; %s" fns (level_hint sheet)) ]
+  in
+  let projection =
+    if Spreadsheet.is_hidden sheet col then []
+    else [ item "Hide column" "uncheck the header checkbox" ]
+  in
+  let drop =
+    if Spreadsheet.is_computed sheet col then
+      let deps = Query_state.column_dependents sheet.Spreadsheet.state col in
+      if deps = [] then [ item "Remove computed column" "deletes it" ]
+      else
+        [ item "Remove computed column" "deletes it" ~enabled:false
+            ~reason:
+              (Printf.sprintf "depended on by %s"
+                 (String.concat "; " deps)) ]
+    else []
+  in
+  let rename = [ item "Rename column..." "type a new name" ] in
+  (selection :: existing) @ [ order ] @ group_add @ aggregation
+  @ projection @ drop @ rename
+
+let sheet_items ?(stored = []) sheet =
+  let binary label hint =
+    if stored = [] then
+      item label hint ~enabled:false
+        ~reason:"no stored spreadsheet; use Save first"
+    else
+      item label
+        (Printf.sprintf "%s (stored: %s)" hint (String.concat ", " stored))
+  in
+  let restore =
+    match Spreadsheet.hidden_columns sheet with
+    | [] -> []
+    | hidden ->
+        [ item "Restore column..."
+            (Printf.sprintf "hidden: %s" (String.concat ", " hidden)) ]
+  in
+  [ item "Formula computation..."
+      "choose columns and operators; result becomes a computed column";
+    item "Duplicate elimination" "removes all duplicate rows";
+    item "Save spreadsheet" "store the current sheet under a name";
+    binary "Cartesian product with..." "pick a stored spreadsheet";
+    binary "Union with..." "requires the same base columns";
+    binary "Difference with..." "requires the same base columns";
+    binary "Join with..." "pick a stored sheet and a join condition";
+    item "History..." "numbered list of all manipulations; undo/redo" ]
+  @ restore
+
+let menu ?stored sheet target =
+  match target with
+  | Header col -> column_items sheet col
+  | Cell { column; value } ->
+      item "Filter to this value"
+        (Printf.sprintf "select %s = %s" column (Value.to_string value))
+      :: column_items sheet column
+  | Sheet -> sheet_items ?stored sheet
+
+let describe items =
+  String.concat "\n"
+    (List.map
+       (fun i ->
+         if i.enabled then Printf.sprintf "  %-42s %s" i.label i.hint
+         else
+           Printf.sprintf "  (%s -- %s)" i.label
+             (Option.value i.reason ~default:"unavailable"))
+       items)

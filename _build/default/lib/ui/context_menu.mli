@@ -1,0 +1,43 @@
+(** The contextual-menu model of Section VI: "Most query operations
+    are accessible with a contextual menu, which pops up when the user
+    right-clicks a cell or column-header. It is contextual because it
+    shows only options that are available for the current cell value
+    type under current grouping and ordering."
+
+    This module computes that menu for a click target; the REPL prints
+    it, tests assert on it, and it documents precisely when each
+    operator is offered. *)
+
+open Sheet_rel
+
+type target =
+  | Header of string  (** right-click on a column header *)
+  | Cell of { column : string; value : Value.t }  (** on a data cell *)
+  | Sheet  (** on the sheet background *)
+
+type item = {
+  label : string;  (** menu entry text *)
+  hint : string;  (** what invoking it will ask for / do *)
+  enabled : bool;
+  reason : string option;  (** why a disabled entry is disabled *)
+}
+
+val menu :
+  ?stored:string list -> Sheet_core.Spreadsheet.t -> target -> item list
+(** The entries shown for a right-click on [target]. [stored] is the
+    list of saved spreadsheet names (binary operators are disabled
+    without one). Rules implemented:
+    - Filter-by-this-value appears only on cells (Sec. VI Selection);
+    - aggregation functions sum/avg appear only on numeric columns;
+      the grouping-level choice is offered only when grouped (Fig. 1);
+    - Group-by offers "add to existing grouping" vs "replace" when
+      already grouped, and "replace" is disabled while aggregates
+      depend on the grouping;
+    - ordering on a non-finest level that would destroy grouping is
+      marked accordingly, and disabled when aggregates depend on it;
+    - restore-column entries list the currently hidden columns;
+    - binary operators require a stored spreadsheet. *)
+
+val describe : item list -> string
+(** Render a menu as text, one line per entry, disabled entries
+    parenthesized with their reason. *)

@@ -1,0 +1,185 @@
+open Sheet_rel
+open Sheet_core
+
+type question =
+  | Choice of { prompt : string; options : string list }
+  | Text of { prompt : string; placeholder : string }
+
+type t = {
+  title : string;
+  questions : question list;
+  finish : string list -> (Op.t, string) result;
+}
+
+let answer t answers =
+  if List.length answers <> List.length t.questions then
+    Error
+      (Printf.sprintf "%s: expected %d answer(s), got %d" t.title
+         (List.length t.questions)
+         (List.length answers))
+  else
+    let rec validate qs ans =
+      match (qs, ans) with
+      | [], [] -> Ok ()
+      | Choice { prompt; options } :: qs, a :: ans ->
+          if List.mem a options then validate qs ans
+          else
+            Error
+              (Printf.sprintf "%s: %S is not one of %s" prompt a
+                 (String.concat " / " options))
+      | Text _ :: qs, _ :: ans -> validate qs ans
+      | _ -> assert false
+    in
+    match validate t.questions answers with
+    | Error _ as e -> e
+    | Ok () -> t.finish answers
+
+let level_label sheet level =
+  if level = 1 then "all the rows"
+  else
+    Printf.sprintf "rows with the same %s"
+      (String.concat ", "
+         (Grouping.cumulative_basis (Spreadsheet.grouping sheet) level))
+
+let levels sheet =
+  List.init (Grouping.num_levels (Spreadsheet.grouping sheet)) (fun i -> i + 1)
+
+let aggregation sheet ~column =
+  let numeric =
+    match column with
+    | None -> false
+    | Some c -> (
+        match Schema.type_of (Spreadsheet.full_schema sheet) c with
+        | Some ty -> Value.numeric ty
+        | None -> false)
+  in
+  let functions =
+    match column with
+    | None -> [ "count" ]
+    | Some _ when numeric ->
+        [ "count"; "count_distinct"; "sum"; "avg"; "min"; "max" ]
+    | Some _ -> [ "count"; "count_distinct"; "min"; "max" ]
+  in
+  let level_options = List.map (level_label sheet) (levels sheet) in
+  { title = "Aggregation";
+    questions =
+      [ Choice { prompt = "Function"; options = functions };
+        Choice { prompt = "Compute over"; options = level_options } ];
+    finish =
+      (fun answers ->
+        match answers with
+        | [ fn_name; level_text ] ->
+            let fn =
+              match fn_name with
+              | "count" -> (
+                  match column with
+                  | None -> Expr.Count_star
+                  | Some _ -> Expr.Count)
+              | "count_distinct" -> Expr.Count_distinct
+              | "sum" -> Expr.Sum
+              | "avg" -> Expr.Avg
+              | "min" -> Expr.Min
+              | "max" -> Expr.Max
+              | _ -> assert false
+            in
+            let level =
+              match
+                List.find_opt
+                  (fun l -> level_label sheet l = level_text)
+                  (levels sheet)
+              with
+              | Some l -> l
+              | None -> Grouping.num_levels (Spreadsheet.grouping sheet)
+            in
+            Ok (Op.Aggregate { fn; col = column; level; as_name = None })
+        | _ -> Error "Aggregation: malformed answers") }
+
+let selection sheet ~column =
+  ignore sheet;
+  { title = "Selection";
+    questions =
+      [ Choice
+          { prompt = "Comparison";
+            options = [ "="; "<>"; "<"; "<="; ">"; ">=" ] };
+        Text { prompt = "Value"; placeholder = "e.g. 2005 or 'Jetta'" } ];
+    finish =
+      (fun answers ->
+        match answers with
+        | [ op; value ] -> (
+            let text = Printf.sprintf "%s %s %s" column op value in
+            match Expr_parse.parse_string text with
+            | Ok pred -> Ok (Op.Select pred)
+            | Error msg -> Error msg)
+        | _ -> Error "Selection: malformed answers") }
+
+let formula sheet =
+  ignore sheet;
+  { title = "Formula computation";
+    questions =
+      [ Text { prompt = "Column name (optional)"; placeholder = "revenue" };
+        Text
+          { prompt = "Formula"; placeholder = "price * quantity" } ];
+    finish =
+      (fun answers ->
+        match answers with
+        | [ name; body ] -> (
+            match Expr_parse.parse_string body with
+            | Ok expr ->
+                Ok
+                  (Op.Formula
+                     { name = (if String.trim name = "" then None
+                               else Some (String.trim name));
+                       expr })
+            | Error msg -> Error msg)
+        | _ -> Error "Formula: malformed answers") }
+
+let ordering sheet ~column =
+  let grouped = Grouping.num_levels (Spreadsheet.grouping sheet) > 1 in
+  let level_options = List.map (level_label sheet) (levels sheet) in
+  { title = "Ordering";
+    questions =
+      (Choice { prompt = "Direction"; options = [ "ascending"; "descending" ] }
+      ::
+      (if grouped then
+         [ Choice { prompt = "Apply to"; options = level_options } ]
+       else []));
+    finish =
+      (fun answers ->
+        let dir, level =
+          match answers with
+          | [ d ] -> (d, Grouping.num_levels (Spreadsheet.grouping sheet))
+          | [ d; level_text ] ->
+              ( d,
+                match
+                  List.find_opt
+                    (fun l -> level_label sheet l = level_text)
+                    (levels sheet)
+                with
+                | Some l -> l
+                | None -> Grouping.num_levels (Spreadsheet.grouping sheet) )
+          | _ -> ("ascending", 1)
+        in
+        Ok
+          (Op.Order
+             { attr = column;
+               dir =
+                 (if dir = "descending" then Grouping.Desc
+                  else Grouping.Asc);
+               level })) }
+
+let join sheet ~stored =
+  ignore sheet;
+  { title = "Join";
+    questions =
+      [ Choice { prompt = "Join with"; options = stored };
+        Text
+          { prompt = "Join condition";
+            placeholder = "this_column = that_column" } ];
+    finish =
+      (fun answers ->
+        match answers with
+        | [ name; cond_text ] -> (
+            match Expr_parse.parse_string cond_text with
+            | Ok cond -> Ok (Op.Join { stored = name; cond })
+            | Error msg -> Error msg)
+        | _ -> Error "Join: malformed answers") }

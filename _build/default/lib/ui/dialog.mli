@@ -1,0 +1,53 @@
+(** Dialog flows: the multi-step interactions behind the contextual
+    menu entries of Section VI.
+
+    A dialog is a typed sequence of questions; answering every
+    question yields the operator invocation the dialog was gathering
+    parameters for. The aggregation dialog reproduces Fig. 1: the
+    function choice is restricted to the column's type, and the
+    grouping-level choice is worded in terms of the current grouping
+    ("over all the rows" / "rows with the same Model" / "rows with the
+    same Model, Year"). *)
+
+open Sheet_core
+
+type question =
+  | Choice of { prompt : string; options : string list }
+      (** answer: one of [options] *)
+  | Text of { prompt : string; placeholder : string }
+      (** answer: free text (a constant, a name, a predicate) *)
+
+type t = {
+  title : string;
+  questions : question list;
+  finish : string list -> (Op.t, string) result;
+      (** answers, positionally aligned with [questions] *)
+}
+
+val answer : t -> string list -> (Op.t, string) result
+(** Validate the answers (arity, choice membership) and build the
+    operator. *)
+
+val aggregation : Spreadsheet.t -> column:string option -> t
+(** Fig. 1. [column = None] offers only row counting. The level
+    options are generated from the sheet's grouping. *)
+
+val selection : Spreadsheet.t -> column:string -> t
+(** Comparison operator + constant against the clicked column; offers
+    the existing predicates on that column for replacement is the
+    {!Context_menu} entry's job — this dialog adds a new predicate. *)
+
+val formula : Spreadsheet.t -> t
+(** Name (optional) and expression text. *)
+
+val ordering : Spreadsheet.t -> column:string -> t
+(** Direction, and — when grouped — the level to order (Sec. VI-A
+    "Ordering": "the user is asked explicitly for the level of
+    grouping to which the order should be applied"). *)
+
+val join : Spreadsheet.t -> stored:string list -> t
+(** Stored-sheet choice and a join condition. *)
+
+val level_label : Spreadsheet.t -> int -> string
+(** Human wording for a paper group level, e.g. level 1 → ["all the
+    rows"], level 3 → ["rows with the same Model, Year"]. *)

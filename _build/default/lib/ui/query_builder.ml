@@ -1,0 +1,199 @@
+open Sheet_rel
+open Sheet_tpch
+
+type criterion = { column : string; op : Expr.cmp; value : Value.t }
+
+type t = {
+  table : string;
+  output : string list;
+  criteria : criterion list;
+  sort : (string * [ `Asc | `Desc ]) list;
+  sql_tail : string;
+}
+
+(* The SELECT-list replacement typed in the SQL window is part of the
+   tail state but rendered in front; we keep it inside [sql_tail] with
+   a marker-free convention: a tail starting with "SELECT-LIST:" up to
+   the first newline overrides the projection. Kept internal — the
+   public API is [type_sql] and the task builder. *)
+let select_list_marker = "SELECT-LIST:"
+
+let create ~table =
+  { table; output = []; criteria = []; sort = []; sql_tail = "" }
+
+let set_output t output = { t with output }
+
+let add_criterion t ~column ~op ~value =
+  { t with criteria = t.criteria @ [ { column; op; value } ] }
+
+let add_sort t ~column ~dir = { t with sort = t.sort @ [ (column, dir) ] }
+
+let type_sql t text =
+  { t with
+    sql_tail = (if t.sql_tail = "" then text else t.sql_tail ^ " " ^ text) }
+
+let split_tail t =
+  (* separate a SELECT-list override from the rest of the typed text *)
+  let tail = t.sql_tail in
+  if String.length tail >= String.length select_list_marker
+     && String.sub tail 0 (String.length select_list_marker)
+        = select_list_marker
+  then
+    let rest = String.sub tail (String.length select_list_marker)
+        (String.length tail - String.length select_list_marker) in
+    match String.index_opt rest '\n' with
+    | Some i ->
+        ( Some (String.trim (String.sub rest 0 i)),
+          String.trim (String.sub rest (i + 1) (String.length rest - i - 1))
+        )
+    | None -> (Some (String.trim rest), "")
+  else (None, tail)
+
+let const_text = function
+  | Value.String s -> "'" ^ s ^ "'"
+  | Value.Date _ as d -> Printf.sprintf "DATE '%s'" (Value.to_string d)
+  | v -> Value.to_string v
+
+let to_sql t =
+  let select_override, tail = split_tail t in
+  let select =
+    match select_override with
+    | Some text -> text
+    | None -> (
+        match t.output with [] -> "*" | cols -> String.concat ", " cols)
+  in
+  let where =
+    match t.criteria with
+    | [] -> ""
+    | cs ->
+        " WHERE "
+        ^ String.concat " AND "
+            (List.map
+               (fun c ->
+                 Printf.sprintf "%s %s %s" c.column (Expr.cmp_name c.op)
+                   (const_text c.value))
+               cs)
+  in
+  let order =
+    match t.sort with
+    | [] -> ""
+    | keys ->
+        " ORDER BY "
+        ^ String.concat ", "
+            (List.map
+               (fun (c, d) ->
+                 Printf.sprintf "%s %s" c
+                   (match d with `Asc -> "ASC" | `Desc -> "DESC"))
+               keys)
+  in
+  let tail = if tail = "" then "" else " " ^ tail in
+  Printf.sprintf "SELECT %s FROM %s%s%s%s" select t.table where tail order
+
+let run t catalog = Sheet_sql.Sql_executor.run_string catalog (to_sql t)
+
+let classify (task : Tpch_tasks.t) =
+  let f = task.Tpch_tasks.features in
+  let concepts =
+    (if f.Tpch_tasks.n_group_levels > 0 then [ "grouping" ] else [])
+    @ (if f.Tpch_tasks.n_aggregates > 0 then [ "aggregation" ] else [])
+    @ (if f.Tpch_tasks.has_having then [ "group-qualification" ] else [])
+    @ if f.Tpch_tasks.n_formulas > 0 then [ "expression" ] else []
+  in
+  if concepts = [] then `Graphical else `Requires_sql concepts
+
+(* Is a WHERE conjunct expressible as one criteria-grid row? *)
+let as_criterion = function
+  | Expr.Cmp (op, Expr.Col column, Expr.Const value) ->
+      Some { column; op; value }
+  | _ -> None
+
+let build_for_task (task : Tpch_tasks.t) =
+  let q =
+    match Sheet_sql.Sql_parser.parse task.Tpch_tasks.sql with
+    | Ok q -> q
+    | Error msg ->
+        invalid_arg ("Query_builder.build_for_task: " ^ msg)
+  in
+  let t = create ~table:task.Tpch_tasks.base in
+  (* WHERE: grid rows where possible, otherwise typed *)
+  let conjuncts =
+    match q.Sheet_sql.Sql_ast.where with
+    | None -> []
+    | Some e -> Expr.conjuncts e
+  in
+  let grid, typed =
+    List.partition (fun c -> Option.is_some (as_criterion c)) conjuncts
+  in
+  let t =
+    List.fold_left
+      (fun t c ->
+        match as_criterion c with
+        | Some { column; op; value } -> add_criterion t ~column ~op ~value
+        | None -> t)
+      t grid
+  in
+  let typed_where =
+    match typed with
+    | [] -> ""
+    | es ->
+        (if grid = [] then "WHERE " else "AND ")
+        ^ String.concat " AND " (List.map Expr.to_string es)
+  in
+  (* the grid renders its WHERE before the tail, so typed conjuncts
+     continue it with AND; with no grid rows the user types WHERE *)
+  match classify task with
+  | `Graphical ->
+      let t =
+        set_output t
+          (List.map
+             (fun (i : Sheet_sql.Sql_ast.select_item) ->
+               Sheet_sql.Sql_ast.output_name i)
+             q.Sheet_sql.Sql_ast.select)
+      in
+      let t = if typed_where = "" then t else type_sql t typed_where in
+      List.fold_left
+        (fun t (o : Sheet_sql.Sql_ast.order_item) ->
+          match o.Sheet_sql.Sql_ast.expr with
+          | Expr.Col column ->
+              add_sort t ~column ~dir:o.Sheet_sql.Sql_ast.dir
+          | _ -> t)
+        t q.Sheet_sql.Sql_ast.order_by
+  | `Requires_sql _ ->
+      (* the user rewrites the SELECT list and types the back half *)
+      let select_text =
+        String.concat ", "
+          (List.map
+             (fun (i : Sheet_sql.Sql_ast.select_item) ->
+               Expr.to_string i.Sheet_sql.Sql_ast.expr
+               ^
+               match i.Sheet_sql.Sql_ast.alias with
+               | Some a -> " AS " ^ a
+               | None -> "")
+             q.Sheet_sql.Sql_ast.select)
+      in
+      let t = type_sql t (select_list_marker ^ select_text ^ "\n") in
+      let t = if typed_where = "" then t else type_sql t typed_where in
+      let t =
+        if q.Sheet_sql.Sql_ast.group_by = [] then t
+        else
+          type_sql t
+            ("GROUP BY " ^ String.concat ", " q.Sheet_sql.Sql_ast.group_by)
+      in
+      let t =
+        match q.Sheet_sql.Sql_ast.having with
+        | None -> t
+        | Some e -> type_sql t ("HAVING " ^ Expr.to_string e)
+      in
+      if q.Sheet_sql.Sql_ast.order_by = [] then t
+      else
+        type_sql t
+          ("ORDER BY "
+          ^ String.concat ", "
+              (List.map
+                 (fun (o : Sheet_sql.Sql_ast.order_item) ->
+                   Printf.sprintf "%s %s"
+                     (Expr.to_string o.Sheet_sql.Sql_ast.expr)
+                     (match o.Sheet_sql.Sql_ast.dir with
+                     | `Asc -> "ASC"
+                     | `Desc -> "DESC"))
+                 q.Sheet_sql.Sql_ast.order_by))

@@ -1,0 +1,65 @@
+(** A model of the baseline: a Navicat-style visual query builder.
+
+    The paper characterizes such builders precisely (Sec. VII-A.4):
+    "two separate windows for building a query — a graphical window
+    where users manipulate with mouse-clicks and a text window for SQL
+    query expression. Usually, only queries with simple selection,
+    sorting, and joins can be built graphically, while the vast
+    majority of the queries need to be completed by adding to the SQL
+    query."
+
+    This module implements that interaction model: a builder state
+    holding what the graphical grid can express (output columns,
+    comparison criteria, sort keys) plus a free-text SQL tail for
+    everything it cannot (grouping, aggregation, HAVING, computed
+    expressions). It compiles to a core single-block SQL statement,
+    which makes the study simulator's cost model concrete: the
+    [`Graphical] / [`Requires_sql] split below is exactly the
+    "SQL cliff" the simulator prices. *)
+
+open Sheet_rel
+
+type criterion = {
+  column : string;
+  op : Expr.cmp;
+  value : Value.t;
+}
+
+type t = {
+  table : string;
+  output : string list;  (** checked output columns; [] means all *)
+  criteria : criterion list;  (** AND-ed comparison rows of the grid *)
+  sort : (string * [ `Asc | `Desc ]) list;
+  sql_tail : string;
+      (** text typed into the SQL window and appended verbatim
+          (SELECT-list replacements, GROUP BY, HAVING, ...) *)
+}
+
+val create : table:string -> t
+val set_output : t -> string list -> t
+val add_criterion : t -> column:string -> op:Expr.cmp -> value:Value.t -> t
+val add_sort : t -> column:string -> dir:[ `Asc | `Desc ] -> t
+val type_sql : t -> string -> t
+(** Append text to the SQL window (the part the grid cannot build). *)
+
+val to_sql : t -> string
+(** The generated statement: grid parts rendered, then the typed
+    tail. *)
+
+val run : t -> Sheet_sql.Catalog.t -> (Relation.t, string) result
+(** Compile and execute — syntax errors in the typed tail surface
+    here, exactly the retry loop the study model prices. *)
+
+val classify :
+  Sheet_tpch.Tpch_tasks.t ->
+  [ `Graphical | `Requires_sql of string list ]
+(** Whether the task fits in the graphical grid alone, or which
+    concepts force the SQL window ("grouping", "aggregation",
+    "group-qualification", "expression"). Matches the cost model in
+    [Sheet_study.Navicat_model]. *)
+
+val build_for_task :
+  Sheet_tpch.Tpch_tasks.t -> t
+(** The builder state a flawless user would reach for a study task:
+    graphical parts in the grid, everything else typed. [run] on the
+    result reproduces the task's SQL result. *)

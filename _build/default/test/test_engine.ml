@@ -1,0 +1,356 @@
+(* Exhaustive tests of the engine's guards — every refusal the paper's
+   interface design calls for (Sec. VI-A) surfaces as a typed error. *)
+
+open Sheet_rel
+open Sheet_core
+
+let parse = Expr_parse.parse_string_exn
+
+let sheet () = Spreadsheet.of_relation ~name:"cars" Sample_cars.relation
+
+let apply_exn s op =
+  match Engine.apply s op with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "unexpected refusal: %s" (Errors.to_string e)
+
+let apply_seq ops =
+  List.fold_left apply_exn (sheet ()) ops
+
+let expect_error ?store s op pred =
+  match Engine.apply ?store s op with
+  | Ok _ -> Alcotest.failf "expected refusal of %s" (Op.describe op)
+  | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error class for %s" (Op.describe op))
+        true (pred e)
+
+let is_unknown_column = function Errors.Unknown_column _ -> true | _ -> false
+let is_type_error = function Errors.Type_error _ -> true | _ -> false
+let is_grouping = function Errors.Grouping_error _ -> true | _ -> false
+let is_dependency = function Errors.Dependency_error _ -> true | _ -> false
+let is_invalid = function Errors.Invalid_op _ -> true | _ -> false
+let is_incompatible = function
+  | Errors.Incompatible_schemas _ -> true
+  | _ -> false
+let is_no_such_sheet = function Errors.No_such_sheet _ -> true | _ -> false
+
+(* ---- selection ---- *)
+
+let test_selection_guards () =
+  let s = sheet () in
+  expect_error s (Op.Select (parse "Nope = 1")) is_type_error;
+  expect_error s (Op.Select (parse "Model + 1 = 2")) is_type_error;
+  expect_error s (Op.Select (parse "Price")) is_type_error;
+  expect_error s (Op.Select (parse "avg(Price) > 1")) is_invalid;
+  (* selections cannot reference hidden columns *)
+  let s = apply_exn s (Op.Project "Mileage") in
+  expect_error s (Op.Select (parse "Mileage < 10")) is_type_error
+
+(* ---- projection ---- *)
+
+let test_projection_guards () =
+  let s = sheet () in
+  expect_error s (Op.Project "Nope") is_unknown_column;
+  let s = apply_exn s (Op.Project "Mileage") in
+  expect_error s (Op.Project "Mileage") is_invalid;
+  expect_error s (Op.Unproject "Price") is_invalid;
+  let s = apply_exn s (Op.Unproject "Mileage") in
+  ignore s
+
+(* ---- grouping ---- *)
+
+let test_grouping_guards () =
+  let s = sheet () in
+  expect_error s
+    (Op.Group { basis = [ "Nope" ]; dir = Grouping.Asc })
+    is_unknown_column;
+  let s1 = apply_exn s (Op.Project "Condition") in
+  expect_error s1
+    (Op.Group { basis = [ "Condition" ]; dir = Grouping.Asc })
+    is_invalid;
+  (* grouping by an aggregate column is circular *)
+  let s2 =
+    apply_exn s
+      (Op.Aggregate
+         { fn = Expr.Avg; col = Some "Price"; level = 1; as_name = None })
+  in
+  expect_error s2
+    (Op.Group { basis = [ "Avg_Price" ]; dir = Grouping.Asc })
+    is_grouping;
+  (* ... even transitively through a formula *)
+  let s3 =
+    apply_exn s2 (Op.Formula { name = Some "f"; expr = parse "Avg_Price * 2" })
+  in
+  expect_error s3
+    (Op.Group { basis = [ "f" ]; dir = Grouping.Asc })
+    is_grouping;
+  (* grouping by a pure formula is fine *)
+  let s4 =
+    apply_exn s (Op.Formula { name = Some "g"; expr = parse "Price * 2" })
+  in
+  ignore (apply_exn s4 (Op.Group { basis = [ "g" ]; dir = Grouping.Asc }));
+  (* adding an already-grouped attribute adds nothing *)
+  let s5 =
+    apply_exn s (Op.Group { basis = [ "Model" ]; dir = Grouping.Asc })
+  in
+  expect_error s5
+    (Op.Group { basis = [ "Model" ]; dir = Grouping.Asc })
+    is_grouping
+
+let test_regroup_and_ungroup_guards () =
+  let s =
+    apply_seq
+      [ Op.Group { basis = [ "Model" ]; dir = Grouping.Asc };
+        Op.Aggregate
+          { fn = Expr.Avg; col = Some "Price"; level = 2; as_name = None } ]
+  in
+  expect_error s
+    (Op.Regroup { basis = [ "Year" ]; dir = Grouping.Asc })
+    is_dependency;
+  expect_error s Op.Ungroup is_dependency;
+  (* whole-sheet aggregates (level 1) survive regrouping *)
+  let s2 =
+    apply_seq
+      [ Op.Group { basis = [ "Model" ]; dir = Grouping.Asc };
+        Op.Aggregate
+          { fn = Expr.Avg; col = Some "Price"; level = 1; as_name = None } ]
+  in
+  ignore (apply_exn s2 (Op.Regroup { basis = [ "Year" ]; dir = Grouping.Asc }));
+  ignore (apply_exn s2 Op.Ungroup)
+
+(* ---- ordering ---- *)
+
+let test_ordering_guards () =
+  let s = sheet () in
+  expect_error s
+    (Op.Order { attr = "Nope"; dir = Grouping.Asc; level = 1 })
+    is_unknown_column;
+  expect_error s
+    (Op.Order { attr = "Price"; dir = Grouping.Asc; level = 2 })
+    is_grouping;
+  let s = apply_exn s (Op.Group { basis = [ "Model" ]; dir = Grouping.Asc }) in
+  let s =
+    apply_exn s
+      (Op.Aggregate
+         { fn = Expr.Avg; col = Some "Price"; level = 2; as_name = None })
+  in
+  (* ordering level-1 groups by a non-dictated attribute destroys the
+     Model level, on which Avg_Price depends *)
+  expect_error s
+    (Op.Order { attr = "Price"; dir = Grouping.Asc; level = 1 })
+    is_dependency
+
+(* ---- aggregation ---- *)
+
+let test_aggregation_guards () =
+  let s = sheet () in
+  expect_error s
+    (Op.Aggregate
+       { fn = Expr.Avg; col = Some "Nope"; level = 1; as_name = None })
+    is_unknown_column;
+  expect_error s
+    (Op.Aggregate
+       { fn = Expr.Sum; col = Some "Model"; level = 1; as_name = None })
+    is_type_error;
+  expect_error s
+    (Op.Aggregate
+       { fn = Expr.Avg; col = Some "Price"; level = 2; as_name = None })
+    is_grouping;
+  expect_error s
+    (Op.Aggregate { fn = Expr.Avg; col = None; level = 1; as_name = None })
+    is_invalid;
+  (* min/max on strings are fine *)
+  ignore
+    (apply_exn s
+       (Op.Aggregate
+          { fn = Expr.Min; col = Some "Model"; level = 1; as_name = None }))
+
+let test_aggregate_names () =
+  Alcotest.(check string) "avg name" "Avg_Price"
+    (Engine.aggregate_default_name Expr.Avg (Some "Price"));
+  Alcotest.(check string) "count-star name" "Count"
+    (Engine.aggregate_default_name Expr.Count_star None);
+  (* name collisions get numeric suffixes *)
+  let s =
+    apply_seq
+      [ Op.Aggregate
+          { fn = Expr.Avg; col = Some "Price"; level = 1; as_name = None };
+        Op.Aggregate
+          { fn = Expr.Avg; col = Some "Price"; level = 1; as_name = None } ]
+  in
+  let names = Schema.names (Spreadsheet.full_schema s) in
+  Alcotest.(check bool) "both columns exist" true
+    (List.mem "Avg_Price" names && List.mem "Avg_Price_2" names)
+
+(* ---- formula ---- *)
+
+let test_formula_guards () =
+  let s = sheet () in
+  expect_error s
+    (Op.Formula { name = None; expr = parse "avg(Price)" })
+    is_invalid;
+  expect_error s
+    (Op.Formula { name = None; expr = parse "Nope + 1" })
+    is_type_error;
+  (* auto-generated names *)
+  let s2 = apply_exn s (Op.Formula { name = None; expr = parse "Price * 2" }) in
+  Alcotest.(check bool) "auto name F1" true
+    (Schema.mem (Spreadsheet.full_schema s2) "F1")
+
+(* ---- rename ---- *)
+
+let test_rename_guards () =
+  let s = sheet () in
+  expect_error s
+    (Op.Rename { old_name = "Nope"; new_name = "X" })
+    is_unknown_column;
+  expect_error s
+    (Op.Rename { old_name = "Price"; new_name = "Model" })
+    is_invalid;
+  (* renaming onto itself is a no-op, not an error *)
+  ignore (apply_exn s (Op.Rename { old_name = "Price"; new_name = "Price" }))
+
+(* ---- binary operators ---- *)
+
+let test_binary_guards () =
+  let s = sheet () in
+  (* no store at all *)
+  expect_error s (Op.Union "other") is_invalid;
+  let store = Store.create () in
+  expect_error ~store s (Op.Union "other") is_no_such_sheet;
+  (* incompatible schemas *)
+  let other =
+    Spreadsheet.of_relation ~name:"other"
+      (Relation.make
+         (Schema.of_list [ ("x", Value.TInt) ])
+         [ Row.of_list [ Value.Int 1 ] ])
+  in
+  Store.save store ~name:"other" other;
+  expect_error ~store s (Op.Union "other") is_incompatible;
+  expect_error ~store s (Op.Diff "other") is_incompatible;
+  (* product with it is fine *)
+  (match Engine.apply ~store s (Op.Product "other") with
+  | Ok s2 ->
+      Alcotest.(check int) "9 x 1 rows" 9
+        (Relation.cardinality (Materialize.full s2))
+  | Error e -> Alcotest.fail (Errors.to_string e));
+  (* bad join condition *)
+  expect_error ~store s
+    (Op.Join { stored = "other"; cond = parse "Model = x" })
+    is_type_error
+
+let test_binary_hidden_dependency_guard () =
+  let store = Store.create () in
+  Store.save store ~name:"snapshot" (sheet ());
+  (* grouping uses Model, then Model is hidden: binary ops must refuse *)
+  let s =
+    apply_seq
+      [ Op.Group { basis = [ "Model" ]; dir = Grouping.Asc };
+        Op.Project "Model" ]
+  in
+  expect_error ~store s (Op.Union "snapshot") is_dependency;
+  (* whereas hiding an unrelated column only narrows the operand *)
+  let s2 = apply_seq [ Op.Project "Mileage" ] in
+  match Engine.apply ~store s2 (Op.Diff "snapshot") with
+  | Ok _ -> Alcotest.fail "diff of 5-col vs 6-col sheets must be refused"
+  | Error e ->
+      Alcotest.(check bool) "incompatible after projection" true
+        (is_incompatible e)
+
+let test_point_of_noncommutativity_semantics () =
+  let store = Store.create () in
+  Store.save store ~name:"all" (sheet ());
+  let s =
+    apply_seq
+      [ Op.Select (parse "Model = 'Jetta'");
+        Op.Group { basis = [ "Model" ]; dir = Grouping.Asc };
+        Op.Aggregate
+          { fn = Expr.Count_star; col = None; level = 2;
+            as_name = Some "n" } ]
+  in
+  match Engine.apply ~store s (Op.Union "all") with
+  | Error e -> Alcotest.fail (Errors.to_string e)
+  | Ok s2 ->
+      (* selections baked in; grouping and the aggregate survive and
+         recompute over the union *)
+      Alcotest.(check int) "no modifiable selections" 0
+        (List.length s2.Spreadsheet.state.Query_state.selections);
+      Alcotest.(check int) "6 + 9 rows" 15
+        (Relation.cardinality (Materialize.full s2));
+      let rel = Materialize.full s2 in
+      let n_of_jetta =
+        List.filter_map
+          (fun row ->
+            let get c = Row.get row (Schema.index_exn (Relation.schema rel) c) in
+            if Value.equal (get "Model") (Value.String "Jetta") then
+              Some (get "n")
+            else None)
+          (Relation.rows rel)
+      in
+      Alcotest.(check bool) "aggregate recomputed over union: 12 Jettas"
+        true
+        (List.for_all (Value.equal (Value.Int 12)) n_of_jetta)
+
+(* ---- modification guards ---- *)
+
+let test_modification_guards () =
+  let s = sheet () in
+  (match Engine.remove_selection s 99 with
+  | Error (Errors.Invalid_op _) -> ()
+  | _ -> Alcotest.fail "expected invalid-op for missing selection");
+  (match Engine.remove_computed s "Price" with
+  | Error (Errors.Unknown_column _) -> ()
+  | _ -> Alcotest.fail "base columns are not computed");
+  let s =
+    apply_seq
+      [ Op.Aggregate
+          { fn = Expr.Avg; col = Some "Price"; level = 1; as_name = None };
+        Op.Formula { name = Some "f"; expr = parse "Avg_Price + 1" } ]
+  in
+  (match Engine.remove_computed s "Avg_Price" with
+  | Error (Errors.Dependency_error _) -> ()
+  | _ -> Alcotest.fail "dependent formula must block removal");
+  (* remove the dependent first, then the aggregate *)
+  match Engine.remove_computed s "f" with
+  | Error e -> Alcotest.fail (Errors.to_string e)
+  | Ok s -> (
+      match Engine.remove_computed s "Avg_Price" with
+      | Error e -> Alcotest.fail (Errors.to_string e)
+      | Ok s ->
+          Alcotest.(check int) "no computed left" 0
+            (List.length s.Spreadsheet.state.Query_state.computed))
+
+let test_ordering_column_removal_guard () =
+  let s =
+    apply_seq
+      [ Op.Aggregate
+          { fn = Expr.Avg; col = Some "Price"; level = 1; as_name = None };
+        Op.Order { attr = "Avg_Price"; dir = Grouping.Desc; level = 1 } ]
+  in
+  match Engine.remove_computed s "Avg_Price" with
+  | Error (Errors.Dependency_error _) -> ()
+  | _ -> Alcotest.fail "ordering must block removal of its column"
+
+let () =
+  Alcotest.run "sheet_engine"
+    [ ( "guards",
+        [ Alcotest.test_case "selection" `Quick test_selection_guards;
+          Alcotest.test_case "projection" `Quick test_projection_guards;
+          Alcotest.test_case "grouping" `Quick test_grouping_guards;
+          Alcotest.test_case "regroup/ungroup" `Quick
+            test_regroup_and_ungroup_guards;
+          Alcotest.test_case "ordering" `Quick test_ordering_guards;
+          Alcotest.test_case "aggregation" `Quick test_aggregation_guards;
+          Alcotest.test_case "aggregate names" `Quick test_aggregate_names;
+          Alcotest.test_case "formula" `Quick test_formula_guards;
+          Alcotest.test_case "rename" `Quick test_rename_guards ] );
+      ( "binary",
+        [ Alcotest.test_case "store/compat guards" `Quick test_binary_guards;
+          Alcotest.test_case "hidden dependency guard" `Quick
+            test_binary_hidden_dependency_guard;
+          Alcotest.test_case "non-commutativity semantics" `Quick
+            test_point_of_noncommutativity_semantics ] );
+      ( "modification",
+        [ Alcotest.test_case "guards" `Quick test_modification_guards;
+          Alcotest.test_case "ordering blocks removal" `Quick
+            test_ordering_column_removal_guard ] ) ]

@@ -1,0 +1,156 @@
+(* Robustness fuzzing: no public parsing or command entry point may
+   escape with an exception — malformed input must come back as a
+   clean [Error] (or a documented exception type for Persist). *)
+
+open Sheet_rel
+open Sheet_core
+
+let gen_garbage : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  let printable = map Char.chr (int_range 32 126) in
+  oneof
+    [ string_size ~gen:printable (int_range 0 60);
+      (* token soup: valid lexemes in random order *)
+      (let* words =
+         list_size (int_range 0 12)
+           (oneofl
+              [ "SELECT"; "FROM"; "WHERE"; "GROUP"; "BY"; "ORDER";
+                "HAVING"; "AND"; "OR"; "NOT"; "BETWEEN"; "CASE"; "WHEN";
+                "END"; "("; ")"; ","; "*"; "+"; "-"; "/"; "="; "<"; ">=";
+                "'x'"; "42"; "4.5"; "col"; "t"; "avg"; "count"; "DATE";
+                "'2009-03-29'"; "||"; "." ])
+       in
+       return (String.concat " " words));
+      (* near-miss SQL *)
+      (let* tail =
+         oneofl
+           [ ""; ";"; " FROM"; " WHERE"; " GROUP BY"; " 'open"; " (";
+             " IN ("; " BETWEEN 1"; " CASE WHEN" ]
+       in
+       return ("SELECT a FROM t" ^ tail)) ]
+
+let no_exception f =
+  match f () with
+  | _ -> true
+  | exception (Lexer.Lex_error _ | Lexer.Cursor.Parse_error _) ->
+      (* parsers must catch their own lexer/cursor errors at the
+         public entry points *)
+      false
+  | exception _ -> false
+
+let expr_parser_total =
+  QCheck.Test.make ~count:1000 ~name:"Expr_parse.parse_string never raises"
+    (QCheck.make ~print:(fun s -> s) gen_garbage)
+    (fun s -> no_exception (fun () -> Expr_parse.parse_string s))
+
+let sql_parser_total =
+  QCheck.Test.make ~count:1000 ~name:"Sql_parser.parse never raises"
+    (QCheck.make ~print:(fun s -> s) gen_garbage)
+    (fun s -> no_exception (fun () -> Sheet_sql.Sql_parser.parse s))
+
+let script_total =
+  QCheck.Test.make ~count:1000 ~name:"Script.run_line never raises"
+    (QCheck.make ~print:(fun s -> s) gen_garbage)
+    (fun s ->
+      let session = Session.create ~name:"cars" Sample_cars.relation in
+      (* 'export'/'html' write files; keep fuzzing away from the
+         filesystem by skipping those commands *)
+      QCheck.assume
+        (not
+           (List.exists
+              (fun prefix ->
+                String.length s >= String.length prefix
+                && String.lowercase_ascii
+                     (String.sub s 0 (String.length prefix))
+                   = prefix)
+              [ "export"; "html"; "import" ]));
+      no_exception (fun () -> Script.run_line session s))
+
+let sql_executor_total =
+  QCheck.Test.make ~count:500
+    ~name:"Sql_executor.run_string never raises"
+    (QCheck.make ~print:(fun s -> s) gen_garbage)
+    (fun s ->
+      let catalog =
+        Sheet_sql.Catalog.of_list [ ("t", Sample_cars.relation) ]
+      in
+      no_exception (fun () -> Sheet_sql.Sql_executor.run_string catalog s))
+
+let persist_total =
+  QCheck.Test.make ~count:500
+    ~name:"Persist.of_string raises only Persist_error"
+    (QCheck.make ~print:(fun s -> s)
+       QCheck.Gen.(
+         let* garbage = gen_garbage in
+         oneofl
+           [ garbage;
+             "musiq-sheet v1\n" ^ garbage;
+             "musiq-sheet v1\nname x\ndata\n" ^ garbage;
+             "musiq-sheet v1\nselection notanint x = 1\ndata\na:int\n1\n" ]))
+    (fun s ->
+      match Persist.of_string s with
+      | _ -> true
+      | exception Persist.Persist_error _ -> true
+      | exception _ -> false)
+
+let csv_total =
+  QCheck.Test.make ~count:500
+    ~name:"Csv.parse_string / load_relation raise only Csv_error"
+    (QCheck.make ~print:(fun s -> s) gen_garbage)
+    (fun s ->
+      match Csv.load_relation s with
+      | _ -> true
+      | exception Csv.Csv_error _ -> true
+      | exception (Schema.Schema_error _ | Relation.Relation_error _) ->
+          (* duplicate headers surface as schema errors: acceptable,
+             but they must not be anything wilder *)
+          true
+      | exception _ -> false)
+
+let browser_total =
+  QCheck.Test.make ~count:300
+    ~name:"Browser.handle never raises and keeps the cursor in range"
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_range 0 40)
+           (oneof
+              [ oneofl
+                  [ Sheet_ui.Browser.Up; Sheet_ui.Browser.Down;
+                    Sheet_ui.Browser.Left; Sheet_ui.Browser.Right;
+                    Sheet_ui.Browser.Page_up; Sheet_ui.Browser.Page_down;
+                    Sheet_ui.Browser.Enter; Sheet_ui.Browser.Escape;
+                    Sheet_ui.Browser.Backspace ];
+                map
+                  (fun c -> Sheet_ui.Browser.Key c)
+                  (map Char.chr (int_range 32 126)) ])))
+    (fun events ->
+      let state =
+        Sheet_ui.Browser.init
+          (Session.create ~name:"cars" Sample_cars.relation)
+      in
+      match
+        List.fold_left
+          (fun s e -> Sheet_ui.Browser.handle ~page:5 s e)
+          state events
+      with
+      | final ->
+          let rel = Sheet_ui.Browser.visible final in
+          let rows = Relation.cardinality rel in
+          let cols = Schema.arity (Relation.schema rel) in
+          final.Sheet_ui.Browser.quit
+          || (final.Sheet_ui.Browser.row >= 0
+             && (rows = 0 || final.Sheet_ui.Browser.row < rows)
+             && final.Sheet_ui.Browser.col >= 0
+             && final.Sheet_ui.Browser.col < max 1 cols
+             && String.length (Sheet_ui.Browser.render_text final) > 0)
+      | exception _ -> false)
+
+let () =
+  let suite name tests =
+    (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+  in
+  Alcotest.run "sheet_fuzz"
+    [ suite "parsers" [ expr_parser_total; sql_parser_total ];
+      suite "entry-points"
+        [ script_total; sql_executor_total; persist_total; csv_total ];
+      suite "tui" [ browser_total ] ]

@@ -1,0 +1,160 @@
+(* Direct unit tests of the grouping/ordering specification module —
+   Definitions 1, 3 and 4 of the paper, case by case. *)
+
+open Sheet_core
+
+let ok = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+let expect_err what = function
+  | Ok _ -> Alcotest.failf "expected error: %s" what
+  | Error _ -> ()
+
+(* the Example-1 starting point: Model desc, Year asc, leaf Price asc *)
+let example () =
+  let g = ok (Grouping.add_level Grouping.empty ~basis:[ "Model" ] ~dir:Grouping.Desc) in
+  let g = ok (Grouping.add_level g ~basis:[ "Model"; "Year" ] ~dir:Grouping.Asc) in
+  let o = ok (Grouping.order g ~attr:"Price" ~dir:Grouping.Asc ~level:3) in
+  o.Grouping.spec
+
+let test_definition1_levels () =
+  let g = example () in
+  Alcotest.(check int) "|G| = 3" 3 (Grouping.num_levels g);
+  Alcotest.(check (list string)) "g1 = {NULL}" [] (Grouping.cumulative_basis g 1);
+  Alcotest.(check (list string)) "g2" [ "Model" ] (Grouping.cumulative_basis g 2);
+  Alcotest.(check (list string)) "g3" [ "Model"; "Year" ]
+    (Grouping.cumulative_basis g 3);
+  Alcotest.(check (list string)) "finest" [ "Model"; "Year" ]
+    (Grouping.finest_basis g);
+  Alcotest.(check bool) "is_group_attr" true (Grouping.is_group_attr g "Year");
+  Alcotest.(check bool) "leaf attr is not group attr" false
+    (Grouping.is_group_attr g "Price")
+
+let test_add_level_validation () =
+  let g = example () in
+  (* must be a superset of the current finest basis *)
+  expect_err "non-superset"
+    (Grouping.add_level g ~basis:[ "Condition" ] ~dir:Grouping.Asc);
+  (* must add something *)
+  expect_err "no new attribute"
+    (Grouping.add_level g ~basis:[ "Model"; "Year" ] ~dir:Grouping.Asc);
+  (* Example 1: the paper's exact invocation *)
+  let g2 =
+    ok
+      (Grouping.add_level g
+         ~basis:[ "Year"; "Model"; "Condition" ]
+         ~dir:Grouping.Asc)
+  in
+  Alcotest.(check int) "4 levels" 4 (Grouping.num_levels g2);
+  (* o_L = L - grouping-basis: Price survives since not in the basis *)
+  Alcotest.(check bool) "Price kept in leaf order" true
+    (List.mem_assoc "Price" g2.Grouping.leaf_order);
+  (* absorbing the leaf attribute drops it from the leaf order *)
+  let g3 =
+    ok
+      (Grouping.add_level g
+         ~basis:[ "Model"; "Year"; "Price" ]
+         ~dir:Grouping.Asc)
+  in
+  Alcotest.(check (list (pair string bool))) "leaf emptied" []
+    (List.map (fun (a, d) -> (a, d = Grouping.Asc)) g3.Grouping.leaf_order)
+
+let test_order_case1_destroys () =
+  let g = example () in
+  (* level 2 ordered by an attribute outside g3 - g2: destroys level 3 *)
+  let o = ok (Grouping.order g ~attr:"Mileage" ~dir:Grouping.Asc ~level:2) in
+  Alcotest.(check bool) "destroyed marker" true
+    (o.Grouping.destroyed_from = Some 2);
+  Alcotest.(check int) "two levels left" 2
+    (Grouping.num_levels o.Grouping.spec);
+  Alcotest.(check (list (pair string bool)))
+    "Mileage becomes the leaf order"
+    [ ("Mileage", true) ]
+    (List.map
+       (fun (a, d) -> (a, d = Grouping.Asc))
+       o.Grouping.spec.Grouping.leaf_order)
+
+let test_order_case2_flips_direction () =
+  let g = example () in
+  (* Year is the dictated ordering attribute of level-2 groups *)
+  let o = ok (Grouping.order g ~attr:"Year" ~dir:Grouping.Desc ~level:2) in
+  Alcotest.(check bool) "no destruction" true
+    (o.Grouping.destroyed_from = None);
+  (match o.Grouping.spec.Grouping.levels with
+  | [ _; year_level ] ->
+      Alcotest.(check bool) "year level now desc" true
+        (year_level.Grouping.dir = Grouping.Desc)
+  | _ -> Alcotest.fail "level structure changed");
+  (* ordering by an attribute of a coarser basis is rejected *)
+  expect_err "coarser attr"
+    (Grouping.order g ~attr:"Model" ~dir:Grouping.Asc ~level:2)
+
+let test_order_case3_leaf () =
+  let g = example () in
+  (* append a secondary key *)
+  let o = ok (Grouping.order g ~attr:"Mileage" ~dir:Grouping.Desc ~level:3) in
+  Alcotest.(check (list (pair string bool)))
+    "appended"
+    [ ("Price", true); ("Mileage", false) ]
+    (List.map
+       (fun (a, d) -> (a, d = Grouping.Asc))
+       o.Grouping.spec.Grouping.leaf_order);
+  (* flipping an existing key updates it in place *)
+  let o2 =
+    ok
+      (Grouping.order o.Grouping.spec ~attr:"Price" ~dir:Grouping.Desc
+         ~level:3)
+  in
+  Alcotest.(check (list (pair string bool)))
+    "flipped in place"
+    [ ("Price", false); ("Mileage", false) ]
+    (List.map
+       (fun (a, d) -> (a, d = Grouping.Asc))
+       o2.Grouping.spec.Grouping.leaf_order);
+  (* ordering by a grouping attribute at the finest level: O unchanged *)
+  let o3 = ok (Grouping.order g ~attr:"Model" ~dir:Grouping.Asc ~level:3) in
+  Alcotest.(check bool) "noop" true (Grouping.equal g o3.Grouping.spec);
+  (* level out of range *)
+  expect_err "level 9" (Grouping.order g ~attr:"Price" ~dir:Grouping.Asc ~level:9);
+  expect_err "level 0" (Grouping.order g ~attr:"Price" ~dir:Grouping.Asc ~level:0)
+
+let test_sort_keys_emulation () =
+  (* Sec. II-A: the recursive grouping is emulated by one flat
+     ordering: levels outermost-first, then the leaf order *)
+  let g = example () in
+  Alcotest.(check (list (pair string bool)))
+    "flat ordering"
+    [ ("Model", false); ("Year", true); ("Price", true) ]
+    (List.map (fun (a, d) -> (a, d = Grouping.Asc)) (Grouping.sort_keys g))
+
+let test_rename_and_ungroup () =
+  let g = example () in
+  let g2 = Grouping.rename g ~old_name:"Year" ~new_name:"ModelYear" in
+  Alcotest.(check (list string)) "renamed basis" [ "Model"; "ModelYear" ]
+    (Grouping.finest_basis g2);
+  let g3 = Grouping.rename g ~old_name:"Price" ~new_name:"Cost" in
+  Alcotest.(check bool) "renamed leaf" true
+    (List.mem_assoc "Cost" g3.Grouping.leaf_order);
+  let u = Grouping.ungroup g in
+  Alcotest.(check int) "only the root remains" 1 (Grouping.num_levels u);
+  Alcotest.(check bool) "leaf order survives ungroup" true
+    (List.mem_assoc "Price" u.Grouping.leaf_order)
+
+let () =
+  Alcotest.run "sheet_grouping"
+    [ ( "definitions",
+        [ Alcotest.test_case "definition 1 structure" `Quick
+            test_definition1_levels;
+          Alcotest.test_case "add_level (Def. 3)" `Quick
+            test_add_level_validation;
+          Alcotest.test_case "order case 1: destroy" `Quick
+            test_order_case1_destroys;
+          Alcotest.test_case "order case 2: flip" `Quick
+            test_order_case2_flips_direction;
+          Alcotest.test_case "order case 3: leaf" `Quick
+            test_order_case3_leaf;
+          Alcotest.test_case "sort-key emulation" `Quick
+            test_sort_keys_emulation;
+          Alcotest.test_case "rename/ungroup" `Quick
+            test_rename_and_ungroup ] ) ]

@@ -1,0 +1,191 @@
+(* Tests of the incremental materialization engine: every derivation
+   must coincide with a full stratified replay, and the non-derivable
+   cases must decline. *)
+
+open Sheet_rel
+open Sheet_core
+
+let parse = Expr_parse.parse_string_exn
+
+let cars () = Spreadsheet.of_relation ~name:"cars" Sample_cars.relation
+
+let apply_exn s op =
+  match Engine.apply s op with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "refused: %s" (Errors.to_string e)
+
+let apply_seq sheet ops = List.fold_left apply_exn sheet ops
+
+let check_derivation ?(expect_derived = true) parent op =
+  let child = apply_exn parent op in
+  (match Incremental.derive ~parent ~op ~child with
+  | Some derived ->
+      Alcotest.(check bool)
+        (Printf.sprintf "derivation expected for %s" (Op.describe op))
+        true expect_derived;
+      Alcotest.(check bool)
+        (Printf.sprintf "derived == full for %s" (Op.describe op))
+        true
+        (Relation.equal derived (Materialize.full child))
+  | None ->
+      Alcotest.(check bool)
+        (Printf.sprintf "fallback expected for %s" (Op.describe op))
+        false expect_derived);
+  child
+
+let test_projection_derivation () =
+  let s = cars () in
+  let s = check_derivation s (Op.Project "Mileage") in
+  let s = check_derivation s (Op.Unproject "Mileage") in
+  (* under DE, projection changes the dedup key: no derivation *)
+  let s = apply_exn s Op.Dedup in
+  ignore (check_derivation ~expect_derived:false s (Op.Project "Mileage"))
+
+let test_organization_derivation () =
+  let s = cars () in
+  let s =
+    check_derivation s (Op.Group { basis = [ "Model" ]; dir = Grouping.Desc })
+  in
+  let s =
+    check_derivation s (Op.Order { attr = "Price"; dir = Grouping.Asc; level = 2 })
+  in
+  let s =
+    check_derivation s (Op.Group { basis = [ "Year" ]; dir = Grouping.Asc })
+  in
+  (* grouping after an aggregate at an existing level: content stable *)
+  let s =
+    apply_exn s
+      (Op.Aggregate
+         { fn = Expr.Avg; col = Some "Price"; level = 2; as_name = None })
+  in
+  ignore
+    (check_derivation s
+       (Op.Group { basis = [ "Condition" ]; dir = Grouping.Asc }));
+  (* ungroup is derivable when no aggregate depends on the grouping *)
+  let flat =
+    apply_exn (cars ())
+      (Op.Group { basis = [ "Model" ]; dir = Grouping.Asc })
+  in
+  ignore (check_derivation flat Op.Ungroup)
+
+let test_order_groups_derivation () =
+  let s =
+    apply_seq (cars ())
+      [ Op.Group { basis = [ "Model" ]; dir = Grouping.Asc };
+        Op.Aggregate
+          { fn = Expr.Avg; col = Some "Price"; level = 2;
+            as_name = Some "ap" } ]
+  in
+  ignore
+    (check_derivation s (Op.Order_groups { attr = "ap"; dir = Grouping.Desc }))
+
+let test_selection_derivation () =
+  (* no computed columns: every selection is at the highest stratum *)
+  let s = cars () in
+  let s = check_derivation s (Op.Select (parse "Year = 2005")) in
+  (* with an aggregate, a base-column selection must NOT be derived
+     (the aggregate would need recomputation) *)
+  let s =
+    apply_exn s
+      (Op.Aggregate
+         { fn = Expr.Avg; col = Some "Price"; level = 1; as_name = None })
+  in
+  let s =
+    check_derivation ~expect_derived:false s
+      (Op.Select (parse "Price < 16000"))
+  in
+  (* whereas a HAVING-style selection on the aggregate is derivable *)
+  ignore (check_derivation s (Op.Select (parse "Avg_Price > 14000")))
+
+let test_computed_derivation () =
+  let s =
+    apply_seq (cars ())
+      [ Op.Group { basis = [ "Model" ]; dir = Grouping.Asc };
+        Op.Select (parse "Year >= 2005") ]
+  in
+  let s =
+    check_derivation s
+      (Op.Aggregate
+         { fn = Expr.Avg; col = Some "Price"; level = 2;
+           as_name = Some "ap" })
+  in
+  let s =
+    check_derivation s
+      (Op.Formula { name = Some "delta"; expr = parse "Price - ap" })
+  in
+  ignore
+    (check_derivation s
+       (Op.Aggregate
+          { fn = Expr.Count_star; col = None; level = 1;
+            as_name = Some "n" }))
+
+let test_dedup_derivation () =
+  let dup =
+    Relation.make Sample_cars.schema
+      (Relation.rows Sample_cars.relation
+      @ Relation.rows Sample_cars.relation)
+  in
+  let s = Spreadsheet.of_relation ~name:"dup" dup in
+  ignore (check_derivation s Op.Dedup);
+  (* hidden column present: key mismatch risk, no derivation *)
+  let s2 = apply_exn s (Op.Project "ID") in
+  ignore (check_derivation ~expect_derived:false s2 Op.Dedup);
+  (* computed column present: no derivation *)
+  let s3 =
+    apply_exn s
+      (Op.Aggregate
+         { fn = Expr.Count_star; col = None; level = 1; as_name = None })
+  in
+  ignore (check_derivation ~expect_derived:false s3 Op.Dedup)
+
+let test_rename_not_derived () =
+  ignore
+    (check_derivation ~expect_derived:false (cars ())
+       (Op.Rename { old_name = "Price"; new_name = "Cost" }))
+
+let test_session_consistency () =
+  (* a long session mixing derivable and non-derivable operators: the
+     cached materializations must always equal a fresh replay *)
+  let session = Session.create ~name:"cars" Sample_cars.relation in
+  let script =
+    [ "group Model desc"; "select Year >= 2005"; "agg avg Price level 2";
+      "select Price <= Avg_Price"; "order Price asc"; "hide Condition";
+      "formula m = Mileage / 1000"; "rename m kmiles"; "dedup";
+      "show Condition"; "order kmiles desc" ]
+  in
+  ignore
+    (List.fold_left
+       (fun session line ->
+         match Script.run_line session line with
+         | Ok { Script.session; _ } ->
+             let cached = Session.materialized session in
+             let fresh =
+               Sheet_rel.Rel_algebra.project
+                 (Spreadsheet.visible_columns (Session.current session))
+                 (Materialize.full (Session.current session))
+             in
+             Alcotest.(check bool)
+               (Printf.sprintf "cache consistent after %S" line)
+               true (Relation.equal cached fresh);
+             session
+         | Error msg -> Alcotest.failf "%S failed: %s" line msg)
+       session script)
+
+let () =
+  Alcotest.run "sheet_incremental"
+    [ ( "derivations",
+        [ Alcotest.test_case "projection" `Quick test_projection_derivation;
+          Alcotest.test_case "group/order" `Quick
+            test_organization_derivation;
+          Alcotest.test_case "selection strata" `Quick
+            test_selection_derivation;
+          Alcotest.test_case "order-groups resort" `Quick
+            test_order_groups_derivation;
+          Alcotest.test_case "computed columns" `Quick
+            test_computed_derivation;
+          Alcotest.test_case "dedup" `Quick test_dedup_derivation;
+          Alcotest.test_case "rename declines" `Quick
+            test_rename_not_derived ] );
+      ( "integration",
+        [ Alcotest.test_case "session cache consistency" `Quick
+            test_session_consistency ] ) ]

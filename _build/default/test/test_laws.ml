@@ -1,0 +1,171 @@
+(* Algebraic laws of the binary operators and organization operators,
+   property-tested. These complement Theorem 2 (test_props): they pin
+   the bag semantics of Defs. 7-9 and the content-stability of τ/λ. *)
+
+open Sheet_rel
+open Sheet_core
+
+let ( let* ) = QCheck.Gen.( let* ) [@@warning "-32"]
+
+let models = [ "Jetta"; "Civic"; "Accord" ]
+
+let gen_relation : Relation.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* n = int_range 0 15 in
+  let* rows =
+    list_repeat n
+      (let* id = int_range 1 6 in
+       let* model = oneofl models in
+       let* price = int_range 1 4 in
+       return
+         (Row.of_list
+            [ Value.Int id; Value.String model; Value.Int (price * 1000);
+              Value.Int 2005; Value.Int 50000; Value.String "Good" ]))
+  in
+  return (Relation.make Sample_cars.schema rows)
+
+let sheet_of rel = Spreadsheet.of_relation ~name:"t" rel
+
+let with_stored rel_b =
+  let store = Store.create () in
+  Store.save store ~name:"b" (sheet_of rel_b);
+  store
+
+let apply_exn ?store sheet op =
+  match Engine.apply ?store sheet op with
+  | Ok s -> s
+  | Error e -> failwith (Errors.to_string e)
+
+let content sheet = Relation.normalize (Materialize.current_base_rows sheet)
+
+let union_cardinality =
+  QCheck.Test.make ~count:200 ~name:"card(a ∪ b) = card(a) + card(b)"
+    QCheck.(make Gen.(pair gen_relation gen_relation))
+    (fun (a, b) ->
+      let store = with_stored b in
+      let u = apply_exn ~store (sheet_of a) (Op.Union "b") in
+      Relation.cardinality (Materialize.full u)
+      = Relation.cardinality a + Relation.cardinality b)
+
+let union_then_diff_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"(a ∪ b) − b = a (bag semantics)"
+    QCheck.(make Gen.(pair gen_relation gen_relation))
+    (fun (a, b) ->
+      let store = with_stored b in
+      let u = apply_exn ~store (sheet_of a) (Op.Union "b") in
+      let d = apply_exn ~store u (Op.Diff "b") in
+      Relation.equal (content d) (Relation.normalize a))
+
+let diff_bounds =
+  QCheck.Test.make ~count:200
+    ~name:"card(a − b) between card(a) − card(b) and card(a)"
+    QCheck.(make Gen.(pair gen_relation gen_relation))
+    (fun (a, b) ->
+      let store = with_stored b in
+      let d = apply_exn ~store (sheet_of a) (Op.Diff "b") in
+      let n = Relation.cardinality (Materialize.full d) in
+      n >= max 0 (Relation.cardinality a - Relation.cardinality b)
+      && n <= Relation.cardinality a)
+
+let self_difference_empty =
+  QCheck.Test.make ~count:200 ~name:"a − a = ∅"
+    (QCheck.make gen_relation)
+    (fun a ->
+      let store = with_stored a in
+      let d = apply_exn ~store (sheet_of a) (Op.Diff "b") in
+      Relation.cardinality (Materialize.full d) = 0)
+
+let product_cardinality =
+  QCheck.Test.make ~count:100 ~name:"card(a × b) = card(a) · card(b)"
+    QCheck.(make Gen.(pair gen_relation gen_relation))
+    (fun (a, b) ->
+      let store = with_stored b in
+      let p = apply_exn ~store (sheet_of a) (Op.Product "b") in
+      Relation.cardinality (Materialize.full p)
+      = Relation.cardinality a * Relation.cardinality b)
+
+let join_is_product_then_select =
+  QCheck.Test.make ~count:100
+    ~name:"join == product followed by selection (Def. 10)"
+    QCheck.(make Gen.(pair gen_relation gen_relation))
+    (fun (a, b) ->
+      let cond = Expr_parse.parse_string_exn "ID = ID_2" in
+      let store = with_stored b in
+      let joined = apply_exn ~store (sheet_of a) (Op.Join { stored = "b"; cond }) in
+      let via_product =
+        let p = apply_exn ~store (sheet_of a) (Op.Product "b") in
+        apply_exn p (Op.Select cond)
+      in
+      Relation.equal (content joined) (content via_product))
+
+let selection_distributes_over_union =
+  QCheck.Test.make ~count:200
+    ~name:"σ(a) ∪ σ(b) = σ(a ∪ b) — formula (1), content level"
+    QCheck.(make Gen.(pair gen_relation gen_relation))
+    (fun (a, b) ->
+      let pred = Expr_parse.parse_string_exn "Price >= 2000" in
+      (* left: select both sides first (selection applied to the stored
+         sheet before saving), then union *)
+      let store = Store.create () in
+      let b_selected = apply_exn (sheet_of b) (Op.Select pred) in
+      Store.save store ~name:"b" b_selected;
+      let left =
+        apply_exn ~store
+          (apply_exn (sheet_of a) (Op.Select pred))
+          (Op.Union "b")
+      in
+      (* right: union first, then select *)
+      let store2 = with_stored b in
+      let right =
+        apply_exn
+          (apply_exn ~store:store2 (sheet_of a) (Op.Union "b"))
+          (Op.Select pred)
+      in
+      Relation.equal (content left) (content right))
+
+let organization_preserves_content =
+  QCheck.Test.make ~count:200
+    ~name:"τ and λ never change the multiset (only its presentation)"
+    (QCheck.make gen_relation)
+    (fun a ->
+      let s0 = sheet_of a in
+      let s1 =
+        apply_exn s0 (Op.Group { basis = [ "Model" ]; dir = Grouping.Desc })
+      in
+      let s2 =
+        apply_exn s1 (Op.Order { attr = "Price"; dir = Grouping.Asc; level = 2 })
+      in
+      let s3 =
+        apply_exn s2 (Op.Group { basis = [ "ID" ]; dir = Grouping.Asc })
+      in
+      Relation.equal (content s0) (content s3))
+
+let selection_monotone =
+  QCheck.Test.make ~count:200
+    ~name:"adding a conjunct never grows the selection"
+    (QCheck.make gen_relation)
+    (fun a ->
+      let s1 =
+        apply_exn (sheet_of a)
+          (Op.Select (Expr_parse.parse_string_exn "Price >= 2000"))
+      in
+      let s2 =
+        apply_exn s1
+          (Op.Select (Expr_parse.parse_string_exn "Model = 'Jetta'"))
+      in
+      Relation.cardinality (Materialize.full s2)
+      <= Relation.cardinality (Materialize.full s1))
+
+let () =
+  let suite name tests =
+    (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+  in
+  Alcotest.run "sheet_laws"
+    [ suite "set-operators"
+        [ union_cardinality; union_then_diff_roundtrip; diff_bounds;
+          self_difference_empty ];
+      suite "product-join"
+        [ product_cardinality; join_is_product_then_select ];
+      suite "distribution" [ selection_distributes_over_union ];
+      suite "organization"
+        [ organization_preserves_content; selection_monotone ] ]

@@ -1,0 +1,94 @@
+(* Tests of the shared tokenizer and parse cursor. *)
+
+
+open Sheet_rel.Lexer
+
+let tokens text = Array.to_list (tokenize text)
+
+let test_basic_tokens () =
+  Alcotest.(check bool) "idents and ops" true
+    (tokens "a <= 2.5 AND b_2 <> 'x''y'"
+    = [ IDENT "a"; LE; FLOAT 2.5; IDENT "AND"; IDENT "b_2"; NE;
+        STRING "x'y"; EOF ]);
+  Alcotest.(check bool) "punctuation" true
+    (tokens "( ) , . ; * + - / % ||"
+    = [ LPAREN; RPAREN; COMMA; DOT; SEMI; STAR; PLUS; MINUS; SLASH;
+        PERCENT; CONCAT_BARS; EOF ]);
+  Alcotest.(check bool) "comparison family" true
+    (tokens "< <= > >= = <> !="
+    = [ LT; LE; GT; GE; EQ; NE; NE; EOF ])
+
+let test_numbers () =
+  Alcotest.(check bool) "int" true (tokens "42" = [ INT 42; EOF ]);
+  Alcotest.(check bool) "float" true (tokens "4.25" = [ FLOAT 4.25; EOF ]);
+  Alcotest.(check bool) "exponent" true
+    (tokens "1e3" = [ FLOAT 1000.0; EOF ]);
+  Alcotest.(check bool) "exponent with sign" true
+    (tokens "2.5e-2" = [ FLOAT 0.025; EOF ]);
+  (* '1e' is an int followed by an identifier, not a malformed float *)
+  Alcotest.(check bool) "non-exponent suffix" true
+    (tokens "1e" = [ INT 1; IDENT "e"; EOF ]);
+  (* a dot not followed by a digit is the DOT token *)
+  Alcotest.(check bool) "trailing dot" true
+    (tokens "1.x" = [ INT 1; DOT; IDENT "x"; EOF ])
+
+let test_strings_and_comments () =
+  Alcotest.(check bool) "empty string" true (tokens "''" = [ STRING ""; EOF ]);
+  Alcotest.(check bool) "doubled quote" true
+    (tokens "'it''s'" = [ STRING "it's"; EOF ]);
+  Alcotest.(check bool) "line comment" true
+    (tokens "a -- the rest\nb" = [ IDENT "a"; IDENT "b"; EOF ]);
+  Alcotest.(check bool) "minus is not a comment" true
+    (tokens "a - b" = [ IDENT "a"; MINUS; IDENT "b"; EOF ]);
+  Alcotest.(check bool) "unterminated string raises" true
+    (try
+       ignore (tokenize "'oops");
+       false
+     with Lex_error _ -> true);
+  Alcotest.(check bool) "unexpected char raises" true
+    (try
+       ignore (tokenize "a ? b");
+       false
+     with Lex_error _ -> true)
+
+let test_cursor () =
+  let c = Cursor.make (tokenize "SELECT a FROM t") in
+  Alcotest.(check bool) "at keyword" true (Cursor.at_keyword c "SELECT");
+  Alcotest.(check bool) "keyword consumes" true (Cursor.keyword c "SELECT");
+  Alcotest.(check string) "ident" "a" (Cursor.ident c);
+  Alcotest.(check bool) "case-insensitive keyword" true
+    (Cursor.keyword c "FROM");
+  Alcotest.(check bool) "peek2 is EOF" true (Cursor.peek2 c = EOF);
+  Alcotest.(check string) "last ident" "t" (Cursor.ident c);
+  Alcotest.(check bool) "at end" true (Cursor.at_end c);
+  (* advancing past the end stays on EOF *)
+  Cursor.advance c;
+  Alcotest.(check bool) "still EOF" true (Cursor.peek c = EOF);
+  Alcotest.(check bool) "errors carry context" true
+    (try
+       Cursor.error c "boom"
+     with Cursor.Parse_error msg ->
+       String.length msg > 0)
+
+let test_token_to_string_roundtrip () =
+  (* token_to_string of simple tokens re-lexes to the same token *)
+  List.iter
+    (fun t ->
+      let text = token_to_string t in
+      match Array.to_list (tokenize text) with
+      | [ t'; EOF ] ->
+          Alcotest.(check bool) ("roundtrip " ^ text) true (t = t')
+      | _ -> Alcotest.failf "token %s did not re-lex" text)
+    [ IDENT "abc"; INT 7; STRING "hi"; LPAREN; RPAREN; COMMA; STAR;
+      PLUS; MINUS; SLASH; PERCENT; CONCAT_BARS; EQ; NE; LT; LE; GT; GE ]
+
+let () =
+  Alcotest.run "sheet_lexer"
+    [ ( "lexer",
+        [ Alcotest.test_case "basic tokens" `Quick test_basic_tokens;
+          Alcotest.test_case "numbers" `Quick test_numbers;
+          Alcotest.test_case "strings/comments" `Quick
+            test_strings_and_comments;
+          Alcotest.test_case "cursor" `Quick test_cursor;
+          Alcotest.test_case "token_to_string roundtrip" `Quick
+            test_token_to_string_roundtrip ] ) ]

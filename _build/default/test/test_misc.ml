@@ -1,0 +1,148 @@
+(* Miscellaneous coverage: operator descriptions (the history menu's
+   "meaningful names"), error rendering, TPC-H text generation formats,
+   and structural printers. *)
+
+open Sheet_rel
+open Sheet_core
+
+let parse = Expr_parse.parse_string_exn
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_op_descriptions () =
+  let cases =
+    [ (Op.Group { basis = [ "Model"; "Year" ]; dir = Grouping.Asc },
+       "Group by {Model, Year} ASC");
+      (Op.Regroup { basis = [ "Year" ]; dir = Grouping.Desc },
+       "Regroup by {Year} DESC");
+      (Op.Ungroup, "Remove grouping");
+      (Op.Order { attr = "Price"; dir = Grouping.Desc; level = 2 },
+       "Order by Price DESC at level 2");
+      (Op.Select (parse "Price < 10"), "Select Price < 10");
+      (Op.Project "ID", "Hide column ID");
+      (Op.Unproject "ID", "Restore column ID");
+      (Op.Product "other", "Cartesian product with other");
+      (Op.Union "other", "Union with other");
+      (Op.Diff "other", "Difference with other");
+      (Op.Join { stored = "other"; cond = parse "a = b" },
+       "Join with other on a = b");
+      ( Op.Aggregate
+          { fn = Expr.Avg; col = Some "Price"; level = 3;
+            as_name = Some "ap" },
+        "Aggregate avg(Price) at level 3 as ap" );
+      (Op.Aggregate
+         { fn = Expr.Count_star; col = None; level = 1; as_name = None },
+       "Aggregate count(*) at level 1");
+      (Op.Formula { name = Some "f"; expr = parse "a + 1" },
+       "Formula f = a + 1");
+      (Op.Dedup, "Eliminate duplicates");
+      (Op.Rename { old_name = "a"; new_name = "b" }, "Rename a to b") ]
+  in
+  List.iter
+    (fun (op, expected) ->
+      Alcotest.(check string) expected expected (Op.describe op))
+    cases
+
+let test_error_messages () =
+  let cases =
+    [ (Errors.Unknown_column "x", "x");
+      (Errors.Type_error "boom", "type error");
+      (Errors.Grouping_error "boom", "grouping");
+      (Errors.Dependency_error "boom", "dependency");
+      (Errors.Incompatible_schemas "boom", "incompatible");
+      (Errors.No_such_sheet "s", "no stored spreadsheet");
+      (Errors.Invalid_op "boom", "invalid") ]
+  in
+  List.iter
+    (fun (e, fragment) ->
+      Alcotest.(check bool) fragment true
+        (contains
+           (String.lowercase_ascii (Errors.to_string e))
+           fragment))
+    cases
+
+let test_computed_describe () =
+  let agg =
+    { Computed.name = "Avg_Price"; ty = Value.TFloat;
+      spec =
+        Computed.Aggregate
+          { fn = Expr.Avg; arg = Some (Expr.Col "Price"); level = 3 } }
+  in
+  Alcotest.(check string) "aggregate description"
+    "Avg_Price = avg(Price) per group level 3"
+    (Computed.describe agg);
+  let fc =
+    { Computed.name = "rev"; ty = Value.TInt;
+      spec = Computed.Formula (parse "price * qty") }
+  in
+  Alcotest.(check string) "formula description" "rev = price * qty"
+    (Computed.describe fc);
+  Alcotest.(check (list string)) "referenced columns"
+    [ "price"; "qty" ]
+    (Computed.referenced_columns fc)
+
+let test_tpch_text_formats () =
+  let rng = Sheet_stats.Rng.create 5 in
+  let phone = Sheet_tpch.Tpch_text.phone rng 3 in
+  Alcotest.(check int) "phone length" 15 (String.length phone);
+  Alcotest.(check string) "country code" "13" (String.sub phone 0 2);
+  let name = Sheet_tpch.Tpch_text.part_name rng in
+  Alcotest.(check int) "three words" 3
+    (List.length (String.split_on_char ' ' name));
+  let clerk = Sheet_tpch.Tpch_text.clerk rng in
+  Alcotest.(check bool) "clerk format" true
+    (String.length clerk = 15 && String.sub clerk 0 6 = "Clerk#");
+  let comment = Sheet_tpch.Tpch_text.comment rng 40 in
+  Alcotest.(check bool) "comment bounded" true (String.length comment <= 40);
+  Alcotest.(check int) "25 nations" 25
+    (Array.length Sheet_tpch.Tpch_text.nation_names);
+  for i = 0 to 24 do
+    let r = Sheet_tpch.Tpch_text.region_of_nation i in
+    Alcotest.(check bool) "region in range" true (r >= 0 && r < 5)
+  done
+
+let test_spreadsheet_pp () =
+  let sheet = Spreadsheet.of_relation ~name:"cars" Sample_cars.relation in
+  let text = Format.asprintf "%a" Spreadsheet.pp sheet in
+  Alcotest.(check bool) "mentions name and rows" true
+    (contains text "cars" && contains text "9 rows");
+  let gtext =
+    Format.asprintf "%a" Grouping.pp
+      { Grouping.levels =
+          [ { Grouping.basis_add = [ "Model" ]; dir = Grouping.Desc;
+              order_by_value = None } ];
+        leaf_order = [ ("Price", Grouping.Asc) ] }
+  in
+  Alcotest.(check bool) "grouping pp" true
+    (contains gtext "Model" && contains gtext "DESC"
+    && contains gtext "Price ASC")
+
+let test_conjuncts_and_columns () =
+  let e = parse "a = 1 AND (b = 2 AND c = 3) AND d = 4" in
+  Alcotest.(check int) "four conjuncts" 4 (List.length (Expr.conjuncts e));
+  Alcotest.(check (list string)) "columns in order" [ "a"; "b"; "c"; "d" ]
+    (Expr.columns e);
+  let renamed =
+    Expr.map_columns (fun c -> if c = "a" then "z" else c) e
+  in
+  Alcotest.(check bool) "rename hits only a" true
+    (Expr.columns renamed = [ "z"; "b"; "c"; "d" ])
+
+let () =
+  Alcotest.run "sheet_misc"
+    [ ( "descriptions",
+        [ Alcotest.test_case "operator names" `Quick test_op_descriptions;
+          Alcotest.test_case "error messages" `Quick test_error_messages;
+          Alcotest.test_case "computed columns" `Quick test_computed_describe
+        ] );
+      ( "tpch-text",
+        [ Alcotest.test_case "formats" `Quick test_tpch_text_formats ] );
+      ( "printers",
+        [ Alcotest.test_case "spreadsheet/grouping pp" `Quick
+            test_spreadsheet_pp ] );
+      ( "expr-utils",
+        [ Alcotest.test_case "conjuncts/columns" `Quick
+            test_conjuncts_and_columns ] ) ]

@@ -1,0 +1,147 @@
+(* Tests of the textual rendering: header decorations, group
+   separators, truncation, status line. *)
+
+open Sheet_core
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let run_script s script =
+  match Script.run_silent s script with
+  | Ok s -> s
+  | Error msg -> Alcotest.failf "script failed: %s" msg
+
+let session () = Session.create ~name:"cars" Sheet_rel.Sample_cars.relation
+
+let test_plain_render () =
+  let text = Render.to_string (Session.current (session ())) in
+  let lines = String.split_on_char '\n' text in
+  (* header + 9 rows + 3 rules + trailing newline *)
+  Alcotest.(check int) "13 lines + trailing" 14 (List.length lines);
+  Alcotest.(check bool) "has ID header" true (contains text " ID |");
+  Alcotest.(check bool) "no arrows when unordered" false (contains text "^")
+
+let test_decorations () =
+  let s =
+    run_script (session ())
+      "group Model desc\norder Price asc\nagg avg Price level 2"
+  in
+  let text = Render.to_string (Session.current s) in
+  Alcotest.(check bool) "group level marker" true (contains text "Model *1 v");
+  Alcotest.(check bool) "ascending arrow on Price" true
+    (contains text "Price ^");
+  Alcotest.(check bool) "computed marker" true (contains text "Avg_Price =")
+
+let test_group_separators () =
+  let s = run_script (session ()) "group Model desc" in
+  let text = Render.to_string (Session.current s) in
+  (* rules: top, under header, after Jetta group, after Civic group *)
+  let rules =
+    List.length
+      (List.filter
+         (fun line -> String.length line > 0 && line.[0] = '+')
+         (String.split_on_char '\n' text))
+  in
+  Alcotest.(check int) "4 horizontal rules" 4 rules
+
+let test_truncation () =
+  let text =
+    Render.to_string ~max_rows:3 (Session.current (session ()))
+  in
+  Alcotest.(check bool) "ellipsis line" true (contains text "(6 more rows)");
+  let full = Render.to_string ~max_rows:100 (Session.current (session ())) in
+  Alcotest.(check bool) "no ellipsis when it fits" false
+    (contains full "more rows")
+
+let test_hidden_columns_not_rendered () =
+  let s = run_script (session ()) "hide Mileage" in
+  let text = Render.to_string (Session.current s) in
+  Alcotest.(check bool) "Mileage gone" false (contains text "Mileage")
+
+let test_status_line () =
+  let s = run_script (session ()) "group Model asc\nselect Year = 2005" in
+  let status = Render.status_line (Session.current s) in
+  Alcotest.(check bool) "row count" true (contains status "4 rows");
+  Alcotest.(check bool) "version" true (contains status "v2");
+  Alcotest.(check bool) "grouping shown" true (contains status "Model")
+
+let test_html_export () =
+  let s =
+    run_script (session ())
+      "group Model desc\nagg avg Price level 2\nhide Mileage"
+  in
+  let html = Render_html.to_html (Session.current s) in
+  Alcotest.(check bool) "document shell" true
+    (contains html "<!DOCTYPE html>" && contains html "</html>");
+  Alcotest.(check bool) "group badge" true (contains html "g1");
+  Alcotest.(check bool) "computed header present" true
+    (contains html "Avg_Price");
+  Alcotest.(check bool) "hidden column absent" false
+    (contains html "Mileage");
+  Alcotest.(check bool) "data cell" true (contains html "Jetta");
+  (* escaping *)
+  let rel =
+    Sheet_rel.Relation.make
+      (Sheet_rel.Schema.of_list [ ("x", Sheet_rel.Value.TString) ])
+      [ Sheet_rel.Row.of_list [ Sheet_rel.Value.String "<b>&" ] ]
+  in
+  let html2 =
+    Render_html.to_html (Spreadsheet.of_relation ~name:"t" rel)
+  in
+  Alcotest.(check bool) "escaped" true (contains html2 "&lt;b&gt;&amp;");
+  (* script command writes a file *)
+  let path = Filename.temp_file "musiq" ".html" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      match Script.run_line s (Printf.sprintf "html %s" path) with
+      | Ok _ ->
+          Alcotest.(check bool) "file written" true (Sys.file_exists path)
+      | Error msg -> Alcotest.fail msg)
+
+(* Golden test: the paper's Table II, byte for byte. *)
+let table2_golden =
+  String.concat "\n"
+    [ "+-----+------------+---------+-----------+---------+----------------+";
+      "|  ID | Model *1 v | Price ^ | Year *2 ^ | Mileage | Condition *3 ^ |";
+      "+-----+------------+---------+-----------+---------+----------------+";
+      "| 872 | Jetta      |   15000 |      2005 |   50000 | Excellent      |";
+      "| 901 | Jetta      |   16000 |      2005 |   40000 | Excellent      |";
+      "+-----+------------+---------+-----------+---------+----------------+";
+      "| 304 | Jetta      |   14500 |      2005 |   76000 | Good           |";
+      "+-----+------------+---------+-----------+---------+----------------+";
+      "| 723 | Jetta      |   17500 |      2006 |   39000 | Excellent      |";
+      "| 725 | Jetta      |   18000 |      2006 |   30000 | Excellent      |";
+      "+-----+------------+---------+-----------+---------+----------------+";
+      "| 423 | Jetta      |   17000 |      2006 |   42000 | Good           |";
+      "+-----+------------+---------+-----------+---------+----------------+";
+      "| 132 | Civic      |   13500 |      2005 |   86000 | Good           |";
+      "+-----+------------+---------+-----------+---------+----------------+";
+      "| 879 | Civic      |   15000 |      2006 |   68000 | Good           |";
+      "| 322 | Civic      |   16000 |      2006 |   73000 | Good           |";
+      "+-----+------------+---------+-----------+---------+----------------+";
+      "" ]
+
+let test_table2_golden () =
+  let s =
+    run_script (session ())
+      "group Model desc\ngroup Year asc\norder Price asc\ngroup Year, \
+       Model, Condition asc"
+  in
+  Alcotest.(check string) "Table II byte-for-byte" table2_golden
+    (Render.to_string (Session.current s))
+
+let () =
+  Alcotest.run "sheet_render"
+    [ ( "render",
+        [ Alcotest.test_case "plain table" `Quick test_plain_render;
+          Alcotest.test_case "header decorations" `Quick test_decorations;
+          Alcotest.test_case "group separators" `Quick test_group_separators;
+          Alcotest.test_case "truncation" `Quick test_truncation;
+          Alcotest.test_case "hidden columns" `Quick
+            test_hidden_columns_not_rendered;
+          Alcotest.test_case "status line" `Quick test_status_line;
+          Alcotest.test_case "html export" `Quick test_html_export;
+          Alcotest.test_case "table2 golden" `Quick test_table2_golden ] ) ]

@@ -1,0 +1,256 @@
+(* Unit tests for the SQL subset and the Theorem-1 translation. *)
+
+open Sheet_rel
+open Sheet_sql
+
+let catalog () =
+  let makers =
+    Relation.make
+      (Schema.of_list [ ("MModel", Value.TString); ("Maker", Value.TString) ])
+      [ Row.of_list [ Value.String "Jetta"; Value.String "VW" ];
+        Row.of_list [ Value.String "Civic"; Value.String "Honda" ] ]
+  in
+  Catalog.of_list
+    [ ("cars", Sample_cars.relation); ("makers", makers) ]
+
+let run sql = Sql_executor.run_exn (catalog ()) sql
+
+let check_card what expected rel =
+  Alcotest.(check int) what expected (Relation.cardinality rel)
+
+let col rel name = Relation.column_values rel name
+
+(* ---- parser ---- *)
+
+let test_parse_full_query () =
+  let q =
+    Sql_parser.parse_exn
+      "SELECT Model, avg(Price) AS ap FROM cars WHERE Year >= 2005 GROUP \
+       BY Model HAVING count(*) > 2 ORDER BY Model DESC;"
+  in
+  Alcotest.(check int) "2 select items" 2 (List.length q.Sql_ast.select);
+  Alcotest.(check bool) "where present" true (Option.is_some q.Sql_ast.where);
+  Alcotest.(check (list string)) "group by" [ "Model" ] q.Sql_ast.group_by;
+  Alcotest.(check bool) "having present" true
+    (Option.is_some q.Sql_ast.having);
+  Alcotest.(check int) "1 order item" 1 (List.length q.Sql_ast.order_by);
+  (* print back and reparse *)
+  let q2 = Sql_parser.parse_exn (Sql_ast.to_string q) in
+  Alcotest.(check bool) "roundtrip" true (q = q2)
+
+let test_parse_errors () =
+  let bad s =
+    match Sql_parser.parse s with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "missing FROM" true (bad "SELECT a");
+  Alcotest.(check bool) "garbage" true (bad "SELEKT a FROM t");
+  Alcotest.(check bool) "trailing junk" true (bad "SELECT a FROM t t2 t3")
+
+(* ---- analyzer ---- *)
+
+let test_analyzer_rules () =
+  let bad sql =
+    match Sql_executor.run_string (catalog ()) sql with
+    | Ok _ -> false
+    | Error _ -> true
+  in
+  Alcotest.(check bool) "agg in where refused" true
+    (bad "SELECT Model FROM cars WHERE avg(Price) > 1");
+  Alcotest.(check bool) "non-grouped col refused" true
+    (bad "SELECT Price FROM cars GROUP BY Model");
+  Alcotest.(check bool) "unknown relation" true
+    (bad "SELECT a FROM nope");
+  Alcotest.(check bool) "unknown column" true
+    (bad "SELECT nope FROM cars");
+  Alcotest.(check bool) "having without grouping refused" true
+    (bad "SELECT Model FROM cars HAVING Model = 'Jetta'");
+  Alcotest.(check bool) "ambiguous column refused" true
+    (bad "SELECT Model FROM cars c1, cars c2")
+
+let test_qualified_names () =
+  let rel =
+    run
+      "SELECT cars.Model, makers.Maker FROM cars, makers WHERE Model = \
+       MModel AND Maker = 'VW'"
+  in
+  check_card "6 VW rows" 6 rel
+
+(* ---- executor ---- *)
+
+let test_simple_select () =
+  let rel = run "SELECT Model, Price FROM cars WHERE Year = 2005" in
+  check_card "4 cars in 2005" 4 rel;
+  Alcotest.(check (list string)) "output columns" [ "Model"; "Price" ]
+    (Schema.names (Relation.schema rel))
+
+let test_order_by () =
+  let rel = run "SELECT ID FROM cars ORDER BY Price DESC, ID ASC" in
+  (match col rel "ID" with
+  | Value.Int first :: _ -> Alcotest.(check int) "most expensive" 725 first
+  | _ -> Alcotest.fail "no rows")
+
+let test_distinct () =
+  let rel = run "SELECT DISTINCT Model FROM cars" in
+  check_card "2 models" 2 rel
+
+let test_group_aggregate () =
+  let rel =
+    run
+      "SELECT Model, Year, avg(Price) AS ap, count(*) AS n FROM cars GROUP \
+       BY Model, Year ORDER BY Model, Year"
+  in
+  check_card "4 groups" 4 rel;
+  Alcotest.(check (list string)) "columns"
+    [ "Model"; "Year"; "ap"; "n" ]
+    (Schema.names (Relation.schema rel));
+  (match Relation.rows rel with
+  | first :: _ ->
+      (* Civic, 2005: one car, avg 13500 *)
+      Alcotest.(check bool) "civic 2005 avg" true
+        (Value.equal (Row.get first 2) (Value.Float 13500.0));
+      Alcotest.(check bool) "civic 2005 count" true
+        (Value.equal (Row.get first 3) (Value.Int 1))
+  | [] -> Alcotest.fail "no rows")
+
+let test_having () =
+  let rel =
+    run
+      "SELECT Model FROM cars GROUP BY Model HAVING avg(Mileage) > 60000"
+  in
+  check_card "only Civic exceeds 60k avg" 1 rel;
+  Alcotest.(check bool) "it is Civic" true
+    (Value.equal (List.hd (col rel "Model")) (Value.String "Civic"))
+
+let test_aggregate_without_group_by () =
+  let rel = run "SELECT count(*) AS n, min(Price) AS lo FROM cars" in
+  check_card "one row" 1 rel;
+  let row = List.hd (Relation.rows rel) in
+  Alcotest.(check bool) "n=9" true (Value.equal (Row.get row 0) (Value.Int 9));
+  Alcotest.(check bool) "lo=13500" true
+    (Value.equal (Row.get row 1) (Value.Int 13500))
+
+let test_aggregate_expression () =
+  let rel =
+    run "SELECT Model, sum(Price * 2) AS s FROM cars GROUP BY Model ORDER \
+         BY Model"
+  in
+  (match Relation.rows rel with
+  | civic :: _ ->
+      (* Civic prices: 13500+15000+16000 = 44500, doubled 89000 *)
+      Alcotest.(check bool) "sum of expression" true
+        (Value.equal (Row.get civic 1) (Value.Int 89000))
+  | [] -> Alcotest.fail "no rows")
+
+let test_join_query () =
+  let rel =
+    run
+      "SELECT Maker, count(*) AS n FROM cars, makers WHERE Model = MModel \
+       GROUP BY Maker ORDER BY Maker"
+  in
+  check_card "2 makers" 2 rel;
+  Alcotest.(check bool) "honda count 3" true
+    (Value.equal (Row.get (List.hd (Relation.rows rel)) 1) (Value.Int 3))
+
+(* ---- Theorem 1: translation equivalence ---- *)
+
+let equivalent sql =
+  let cat = catalog () in
+  let expected = Sql_executor.run_exn cat sql in
+  match Sql_to_sheet.execute cat (Sql_parser.parse_exn sql) with
+  | Error msg -> Alcotest.failf "translation failed for %s: %s" sql msg
+  | Ok actual ->
+      Alcotest.(check bool)
+        (Printf.sprintf "sheet == sql for: %s" sql)
+        true
+        (Relation.equal_unordered_data
+           (Relation.normalize expected)
+           (Relation.normalize actual))
+
+let test_theorem1_plain () =
+  equivalent "SELECT Model, Price FROM cars WHERE Year = 2005";
+  equivalent "SELECT ID FROM cars WHERE Price < 16000 OR Model = 'Civic'";
+  equivalent "SELECT Model, Price + Mileage AS total FROM cars";
+  equivalent "SELECT ID, Model FROM cars ORDER BY Price DESC"
+
+let test_theorem1_grouped () =
+  equivalent "SELECT Model, avg(Price) AS ap FROM cars GROUP BY Model";
+  equivalent
+    "SELECT Model, Year, avg(Price) AS ap, count(*) AS n FROM cars GROUP \
+     BY Model, Year";
+  equivalent
+    "SELECT Model FROM cars GROUP BY Model HAVING avg(Mileage) > 60000";
+  equivalent
+    "SELECT Model, Year, min(Price) AS lo FROM cars WHERE Condition = \
+     'Good' GROUP BY Model, Year HAVING count(*) >= 1 ORDER BY Model, Year";
+  equivalent "SELECT count(*) AS n FROM cars WHERE Year = 2006";
+  equivalent
+    "SELECT Model, sum(Price * 2) AS s FROM cars GROUP BY Model"
+
+let test_theorem1_join () =
+  equivalent
+    "SELECT Maker, count(*) AS n FROM cars, makers WHERE Model = MModel \
+     GROUP BY Maker";
+  equivalent
+    "SELECT Maker, Model, Price FROM cars, makers WHERE Model = MModel \
+     AND Price > 15000"
+
+let test_theorem1_ordered_presentation () =
+  (* When the ORDER BY list is a prefix of the grouping columns the
+     spreadsheet's presentation order must match SQL's exactly. *)
+  let sql =
+    "SELECT Model, Year, avg(Price) AS ap FROM cars GROUP BY Model, Year \
+     ORDER BY Model ASC, Year ASC"
+  in
+  let cat = catalog () in
+  let expected = Sql_executor.run_exn cat sql in
+  match Sql_to_sheet.execute cat (Sql_parser.parse_exn sql) with
+  | Error msg -> Alcotest.failf "translation failed: %s" msg
+  | Ok actual ->
+      Alcotest.(check bool) "ordered equality" true
+        (Relation.equal_unordered_data expected actual
+        && List.equal Row.equal (Relation.rows expected)
+             (Relation.rows actual))
+
+let test_theorem1_order_by_aggregate () =
+  (* with the order-groups extension, even the presentation order of
+     ORDER BY <aggregate> matches SQL *)
+  let sql =
+    "SELECT Model, sum(Price) AS total FROM cars GROUP BY Model ORDER BY      total DESC"
+  in
+  let cat = catalog () in
+  let expected = Sql_executor.run_exn cat sql in
+  match Sql_to_sheet.execute cat (Sql_parser.parse_exn sql) with
+  | Error msg -> Alcotest.failf "translation failed: %s" msg
+  | Ok actual ->
+      Alcotest.(check bool) "ordered equality" true
+        (List.equal Row.equal (Relation.rows expected)
+           (Relation.rows actual))
+
+let () =
+  Alcotest.run "sheet_sql"
+    [ ( "parser",
+        [ Alcotest.test_case "full query" `Quick test_parse_full_query;
+          Alcotest.test_case "errors" `Quick test_parse_errors ] );
+      ( "analyzer",
+        [ Alcotest.test_case "rules" `Quick test_analyzer_rules;
+          Alcotest.test_case "qualified names" `Quick test_qualified_names ]
+      );
+      ( "executor",
+        [ Alcotest.test_case "simple select" `Quick test_simple_select;
+          Alcotest.test_case "order by" `Quick test_order_by;
+          Alcotest.test_case "distinct" `Quick test_distinct;
+          Alcotest.test_case "group/aggregate" `Quick test_group_aggregate;
+          Alcotest.test_case "having" `Quick test_having;
+          Alcotest.test_case "agg without group by" `Quick
+            test_aggregate_without_group_by;
+          Alcotest.test_case "aggregate over expression" `Quick
+            test_aggregate_expression;
+          Alcotest.test_case "join" `Quick test_join_query ] );
+      ( "theorem1",
+        [ Alcotest.test_case "plain queries" `Quick test_theorem1_plain;
+          Alcotest.test_case "grouped queries" `Quick test_theorem1_grouped;
+          Alcotest.test_case "joins" `Quick test_theorem1_join;
+          Alcotest.test_case "presentation order" `Quick
+            test_theorem1_ordered_presentation;
+          Alcotest.test_case "order by aggregate (extension)" `Quick
+            test_theorem1_order_by_aggregate ] ) ]

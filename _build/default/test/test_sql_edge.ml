@@ -1,0 +1,176 @@
+(* Edge-case tests of the SQL engine: NULL semantics, dates, FROM
+   aliases and self-joins, ORDER BY aliases, DISTINCT with grouping,
+   and scalar functions in every clause. *)
+
+open Sheet_rel
+open Sheet_sql
+
+let nullable =
+  Relation.make
+    (Schema.of_list
+       [ ("k", Value.TInt); ("grp", Value.TString); ("v", Value.TInt);
+         ("d", Value.TDate) ])
+    [ Row.of_list
+        [ Value.Int 1; Value.String "a"; Value.Int 10;
+          Value.of_ymd 1994 1 15 ];
+      Row.of_list
+        [ Value.Int 2; Value.String "a"; Value.Null;
+          Value.of_ymd 1994 6 1 ];
+      Row.of_list
+        [ Value.Int 3; Value.Null; Value.Int 30; Value.of_ymd 1995 2 1 ];
+      Row.of_list [ Value.Int 4; Value.Null; Value.Null; Value.Null ] ]
+
+let catalog () =
+  Catalog.of_list [ ("t", nullable); ("cars", Sample_cars.relation) ]
+
+let run sql = Sql_executor.run_exn (catalog ()) sql
+
+let get rel i j = Row.get (List.nth (Relation.rows rel) i) j
+
+let test_null_in_where () =
+  Alcotest.(check int) "comparison with null is false" 1
+    (Relation.cardinality (run "SELECT k FROM t WHERE v > 15"));
+  Alcotest.(check int) "IS NULL" 2
+    (Relation.cardinality (run "SELECT k FROM t WHERE v IS NULL"));
+  Alcotest.(check int) "IS NOT NULL" 2
+    (Relation.cardinality (run "SELECT k FROM t WHERE v IS NOT NULL"))
+
+let test_null_grouping () =
+  let rel =
+    run
+      "SELECT grp, count(*) AS n, sum(v) AS s FROM t GROUP BY grp ORDER \
+       BY grp"
+  in
+  Alcotest.(check int) "null group kept" 2 (Relation.cardinality rel);
+  (* ascending: "a" first, NULL group last *)
+  Alcotest.(check bool) "a group counts 2" true
+    (Value.equal (get rel 0 1) (Value.Int 2));
+  Alcotest.(check bool) "a group sum skips null" true
+    (Value.equal (get rel 0 2) (Value.Int 10));
+  Alcotest.(check bool) "null group last" true (Value.is_null (get rel 1 0));
+  Alcotest.(check bool) "null group sum" true
+    (Value.equal (get rel 1 2) (Value.Int 30))
+
+let test_all_null_aggregates () =
+  let rel =
+    run "SELECT avg(v) AS a, min(v) AS lo, count(v) AS c FROM t WHERE k = 4"
+  in
+  Alcotest.(check bool) "avg of nothing is null" true
+    (Value.is_null (get rel 0 0));
+  Alcotest.(check bool) "min of nothing is null" true
+    (Value.is_null (get rel 0 1));
+  Alcotest.(check bool) "count of nothing is 0" true
+    (Value.equal (get rel 0 2) (Value.Int 0))
+
+let test_date_predicates () =
+  Alcotest.(check int) "date range" 2
+    (Relation.cardinality
+       (run
+          "SELECT k FROM t WHERE d >= DATE '1994-01-01' AND d < DATE \
+           '1995-01-01'"));
+  Alcotest.(check int) "null date excluded" 3
+    (Relation.cardinality (run "SELECT k FROM t WHERE d > DATE '1900-01-01'"));
+  let rel = run "SELECT k, year(d) AS y FROM t WHERE k = 3" in
+  Alcotest.(check bool) "year()" true
+    (Value.equal (get rel 0 1) (Value.Int 1995))
+
+let test_from_aliases_self_join () =
+  (* pairs of cars of the same model and year with different prices *)
+  let rel =
+    run
+      "SELECT a.ID, b.ID FROM cars a, cars b WHERE a.Model = b.Model AND \
+       a.Year = b.Year AND a.Price < b.Price"
+  in
+  (* Jetta 2005: 3 cars -> 3 ordered pairs; Jetta 2006: 3 -> 3;
+     Civic 2006: 2 -> 1; Civic 2005: 1 -> 0 *)
+  Alcotest.(check int) "ordered pairs" 7 (Relation.cardinality rel);
+  (* unqualified ambiguous column must be refused *)
+  Alcotest.(check bool) "ambiguity detected" true
+    (Result.is_error
+       (Sql_executor.run_string (catalog ())
+          "SELECT Model FROM cars a, cars b"))
+
+let test_order_by_alias_and_expr () =
+  let rel =
+    run "SELECT k, v * 2 AS dbl FROM t WHERE v IS NOT NULL ORDER BY dbl DESC"
+  in
+  Alcotest.(check bool) "alias ordering" true
+    (Value.equal (get rel 0 0) (Value.Int 3));
+  let rel2 =
+    run "SELECT k FROM t WHERE v IS NOT NULL ORDER BY v + k DESC"
+  in
+  Alcotest.(check bool) "expression ordering" true
+    (Value.equal (get rel2 0 0) (Value.Int 3))
+
+let test_distinct_with_expressions () =
+  let rel = run "SELECT DISTINCT grp FROM t" in
+  Alcotest.(check int) "2 distinct incl. null" 2 (Relation.cardinality rel);
+  let rel2 = run "SELECT DISTINCT Model, Year FROM cars" in
+  Alcotest.(check int) "4 model-year pairs" 4 (Relation.cardinality rel2)
+
+let test_having_composite () =
+  let rel =
+    run
+      "SELECT Model FROM cars GROUP BY Model HAVING count(*) > 2 AND \
+       avg(Price) < 16000"
+  in
+  Alcotest.(check int) "only Civic" 1 (Relation.cardinality rel);
+  Alcotest.(check bool) "civic" true
+    (Value.equal (get rel 0 0) (Value.String "Civic"))
+
+let test_group_by_qualified () =
+  let rel =
+    run
+      "SELECT cars.Model, count(*) AS n FROM cars GROUP BY cars.Model \
+       ORDER BY cars.Model"
+  in
+  Alcotest.(check int) "2 groups" 2 (Relation.cardinality rel)
+
+let test_output_name_collision () =
+  let rel = run "SELECT Model, Model FROM cars WHERE Year = 2005" in
+  Alcotest.(check (list string)) "deduplicated output names"
+    [ "Model"; "Model_2" ]
+    (Schema.names (Relation.schema rel))
+
+let test_theorem1_edge_queries () =
+  let cat = catalog () in
+  List.iter
+    (fun sql ->
+      let q = Sql_parser.parse_exn sql in
+      match (Sql_executor.run cat q, Sql_to_sheet.execute cat q) with
+      | Ok a, Ok b ->
+          Alcotest.(check bool) sql true
+            (Relation.equal_unordered_data (Relation.normalize a)
+               (Relation.normalize b))
+      | Error m, _ | _, Error m -> Alcotest.failf "%s: %s" sql m)
+    [ "SELECT grp, count(*) AS n FROM t GROUP BY grp";
+      "SELECT grp, sum(v) AS s FROM t WHERE k < 4 GROUP BY grp";
+      "SELECT k FROM t WHERE d >= DATE '1994-01-01' AND d < DATE \
+       '1995-01-01'";
+      "SELECT grp, count(v) AS nv FROM t GROUP BY grp HAVING count(*) >= 1"
+    ]
+
+let () =
+  Alcotest.run "sheet_sql_edge"
+    [ ( "nulls",
+        [ Alcotest.test_case "where" `Quick test_null_in_where;
+          Alcotest.test_case "grouping" `Quick test_null_grouping;
+          Alcotest.test_case "all-null aggregates" `Quick
+            test_all_null_aggregates ] );
+      ( "dates",
+        [ Alcotest.test_case "predicates + year()" `Quick
+            test_date_predicates ] );
+      ( "structure",
+        [ Alcotest.test_case "aliases/self-join" `Quick
+            test_from_aliases_self_join;
+          Alcotest.test_case "order by alias/expr" `Quick
+            test_order_by_alias_and_expr;
+          Alcotest.test_case "distinct" `Quick test_distinct_with_expressions;
+          Alcotest.test_case "composite having" `Quick test_having_composite;
+          Alcotest.test_case "qualified group by" `Quick
+            test_group_by_qualified;
+          Alcotest.test_case "output name collision" `Quick
+            test_output_name_collision ] );
+      ( "theorem1",
+        [ Alcotest.test_case "edge queries" `Quick
+            test_theorem1_edge_queries ] ) ]

@@ -1,0 +1,142 @@
+(* Unit tests for the statistics substrate. *)
+
+open Sheet_stats
+
+let feq = Alcotest.(check (float 1e-6))
+let feq_loose = Alcotest.(check (float 0.05))
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  let sa = List.init 20 (fun _ -> Rng.int a 1000) in
+  let sb = List.init 20 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" sa sb;
+  let c = Rng.create 43 in
+  let sc = List.init 20 (fun _ -> Rng.int c 1000) in
+  Alcotest.(check bool) "different seed differs" false (sa = sc)
+
+let test_rng_ranges () =
+  let t = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int t 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10);
+    let w = Rng.int_in t 5 8 in
+    Alcotest.(check bool) "int_in range" true (w >= 5 && w <= 8);
+    let f = Rng.float t 2.5 in
+    Alcotest.(check bool) "float range" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_rng_distributions () =
+  let t = Rng.create 11 in
+  let n = 20000 in
+  let sample = List.init n (fun _ -> Rng.gaussian t ~mu:5.0 ~sigma:2.0) in
+  feq_loose "gaussian mean" 5.0 (Descriptive.mean sample);
+  Alcotest.(check bool) "gaussian sd close" true
+    (Float.abs (Descriptive.stddev sample -. 2.0) < 0.05);
+  let e = List.init n (fun _ -> Rng.exponential t ~mean:3.0) in
+  Alcotest.(check bool) "exponential mean close" true
+    (Float.abs (Descriptive.mean e -. 3.0) < 0.1)
+
+let test_descriptive () =
+  let xs = [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  feq "mean" 5.0 (Descriptive.mean xs);
+  feq "sample sd" 2.138089935 (Descriptive.stddev xs);
+  feq "median" 4.5 (Descriptive.median xs);
+  feq "min" 2.0 (Descriptive.minimum xs);
+  feq "max" 9.0 (Descriptive.maximum xs);
+  feq "p25" 4.0 (Descriptive.percentile 25.0 xs);
+  feq "empty mean" 0.0 (Descriptive.mean []);
+  feq "singleton sd" 0.0 (Descriptive.stddev [ 3.0 ])
+
+let test_bootstrap_ci () =
+  let rng = Rng.create 3 in
+  let xs = List.init 200 (fun _ -> Rng.gaussian rng ~mu:10.0 ~sigma:2.0) in
+  let lo, hi = Descriptive.bootstrap_ci (Rng.create 4) xs in
+  let m = Descriptive.mean xs in
+  Alcotest.(check bool) "interval brackets the mean" true (lo < m && m < hi);
+  Alcotest.(check bool) "roughly +-2 se" true
+    (hi -. lo > 0.2 && hi -. lo < 1.5);
+  (* degenerate inputs *)
+  Alcotest.(check (pair (float 1e-9) (float 1e-9))) "singleton" (5.0, 5.0)
+    (Descriptive.bootstrap_ci (Rng.create 1) [ 5.0 ]);
+  Alcotest.(check (pair (float 1e-9) (float 1e-9))) "empty" (0.0, 0.0)
+    (Descriptive.bootstrap_ci (Rng.create 1) []);
+  (* wider level -> narrower interval *)
+  let lo50, hi50 =
+    Descriptive.bootstrap_ci (Rng.create 4) ~level:0.5 xs
+  in
+  Alcotest.(check bool) "50% narrower than 95%" true
+    (hi50 -. lo50 < hi -. lo)
+
+let test_normal_cdf () =
+  feq "phi(0)" 0.5 (Mann_whitney.normal_cdf 0.0);
+  Alcotest.(check (float 1e-4)) "phi(1.96)" 0.975
+    (Mann_whitney.normal_cdf 1.96);
+  Alcotest.(check (float 1e-4)) "phi(-1.96)" 0.025
+    (Mann_whitney.normal_cdf (-1.96))
+
+let test_mann_whitney_separated () =
+  (* clearly separated samples: p must be small *)
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0; 8.0; 9.0; 10.0 ] in
+  let ys = List.map (fun x -> x +. 100.0) xs in
+  let r = Mann_whitney.test xs ys in
+  feq "U is 0 for disjoint samples" 0.0 r.Mann_whitney.u;
+  Alcotest.(check bool) "p < 0.001" true (r.Mann_whitney.p_two_tailed < 0.001)
+
+let test_mann_whitney_identical () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  let r = Mann_whitney.test xs xs in
+  Alcotest.(check bool) "p is 1 for identical samples" true
+    (r.Mann_whitney.p_two_tailed > 0.9)
+
+let test_mann_whitney_known () =
+  (* Small worked example: xs = {1,2,3}, ys = {4,5,6}: U = 0,
+     two-tailed p with normal approx + continuity ≈ 0.0765 (exact is
+     0.1); just pin the U statistics. *)
+  let r = Mann_whitney.test [ 1.0; 2.0; 3.0 ] [ 4.0; 5.0; 6.0 ] in
+  feq "u1" 0.0 r.Mann_whitney.u1;
+  feq "u2" 9.0 r.Mann_whitney.u2
+
+let test_fisher_known () =
+  (* Classic tea-tasting table: (3,1;1,3) → one-tailed 0.242857,
+     two-tailed 0.485714 *)
+  let t = { Fisher.a = 3; b = 1; c = 1; d = 3 } in
+  Alcotest.(check (float 1e-5)) "one-tailed" 0.242857 (Fisher.p_one_tailed t);
+  Alcotest.(check (float 1e-5)) "two-tailed" 0.485714 (Fisher.p_two_tailed t)
+
+let test_fisher_paper_counts () =
+  (* The paper's totals: 95/100 correct vs 81/100 correct, p < 0.004 *)
+  let t = { Fisher.a = 95; b = 5; c = 81; d = 19 } in
+  let p = Fisher.p_two_tailed t in
+  Alcotest.(check bool) "p < 0.004 as the paper reports" true (p < 0.004);
+  Alcotest.(check bool) "p sane" true (p > 0.0)
+
+let test_fisher_no_association () =
+  let t = { Fisher.a = 10; b = 10; c = 10; d = 10 } in
+  Alcotest.(check bool) "p = 1 for balanced table" true
+    (Fisher.p_two_tailed t > 0.99)
+
+let () =
+  Alcotest.run "sheet_stats"
+    [ ( "rng",
+        [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "ranges" `Quick test_rng_ranges;
+          Alcotest.test_case "distributions" `Slow test_rng_distributions ]
+      );
+      ( "descriptive",
+        [ Alcotest.test_case "moments/percentiles" `Quick test_descriptive ]
+      );
+      ( "bootstrap",
+        [ Alcotest.test_case "confidence interval" `Quick test_bootstrap_ci ]
+      );
+      ( "mann-whitney",
+        [ Alcotest.test_case "normal cdf" `Quick test_normal_cdf;
+          Alcotest.test_case "separated samples" `Quick
+            test_mann_whitney_separated;
+          Alcotest.test_case "identical samples" `Quick
+            test_mann_whitney_identical;
+          Alcotest.test_case "known U" `Quick test_mann_whitney_known ] );
+      ( "fisher",
+        [ Alcotest.test_case "known table" `Quick test_fisher_known;
+          Alcotest.test_case "paper counts" `Quick test_fisher_paper_counts;
+          Alcotest.test_case "no association" `Quick
+            test_fisher_no_association ] ) ]

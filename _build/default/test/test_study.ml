@@ -1,0 +1,213 @@
+(* Tests for the user-study simulator: protocol invariants and the
+   reproduction of the paper's reported outcomes. *)
+
+open Sheet_study
+
+let obs = lazy (Simulator.run ())
+let report = lazy (Report.of_observations (Lazy.force obs))
+
+let test_protocol_shape () =
+  let obs = Lazy.force obs in
+  Alcotest.(check int) "10 subjects x 10 tasks x 2 tools" 200
+    (List.length obs);
+  (* every (subject, task, tool) cell appears exactly once *)
+  List.iter
+    (fun tool ->
+      for task = 1 to 10 do
+        Alcotest.(check int) "one observation per subject" 10
+          (List.length (Simulator.observations obs ~task ~tool))
+      done)
+    [ Simulator.SheetMusiq; Simulator.Navicat ]
+
+let test_determinism () =
+  let a = Simulator.run () and b = Simulator.run () in
+  Alcotest.(check bool) "same seed, same observations" true (a = b)
+
+let test_timeout_rule () =
+  List.iter
+    (fun o ->
+      Alcotest.(check bool) "time capped at 900" true
+        (o.Simulator.time_s <= 900.0 +. 1e-9);
+      if o.Simulator.timed_out then
+        Alcotest.(check bool) "timeout counts as wrong" false
+          o.Simulator.correct)
+    (Lazy.force obs)
+
+let test_fig3_shape () =
+  let r = Lazy.force report in
+  List.iter
+    (fun p ->
+      let open Report in
+      if List.mem p.task [ 5; 7; 10 ] then
+        Alcotest.(check bool)
+          (Printf.sprintf "task %d comparable" p.task)
+          true
+          (p.navicat_mean /. p.sheet_mean < 1.6)
+      else
+        Alcotest.(check bool)
+          (Printf.sprintf "task %d SheetMusiq at least 2x faster" p.task)
+          true
+          (p.navicat_mean /. p.sheet_mean >= 2.0))
+    r.Report.per_task
+
+let test_fig4_shape () =
+  let r = Lazy.force report in
+  (* "the standard deviation for SheetMusiq is much smaller on most
+     queries" *)
+  let smaller =
+    List.length
+      (List.filter
+         (fun p -> p.Report.sheet_stddev < p.Report.navicat_stddev)
+         r.Report.per_task)
+  in
+  Alcotest.(check bool) "smaller stddev on most queries" true (smaller >= 8)
+
+let test_fig5_totals () =
+  let r = Lazy.force report in
+  let t = r.Report.totals in
+  Alcotest.(check int) "SheetMusiq 95/100 as in the paper" 95
+    t.Report.sheet_correct_total;
+  Alcotest.(check int) "Navicat 81/100 as in the paper" 81
+    t.Report.navicat_correct_total;
+  Alcotest.(check bool) "Fisher p < 0.004 as in the paper" true
+    (t.Report.fisher_p < 0.004)
+
+let test_significance_pattern () =
+  let r = Lazy.force report in
+  Alcotest.(check (list int))
+    "significant (p<0.002) on exactly the paper's queries"
+    [ 1; 2; 3; 4; 6; 8; 9 ]
+    (Report.significant_tasks r)
+
+let test_table6 () =
+  let r = Lazy.force report in
+  let s = r.Report.subjective in
+  Alcotest.(check int) "all prefer SheetMusiq" 10 s.Report.prefer_sheet;
+  Alcotest.(check int) "seeing data helps" 10 s.Report.seeing_data_helps_yes;
+  Alcotest.(check int) "progressive refinement 8/10" 8
+    s.Report.progressive_refinement_yes;
+  Alcotest.(check int) "concepts easier 10/10" 10
+    s.Report.concepts_easier_yes
+
+let test_klm () =
+  Alcotest.(check (float 1e-9)) "click" 1.2 (Klm.total Klm.click);
+  Alcotest.(check (float 1e-9)) "menu pick" 2.4 (Klm.total Klm.menu_pick);
+  Alcotest.(check (float 1e-9)) "typing 5 chars" (0.4 +. (5.0 *. 0.28))
+    (Klm.total (Klm.type_text 5));
+  Alcotest.(check (float 1e-9)) "slow typing" (0.4 +. (4.0 *. 0.5))
+    (Klm.total (Klm.type_text ~slow:true 4))
+
+let test_tool_models_monotone () =
+  (* a task with more steps must cost more in both models *)
+  let simple = Sheet_tpch.Tpch_tasks.find 5 in
+  let complex = Sheet_tpch.Tpch_tasks.find 1 in
+  List.iter
+    (fun m ->
+      let t_simple =
+        Tool_model.base_time (m.Tool_model.plan_of_task simple)
+      in
+      let t_complex =
+        Tool_model.base_time (m.Tool_model.plan_of_task complex)
+      in
+      Alcotest.(check bool)
+        (m.Tool_model.name ^ ": complex costs more")
+        true (t_complex > t_simple))
+    [ Sheetmusiq_model.model; Navicat_model.model ]
+
+let test_navicat_sql_cliff () =
+  (* the builder's cost explodes exactly when SQL typing is needed *)
+  let simple = Sheet_tpch.Tpch_tasks.find 7 in
+  let having = Sheet_tpch.Tpch_tasks.find 9 in
+  let nav t = Tool_model.base_time (Navicat_model.model.Tool_model.plan_of_task t) in
+  let sheet t =
+    Tool_model.base_time (Sheetmusiq_model.model.Tool_model.plan_of_task t)
+  in
+  Alcotest.(check bool) "builder fine on simple tasks" true
+    (nav simple /. sheet simple < 1.5);
+  Alcotest.(check bool) "builder falls off the SQL cliff" true
+    (nav having /. sheet having > 2.5)
+
+let test_robustness_across_seeds () =
+  (* the qualitative shape must not depend on the calibration seed *)
+  List.iter
+    (fun seed ->
+      let config = { Simulator.default_config with Simulator.seed } in
+      let r = Report.of_observations (Simulator.run ~config ()) in
+      let t = r.Report.totals in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: sheet more correct" seed)
+        true
+        (t.Report.sheet_correct_total > t.Report.navicat_correct_total);
+      List.iter
+        (fun p ->
+          if not (List.mem p.Report.task [ 5; 7; 10 ]) then
+            Alcotest.(check bool)
+              (Printf.sprintf "seed %d task %d: sheet faster" seed
+                 p.Report.task)
+              true
+              (p.Report.sheet_mean < p.Report.navicat_mean))
+        r.Report.per_task)
+    [ 1; 7; 99; 12345 ]
+
+let test_confidence_intervals () =
+  let r = Lazy.force report in
+  List.iter
+    (fun p ->
+      let lo_s, hi_s = p.Report.sheet_ci in
+      Alcotest.(check bool) "ci brackets the mean" true
+        (lo_s <= p.Report.sheet_mean && p.Report.sheet_mean <= hi_s);
+      if not (List.mem p.Report.task [ 5; 7; 10 ]) then
+        (* the intervals are disjoint on the complex tasks *)
+        let lo_n, _ = p.Report.navicat_ci in
+        Alcotest.(check bool)
+          (Printf.sprintf "task %d: disjoint CIs" p.Report.task)
+          true (hi_s < lo_n))
+    r.Report.per_task
+
+let test_observations_csv () =
+  let csv = Report.observations_csv (Lazy.force obs) in
+  let lines = String.split_on_char '\n' csv in
+  Alcotest.(check int) "header + 200 rows + trailing" 202
+    (List.length lines);
+  Alcotest.(check string) "header"
+    "subject,task,tool,time_s,correct,timed_out,errors" (List.hd lines)
+
+let test_error_sources () =
+  let having = Sheet_tpch.Tpch_tasks.find 9 in
+  let plan = Navicat_model.model.Tool_model.plan_of_task having in
+  Alcotest.(check bool) "having risks the subquery concept" true
+    (List.exists
+       (fun e -> e.Tool_model.concept = "subquery-having")
+       plan.Tool_model.errors);
+  let plan_sheet = Sheetmusiq_model.model.Tool_model.plan_of_task having in
+  Alcotest.(check bool) "no syntax errors in SheetMusiq" true
+    (List.for_all
+       (fun e -> e.Tool_model.concept <> "sql-syntax")
+       plan_sheet.Tool_model.errors)
+
+let () =
+  Alcotest.run "sheet_study"
+    [ ( "protocol",
+        [ Alcotest.test_case "shape" `Quick test_protocol_shape;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "timeout rule" `Quick test_timeout_rule ] );
+      ( "paper-reproduction",
+        [ Alcotest.test_case "fig3 speed shape" `Quick test_fig3_shape;
+          Alcotest.test_case "fig4 stddev shape" `Quick test_fig4_shape;
+          Alcotest.test_case "fig5 totals exact" `Quick test_fig5_totals;
+          Alcotest.test_case "significance pattern" `Quick
+            test_significance_pattern;
+          Alcotest.test_case "table6 subjective" `Quick test_table6 ] );
+      ( "models",
+        [ Alcotest.test_case "klm operator times" `Quick test_klm;
+          Alcotest.test_case "monotone in task size" `Quick
+            test_tool_models_monotone;
+          Alcotest.test_case "navicat SQL cliff" `Quick
+            test_navicat_sql_cliff;
+          Alcotest.test_case "error sources" `Quick test_error_sources;
+          Alcotest.test_case "observations csv" `Quick
+            test_observations_csv;
+          Alcotest.test_case "robustness across seeds" `Quick
+            test_robustness_across_seeds;
+          Alcotest.test_case "confidence intervals" `Quick
+            test_confidence_intervals ] ) ]

@@ -1,0 +1,137 @@
+(* TPC-H substrate tests: generator invariants, views, and the
+   task-level equivalence between the SheetMusiq scripts and their SQL
+   statements (the "correct result" ground truth of the study). *)
+
+open Sheet_rel
+open Sheet_tpch
+
+let catalog =
+  lazy
+    (Tpch_views.install
+       (Tpch_gen.generate { Tpch_gen.sf = 0.001; seed = 42 }))
+
+let cat () = Lazy.force catalog
+
+let find name = Sheet_sql.Catalog.find_exn (cat ()) name
+
+let test_cardinalities () =
+  let counts = Tpch_gen.row_counts (cat ()) in
+  let get name = List.assoc name counts in
+  Alcotest.(check int) "5 regions" 5 (get "region");
+  Alcotest.(check int) "25 nations" 25 (get "nation");
+  Alcotest.(check bool) "suppliers floor" true (get "supplier" >= 10);
+  Alcotest.(check int) "4 partsupp per part" (4 * get "part")
+    (get "partsupp");
+  Alcotest.(check bool) "lineitems 1-7 per order" true
+    (get "lineitem" >= get "orders" && get "lineitem" <= 7 * get "orders")
+
+let test_determinism () =
+  let c1 = Tpch_gen.generate { Tpch_gen.sf = 0.001; seed = 7 } in
+  let c2 = Tpch_gen.generate { Tpch_gen.sf = 0.001; seed = 7 } in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (name ^ " identical across runs")
+        true
+        (Relation.equal
+           (Sheet_sql.Catalog.find_exn c1 name)
+           (Sheet_sql.Catalog.find_exn c2 name)))
+    (Sheet_sql.Catalog.names c1)
+
+let test_referential_integrity () =
+  let keys rel col =
+    List.fold_left
+      (fun acc v -> match v with Value.Int i -> i :: acc | _ -> acc)
+      []
+      (Relation.column_values rel col)
+  in
+  let custkeys = keys (find "customer") "c_custkey" in
+  let orders_cust = keys (find "orders") "o_custkey" in
+  Alcotest.(check bool) "orders reference customers" true
+    (List.for_all (fun k -> List.mem k custkeys) orders_cust);
+  let partkeys = keys (find "part") "p_partkey" in
+  let line_parts = keys (find "lineitem") "l_partkey" in
+  Alcotest.(check bool) "lineitems reference parts" true
+    (List.for_all (fun k -> List.mem k partkeys) line_parts)
+
+let test_value_sanity () =
+  let li = find "lineitem" in
+  List.iter
+    (fun row ->
+      let get name = Row.get row (Schema.index_exn (Relation.schema li) name) in
+      (match get "l_discount" with
+      | Value.Float d ->
+          Alcotest.(check bool) "discount range" true (d >= 0.0 && d <= 0.1)
+      | _ -> Alcotest.fail "discount not float");
+      (match (get "l_shipdate", get "l_receiptdate") with
+      | Value.Date s, Value.Date r ->
+          Alcotest.(check bool) "receipt after ship" true (r > s)
+      | _ -> Alcotest.fail "dates missing"))
+    (Relation.rows li)
+
+let test_views () =
+  let vlo = find "v_lineitem_orders" in
+  Alcotest.(check int) "view joins every lineitem"
+    (Relation.cardinality (find "lineitem"))
+    (Relation.cardinality vlo);
+  Alcotest.(check bool) "has customer column" true
+    (Schema.mem (Relation.schema vlo) "c_mktsegment");
+  let vlp = find "v_lineitem_parts" in
+  Alcotest.(check int) "parts view joins every lineitem"
+    (Relation.cardinality (find "lineitem"))
+    (Relation.cardinality vlp)
+
+let test_task_nonempty_results () =
+  List.iter
+    (fun task ->
+      match Tpch_tasks.sql_result (cat ()) task with
+      | Error msg ->
+          Alcotest.failf "task %d SQL failed: %s" task.Tpch_tasks.id msg
+      | Ok rel ->
+          Alcotest.(check bool)
+            (Printf.sprintf "task %d yields rows" task.Tpch_tasks.id)
+            true
+            (Relation.cardinality rel > 0))
+    Tpch_tasks.all
+
+let test_task_equivalence () =
+  List.iter
+    (fun task ->
+      match Tpch_tasks.verify (cat ()) task with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg)
+    Tpch_tasks.all
+
+let test_extension_tasks () =
+  (* the Q12/Q14 CASE patterns, beyond the paper's prototype *)
+  List.iter
+    (fun task ->
+      (match Tpch_tasks.sql_result (cat ()) task with
+      | Ok rel ->
+          Alcotest.(check bool)
+            (Printf.sprintf "extension task %d yields rows"
+               task.Tpch_tasks.id)
+            true
+            (Sheet_rel.Relation.cardinality rel > 0)
+      | Error msg -> Alcotest.fail msg);
+      match Tpch_tasks.verify (cat ()) task with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg)
+    Tpch_tasks.extensions
+
+let () =
+  Alcotest.run "sheet_tpch"
+    [ ( "generator",
+        [ Alcotest.test_case "cardinalities" `Quick test_cardinalities;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "referential integrity" `Quick
+            test_referential_integrity;
+          Alcotest.test_case "value sanity" `Quick test_value_sanity ] );
+      ("views", [ Alcotest.test_case "joins" `Quick test_views ]);
+      ( "tasks",
+        [ Alcotest.test_case "non-empty results" `Quick
+            test_task_nonempty_results;
+          Alcotest.test_case "sheet == sql for all 10 tasks" `Quick
+            test_task_equivalence;
+          Alcotest.test_case "extension tasks (CASE)" `Quick
+            test_extension_tasks ] ) ]

@@ -1,0 +1,321 @@
+(* Tests for the contextual-menu model of Section VI. *)
+
+open Sheet_rel
+open Sheet_core
+open Sheet_ui
+
+let session () = Session.create ~name:"cars" Sample_cars.relation
+
+let run_script s script =
+  match Script.run_silent s script with
+  | Ok s -> s
+  | Error msg -> Alcotest.failf "script failed: %s" msg
+
+let labels items =
+  List.map (fun i -> i.Context_menu.label) items
+
+let find_item items label =
+  match
+    List.find_opt (fun i -> i.Context_menu.label = label) items
+  with
+  | Some i -> i
+  | None -> Alcotest.failf "menu has no entry %S" label
+
+let test_header_menu_plain () =
+  let sheet = Session.current (session ()) in
+  let items = Context_menu.menu sheet (Context_menu.Header "Price") in
+  let ls = labels items in
+  Alcotest.(check bool) "selection offered" true
+    (List.mem "Selection..." ls);
+  Alcotest.(check bool) "ungrouped group-by entry" true
+    (List.mem "Group by" ls);
+  Alcotest.(check bool) "no modify entry without history" false
+    (List.mem "Modify previous selection..." ls);
+  let agg = find_item items "Aggregation..." in
+  Alcotest.(check bool) "numeric column offers sum/avg" true
+    (String.length agg.Context_menu.hint > 0
+    && String.sub agg.Context_menu.hint 0 5 = "count")
+
+let test_cell_menu_filter () =
+  let sheet = Session.current (session ()) in
+  let items =
+    Context_menu.menu sheet
+      (Context_menu.Cell { column = "Model"; value = Value.String "Jetta" })
+  in
+  let filter = find_item items "Filter to this value" in
+  Alcotest.(check bool) "filter hint shows the predicate" true
+    (filter.Context_menu.hint = "select Model = Jetta")
+
+let test_grouped_menu () =
+  let s = run_script (session ()) "group Model asc\nagg avg Price level 2" in
+  let sheet = Session.current s in
+  let items = Context_menu.menu sheet (Context_menu.Header "Year") in
+  let replace = find_item items "Group by (replace current grouping)" in
+  Alcotest.(check bool) "replace disabled under dependent aggregates"
+    false replace.Context_menu.enabled;
+  Alcotest.(check bool) "reason mentions aggregates" true
+    (match replace.Context_menu.reason with
+    | Some r -> String.length r > 0
+    | None -> false);
+  let add = find_item items "Group by (add to existing grouping)" in
+  Alcotest.(check bool) "adding a level stays enabled" true
+    add.Context_menu.enabled
+
+let test_modify_entry_after_selection () =
+  let s = run_script (session ()) "select Year = 2005" in
+  let items =
+    Context_menu.menu (Session.current s) (Context_menu.Header "Year")
+  in
+  let modify = find_item items "Modify previous selection..." in
+  Alcotest.(check bool) "lists the existing predicate" true
+    (modify.Context_menu.enabled
+    &&
+    let hint = modify.Context_menu.hint in
+    String.length hint > 0)
+
+let test_computed_column_menu () =
+  let s = run_script (session ()) "agg avg Price\nselect Price < Avg_Price" in
+  let items =
+    Context_menu.menu (Session.current s) (Context_menu.Header "Avg_Price")
+  in
+  let remove = find_item items "Remove computed column" in
+  Alcotest.(check bool) "remove disabled while depended upon" false
+    remove.Context_menu.enabled
+
+let test_sheet_menu_binary_ops () =
+  let s = session () in
+  let items =
+    Context_menu.menu (Session.current s) Context_menu.Sheet
+  in
+  let union = find_item items "Union with..." in
+  Alcotest.(check bool) "binary ops disabled without stored sheets" false
+    union.Context_menu.enabled;
+  let s = Session.save_as s "snapshot" in
+  let items =
+    Context_menu.menu
+      ~stored:(Store.names (Session.store s))
+      (Session.current s) Context_menu.Sheet
+  in
+  let union = find_item items "Union with..." in
+  Alcotest.(check bool) "enabled once a sheet is stored" true
+    union.Context_menu.enabled
+
+let test_restore_entry () =
+  let s = run_script (session ()) "hide Mileage" in
+  let items =
+    Context_menu.menu (Session.current s) Context_menu.Sheet
+  in
+  let restore = find_item items "Restore column..." in
+  Alcotest.(check bool) "restore lists hidden column" true
+    (restore.Context_menu.hint = "hidden: Mileage")
+
+let test_describe_renders () =
+  let s = session () in
+  let text =
+    Context_menu.describe
+      (Context_menu.menu (Session.current s) Context_menu.Sheet)
+  in
+  Alcotest.(check bool) "non-empty rendering" true (String.length text > 0)
+
+(* ---- query builder (the baseline system) ---- *)
+
+let tpch_catalog =
+  lazy
+    (Sheet_tpch.Tpch_views.install
+       (Sheet_tpch.Tpch_gen.generate
+          { Sheet_tpch.Tpch_gen.sf = 0.001; seed = 42 }))
+
+let test_builder_graphical_tasks () =
+  List.iter
+    (fun id ->
+      let task = Sheet_tpch.Tpch_tasks.find id in
+      match Query_builder.classify task with
+      | `Graphical -> ()
+      | `Requires_sql concepts ->
+          Alcotest.failf "task %d should be graphical, needs %s" id
+            (String.concat "," concepts))
+    [ 5; 7; 10 ]
+
+let test_builder_sql_cliff_tasks () =
+  let expect id concepts =
+    let task = Sheet_tpch.Tpch_tasks.find id in
+    match Query_builder.classify task with
+    | `Graphical -> Alcotest.failf "task %d should need SQL" id
+    | `Requires_sql cs ->
+        Alcotest.(check (list string))
+          (Printf.sprintf "task %d concepts" id)
+          concepts cs
+  in
+  expect 1 [ "grouping"; "aggregation" ];
+  expect 2 [ "grouping"; "aggregation"; "expression" ];
+  expect 9 [ "grouping"; "aggregation"; "group-qualification" ]
+
+let test_builder_reproduces_tasks () =
+  let catalog = Lazy.force tpch_catalog in
+  List.iter
+    (fun (task : Sheet_tpch.Tpch_tasks.t) ->
+      let builder = Query_builder.build_for_task task in
+      match
+        ( Query_builder.run builder catalog,
+          Sheet_tpch.Tpch_tasks.sql_result catalog task )
+      with
+      | Ok got, Ok expected ->
+          Alcotest.(check bool)
+            (Printf.sprintf "task %d builder == sql (%s)"
+               task.Sheet_tpch.Tpch_tasks.id
+               (Query_builder.to_sql builder))
+            true
+            (Sheet_rel.Relation.equal_unordered_data
+               (Sheet_rel.Relation.normalize got)
+               (Sheet_rel.Relation.normalize expected))
+      | Error msg, _ | _, Error msg ->
+          Alcotest.failf "task %d failed: %s"
+            task.Sheet_tpch.Tpch_tasks.id msg)
+    (Sheet_tpch.Tpch_tasks.all @ Sheet_tpch.Tpch_tasks.extensions)
+
+let test_builder_manual_flow () =
+  let catalog =
+    Sheet_sql.Catalog.of_list [ ("cars", Sample_cars.relation) ]
+  in
+  let b = Query_builder.create ~table:"cars" in
+  let b = Query_builder.set_output b [ "Model"; "Price" ] in
+  let b =
+    Query_builder.add_criterion b ~column:"Year" ~op:Expr.Eq
+      ~value:(Value.Int 2005)
+  in
+  let b = Query_builder.add_sort b ~column:"Price" ~dir:`Desc in
+  Alcotest.(check string) "generated SQL"
+    "SELECT Model, Price FROM cars WHERE Year = 2005 ORDER BY Price DESC"
+    (Query_builder.to_sql b);
+  (match Query_builder.run b catalog with
+  | Ok rel -> Alcotest.(check int) "4 rows" 4 (Relation.cardinality rel)
+  | Error msg -> Alcotest.fail msg);
+  (* a syntax error typed into the SQL window surfaces at run time *)
+  let broken = Query_builder.type_sql b "GRUOP BY Model" in
+  Alcotest.(check bool) "typed syntax error caught" true
+    (Result.is_error (Query_builder.run broken catalog))
+
+(* ---- dialogs (Sec. VI / Fig. 1) ---- *)
+
+let grouped_session () =
+  run_script (session ()) "group Model asc\ngroup Year asc"
+
+let test_aggregation_dialog_fig1 () =
+  let sheet = Session.current (grouped_session ()) in
+  let dialog = Dialog.aggregation sheet ~column:(Some "Price") in
+  (* Fig. 1's level wording, generated from the grouping *)
+  (match dialog.Dialog.questions with
+  | [ Dialog.Choice { options = fns; _ };
+      Dialog.Choice { options = levels; _ } ] ->
+      Alcotest.(check bool) "avg offered for numeric column" true
+        (List.mem "avg" fns);
+      Alcotest.(check (list string)) "level wording"
+        [ "all the rows"; "rows with the same Model";
+          "rows with the same Model, Year" ]
+        levels
+  | _ -> Alcotest.fail "two choices expected");
+  match
+    Dialog.answer dialog [ "avg"; "rows with the same Model, Year" ]
+  with
+  | Ok (Op.Aggregate { fn = Expr.Avg; col = Some "Price"; level = 3; _ }) ->
+      ()
+  | Ok op -> Alcotest.failf "wrong op: %s" (Op.describe op)
+  | Error msg -> Alcotest.fail msg
+
+let test_aggregation_dialog_string_column () =
+  let sheet = Session.current (session ()) in
+  let dialog = Dialog.aggregation sheet ~column:(Some "Model") in
+  match dialog.Dialog.questions with
+  | Dialog.Choice { options = fns; _ } :: _ ->
+      Alcotest.(check bool) "no sum/avg on strings" false
+        (List.mem "sum" fns || List.mem "avg" fns);
+      Alcotest.(check bool) "min/max allowed" true
+        (List.mem "min" fns && List.mem "max" fns)
+  | _ -> Alcotest.fail "choice expected"
+
+let test_dialog_validation () =
+  let sheet = Session.current (session ()) in
+  let dialog = Dialog.aggregation sheet ~column:(Some "Price") in
+  Alcotest.(check bool) "wrong arity rejected" true
+    (Result.is_error (Dialog.answer dialog [ "avg" ]));
+  Alcotest.(check bool) "bad choice rejected" true
+    (Result.is_error (Dialog.answer dialog [ "median"; "all the rows" ]))
+
+let test_selection_dialog () =
+  let sheet = Session.current (session ()) in
+  let dialog = Dialog.selection sheet ~column:"Year" in
+  (match Dialog.answer dialog [ ">="; "2005" ] with
+  | Ok (Op.Select pred) ->
+      Alcotest.(check string) "predicate" "Year >= 2005"
+        (Expr.to_string pred)
+  | Ok op -> Alcotest.failf "wrong op: %s" (Op.describe op)
+  | Error msg -> Alcotest.fail msg);
+  Alcotest.(check bool) "garbage constant rejected" true
+    (Result.is_error (Dialog.answer dialog [ "="; "'unterminated" ]))
+
+let test_ordering_dialog () =
+  let flat = Session.current (session ()) in
+  let d1 = Dialog.ordering flat ~column:"Price" in
+  Alcotest.(check int) "no level question when ungrouped" 1
+    (List.length d1.Dialog.questions);
+  let grouped = Session.current (grouped_session ()) in
+  let d2 = Dialog.ordering grouped ~column:"Price" in
+  Alcotest.(check int) "level question when grouped" 2
+    (List.length d2.Dialog.questions);
+  match
+    Dialog.answer d2 [ "descending"; "rows with the same Model" ]
+  with
+  | Ok (Op.Order { attr = "Price"; dir = Grouping.Desc; level = 2 }) -> ()
+  | Ok op -> Alcotest.failf "wrong op: %s" (Op.describe op)
+  | Error msg -> Alcotest.fail msg
+
+let test_formula_and_join_dialogs () =
+  let sheet = Session.current (session ()) in
+  (match Dialog.answer (Dialog.formula sheet) [ ""; "Price * 2" ] with
+  | Ok (Op.Formula { name = None; _ }) -> ()
+  | _ -> Alcotest.fail "anonymous formula expected");
+  (match Dialog.answer (Dialog.formula sheet) [ "dbl"; "Price * 2" ] with
+  | Ok (Op.Formula { name = Some "dbl"; _ }) -> ()
+  | _ -> Alcotest.fail "named formula expected");
+  let join = Dialog.join sheet ~stored:[ "makers" ] in
+  (match Dialog.answer join [ "makers"; "Model = MModel" ] with
+  | Ok (Op.Join { stored = "makers"; _ }) -> ()
+  | _ -> Alcotest.fail "join op expected");
+  Alcotest.(check bool) "unknown stored sheet rejected" true
+    (Result.is_error (Dialog.answer join [ "nope"; "Model = MModel" ]))
+
+let () =
+  Alcotest.run "sheet_ui"
+    [ ( "context-menu",
+        [ Alcotest.test_case "header menu (plain)" `Quick
+            test_header_menu_plain;
+          Alcotest.test_case "cell filter entry" `Quick test_cell_menu_filter;
+          Alcotest.test_case "grouped menu guards" `Quick test_grouped_menu;
+          Alcotest.test_case "modify entry after selection" `Quick
+            test_modify_entry_after_selection;
+          Alcotest.test_case "computed column guard" `Quick
+            test_computed_column_menu;
+          Alcotest.test_case "binary ops need stored sheet" `Quick
+            test_sheet_menu_binary_ops;
+          Alcotest.test_case "restore entry" `Quick test_restore_entry;
+          Alcotest.test_case "describe renders" `Quick test_describe_renders
+        ] );
+      ( "query-builder",
+        [ Alcotest.test_case "graphical tasks" `Quick
+            test_builder_graphical_tasks;
+          Alcotest.test_case "SQL cliff tasks" `Quick
+            test_builder_sql_cliff_tasks;
+          Alcotest.test_case "reproduces every task" `Quick
+            test_builder_reproduces_tasks;
+          Alcotest.test_case "manual flow + syntax error" `Quick
+            test_builder_manual_flow ] );
+      ( "dialogs",
+        [ Alcotest.test_case "aggregation (Fig. 1)" `Quick
+            test_aggregation_dialog_fig1;
+          Alcotest.test_case "string column functions" `Quick
+            test_aggregation_dialog_string_column;
+          Alcotest.test_case "validation" `Quick test_dialog_validation;
+          Alcotest.test_case "selection" `Quick test_selection_dialog;
+          Alcotest.test_case "ordering" `Quick test_ordering_dialog;
+          Alcotest.test_case "formula and join" `Quick
+            test_formula_and_join_dialogs ] ) ]
