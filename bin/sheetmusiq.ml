@@ -45,7 +45,8 @@ Durable sheets:
   export <path> | import <path>
 Display:
   print [n] | status | tree [n] | describe | menu [<col>] | help | quit
-  sql                             show the single-block SQL equivalent|}
+  sql                             show the single-block SQL equivalent
+  lint                            static analysis of the current query state|}
 
 let load_initial () =
   let argv = Sys.argv in
@@ -112,6 +113,11 @@ let handle_extra session line =
        with
       | Ok sql -> print_endline sql
       | Error reason -> Printf.printf "not a single-block query: %s\n" reason);
+      true
+  | [ "lint" ] ->
+      print_endline
+        (Sheet_analysis.Sheetlint.render
+           (Sheet_analysis.Sheetlint.session session));
       true
   | [ "sheets" ] ->
       (match Store.names (Session.store session) with

@@ -112,7 +112,9 @@ let () =
     "sheetsql -- core single-block SQL over the spreadsheet engine.\n\
      Tables:\n";
   list_tables catalog;
-  Printf.printf "\\d to list tables, \\t <sql> to translate, \\q to quit.\n";
+  Printf.printf
+    "\\d to list tables, \\t <sql> to translate, \\lint <sql> to analyze, \
+     \\q to quit.\n";
   let buffer = Buffer.create 256 in
   (try
      while true do
@@ -126,6 +128,13 @@ let () =
        else if String.length trimmed >= 3 && String.sub trimmed 0 3 = "\\t " then
          translate_and_run catalog
            (String.sub trimmed 3 (String.length trimmed - 3))
+       else if
+         String.length trimmed >= 6 && String.sub trimmed 0 6 = "\\lint "
+       then
+         print_endline
+           (Sheet_analysis.Sheetlint.render
+              (Sheet_analysis.Sheetlint.sql_string catalog
+                 (String.sub trimmed 6 (String.length trimmed - 6))))
        else begin
          Buffer.add_string buffer line;
          Buffer.add_char buffer ' ';

@@ -1,0 +1,69 @@
+type severity = Error | Warning | Hint
+
+type location =
+  | Selection of int
+  | Column of string
+  | Grouping
+  | Ordering
+  | Clause of string
+  | Query
+
+type t = {
+  severity : severity;
+  code : string;
+  location : location;
+  message : string;
+}
+
+let make severity ~code ~loc message =
+  { severity; code; location = loc; message }
+
+let error ~code ~loc message = make Error ~code ~loc message
+let warning ~code ~loc message = make Warning ~code ~loc message
+let hint ~code ~loc message = make Hint ~code ~loc message
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Hint -> "hint"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Hint -> 2
+
+let location_to_string = function
+  | Selection id -> Printf.sprintf "selection #%d" id
+  | Column c -> Printf.sprintf "column %s" c
+  | Grouping -> "grouping"
+  | Ordering -> "ordering"
+  | Clause c -> c
+  | Query -> "query"
+
+let to_string d =
+  Printf.sprintf "%s[%s] %s: %s"
+    (severity_to_string d.severity)
+    d.code
+    (location_to_string d.location)
+    d.message
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)
+
+(* One diagnostic per line, fields tab-separated — greppable and
+   stable for tooling. *)
+let to_machine d =
+  String.concat "\t"
+    [ severity_to_string d.severity;
+      d.code;
+      location_to_string d.location;
+      d.message ]
+
+let sort ds =
+  List.stable_sort
+    (fun a b -> compare (severity_rank a.severity) (severity_rank b.severity))
+    ds
+
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+let has_warnings ds = List.exists (fun d -> d.severity = Warning) ds
+
+let render = function
+  | [] -> "no diagnostics"
+  | ds ->
+      sort ds |> List.map to_string |> String.concat "\n"

@@ -1,0 +1,51 @@
+(** Structured findings of the static analyzer (Sheetlint).
+
+    A diagnostic ties a severity and a stable machine-readable code to
+    the operator or column it concerns. [Error] means the analysis
+    {e proved} the construct can never contribute a row (the query
+    result is degenerate); [Warning] flags operators that provably do
+    nothing or duplicate another; [Hint] marks legitimate-but-notable
+    patterns a user may want to reconsider. *)
+
+type severity = Error | Warning | Hint
+
+type location =
+  | Selection of int  (** a selection predicate, by its stable id *)
+  | Column of string
+  | Grouping
+  | Ordering
+  | Clause of string  (** a SQL clause, e.g. ["WHERE"] *)
+  | Query  (** the query as a whole *)
+
+type t = {
+  severity : severity;
+  code : string;  (** stable slug, e.g. ["unsat-predicate"] *)
+  location : location;
+  message : string;
+}
+
+val make : severity -> code:string -> loc:location -> string -> t
+val error : code:string -> loc:location -> string -> t
+val warning : code:string -> loc:location -> string -> t
+val hint : code:string -> loc:location -> string -> t
+
+val severity_to_string : severity -> string
+val location_to_string : location -> string
+
+val to_string : t -> string
+(** Pretty one-liner: ["error[unsat-predicate] selection #2: ..."]. *)
+
+val to_machine : t -> string
+(** Tab-separated [severity code location message] — one stable line
+    per diagnostic for scripts to consume. *)
+
+val pp : Format.formatter -> t -> unit
+
+val sort : t list -> t list
+(** Errors first, then warnings, then hints (stable). *)
+
+val has_errors : t list -> bool
+val has_warnings : t list -> bool
+
+val render : t list -> string
+(** Sorted pretty lines, or ["no diagnostics"]. *)

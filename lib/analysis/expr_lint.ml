@@ -1,0 +1,77 @@
+open Sheet_rel
+
+let unknown_columns ~known e =
+  match known with
+  | None -> []
+  | Some names ->
+      List.filter (fun c -> not (List.mem c names)) (Expr.columns e)
+
+(* Conjunction of the conjuncts at the selected indices. *)
+let conj_where conjs keep =
+  match List.filteri (fun j _ -> keep j) conjs with
+  | [] -> Expr.Const (Value.Bool true)
+  | c :: cs -> List.fold_left (fun a b -> Expr.And (a, b)) c cs
+
+let lint_pred ?type_of ?known ~loc (pred : Expr.t) : Diagnostic.t list =
+  let unknown = unknown_columns ~known pred in
+  if unknown <> [] then
+    [ Diagnostic.error ~code:"unknown-column" ~loc
+        (Printf.sprintf "references unknown column%s %s"
+           (if List.length unknown > 1 then "s" else "")
+           (String.concat ", " unknown)) ]
+  else
+    match Expr_domain.check ?type_of pred with
+    | `Unsat cols ->
+        let detail =
+          match cols with
+          | [] -> ""
+          | cs -> " (conflicting constraints on " ^ String.concat ", " cs ^ ")"
+        in
+        [ Diagnostic.error ~code:"unsat-predicate" ~loc
+            (Printf.sprintf "predicate %s can never hold%s — it filters out every row"
+               (Expr.to_string pred) detail) ]
+    | `Maybe ->
+        let diags = ref [] in
+        let add d = diags := d :: !diags in
+        if Expr_domain.tautology ?type_of pred then
+          add
+            (Diagnostic.warning ~code:"tautology" ~loc
+               (Printf.sprintf "predicate %s holds on every row — the filter is a no-op"
+                  (Expr.to_string pred)));
+        (* conjunct-level redundancy: duplicates and implied conjuncts *)
+        let conjs = Expr.conjuncts pred in
+        if List.length conjs > 1 then begin
+          let arr = Array.of_list conjs in
+          let n = Array.length arr in
+          let reported = Array.make n false in
+          for i = 0 to n - 1 do
+            for j = i + 1 to n - 1 do
+              if (not reported.(j)) && Expr.equal arr.(i) arr.(j) then begin
+                reported.(j) <- true;
+                add
+                  (Diagnostic.hint ~code:"duplicate-conjunct" ~loc
+                     (Printf.sprintf "conjunct %s is repeated"
+                        (Expr.to_string arr.(j))))
+              end
+            done
+          done;
+          (* a conjunct implied by the rest adds nothing; scan from the
+             right so of two equivalent conjuncts the later one is
+             flagged. Already-reported duplicates are left out of the
+             rest, lest they justify flagging their own twin. *)
+          for i = n - 1 downto 0 do
+            if
+              (not reported.(i))
+              && Expr_domain.implies ?type_of
+                   (conj_where conjs (fun j -> j <> i && not reported.(j)))
+                   arr.(i)
+            then begin
+              reported.(i) <- true;
+              add
+                (Diagnostic.hint ~code:"redundant-conjunct" ~loc
+                   (Printf.sprintf "conjunct %s is implied by the rest of the predicate"
+                      (Expr.to_string arr.(i))))
+            end
+          done
+        end;
+        List.rev !diags

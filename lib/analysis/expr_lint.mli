@@ -1,0 +1,21 @@
+(** Lints on a single predicate, powered by {!Sheet_rel.Expr_domain}.
+
+    Produced diagnostics:
+    - [unknown-column] (error): references a column absent from
+      [known] (when supplied);
+    - [unsat-predicate] (error): provably satisfied by no row;
+    - [tautology] (warning): provably satisfied by every row;
+    - [duplicate-conjunct] (hint): a literally repeated conjunct;
+    - [redundant-conjunct] (hint): a conjunct implied by the others
+      (e.g. [Price < 10 AND Price < 20]). *)
+
+open Sheet_rel
+
+val lint_pred :
+  ?type_of:(string -> Value.vtype option) ->
+  ?known:string list ->
+  loc:Diagnostic.location ->
+  Expr.t ->
+  Diagnostic.t list
+(** [type_of] supplies column types for sharper verdicts; [known],
+    when given, is the full list of legal column names. *)

@@ -1,0 +1,28 @@
+open Sheet_core
+
+(* Linting must never take a session down: any escaped exception
+   becomes a diagnostic about the analyzer itself. *)
+let guard f =
+  try f ()
+  with exn ->
+    [ Diagnostic.error ~code:"analyzer-failure" ~loc:Diagnostic.Query
+        (Printf.sprintf "the analyzer itself failed: %s"
+           (Printexc.to_string exn)) ]
+
+let expr ?type_of e =
+  guard (fun () -> Expr_lint.lint_pred ?type_of ~loc:Diagnostic.Query e)
+
+let sheet s = guard (fun () -> State_lint.lint s)
+let session s = guard (fun () -> State_lint.lint (Session.current s))
+let sql catalog q = guard (fun () -> Sql_lint.lint_query catalog q)
+let sql_string catalog text =
+  guard (fun () -> Sql_lint.lint_string catalog text)
+
+let script start text =
+  match Script.run_silent start text with
+  | Error msg -> Error msg
+  | Ok session' -> Ok (guard (fun () -> State_lint.lint (Session.current session')))
+
+let render = Diagnostic.render
+let has_errors = Diagnostic.has_errors
+let has_warnings = Diagnostic.has_warnings

@@ -1,0 +1,21 @@
+(** Lints on core single-block SQL — the [\lint] command of
+    [sheetsql].
+
+    The WHERE and HAVING predicates get the {!Expr_lint} treatment
+    against the FROM-product schema (so [WHERE Price < 10 AND
+    Price > 20] is an error before any data is read); GROUP BY and
+    ORDER BY are checked for duplicate keys; WHERE and HAVING are
+    checked for joint unsatisfiability ([conflicting-clauses]).
+    The query is then translated through Theorem 1
+    ({!Sheet_sql.Sql_to_sheet}) and the resulting sheet's query state
+    is linted with {!State_lint}, keeping only the findings a clause
+    check cannot see (dead computed columns, dead order keys, ...) —
+    the same analysis engine serving both front ends.
+
+    Malformed input yields a [parse-error] / [invalid-query] error
+    diagnostic rather than an exception. *)
+
+open Sheet_sql
+
+val lint_query : Catalog.t -> Sql_ast.query -> Diagnostic.t list
+val lint_string : Catalog.t -> string -> Diagnostic.t list

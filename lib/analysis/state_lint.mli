@@ -1,0 +1,29 @@
+(** Lints over a spreadsheet's query state.
+
+    Beyond the per-predicate lints of {!Expr_lint} (run on every
+    selection with the sheet's full schema), this pass reports:
+    - [conflicting-selections] (error): two selections — or the whole
+      selection set — jointly unsatisfiable. Sound across strata: a
+      materialized row satisfies every selection predicate, so a
+      contradictory set proves an empty result.
+    - [subsumed-selection] / [duplicate-selection] (warning): a
+      selection implied by (resp. equivalent to) another — it filters
+      nothing further and only clutters the query state.
+    - [dead-computed-column] (warning): a hidden computed column
+      nothing reads — pure evaluation cost.
+    - [hidden-referenced] (hint): a hidden column other operators
+      still read (normal after SQL translation, notable otherwise).
+    - [duplicate-order-key] / [dead-order-key] (warning): ordering
+      keys that can never affect the presentation.
+    - [whole-sheet-aggregate] (hint): a level-1 aggregate on a grouped
+      sheet — constant everywhere, often a mistyped level.
+    - [aggregate-selection] (hint): a selection applying after
+      aggregation (HAVING semantics, Theorem 2's replay order). *)
+
+open Sheet_core
+
+val referenced_columns : Query_state.t -> string list
+(** Sorted names of every column the state's selections, computed
+    columns, grouping and ordering read. *)
+
+val lint : Spreadsheet.t -> Diagnostic.t list

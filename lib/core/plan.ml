@@ -153,6 +153,17 @@ let rec output_columns = function
   | Extend_aggregate ({ agg_name; _ }, child) ->
       output_columns child @ [ agg_name ]
 
+let rec output_schema = function
+  | Scan rel -> Relation.schema rel
+  | Project (cols, child) -> Schema.restrict (output_schema child) cols
+  | Filter (_, child) | Distinct_on (_, child) | Sort (_, child) ->
+      output_schema child
+  | Extend_formula ({ name; ty; _ }, child) ->
+      Schema.append (output_schema child) { Schema.name; ty }
+  | Extend_aggregate ({ agg_name; agg_ty; _ }, child) ->
+      Schema.append (output_schema child)
+        { Schema.name = agg_name; ty = agg_ty }
+
 (* ---------- optimization ---------- *)
 
 let union_cols a b =
@@ -238,11 +249,45 @@ let rec prune needed = function
   | Sort (k, c) ->
       Sort (k, prune (union_cols needed (List.map fst k)) c)
 
+let and_all = function
+  | [] -> Expr.Const (Value.Bool true)
+  | p :: ps -> List.fold_left (fun a b -> Expr.And (a, b)) p ps
+
+(* Drop conjuncts that are provably tautological or implied by the
+   remaining ones (right-to-left, so of two equivalent conjuncts the
+   earlier survives). Sound: implication is proved over every row,
+   nulls included, so the filtered multiset is unchanged. *)
+let prune_conjuncts ~type_of conjs =
+  let arr = Array.of_list conjs in
+  let keep = Array.make (Array.length arr) true in
+  let kept_except i =
+    Array.to_list arr |> List.filteri (fun j _ -> keep.(j) && j <> i)
+  in
+  for i = Array.length arr - 1 downto 0 do
+    let rest = kept_except i in
+    if
+      Expr_domain.tautology ~type_of arr.(i)
+      || (rest <> [] && Expr_domain.implies ~type_of (and_all rest) arr.(i))
+    then keep.(i) <- false
+  done;
+  Array.to_list arr |> List.filteri (fun j _ -> keep.(j))
+
 let rec simplify_filters = function
   | Filter (pred, c) -> (
+      let c = simplify_filters c in
+      let type_of = Schema.type_of (output_schema c) in
       match Expr_simplify.simplify pred with
-      | Expr.Const (Value.Bool true) -> simplify_filters c
-      | pred -> Filter (pred, simplify_filters c))
+      | Expr.Const (Value.Bool true) -> c
+      | pred ->
+          if not (Expr_domain.satisfiable ~type_of pred) then
+            (* a provably-false filter: the whole subtree compiles to
+               an empty scan of the same schema *)
+            Scan (Relation.empty (output_schema c))
+          else begin
+            match prune_conjuncts ~type_of (Expr.conjuncts pred) with
+            | [] -> c
+            | conjs -> Filter (and_all conjs, c)
+          end)
   | Scan rel -> Scan rel
   | Project (cols, c) -> Project (cols, simplify_filters c)
   | Distinct_on (k, c) -> Distinct_on (k, simplify_filters c)

@@ -22,7 +22,14 @@
       representative);
     - {e projection pruning}: when the consumer only needs some
       columns ([~keep]), a projection is pushed onto the scan and
-      extensions whose outputs are never consumed are dropped. *)
+      extensions whose outputs are never consumed are dropped;
+    - {e predicate pruning} (via {!Sheet_rel.Expr_domain}): a fused
+      filter proved unsatisfiable compiles its subtree to an empty
+      scan of the right schema without reading a row, and conjuncts
+      proved tautological or implied by the remaining conjuncts are
+      dropped. Both proofs hold over every row (nulls included), so
+      {!execute} on the optimized plan still equals
+      {!Materialize.full} — property-tested. *)
 
 open Sheet_rel
 
@@ -63,3 +70,6 @@ val explain : node -> string
 
 val output_columns : node -> string list
 (** Schema (names) the plan produces, in order. *)
+
+val output_schema : node -> Sheet_rel.Schema.t
+(** The typed schema the plan produces — usable before execution. *)

@@ -87,6 +87,18 @@ let column_dependents t col =
   in
   from_selections @ from_computed
 
+let referenced_columns t =
+  let of_selections =
+    List.concat_map (fun s -> Expr.columns s.pred) t.selections
+  and of_computed =
+    List.concat_map Computed.referenced_columns t.computed
+  and of_grouping =
+    Grouping.all_group_attrs t.grouping
+    @ Grouping.group_order_columns t.grouping
+    @ List.map fst t.grouping.Grouping.leaf_order
+  in
+  List.sort_uniq String.compare (of_selections @ of_computed @ of_grouping)
+
 let aggregates_broken_by_grouping_change t ~surviving_levels =
   List.filter
     (fun c ->

@@ -53,6 +53,11 @@ val selection_stratum : t -> Expr.t -> int
 
 (** {1 Dependencies} *)
 
+val referenced_columns : t -> string list
+(** Sorted names of every column the state reads: selection
+    predicates, computed-column definitions, grouping bases, and
+    ordering keys. A hidden column outside this list feeds nothing. *)
+
 val column_dependents : t -> string -> string list
 (** Human-readable descriptions of every operator that reads the
     column: selections and computed-column definitions. Used to refuse

@@ -1,0 +1,48 @@
+(** Static satisfiability analysis of predicates by interval
+    abstraction — the reasoning engine behind Sheetlint and the plan
+    optimizer's predicate pruning.
+
+    A predicate is normalized (two-valued, as {!Expr_eval} evaluates:
+    comparisons involving [NULL] or incomparable types are [false],
+    connectives see only booleans) into a bounded disjunctive normal
+    form; each conjunct is abstracted into one constraint per column:
+    an over-approximating {!Interval.t} over the non-null values
+    together with a flag telling whether [NULL] can satisfy the
+    conjunct's literals on that column. The abstraction is {e sound}:
+    every verdict below is a theorem about {!Expr_eval.eval_pred}, at
+    the price of answering "don't know" liberally.
+
+    NULL discipline (the part naive interval reasoning gets wrong): a
+    {e positive} comparison atom rejects [NULL], but its negation
+    [NOT (x < 10)] {e accepts} it — so [NOT (x < 10) AND NOT (x >= 10)]
+    is satisfiable (by a null [x]) and [x < 10 OR x >= 10] is not a
+    tautology. Both are handled here. *)
+
+type verdict = [ `Maybe | `Unsat of string list ]
+(** [`Unsat cols] is a proof that no row satisfies the predicate;
+    [cols] are columns whose constraints are contradictory (possibly
+    empty when the contradiction is not tied to a column, e.g. a
+    constant [FALSE]). [`Maybe] claims nothing. *)
+
+val check :
+  ?type_of:(string -> Value.vtype option) -> Expr.t -> verdict
+(** [type_of] supplies declared column types (from a schema); with
+    them the analysis also proves comparisons across incomparable
+    types unsatisfiable ([Model < 10] on a string column) and tightens
+    open integer endpoints ([x > 5 AND x < 6] over ints). *)
+
+val satisfiable :
+  ?type_of:(string -> Value.vtype option) -> Expr.t -> bool
+(** [false] only on a proof of unsatisfiability. *)
+
+val tautology :
+  ?type_of:(string -> Value.vtype option) -> Expr.t -> bool
+(** [true] only when the predicate provably holds on {e every} row —
+    including rows with nulls, so [x < 10 OR x >= 10] is {e not} a
+    tautology but [x < 10 OR x >= 10 OR x IS NULL] is (given [x]'s
+    type). *)
+
+val implies :
+  ?type_of:(string -> Value.vtype option) -> Expr.t -> Expr.t -> bool
+(** [implies p q]: every row satisfying [p] satisfies [q] (provable).
+    The workhorse of subsumed-predicate lints and conjunct pruning. *)

@@ -17,24 +17,33 @@ let rec simplify (e : Expr.t) : Expr.t =
     | Expr.Neg a -> Expr.Neg (s a)
     | Expr.Arith (op, a, b) -> Expr.Arith (op, s a, s b)
     | Expr.Concat (a, b) -> Expr.Concat (s a, s b)
-    | Expr.Cmp (op, a, b) -> Expr.Cmp (op, s a, s b)
+    | Expr.Cmp (op, a, b) -> (
+        match (s a, s b) with
+        (* a comparison against NULL never holds, whatever the other
+           side evaluates to *)
+        | Expr.Const Value.Null, _ | _, Expr.Const Value.Null ->
+            Expr.Const (Value.Bool false)
+        | a, b -> Expr.Cmp (op, a, b))
     | Expr.And (a, b) -> (
         match (s a, s b) with
         | Expr.Const (Value.Bool true), x | x, Expr.Const (Value.Bool true)
           ->
             x
-        | (Expr.Const (Value.Bool false) as f), _
-        | _, (Expr.Const (Value.Bool false) as f) ->
-            f
+        (* NULL is falsy under the two-valued connective semantics *)
+        | Expr.Const (Value.Bool false | Value.Null), _
+        | _, Expr.Const (Value.Bool false | Value.Null) ->
+            Expr.Const (Value.Bool false)
+        | a, b when Expr.equal a b -> a  (* idempotence *)
         | a, b -> Expr.And (a, b))
     | Expr.Or (a, b) -> (
         match (s a, s b) with
         | (Expr.Const (Value.Bool true) as t), _
         | _, (Expr.Const (Value.Bool true) as t) ->
             t
-        | Expr.Const (Value.Bool false), x
-        | x, Expr.Const (Value.Bool false) ->
+        | Expr.Const (Value.Bool false | Value.Null), x
+        | x, Expr.Const (Value.Bool false | Value.Null) ->
             x
+        | a, b when Expr.equal a b -> a  (* idempotence *)
         | a, b -> Expr.Or (a, b))
     | Expr.Not a -> (
         match s a with

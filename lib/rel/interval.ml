@@ -1,0 +1,122 @@
+type bound =
+  | Unbounded
+  | Incl of Value.t
+  | Excl of Value.t
+
+type t = { lo : bound; hi : bound }
+
+let full = { lo = Unbounded; hi = Unbounded }
+
+(* Canonical empty: an open degenerate range. Any representation with
+   [lo >= hi] (strictly, for open endpoints) is detected by
+   {!is_empty}. *)
+let empty = { lo = Excl (Value.Bool false); hi = Excl (Value.Bool false) }
+
+let point v = { lo = Incl v; hi = Incl v }
+
+let of_cmp (op : Expr.cmp) (v : Value.t) : t =
+  if Value.is_null v then
+    (* SQL comparison against NULL never holds *)
+    empty
+  else
+    match op with
+    | Expr.Eq -> point v
+    | Expr.Ne -> full
+    | Expr.Lt -> { lo = Unbounded; hi = Excl v }
+    | Expr.Le -> { lo = Unbounded; hi = Incl v }
+    | Expr.Gt -> { lo = Excl v; hi = Unbounded }
+    | Expr.Ge -> { lo = Incl v; hi = Unbounded }
+
+(* Discrete tightening: over an integer-valued order (ints, dates) an
+   open endpoint is equivalent to the closed endpoint one step in. *)
+let tighten ty { lo; hi } =
+  let discrete =
+    match ty with Some Value.TInt | Some Value.TDate -> true | _ -> false
+  in
+  if not discrete then { lo; hi }
+  else
+    let lo =
+      match lo with
+      | Excl (Value.Int n) -> Incl (Value.Int (n + 1))
+      | Excl (Value.Date n) -> Incl (Value.Date (n + 1))
+      | b -> b
+    and hi =
+      match hi with
+      | Excl (Value.Int n) -> Incl (Value.Int (n - 1))
+      | Excl (Value.Date n) -> Incl (Value.Date (n - 1))
+      | b -> b
+    in
+    { lo; hi }
+
+let is_empty ?ty t =
+  let { lo; hi } = tighten ty t in
+  match (lo, hi) with
+  | Unbounded, _ | _, Unbounded -> false
+  | Incl a, Incl b -> Value.compare a b > 0
+  | Incl a, Excl b | Excl a, Incl b | Excl a, Excl b ->
+      Value.compare a b >= 0
+
+(* Lower-bound order: the greater, the tighter. *)
+let lo_compare a b =
+  match (a, b) with
+  | Unbounded, Unbounded -> 0
+  | Unbounded, _ -> -1
+  | _, Unbounded -> 1
+  | (Incl x | Excl x), (Incl y | Excl y) -> (
+      match Value.compare x y with
+      | 0 -> (
+          match (a, b) with
+          | Incl _, Excl _ -> -1
+          | Excl _, Incl _ -> 1
+          | _ -> 0)
+      | c -> c)
+
+(* Upper-bound order: the smaller, the tighter. *)
+let hi_compare a b =
+  match (a, b) with
+  | Unbounded, Unbounded -> 0
+  | Unbounded, _ -> 1
+  | _, Unbounded -> -1
+  | (Incl x | Excl x), (Incl y | Excl y) -> (
+      match Value.compare x y with
+      | 0 -> (
+          match (a, b) with
+          | Incl _, Excl _ -> 1
+          | Excl _, Incl _ -> -1
+          | _ -> 0)
+      | c -> c)
+
+let inter a b =
+  { lo = (if lo_compare a.lo b.lo >= 0 then a.lo else b.lo);
+    hi = (if hi_compare a.hi b.hi <= 0 then a.hi else b.hi) }
+
+let subset a b =
+  is_empty a || (lo_compare b.lo a.lo <= 0 && hi_compare a.hi b.hi <= 0)
+
+let mem v t =
+  (match t.lo with
+  | Unbounded -> true
+  | Incl x -> Value.compare v x >= 0
+  | Excl x -> Value.compare v x > 0)
+  && (match t.hi with
+     | Unbounded -> true
+     | Incl x -> Value.compare v x <= 0
+     | Excl x -> Value.compare v x < 0)
+
+let to_string t =
+  if is_empty t then "(empty)"
+  else
+    let lo =
+      match t.lo with
+      | Unbounded -> "(-inf"
+      | Incl v -> "[" ^ Value.to_string v
+      | Excl v -> "(" ^ Value.to_string v
+    and hi =
+      match t.hi with
+      | Unbounded -> "+inf)"
+      | Incl v -> Value.to_string v ^ "]"
+      | Excl v -> Value.to_string v ^ ")"
+    in
+    lo ^ ", " ^ hi
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -73,6 +73,20 @@ let next_dir t col =
   | _ -> "asc"
 
 let run_command t text =
+  if String.trim text = "lint" then
+    (* analysis lives outside Script's command language; the status
+       line shows the worst finding and the total count *)
+    let diags = Sheet_analysis.Sheetlint.session t.session in
+    let message =
+      match Sheet_analysis.Diagnostic.sort diags with
+      | [] -> "lint: no diagnostics"
+      | [ d ] -> "lint: " ^ Sheet_analysis.Diagnostic.to_string d
+      | d :: _ ->
+          Printf.sprintf "lint: %d findings — %s" (List.length diags)
+            (Sheet_analysis.Diagnostic.to_string d)
+    in
+    { t with mode = Grid; message }
+  else
   match Script.run_line t.session text with
   | Ok { Script.session; output } ->
       { t with

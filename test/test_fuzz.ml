@@ -145,6 +145,109 @@ let browser_total =
              && String.length (Sheet_ui.Browser.render_text final) > 0)
       | exception _ -> false)
 
+(* adversarial expression trees: deep, ill-typed, null-ridden, with
+   ghost columns and nested aggregates — the static analyzer must
+   return a verdict (or a diagnostic), never escape with an
+   exception *)
+let gen_adversarial_expr : Expr.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let const =
+    oneofl
+      [ Value.Null; Value.Int 42; Value.Int max_int; Value.Float 4.5;
+        Value.Float nan; Value.String ""; Value.String "x";
+        Value.Bool false; Value.Date 733000 ]
+  in
+  let leaf =
+    oneof
+      [ map (fun v -> Expr.Const v) const;
+        map (fun c -> Expr.Col c) (oneofl [ "Price"; "Model"; "ghost"; "" ])
+      ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then leaf
+         else
+           let sub = self (n / 2) in
+           oneof
+             [ leaf;
+               (let* op =
+                  oneofl
+                    [ Expr.Eq; Expr.Ne; Expr.Lt; Expr.Le; Expr.Gt; Expr.Ge ]
+                in
+                let* a = sub in
+                let* b = sub in
+                return (Expr.Cmp (op, a, b)));
+               (let* a = sub in
+                let* b = sub in
+                oneofl [ Expr.And (a, b); Expr.Or (a, b) ]);
+               map (fun a -> Expr.Not a) sub;
+               map (fun a -> Expr.Is_null a) sub;
+               (let* a = sub in
+                let* lo = sub in
+                let* hi = sub in
+                return (Expr.Between (a, lo, hi)));
+               (let* a = sub in
+                return
+                  (Expr.In_list (a, [ Value.Null; Value.Int 1; Value.String "y" ])));
+               (let* a = sub in
+                return (Expr.Like (a, "%x_")));
+               (let* op = oneofl [ Expr.Add; Expr.Sub; Expr.Mul; Expr.Div ] in
+                let* a = sub in
+                let* b = sub in
+                return (Expr.Arith (op, a, b)));
+               (let* a = sub in
+                return (Expr.Agg (Expr.Sum, Some a))) ])
+
+let print_expr e = Expr.to_string e
+
+let expr_domain_total =
+  QCheck.Test.make ~count:1000
+    ~name:"Expr_domain.check/tautology never raise"
+    (QCheck.make ~print:print_expr gen_adversarial_expr)
+    (fun e ->
+      let type_of = Schema.type_of Sample_cars.schema in
+      match
+        ( Expr_domain.check ~type_of e,
+          Expr_domain.tautology ~type_of e,
+          Expr_domain.check e )
+      with
+      | _ -> true
+      | exception _ -> false)
+
+let sheetlint_expr_total =
+  QCheck.Test.make ~count:1000
+    ~name:"Sheetlint.expr never raises nor reports an analyzer failure"
+    (QCheck.make ~print:print_expr gen_adversarial_expr)
+    (fun e ->
+      match
+        Sheet_analysis.Sheetlint.expr
+          ~type_of:(Schema.type_of Sample_cars.schema) e
+      with
+      | diags ->
+          not
+            (List.exists
+               (fun (d : Sheet_analysis.Diagnostic.t) ->
+                 d.code = "analyzer-failure")
+               diags)
+      | exception _ -> false)
+
+let sheetlint_sql_total =
+  QCheck.Test.make ~count:500
+    ~name:"Sheetlint.sql_string never raises nor reports an analyzer failure"
+    (QCheck.make ~print:(fun s -> s) gen_garbage)
+    (fun s ->
+      let catalog =
+        Sheet_sql.Catalog.of_list [ ("t", Sample_cars.relation) ]
+      in
+      match Sheet_analysis.Sheetlint.sql_string catalog s with
+      | diags ->
+          not
+            (List.exists
+               (fun (d : Sheet_analysis.Diagnostic.t) ->
+                 d.code = "analyzer-failure")
+               diags)
+      | exception _ -> false)
+
 let () =
   let suite name tests =
     (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
@@ -153,4 +256,6 @@ let () =
     [ suite "parsers" [ expr_parser_total; sql_parser_total ];
       suite "entry-points"
         [ script_total; sql_executor_total; persist_total; csv_total ];
+      suite "analysis"
+        [ expr_domain_total; sheetlint_expr_total; sheetlint_sql_total ];
       suite "tui" [ browser_total ] ]

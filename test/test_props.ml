@@ -596,6 +596,80 @@ let plan_equals_interpreter =
         (Plan.execute (Plan.of_sheet sheet))
         (Materialize.full sheet))
 
+(* States seeded with selections the analyzer can prove degenerate:
+   contradictory pairs, subsumed pairs, tautologies, empty ranges. The
+   optimizer must prune them without changing a single row. *)
+let gen_conflicting_ops : Op.t list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let cmp op col v = Expr.Cmp (op, Expr.Col col, Expr.Const (Value.Int v)) in
+  let* col = oneofl numeric_cols in
+  let* x = int_range 1990 120000 in
+  let* gap = int_range 0 1000 in
+  oneofl
+    [ (* contradictory pair *)
+      [ Op.Select (cmp Expr.Lt col x); Op.Select (cmp Expr.Gt col (x + gap)) ];
+      (* contradictory pair on a string column *)
+      [ Op.Select
+          (Expr.Cmp
+             (Expr.Eq, Expr.Col "Model", Expr.Const (Value.String "Jetta")));
+        Op.Select
+          (Expr.Cmp
+             (Expr.Eq, Expr.Col "Model", Expr.Const (Value.String "Civic")))
+      ];
+      (* subsumed pair *)
+      [ Op.Select (cmp Expr.Lt col x); Op.Select (cmp Expr.Le col (x + gap)) ];
+      (* tautology *)
+      [ Op.Select
+          (Expr.Or
+             ( cmp Expr.Lt col x,
+               Expr.Or (cmp Expr.Ge col x, Expr.Is_null (Expr.Col col)) ))
+      ];
+      (* empty BETWEEN *)
+      [ Op.Select
+          (Expr.Between
+             ( Expr.Col col,
+               Expr.Const (Value.Int x),
+               Expr.Const (Value.Int (x - 1)) ))
+      ];
+      (* integer gap: no int strictly between x and x+1 *)
+      [ Op.Select (cmp Expr.Gt col x); Op.Select (cmp Expr.Lt col (x + 1)) ]
+    ]
+
+let gen_sheet_with_conflicts : Spreadsheet.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* sheet = gen_sheet_with_state in
+  let* extra = gen_conflicting_ops in
+  return
+    (List.fold_left
+       (fun sheet op ->
+         match Engine.apply sheet op with Ok s -> s | Error _ -> sheet)
+       sheet extra)
+
+let plan_pruning_preserves =
+  QCheck.Test.make ~count:1000
+    ~name:"plan: analysis-driven pruning preserves semantics"
+    (QCheck.make gen_sheet_with_conflicts)
+    (fun sheet ->
+      Relation.equal
+        (Plan.execute (Plan.optimize (Plan.of_sheet sheet)))
+        (Materialize.full sheet))
+
+let domain_unsat_sound =
+  QCheck.Test.make ~count:1000
+    ~name:"expr_domain: an Unsat verdict means no row satisfies"
+    QCheck.(
+      make ~print:(fun (_, p) -> Expr.to_string p)
+        Gen.(
+          let* rel = gen_base_relation in
+          let* p = gen_pred in
+          return (rel, p)))
+    (fun (rel, p) ->
+      match
+        Expr_domain.check ~type_of:(Schema.type_of Sample_cars.schema) p
+      with
+      | `Maybe -> true
+      | `Unsat _ -> Relation.cardinality (Rel_algebra.select p rel) = 0)
+
 let plan_optimize_preserves =
   QCheck.Test.make ~count:300
     ~name:"plan: optimization preserves semantics"
@@ -816,5 +890,6 @@ let () =
       suite "incremental" [ incremental_consistency ];
       suite "plan"
         [ plan_equals_interpreter; plan_optimize_preserves;
-          simplify_preserves_eval ];
+          plan_pruning_preserves; simplify_preserves_eval ];
+      suite "analysis" [ domain_unsat_sound ];
       suite "theorem1" [ theorem1_random_sql ] ]

@@ -1,0 +1,45 @@
+(* Lint gate over everything the repo bundles: each TPC-H task's
+   SheetMusiq script and its SQL, through the same Sheetlint passes
+   the shells expose. Any error-severity diagnostic (or a script that
+   does not run) fails the build. Run via [dune build @lint]; hints
+   and warnings are printed but do not fail. *)
+
+open Sheet_core
+open Sheet_analysis
+
+let () =
+  let catalog =
+    Sheet_tpch.Tpch_views.install
+      (Sheet_tpch.Tpch_gen.generate { Sheet_tpch.Tpch_gen.sf = 0.001; seed = 42 })
+  in
+  let failures = ref 0 in
+  let report what ds =
+    List.iter
+      (fun d -> Printf.printf "%s: %s\n" what (Diagnostic.to_string d))
+      (Diagnostic.sort ds);
+    if Diagnostic.has_errors ds then incr failures
+  in
+  let tasks = Sheet_tpch.Tpch_tasks.all @ Sheet_tpch.Tpch_tasks.extensions in
+  List.iter
+    (fun (task : Sheet_tpch.Tpch_tasks.t) ->
+      let label kind = Printf.sprintf "task %2d %s" task.id kind in
+      (match Sheet_sql.Catalog.find catalog task.base with
+      | None ->
+          Printf.printf "%s: no base relation %S\n" (label "script") task.base;
+          incr failures
+      | Some base -> (
+          let session = Session.create ~name:task.base base in
+          match Sheetlint.script session task.script with
+          | Error msg ->
+              Printf.printf "%s: does not run: %s\n" (label "script") msg;
+              incr failures
+          | Ok ds -> report (label "script") ds));
+      report (label "sql") (Sheetlint.sql_string catalog task.sql))
+    tasks;
+  if !failures > 0 then begin
+    Printf.eprintf "lint: %d failure(s)\n" !failures;
+    exit 1
+  end
+  else
+    Printf.printf "lint: %d task scripts and queries, no errors\n"
+      (List.length tasks)
