@@ -5,7 +5,14 @@
 
    Run with:  dune exec bench/main.exe            (everything)
               dune exec bench/main.exe -- quick   (skip microbenchmarks)
-*)
+              dune exec bench/main.exe -- --json BENCH_sheetmusiq.json
+              dune exec bench/main.exe -- --trace trace.json
+
+   Microbenchmark runs also write a machine-readable baseline
+   (benchmark name -> ns/run and rows/s where the workload has a known
+   input cardinality) so future PRs have a perf trajectory to compare
+   against; --trace records a Chrome trace_event file of the artifact
+   regenerations through Sheetscope (lib/obs). *)
 
 open Sheet_rel
 open Sheet_core
@@ -266,44 +273,82 @@ let grouping_vs_sort sheet ~tree () =
 (* Bechamel driver                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let tests =
-  let t name f = Test.make ~name (Staged.stage f) in
+(* Each entry: benchmark name, input cardinality when the workload has
+   one (for rows/s in the JSON baseline), thunk. *)
+let workloads =
   let sheet_1k = scaled_sheet 1000 in
   let sheet_4k = scaled_sheet 4000 in
   [ (* one bench per paper table/figure *)
-    t "table1/base-spreadsheet" (fun () -> ignore (table1_workload ()));
-    t "table2/grouping" (fun () -> ignore (table2_workload ()));
-    t "table3/aggregation" (fun () -> ignore (table3_workload ()));
-    t "table45/query-modification" (fun () -> ignore (table45_workload ()));
-    t "fig3-5+table6/study-simulation" (fun () -> ignore (study_report ()));
-    t "theorem1/tpch-task-equivalence" theorem1_workload;
+    ("table1/base-spreadsheet", None, fun () -> ignore (table1_workload ()));
+    ("table2/grouping", None, fun () -> ignore (table2_workload ()));
+    ("table3/aggregation", None, fun () -> ignore (table3_workload ()));
+    ("table45/query-modification", None,
+     fun () -> ignore (table45_workload ()));
+    ("fig3-5+table6/study-simulation", None,
+     fun () -> ignore (study_report ()));
+    ("theorem1/tpch-task-equivalence", None, theorem1_workload);
     (* operator scaling *)
-    t "op/selection-1k" (selection_workload sheet_1k);
-    t "op/selection-4k" (selection_workload sheet_4k);
-    t "op/grouping-1k" (grouping_workload sheet_1k);
-    t "op/grouping-4k" (grouping_workload sheet_4k);
-    t "op/aggregation-1k" (aggregation_workload sheet_1k);
-    t "op/aggregation-4k" (aggregation_workload sheet_4k);
-    t "op/dedup-1k" (dedup_workload sheet_1k);
+    ("op/selection-1k", Some 1000, selection_workload sheet_1k);
+    ("op/selection-4k", Some 4000, selection_workload sheet_4k);
+    ("op/grouping-1k", Some 1000, grouping_workload sheet_1k);
+    ("op/grouping-4k", Some 4000, grouping_workload sheet_4k);
+    ("op/aggregation-1k", Some 1000, aggregation_workload sheet_1k);
+    ("op/aggregation-4k", Some 4000, aggregation_workload sheet_4k);
+    ("op/dedup-1k", Some 1000, dedup_workload sheet_1k);
     (* ablations *)
-    t "ablation/replay-8-selections"
-      (replay_ablation sheet_1k ~k:8 ~merged:false);
-    t "ablation/replay-merged-conjunction"
-      (replay_ablation sheet_1k ~k:8 ~merged:true);
-    t "ablation/computed-1-column" (computed_ablation sheet_1k ~k:1);
-    t "ablation/computed-8-columns" (computed_ablation sheet_1k ~k:8);
-    t "ablation/incremental-pipeline"
-      (incremental_pipeline (Sample_cars.scaled ~rows:1000 ~seed:7));
-    t "ablation/full-replay-pipeline"
-      (full_replay_pipeline (Sample_cars.scaled ~rows:1000 ~seed:7));
-    t "ablation/plan-raw" (plan_workload ~mode:`Raw);
-    t "ablation/plan-fusion-pushdown" (plan_workload ~mode:`Rewrites);
-    t "ablation/plan-pruned" (plan_workload ~mode:`Pruned);
-    t "ablation/group-tree" (grouping_vs_sort sheet_1k ~tree:true);
-    t "ablation/flat-sort-emulation" (grouping_vs_sort sheet_1k ~tree:false)
+    ("ablation/replay-8-selections", Some 1000,
+     replay_ablation sheet_1k ~k:8 ~merged:false);
+    ("ablation/replay-merged-conjunction", Some 1000,
+     replay_ablation sheet_1k ~k:8 ~merged:true);
+    ("ablation/computed-1-column", Some 1000,
+     computed_ablation sheet_1k ~k:1);
+    ("ablation/computed-8-columns", Some 1000,
+     computed_ablation sheet_1k ~k:8);
+    ("ablation/incremental-pipeline", Some 1000,
+     incremental_pipeline (Sample_cars.scaled ~rows:1000 ~seed:7));
+    ("ablation/full-replay-pipeline", Some 1000,
+     full_replay_pipeline (Sample_cars.scaled ~rows:1000 ~seed:7));
+    ("ablation/plan-raw", Some 4000, plan_workload ~mode:`Raw);
+    ("ablation/plan-fusion-pushdown", Some 4000,
+     plan_workload ~mode:`Rewrites);
+    ("ablation/plan-pruned", Some 4000, plan_workload ~mode:`Pruned);
+    ("ablation/group-tree", Some 1000, grouping_vs_sort sheet_1k ~tree:true);
+    ("ablation/flat-sort-emulation", Some 2000,
+     grouping_vs_sort sheet_1k ~tree:false)
   ]
 
-let run_benchmarks () =
+let json_of_results results =
+  let open Sheet_obs in
+  Obs_json.Obj
+    [ ("schema", Obs_json.String "sheetmusiq-bench/v1");
+      ("unit", Obs_json.String "ns/run");
+      ("results",
+       Obs_json.Obj
+         (List.map
+            (fun (name, rows, ns) ->
+              ( name,
+                Obs_json.Obj
+                  (("ns_per_run", Obs_json.Float ns)
+                  ::
+                  (match rows with
+                  | Some r when ns > 0. ->
+                      [ ("rows",  Obs_json.Int r);
+                        ("rows_per_s",
+                         Obs_json.Float (float_of_int r /. (ns /. 1e9))) ]
+                  | _ -> []))))
+            results)) ]
+
+let write_json ~path results =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        (Sheet_obs.Obs_json.to_string ~pretty:true (json_of_results results));
+      output_char oc '\n');
+  Printf.printf "\nbaseline written to %s\n" path
+
+let run_benchmarks ~json_path =
   print_endline "\n============================================================";
   print_endline " Microbenchmarks (Bechamel, monotonic clock)";
   print_endline "============================================================\n";
@@ -314,35 +359,65 @@ let run_benchmarks () =
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
   in
-  Printf.printf "%-40s %14s\n" "benchmark" "time/run";
-  List.iter
-    (fun test ->
-      let raw = Benchmark.all cfg instances test in
-      let results = Analyze.all ols Instance.monotonic_clock raw in
-      Hashtbl.iter
-        (fun name ols_result ->
-          let estimate =
+  Printf.printf "%-40s %14s %14s\n" "benchmark" "time/run" "rows/s";
+  let results =
+    List.map
+      (fun (name, rows, f) ->
+        let test = Test.make ~name (Staged.stage f) in
+        let raw = Benchmark.all cfg instances test in
+        let analyzed = Analyze.all ols Instance.monotonic_clock raw in
+        let estimate = ref nan in
+        Hashtbl.iter
+          (fun _ ols_result ->
             match Analyze.OLS.estimates ols_result with
-            | Some (x :: _) -> x
-            | _ -> nan
-          in
-          let pretty =
-            if Float.is_nan estimate then "n/a"
-            else if estimate > 1e9 then
-              Printf.sprintf "%8.2f s " (estimate /. 1e9)
-            else if estimate > 1e6 then
-              Printf.sprintf "%8.2f ms" (estimate /. 1e6)
-            else if estimate > 1e3 then
-              Printf.sprintf "%8.2f us" (estimate /. 1e3)
-            else Printf.sprintf "%8.0f ns" estimate
-          in
-          Printf.printf "%-40s %14s\n%!" name pretty)
-        results)
-    tests
+            | Some (x :: _) -> estimate := x
+            | _ -> ())
+          analyzed;
+        let estimate = !estimate in
+        let pretty =
+          if Float.is_nan estimate then "n/a"
+          else if estimate > 1e9 then
+            Printf.sprintf "%8.2f s " (estimate /. 1e9)
+          else if estimate > 1e6 then
+            Printf.sprintf "%8.2f ms" (estimate /. 1e6)
+          else if estimate > 1e3 then
+            Printf.sprintf "%8.2f us" (estimate /. 1e3)
+          else Printf.sprintf "%8.0f ns" estimate
+        in
+        let throughput =
+          match rows with
+          | Some r when (not (Float.is_nan estimate)) && estimate > 0. ->
+              Printf.sprintf "%12.3e" (float_of_int r /. (estimate /. 1e9))
+          | _ -> "-"
+        in
+        Printf.printf "%-40s %14s %14s\n%!" name pretty throughput;
+        (name, rows, estimate))
+      workloads
+  in
+  write_json ~path:json_path
+    (List.filter (fun (_, _, ns) -> not (Float.is_nan ns)) results)
 
 let () =
-  let quick =
-    Array.length Sys.argv > 1 && Sys.argv.(1) = "quick"
+  let argv = Array.to_list Sys.argv in
+  let quick = List.mem "quick" argv in
+  let arg_value flag =
+    let rec go = function
+      | f :: v :: _ when f = flag -> Some v
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go argv
   in
+  let trace_path = arg_value "--trace" in
+  let json_path =
+    Option.value (arg_value "--json") ~default:"BENCH_sheetmusiq.json"
+  in
+  if Option.is_some trace_path then Sheet_obs.Obs.set_sink Sheet_obs.Obs.Memory;
   print_artifacts ();
-  if not quick then run_benchmarks ()
+  (match trace_path with
+  | Some path ->
+      Sheet_obs.Obs.save_chrome_trace ~path;
+      Printf.printf "\ntrace written to %s (%d events)\n" path
+        (List.length (Sheet_obs.Obs.events ()))
+  | None -> ());
+  if not quick then run_benchmarks ~json_path

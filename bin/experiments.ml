@@ -1,7 +1,12 @@
 (* Regenerate every table and figure of the paper's evaluation.
 
    Usage: experiments [table1|table2|table3|table4_5|fig3|fig4|fig5|
-                       table6|stats|theorem1|all]  (default: all)
+                       table6|stats|theorem1|all] [--trace out.json]
+   (default: all)
+
+   --trace records every engine/materializer/plan span of the run and
+   writes a Chrome trace_event JSON (load in about://tracing or
+   Perfetto).
 
    The experiment ids match the index in DESIGN.md §6. *)
 
@@ -269,7 +274,27 @@ let all () =
   sensitivity ()
 
 let () =
-  let cmd = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec split_trace acc = function
+    | "--trace" :: path :: rest -> (Some path, List.rev_append acc rest)
+    | x :: rest -> split_trace (x :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let trace_path, args = split_trace [] args in
+  Option.iter
+    (fun _ -> Sheet_obs.Obs.set_sink Sheet_obs.Obs.Memory)
+    trace_path;
+  let cmd = match args with c :: _ -> c | [] -> "all" in
+  let finish () =
+    Option.iter
+      (fun path ->
+        Sheet_obs.Obs.save_chrome_trace ~path;
+        Printf.printf "\ntrace written to %s (%d events)\n" path
+          (List.length (Sheet_obs.Obs.events ())))
+      trace_path
+  in
+  (fun run -> run (); finish ())
+  @@ fun () ->
   match cmd with
   | "table1" -> table1 ()
   | "table2" -> table2 ()

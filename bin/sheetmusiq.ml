@@ -46,7 +46,13 @@ Durable sheets:
 Display:
   print [n] | status | tree [n] | describe | menu [<col>] | help | quit
   sql                             show the single-block SQL equivalent
-  lint                            static analysis of the current query state|}
+  lint                            static analysis of the current query state
+Observability (Sheetscope):
+  explain                         show the compiled + optimized plan
+  explain analyze | profile       run the plan, per-node rows and timings
+  metrics                         counters and gauges snapshot
+  trace [status|mem|logs|off|clear]   span tracing sink control
+  trace export <path>             write Chrome trace_event JSON|}
 
 let load_initial () =
   let argv = Sys.argv in

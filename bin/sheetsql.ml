@@ -10,6 +10,9 @@
      <any core single-block SQL statement>;   run it
      \t <SQL>      show the spreadsheet-algebra translation, then run
                    it both ways and compare
+     \profile <SQL>  translate, run through the plan interpreter, and
+                   print per-node rows and timings (EXPLAIN ANALYZE)
+     \timing       toggle per-statement wall-time reporting
      \d            list tables
      \d <table>    describe a table
      \q            quit
@@ -70,12 +73,37 @@ let describe catalog name =
             (Value.type_name c.Schema.ty))
         (Schema.columns (Relation.schema rel))
 
+let timing = ref false
+
 let run_sql catalog sql =
-  match Sql_executor.run_string catalog sql with
+  let result, ms =
+    Sheet_obs.Obs.time (fun () -> Sql_executor.run_string catalog sql)
+  in
+  (match result with
   | Ok rel ->
       Table_print.print rel;
       Printf.printf "(%d rows)\n" (Relation.cardinality rel)
-  | Error msg -> Printf.printf "error: %s\n" msg
+  | Error msg -> Printf.printf "error: %s\n" msg);
+  if !timing then Printf.printf "Time: %.3f ms\n" ms
+
+(* \profile: Theorem-1 translation, then the plan interpreter with
+   per-node instrumentation — the SQL shell's EXPLAIN ANALYZE. *)
+let profile_sql catalog sql =
+  match Sql_parser.parse sql with
+  | Error msg -> Printf.printf "parse error: %s\n" msg
+  | Ok query -> (
+      match Sql_to_sheet.translate catalog query with
+      | Error msg -> Printf.printf "cannot translate: %s\n" msg
+      | Ok plan -> (
+          match Sql_to_sheet.session_of_plan catalog plan with
+          | Error msg -> Printf.printf "error: %s\n" msg
+          | Ok session ->
+              let sheet = Sheet_core.Session.current session in
+              let _rel, _profile, text =
+                Sheet_core.Plan.explain_analyze
+                  (Sheet_core.Plan.of_sheet sheet)
+              in
+              print_string text))
 
 let translate_and_run catalog sql =
   match Sql_parser.parse sql with
@@ -114,7 +142,7 @@ let () =
   list_tables catalog;
   Printf.printf
     "\\d to list tables, \\t <sql> to translate, \\lint <sql> to analyze, \
-     \\q to quit.\n";
+     \\profile <sql> to time, \\timing to toggle, \\q to quit.\n";
   let buffer = Buffer.create 256 in
   (try
      while true do
@@ -128,6 +156,15 @@ let () =
        else if String.length trimmed >= 3 && String.sub trimmed 0 3 = "\\t " then
          translate_and_run catalog
            (String.sub trimmed 3 (String.length trimmed - 3))
+       else if trimmed = "\\timing" then begin
+         timing := not !timing;
+         Printf.printf "Timing is %s.\n" (if !timing then "on" else "off")
+       end
+       else if
+         String.length trimmed >= 9 && String.sub trimmed 0 9 = "\\profile "
+       then
+         profile_sql catalog
+           (String.sub trimmed 9 (String.length trimmed - 9))
        else if
          String.length trimmed >= 6 && String.sub trimmed 0 6 = "\\lint "
        then

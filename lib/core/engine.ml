@@ -1,4 +1,8 @@
 open Sheet_rel
+module Obs = Sheet_obs.Obs
+
+let c_ops = Obs.Metrics.counter Obs.k_engine_ops
+let c_errors = Obs.Metrics.counter Obs.k_engine_errors
 
 let ( let* ) = Result.bind
 
@@ -419,7 +423,7 @@ let set_op ?store sheet stored_name ~which =
 
 (* ---- dispatch ---- *)
 
-let apply ?store sheet (op : Op.t) =
+let dispatch ?store sheet (op : Op.t) =
   match op with
   | Op.Group { basis; dir } -> group sheet ~basis ~dir
   | Op.Regroup { basis; dir } -> regroup sheet ~basis ~dir
@@ -438,6 +442,16 @@ let apply ?store sheet (op : Op.t) =
   | Op.Formula { name; expr } -> formula sheet ~name ~expr
   | Op.Dedup -> dedup sheet
   | Op.Rename { old_name; new_name } -> rename sheet ~old_name ~new_name
+
+let apply ?store sheet (op : Op.t) =
+  Obs.Metrics.incr c_ops;
+  let sp =
+    Obs.span ~uid:sheet.Spreadsheet.uid ~kind:(Op.kind op) "engine.apply"
+  in
+  let result = dispatch ?store sheet op in
+  (match result with Error _ -> Obs.Metrics.incr c_errors | Ok _ -> ());
+  Obs.finish sp;
+  result
 
 (* ---- query modification ---- *)
 

@@ -1,4 +1,8 @@
 open Sheet_rel
+module Obs = Sheet_obs.Obs
+
+let c_derivations = Obs.Metrics.counter Obs.k_incremental_derivations
+let c_fallbacks = Obs.Metrics.counter Obs.k_incremental_fallbacks
 
 let sort_keys_of sheet =
   List.map
@@ -136,10 +140,21 @@ let derive ~(parent : Spreadsheet.t) ~(op : Op.t) ~(child : Spreadsheet.t) =
       None
 
 let materialize_after ~parent ~op ~child =
+  let sp =
+    Obs.span ~uid:child.Spreadsheet.uid ~kind:(Op.kind op)
+      "incremental.materialize_after"
+  in
   let rel =
     match derive ~parent ~op ~child with
-    | Some rel -> rel
-    | None -> Materialize.full child
+    | Some rel ->
+        Obs.Metrics.incr c_derivations;
+        rel
+    | None ->
+        Obs.Metrics.incr c_fallbacks;
+        Materialize.full child
   in
   Materialize.seed_cache child rel;
+  Obs.finish
+    ~rows_out:(if Obs.recording () then Relation.cardinality rel else -1)
+    sp;
   rel

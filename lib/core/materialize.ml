@@ -1,4 +1,11 @@
 open Sheet_rel
+module Obs = Sheet_obs.Obs
+
+let c_hits = Obs.Metrics.counter Obs.k_cache_hits
+let c_misses = Obs.Metrics.counter Obs.k_cache_misses
+let c_evictions = Obs.Metrics.counter Obs.k_cache_evictions
+let c_seeds = Obs.Metrics.counter Obs.k_cache_seeds
+let c_full_replays = Obs.Metrics.counter Obs.k_full_replays
 
 let internal_error fmt =
   Printf.ksprintf (fun s -> failwith ("Materialize: internal error: " ^ s)) fmt
@@ -111,26 +118,41 @@ let unsorted_full (sheet : Spreadsheet.t) =
         else None)
       state.Query_state.selections
   in
+  (* row counts annotate the stratum spans only while a sink listens;
+     with tracing off no extra list walk happens *)
+  let count rows = if Obs.recording () then List.length rows else -1 in
   let rows =
-    apply_selections base_schema (preds_at 0)
-      (Relation.rows sheet.Spreadsheet.base)
-  in
-  let rows =
-    if state.Query_state.dedup then
-      let visible_base =
-        List.filter
-          (fun n -> not (List.mem n state.Query_state.hidden))
-          (Schema.names base_schema)
-      in
-      let key_positions =
-        List.map (Schema.index_exn base_schema) visible_base
-      in
-      distinct_rows ~key_positions rows
-    else rows
+    let sp =
+      Obs.span ~uid:sheet.Spreadsheet.uid ~kind:"stratum 0"
+        "materialize.stratum"
+    in
+    let base_rows = Relation.rows sheet.Spreadsheet.base in
+    let rows = apply_selections base_schema (preds_at 0) base_rows in
+    let rows =
+      if state.Query_state.dedup then
+        let visible_base =
+          List.filter
+            (fun n -> not (List.mem n state.Query_state.hidden))
+            (Schema.names base_schema)
+        in
+        let key_positions =
+          List.map (Schema.index_exn base_schema) visible_base
+        in
+        distinct_rows ~key_positions rows
+      else rows
+    in
+    Obs.finish ~rows_in:(count base_rows) ~rows_out:(count rows) sp;
+    rows
   in
   let schema, rows, _ =
     List.fold_left
       (fun (schema, rows, k) (c : Computed.t) ->
+        let sp =
+          Obs.span ~uid:sheet.Spreadsheet.uid
+            ~kind:(Printf.sprintf "stratum %d: %s" k c.Computed.name)
+            "materialize.stratum"
+        in
+        let rows_in = count rows in
         let cells = computed_cells sheet schema rows c in
         let schema =
           Schema.append schema
@@ -138,6 +160,7 @@ let unsorted_full (sheet : Spreadsheet.t) =
         in
         let rows = List.map2 Row.append1 rows cells in
         let rows = apply_selections schema (preds_at k) rows in
+        Obs.finish ~rows_in ~rows_out:(count rows) sp;
         (schema, rows, k + 1))
       (base_schema, rows, 1)
       state.Query_state.computed
@@ -145,28 +168,89 @@ let unsorted_full (sheet : Spreadsheet.t) =
   Relation.unsafe_make schema rows
 
 let full (sheet : Spreadsheet.t) =
-  let rel = unsorted_full sheet in
-  let keys =
-    List.map
-      (fun (attr, dir) ->
-        (attr, match dir with Grouping.Asc -> `Asc | Grouping.Desc -> `Desc))
-      (Grouping.sort_keys (Spreadsheet.grouping sheet))
-  in
-  if keys = [] then rel else Rel_algebra.sort keys rel
+  Obs.Metrics.incr c_full_replays;
+  Obs.with_span ~uid:sheet.Spreadsheet.uid ~kind:"full" "materialize.full"
+    (fun () ->
+      let rel = unsorted_full sheet in
+      let keys =
+        List.map
+          (fun (attr, dir) ->
+            ( attr,
+              match dir with Grouping.Asc -> `Asc | Grouping.Desc -> `Desc ))
+          (Grouping.sort_keys (Spreadsheet.grouping sheet))
+      in
+      if keys = [] then rel
+      else
+        Obs.with_span ~uid:sheet.Spreadsheet.uid ~kind:"sort"
+          "materialize.sort" (fun () -> Rel_algebra.sort keys rel))
+
+(* ---------- the materialization cache ----------
+
+   One process-global table keyed by sheet uid, shared by
+   [full_cached] (fill on miss) and [seed_cache] (externally derived
+   fills, see Incremental). Sheets are immutable and every engine op
+   bumps the uid, so entries can never go stale; the only lifecycle
+   events are wholesale eviction past [cache_limit] and explicit
+   [reset_cache]. The stats below are local to this table (reset
+   together with it), independent of the Sheet_obs registry, so tests
+   can observe the cache deterministically. *)
 
 let cache : (int, Relation.t) Hashtbl.t = Hashtbl.create 64
 
+let cache_limit = 512
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  seeds : int;
+  evictions : int;
+  entries : int;
+}
+
+let hits = ref 0
+let misses = ref 0
+let seeds = ref 0
+let evictions = ref 0
+
+let cache_stats () =
+  { hits = !hits;
+    misses = !misses;
+    seeds = !seeds;
+    evictions = !evictions;
+    entries = Hashtbl.length cache }
+
+let reset_cache () =
+  Hashtbl.reset cache;
+  hits := 0;
+  misses := 0;
+  seeds := 0;
+  evictions := 0
+
+let evict_if_over_limit () =
+  if Hashtbl.length cache > cache_limit then begin
+    Hashtbl.reset cache;
+    incr evictions;
+    Obs.Metrics.incr c_evictions
+  end
+
 let full_cached (sheet : Spreadsheet.t) =
   match Hashtbl.find_opt cache sheet.Spreadsheet.uid with
-  | Some rel -> rel
+  | Some rel ->
+      incr hits;
+      Obs.Metrics.incr c_hits;
+      rel
   | None ->
-      if Hashtbl.length cache > 512 then Hashtbl.reset cache;
+      incr misses;
+      Obs.Metrics.incr c_misses;
+      evict_if_over_limit ();
       let rel = full sheet in
       Hashtbl.replace cache sheet.Spreadsheet.uid rel;
       rel
 
 let seed_cache (sheet : Spreadsheet.t) rel =
-  if Hashtbl.length cache > 512 then Hashtbl.reset cache;
+  incr seeds;
+  Obs.Metrics.incr c_seeds;
+  evict_if_over_limit ();
   Hashtbl.replace cache sheet.Spreadsheet.uid rel
 
 let visible (sheet : Spreadsheet.t) =

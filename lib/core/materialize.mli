@@ -37,6 +37,34 @@ val seed_cache : Spreadsheet.t -> Relation.t -> unit
     {!Incremental}). The caller guarantees the relation equals what
     {!full} would compute. *)
 
+(** {2 Cache lifecycle}
+
+    [full_cached] and [seed_cache] share ONE process-global table
+    keyed by sheet uid. Because every engine op returns a sheet with a
+    fresh uid, entries never go stale; but the table is shared across
+    every session/spreadsheet alive in the process, so tests that
+    assert on hit/miss behaviour must call {!reset_cache} first.
+    Eviction is wholesale: once more than 512 entries are resident the
+    whole table is dropped before the next insert. *)
+
+type cache_stats = {
+  hits : int;  (** [full_cached] found the uid *)
+  misses : int;  (** [full_cached] had to replay *)
+  seeds : int;  (** [seed_cache] installs (see {!Incremental}) *)
+  evictions : int;  (** wholesale drops past the 512-entry bound *)
+  entries : int;  (** currently resident materializations *)
+}
+
+val cache_stats : unit -> cache_stats
+(** Counters since the last {!reset_cache} (or process start). Local
+    to this module — independent of the [Sheet_obs] metrics registry,
+    which mirrors the same events under [cache.*] names. *)
+
+val reset_cache : unit -> unit
+(** Drop every cached materialization and zero {!cache_stats}
+    (deterministic baseline for tests; does not touch the [Sheet_obs]
+    registry). *)
+
 val current_base_rows : Spreadsheet.t -> Relation.t
 (** The paper's [R^j]: the base relation filtered by the accumulated
     selections and duplicate elimination — base columns only, no

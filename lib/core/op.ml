@@ -23,6 +23,24 @@ type t =
   | Dedup
   | Rename of { old_name : string; new_name : string }
 
+let kind = function
+  | Group _ -> "group"
+  | Regroup _ -> "regroup"
+  | Ungroup -> "ungroup"
+  | Order _ -> "order"
+  | Order_groups _ -> "order-groups"
+  | Select _ -> "select"
+  | Project _ -> "project"
+  | Unproject _ -> "unproject"
+  | Product _ -> "product"
+  | Union _ -> "union"
+  | Diff _ -> "difference"
+  | Join _ -> "join"
+  | Aggregate _ -> "aggregate"
+  | Formula _ -> "formula"
+  | Dedup -> "dedup"
+  | Rename _ -> "rename"
+
 let describe = function
   | Group { basis; dir } ->
       Printf.sprintf "Group by {%s} %s"

@@ -39,4 +39,8 @@ type t =
 val describe : t -> string
 (** Meaningful name for the history menu. *)
 
+val kind : t -> string
+(** Short constructor tag ("select", "group", ...) used as the span
+    category by the {!Sheet_obs} instrumentation. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,4 +1,9 @@
 open Sheet_rel
+module Obs = Sheet_obs.Obs
+
+let c_plan_nodes = Obs.Metrics.counter Obs.k_plan_nodes
+let c_plan_rows_in = Obs.Metrics.counter Obs.k_plan_rows_in
+let c_plan_rows_out = Obs.Metrics.counter Obs.k_plan_rows_out
 
 type node =
   | Scan of Relation.t
@@ -84,12 +89,34 @@ let of_sheet (sheet : Spreadsheet.t) =
 
 (* ---------- execution ---------- *)
 
-let rec execute = function
+(* Every node has zero (Scan) or one child: a plan is a chain. The
+   per-node work is factored out of the recursion so [execute] and
+   [execute_instrumented] interpret each node with the same code. *)
+
+let child = function
+  | Scan _ -> None
+  | Project (_, c)
+  | Filter (_, c)
+  | Distinct_on (_, c)
+  | Extend_formula (_, c)
+  | Extend_aggregate (_, c)
+  | Sort (_, c) ->
+      Some c
+
+(* [apply_node node input] evaluates one node given its child's
+   result; [input] is [None] exactly for [Scan]. *)
+let apply_node node input =
+  let rel () =
+    match input with
+    | Some rel -> rel
+    | None -> invalid_arg "Plan.apply_node: inner node without input"
+  in
+  match node with
   | Scan rel -> rel
-  | Project (cols, child) -> Rel_algebra.project cols (execute child)
-  | Filter (pred, child) -> Rel_algebra.select pred (execute child)
-  | Distinct_on (keys, child) ->
-      let rel = execute child in
+  | Project (cols, _) -> Rel_algebra.project cols (rel ())
+  | Filter (pred, _) -> Rel_algebra.select pred (rel ())
+  | Distinct_on (keys, _) ->
+      let rel = rel () in
       let schema = Relation.schema rel in
       let positions = List.map (Schema.index_exn schema) keys in
       let seen = Hashtbl.create 64 in
@@ -109,8 +136,8 @@ let rec execute = function
           (Relation.rows rel)
       in
       Relation.unsafe_make schema rows
-  | Extend_formula ({ name; ty; expr }, child) ->
-      let rel = execute child in
+  | Extend_formula ({ name; ty; expr }, _) ->
+      let rel = rel () in
       let schema = Relation.schema rel in
       Rel_algebra.extend name ty
         (fun row ->
@@ -118,8 +145,8 @@ let rec execute = function
             ~lookup:(fun n -> Row.get row (Schema.index_exn schema n))
             expr)
         rel
-  | Extend_aggregate ({ agg_name; agg_ty; fn; arg; basis }, child) ->
-      let rel = execute child in
+  | Extend_aggregate ({ agg_name; agg_ty; fn; arg; basis }, _) ->
+      let rel = rel () in
       let schema = Relation.schema rel in
       let positions = List.map (Schema.index_exn schema) basis in
       let groups = Rel_algebra.group_rows basis rel in
@@ -140,7 +167,102 @@ let rec execute = function
           | Some (_, v) -> v
           | None -> Value.Null)
         rel
-  | Sort (keys, child) -> Rel_algebra.sort keys (execute child)
+  | Sort (keys, _) -> Rel_algebra.sort keys (rel ())
+
+let rec execute node =
+  apply_node node (Option.map execute (child node))
+
+(* ---------- node labels (shared by explain / explain analyze) ---- *)
+
+let node_label = function
+  | Scan rel ->
+      Printf.sprintf "Scan (%d rows, %d columns)"
+        (Relation.cardinality rel)
+        (Schema.arity (Relation.schema rel))
+  | Project (cols, _) ->
+      Printf.sprintf "Project [%s]" (String.concat ", " cols)
+  | Filter (pred, _) -> Printf.sprintf "Filter %s" (Expr.to_string pred)
+  | Distinct_on (keys, _) ->
+      Printf.sprintf "Distinct on [%s]" (String.concat ", " keys)
+  | Extend_formula (e, _) ->
+      Printf.sprintf "Extend %s = %s" e.name (Expr.to_string e.expr)
+  | Extend_aggregate (e, _) ->
+      Printf.sprintf "ExtendAgg %s = %s(%s) over [%s]" e.agg_name
+        (Expr.agg_fun_name e.fn)
+        (match e.arg with Some a -> Expr.to_string a | None -> "*")
+        (String.concat ", " e.basis)
+  | Sort (keys, _) ->
+      Printf.sprintf "Sort [%s]"
+        (String.concat ", "
+           (List.map
+              (fun (col, d) ->
+                col ^ (match d with `Asc -> " asc" | `Desc -> " desc"))
+              keys))
+
+let node_kind = function
+  | Scan _ -> "scan"
+  | Project _ -> "project"
+  | Filter _ -> "filter"
+  | Distinct_on _ -> "distinct"
+  | Extend_formula _ -> "extend"
+  | Extend_aggregate _ -> "extend-agg"
+  | Sort _ -> "sort"
+
+(* ---------- instrumented execution (EXPLAIN ANALYZE) ---------- *)
+
+type profile = {
+  p_label : string;
+  p_rows_out : int;
+  p_time_ns : int;  (** this node only, child excluded *)
+  p_child : profile option;
+}
+
+let rec execute_instrumented node =
+  (* the child runs first, outside this node's span, so [p_time_ns]
+     and the span duration are self-time *)
+  let below = Option.map execute_instrumented (child node) in
+  let input = Option.map fst below in
+  let rows_in = match input with Some r -> Relation.cardinality r | None -> 0 in
+  let sp = Obs.span ~kind:(node_kind node) "plan.node" in
+  let t0 = Obs.now_ns () in
+  let rel = apply_node node input in
+  let dt = Obs.now_ns () - t0 in
+  let rows_out = Relation.cardinality rel in
+  Obs.Metrics.incr c_plan_nodes;
+  Obs.Metrics.incr ~by:rows_in c_plan_rows_in;
+  Obs.Metrics.incr ~by:rows_out c_plan_rows_out;
+  Obs.finish ~rows_in ~rows_out sp;
+  ( rel,
+    { p_label = node_label node;
+      p_rows_out = rows_out;
+      p_time_ns = dt;
+      p_child = Option.map snd below } )
+
+let rec profile_total_ns p =
+  p.p_time_ns
+  + match p.p_child with Some c -> profile_total_ns c | None -> 0
+
+let render_profile profile =
+  let buf = Buffer.create 512 in
+  let total = float_of_int (max 1 (profile_total_ns profile)) in
+  let rec go indent (p : profile) =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s  (rows=%d, time=%.3f ms, %.1f%%)\n" indent
+         p.p_label p.p_rows_out
+         (float_of_int p.p_time_ns /. 1e6)
+         (100. *. float_of_int p.p_time_ns /. total));
+    match p.p_child with
+    | Some c -> go (indent ^ "  ") c
+    | None -> ()
+  in
+  go "" profile;
+  Buffer.add_string buf
+    (Printf.sprintf "Total: %.3f ms\n" (total /. 1e6));
+  Buffer.contents buf
+
+let explain_analyze plan =
+  let rel, profile = execute_instrumented plan in
+  (rel, profile, render_profile profile)
 
 (* ---------- schema of a plan ---------- *)
 
@@ -309,49 +431,12 @@ let optimize ?keep plan =
 
 let explain plan =
   let buf = Buffer.create 512 in
-  let rec go indent = function
-    | Scan rel ->
-        Buffer.add_string buf
-          (Printf.sprintf "%sScan (%d rows, %d columns)\n" indent
-             (Relation.cardinality rel)
-             (Schema.arity (Relation.schema rel)))
-    | Project (cols, c) ->
-        Buffer.add_string buf
-          (Printf.sprintf "%sProject [%s]\n" indent
-             (String.concat ", " cols));
-        go (indent ^ "  ") c
-    | Filter (pred, c) ->
-        Buffer.add_string buf
-          (Printf.sprintf "%sFilter %s\n" indent (Expr.to_string pred));
-        go (indent ^ "  ") c
-    | Distinct_on (keys, c) ->
-        Buffer.add_string buf
-          (Printf.sprintf "%sDistinct on [%s]\n" indent
-             (String.concat ", " keys));
-        go (indent ^ "  ") c
-    | Extend_formula (e, c) ->
-        Buffer.add_string buf
-          (Printf.sprintf "%sExtend %s = %s\n" indent e.name
-             (Expr.to_string e.expr));
-        go (indent ^ "  ") c
-    | Extend_aggregate (e, c) ->
-        Buffer.add_string buf
-          (Printf.sprintf "%sExtendAgg %s = %s(%s) over [%s]\n" indent
-             e.agg_name (Expr.agg_fun_name e.fn)
-             (match e.arg with
-             | Some a -> Expr.to_string a
-             | None -> "*")
-             (String.concat ", " e.basis));
-        go (indent ^ "  ") c
-    | Sort (keys, c) ->
-        Buffer.add_string buf
-          (Printf.sprintf "%sSort [%s]\n" indent
-             (String.concat ", "
-                (List.map
-                   (fun (col, d) ->
-                     col ^ (match d with `Asc -> " asc" | `Desc -> " desc"))
-                   keys)));
-        go (indent ^ "  ") c
+  let rec go indent node =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s\n" indent (node_label node));
+    match child node with
+    | Some c -> go (indent ^ "  ") c
+    | None -> ()
   in
   go "" plan;
   Buffer.contents buf

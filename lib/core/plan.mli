@@ -60,6 +60,32 @@ val of_sheet : Spreadsheet.t -> node
 
 val execute : node -> Relation.t
 
+(** {2 Instrumented execution — EXPLAIN ANALYZE}
+
+    A plan is a chain (every node has at most one child), so a profile
+    mirrors that chain: per node, the label {!explain} would print,
+    the output cardinality, and self wall time (child excluded). *)
+
+type profile = {
+  p_label : string;
+  p_rows_out : int;
+  p_time_ns : int;  (** this node only, child excluded *)
+  p_child : profile option;
+}
+
+val execute_instrumented : node -> Relation.t * profile
+(** Same result as {!execute} (property-tested, sink on or off), plus
+    the per-node profile. Emits one [plan.node] span per node and
+    bumps the [plan.*] counters whatever the sink. *)
+
+val explain_analyze : node -> Relation.t * profile * string
+(** {!execute_instrumented} plus the rendered tree — one line per node
+    with rows, self time, and percentage of total. *)
+
+val profile_total_ns : profile -> int
+
+val render_profile : profile -> string
+
 val optimize : ?keep:string list -> node -> node
 (** Rewrite the plan; [keep] lists the columns the consumer needs
     (defaults to all columns the plan produces). Semantics are

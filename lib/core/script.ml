@@ -1,4 +1,5 @@
 open Sheet_rel
+module Obs = Sheet_obs.Obs
 
 type outcome = { session : Session.t; output : string option }
 
@@ -317,7 +318,7 @@ let run_line session line =
         match Session.remove_computed session (trim rest) with
         | Ok session -> Ok { session; output = None }
         | Error e -> Error (Errors.to_string e))
-    | "explain" ->
+    | "explain" when String.lowercase_ascii (trim rest) <> "analyze" ->
         let plan = Plan.of_sheet (Session.current session) in
         let optimized =
           Plan.optimize
@@ -330,6 +331,46 @@ let run_line session line =
               Some
                 ("plan:\n" ^ Plan.explain plan ^ "optimized (for visible \
                   columns):\n" ^ Plan.explain optimized) }
+    | "explain" (* analyze *) | "profile" ->
+        (* the raw (unoptimized) plan mirrors the replay strata, so the
+           root's row count equals the full materialization's *)
+        let plan = Plan.of_sheet (Session.current session) in
+        let _rel, _profile, text = Plan.explain_analyze plan in
+        Ok { session; output = Some text }
+    | "metrics" ->
+        Ok { session; output = Some (Obs.Metrics.render ()) }
+    | "trace" -> (
+        match split_words (String.lowercase_ascii rest), split_words rest with
+        | ([] | [ "status" ]), _ ->
+            let s =
+              match Obs.sink () with
+              | Obs.Off -> "off"
+              | Obs.Logs -> "logs"
+              | Obs.Memory ->
+                  Printf.sprintf "memory (%d events, %d dropped)"
+                    (List.length (Obs.events ()))
+                    (Obs.dropped ())
+            in
+            Ok { session; output = Some ("tracing: " ^ s) }
+        | ([ "mem" ] | [ "memory" ]), _ ->
+            Obs.set_sink Obs.Memory;
+            Ok { session; output = Some "tracing to in-memory ring" }
+        | [ "logs" ], _ ->
+            Obs.set_sink Obs.Logs;
+            Ok { session; output = Some "tracing to logs" }
+        | [ "off" ], _ ->
+            Obs.set_sink Obs.Off;
+            Ok { session; output = Some "tracing off" }
+        | [ "clear" ], _ ->
+            Obs.clear_events ();
+            Ok { session; output = Some "trace ring cleared" }
+        | [ "export"; _ ], [ _; path ] -> (
+            match Obs.save_chrome_trace ~path with
+            | () ->
+                Ok { session; output = Some ("trace written to " ^ path) }
+            | exception Sys_error msg -> Error msg)
+        | _ ->
+            Error "trace: expected status|mem|logs|off|clear|export <path>")
     | "html" -> (
         match Render_html.save (Session.current session) ~path:(trim rest) with
         | () -> Ok { session; output = Some ("written to " ^ trim rest) }

@@ -1,4 +1,8 @@
 open Sheet_rel
+module Obs = Sheet_obs.Obs
+
+let g_undo = Obs.Metrics.gauge Obs.k_undo_depth
+let g_redo = Obs.Metrics.gauge Obs.k_redo_depth
 
 type entry = { index : int; label : string }
 
@@ -25,8 +29,16 @@ let head t =
 let current t = (head t).sheet
 let store t = t.sheets
 
+(* The registry holds one pair of depth gauges; they track whichever
+   session moved last (sessions are plain values, so there may be
+   several — shells have exactly one). *)
+let observe t =
+  Obs.Metrics.set g_undo (List.length t.past - 1);
+  Obs.Metrics.set g_redo (List.length t.future);
+  t
+
 let push t label sheet =
-  { t with past = { sheet; label } :: t.past; future = [] }
+  observe { t with past = { sheet; label } :: t.past; future = [] }
 
 let apply t op =
   match Engine.apply ~store:t.sheets (current t) op with
@@ -49,12 +61,12 @@ let can_redo t = t.future <> []
 let undo t =
   match t.past with
   | s :: (_ :: _ as rest) ->
-      Some { t with past = rest; future = s :: t.future }
+      Some (observe { t with past = rest; future = s :: t.future })
   | _ -> None
 
 let redo t =
   match t.future with
-  | s :: rest -> Some { t with past = s :: t.past; future = rest }
+  | s :: rest -> Some (observe { t with past = s :: t.past; future = rest })
   | [] -> None
 
 let goto t index =

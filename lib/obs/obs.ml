@@ -1,0 +1,319 @@
+(* Sheetscope: span tracing, a metrics registry, and pluggable sinks.
+
+   Everything here is deliberately single-threaded mutable state, like
+   the materialization cache it observes. The off-sink fast path is a
+   single mutable-bool test so instrumented code costs nothing when
+   nobody is watching (property-tested byte-identical). *)
+
+let src = Logs.Src.create "sheetscope" ~doc:"SheetMusiq instrumentation"
+
+(* ---------- clock ---------- *)
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let epoch_ns = now_ns ()
+
+let time f =
+  let t0 = now_ns () in
+  let x = f () in
+  (x, float_of_int (now_ns () - t0) /. 1e6)
+
+(* ---------- sinks ---------- *)
+
+type sink = Off | Logs | Memory
+
+let current_sink = ref Off
+
+let sink () = !current_sink
+let set_sink s = current_sink := s
+let recording () = !current_sink <> Off
+
+(* ---------- events and spans ---------- *)
+
+type event = {
+  name : string;
+  kind : string;
+  uid : int;  (** 0 when no sheet is involved *)
+  depth : int;
+  start_ns : int;  (** relative to process start *)
+  dur_ns : int;
+  rows_in : int;  (** -1 when unknown *)
+  rows_out : int;  (** -1 when unknown *)
+}
+
+type span = {
+  sid : int;  (* 0 is the dummy span handed out when the sink is off *)
+  s_name : string;
+  s_kind : string;
+  s_uid : int;
+  s_depth : int;
+  s_start : int;
+}
+
+let dummy_span =
+  { sid = 0; s_name = ""; s_kind = ""; s_uid = 0; s_depth = 0; s_start = 0 }
+
+let span_counter = ref 0
+let open_stack : int list ref = ref []
+let violations = ref 0
+
+let ring_capacity = ref 65536
+let ring : event Queue.t = Queue.create ()
+let dropped_events = ref 0
+
+let record ev =
+  match !current_sink with
+  | Off -> ()
+  | Memory ->
+      if Queue.length ring >= !ring_capacity then begin
+        ignore (Queue.pop ring);
+        incr dropped_events
+      end;
+      Queue.push ev ring
+  | Logs ->
+      Logs.app ~src (fun m ->
+          m "%*s%s%s %.3f ms%s%s" (2 * ev.depth) "" ev.name
+            (if ev.kind = "" then "" else "[" ^ ev.kind ^ "]")
+            (float_of_int ev.dur_ns /. 1e6)
+            (if ev.rows_out < 0 then ""
+             else Printf.sprintf " -> %d rows" ev.rows_out)
+            (if ev.uid = 0 then "" else Printf.sprintf " (sheet #%d)" ev.uid))
+
+let span ?(uid = 0) ?(kind = "") name =
+  if not (recording ()) then dummy_span
+  else begin
+    incr span_counter;
+    let s =
+      { sid = !span_counter;
+        s_name = name;
+        s_kind = kind;
+        s_uid = uid;
+        s_depth = List.length !open_stack;
+        s_start = now_ns () - epoch_ns }
+    in
+    open_stack := s.sid :: !open_stack;
+    s
+  end
+
+let finish ?(rows_in = -1) ?(rows_out = -1) sp =
+  if sp.sid <> 0 then begin
+    (match !open_stack with
+    | top :: rest when top = sp.sid -> open_stack := rest
+    | _ ->
+        (* closing out of order: count the violation but still remove
+           the span so one mistake does not cascade *)
+        incr violations;
+        open_stack := List.filter (fun id -> id <> sp.sid) !open_stack);
+    record
+      { name = sp.s_name;
+        kind = sp.s_kind;
+        uid = sp.s_uid;
+        depth = sp.s_depth;
+        start_ns = sp.s_start;
+        dur_ns = now_ns () - epoch_ns - sp.s_start;
+        rows_in;
+        rows_out }
+  end
+
+let with_span ?uid ?kind name f =
+  let sp = span ?uid ?kind name in
+  match f () with
+  | x ->
+      finish sp;
+      x
+  | exception e ->
+      finish sp;
+      raise e
+
+let open_spans () = List.length !open_stack
+let nesting_ok () = !violations = 0
+let events () = List.of_seq (Queue.to_seq ring)
+let dropped () = !dropped_events
+
+let clear_events () =
+  Queue.clear ring;
+  open_stack := [];
+  violations := 0;
+  dropped_events := 0
+
+(* Completed events are well-formed when every pair of overlapping
+   intervals nests: the deeper one lies inside the shallower one. *)
+let events_well_formed evs =
+  let overlap a b =
+    a.start_ns < b.start_ns + b.dur_ns && b.start_ns < a.start_ns + a.dur_ns
+  in
+  let contains outer inner =
+    outer.start_ns <= inner.start_ns
+    && inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns
+  in
+  let arr = Array.of_list evs in
+  let ok = ref true in
+  Array.iteri
+    (fun i a ->
+      Array.iteri
+        (fun j b ->
+          if i < j && a.depth <> b.depth && overlap a b then
+            let outer, inner = if a.depth < b.depth then (a, b) else (b, a) in
+            if not (contains outer inner) then ok := false)
+        arr)
+    arr;
+  !ok
+
+(* ---------- metrics ---------- *)
+
+module Metrics = struct
+  type mkind = Counter | Gauge
+
+  type m = { m_name : string; m_kind : mkind; mutable value : int }
+
+  let registry : (string, m) Hashtbl.t = Hashtbl.create 64
+
+  let find name m_kind =
+    match Hashtbl.find_opt registry name with
+    | Some m -> m
+    | None ->
+        let m = { m_name = name; m_kind; value = 0 } in
+        Hashtbl.replace registry name m;
+        m
+
+  let counter name = find name Counter
+  let gauge name = find name Gauge
+
+  let incr ?(by = 1) m = m.value <- m.value + by
+  let set m v = m.value <- v
+  let get m = m.value
+  let name m = m.m_name
+  let is_counter m = m.m_kind = Counter
+
+  let value_of name =
+    match Hashtbl.find_opt registry name with
+    | Some m -> m.value
+    | None -> 0
+
+  let snapshot () =
+    Hashtbl.fold (fun name m acc -> (name, m.value) :: acc) registry []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let reset () = Hashtbl.iter (fun _ m -> m.value <- 0) registry
+
+  let to_json () =
+    Obs_json.Obj
+      (List.map (fun (name, v) -> (name, Obs_json.Int v)) (snapshot ()))
+
+  let render () =
+    let snap = snapshot () in
+    if snap = [] then "(no metrics recorded)"
+    else
+      String.concat "\n"
+        (List.map (fun (name, v) -> Printf.sprintf "%-32s %10d" name v) snap)
+end
+
+(* Well-known metric names: registered up front so a snapshot always
+   carries the full record, zeros included. *)
+let k_engine_ops = "engine.ops"
+let k_engine_errors = "engine.errors"
+let k_cache_hits = "materialize.cache_hits"
+let k_cache_misses = "materialize.cache_misses"
+let k_cache_evictions = "materialize.cache_evictions"
+let k_cache_seeds = "materialize.cache_seeds"
+let k_full_replays = "materialize.full_replays"
+let k_incremental_derivations = "incremental.derivations"
+let k_incremental_fallbacks = "incremental.full_fallbacks"
+let k_plan_nodes = "plan.nodes_executed"
+let k_plan_rows_in = "plan.rows_in"
+let k_plan_rows_out = "plan.rows_out"
+let k_undo_depth = "session.undo_depth"
+let k_redo_depth = "session.redo_depth"
+let k_sql_translations = "sql.translations"
+let k_sql_inverse_translations = "sql.inverse_translations"
+let k_sql_executions = "sql.executions"
+
+let () =
+  List.iter
+    (fun k -> ignore (Metrics.counter k))
+    [ k_engine_ops; k_engine_errors; k_cache_hits; k_cache_misses;
+      k_cache_evictions; k_cache_seeds; k_full_replays;
+      k_incremental_derivations; k_incremental_fallbacks; k_plan_nodes;
+      k_plan_rows_in; k_plan_rows_out; k_sql_translations;
+      k_sql_inverse_translations; k_sql_executions ];
+  List.iter (fun k -> ignore (Metrics.gauge k)) [ k_undo_depth; k_redo_depth ]
+
+type core_stats = {
+  engine_ops : int;
+  engine_errors : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  cache_seeds : int;
+  full_replays : int;
+  incremental_derivations : int;
+  incremental_fallbacks : int;
+  plan_nodes : int;
+  plan_rows_in : int;
+  plan_rows_out : int;
+  undo_depth : int;
+  redo_depth : int;
+  sql_translations : int;
+  sql_inverse_translations : int;
+  sql_executions : int;
+}
+
+let core_stats () =
+  let v = Metrics.value_of in
+  { engine_ops = v k_engine_ops;
+    engine_errors = v k_engine_errors;
+    cache_hits = v k_cache_hits;
+    cache_misses = v k_cache_misses;
+    cache_evictions = v k_cache_evictions;
+    cache_seeds = v k_cache_seeds;
+    full_replays = v k_full_replays;
+    incremental_derivations = v k_incremental_derivations;
+    incremental_fallbacks = v k_incremental_fallbacks;
+    plan_nodes = v k_plan_nodes;
+    plan_rows_in = v k_plan_rows_in;
+    plan_rows_out = v k_plan_rows_out;
+    undo_depth = v k_undo_depth;
+    redo_depth = v k_redo_depth;
+    sql_translations = v k_sql_translations;
+    sql_inverse_translations = v k_sql_inverse_translations;
+    sql_executions = v k_sql_executions }
+
+(* ---------- Chrome trace_event export ---------- *)
+
+let event_to_json ev =
+  let args =
+    List.concat
+      [ (if ev.uid = 0 then [] else [ ("uid", Obs_json.Int ev.uid) ]);
+        (if ev.rows_in < 0 then []
+         else [ ("rows_in", Obs_json.Int ev.rows_in) ]);
+        (if ev.rows_out < 0 then []
+         else [ ("rows_out", Obs_json.Int ev.rows_out) ]);
+        [ ("depth", Obs_json.Int ev.depth) ] ]
+  in
+  Obs_json.Obj
+    [ ("name", Obs_json.String ev.name);
+      ("cat", Obs_json.String (if ev.kind = "" then "sheetmusiq" else ev.kind));
+      ("ph", Obs_json.String "X");
+      ("ts", Obs_json.Float (float_of_int ev.start_ns /. 1e3));
+      ("dur", Obs_json.Float (float_of_int ev.dur_ns /. 1e3));
+      ("pid", Obs_json.Int 1);
+      ("tid", Obs_json.Int 1);
+      ("args", Obs_json.Obj args) ]
+
+let to_chrome_trace evs =
+  Obs_json.Obj
+    [ ("traceEvents", Obs_json.List (List.map event_to_json evs));
+      ("displayTimeUnit", Obs_json.String "ms");
+      ("otherData",
+       Obs_json.Obj
+         [ ("exporter", Obs_json.String "sheetscope");
+           ("dropped_events", Obs_json.Int !dropped_events);
+           ("metrics", Metrics.to_json ()) ]) ]
+
+let chrome_trace_string () = Obs_json.to_string ~pretty:true (to_chrome_trace (events ()))
+
+let save_chrome_trace ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (chrome_trace_string ()))

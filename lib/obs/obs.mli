@@ -1,0 +1,183 @@
+(** Sheetscope: the measurement layer under the engine.
+
+    Three pieces (DESIGN.md §7):
+
+    - {e span tracing}: [span]/[finish] bracket a unit of work with
+      monotone-enough wall timings, nestable, tagged with the sheet
+      [uid] and an operator [kind]. The engine, the materializer's
+      replay strata, the incremental deriver, and every plan node are
+      bracketed this way.
+    - {e metrics}: a process-wide registry of named counters and
+      gauges (cache hits/misses, replays vs derivations, rows per
+      plan node, undo/redo depth, SQL translation counts),
+      snapshotable as an association list, a typed {!core_stats}
+      record, or JSON.
+    - {e sinks}: where completed spans go. [Off] (the default) makes
+      [span] a single mutable-bool test returning a shared dummy —
+      instrumented code paths are property-tested byte-identical to
+      uninstrumented ones. [Logs] prints each completed span through
+      the [sheetscope] {!Logs.Src.t}; [Memory] appends to a bounded
+      in-memory ring, from which {!to_chrome_trace} exports a Chrome
+      [about://tracing] / Perfetto-loadable JSON file.
+
+    Counters always count (an [int] increment per event, sink or no
+    sink); spans only materialize under an active sink. All state is
+    single-threaded, like the engine it observes. *)
+
+(** {1 Clock} *)
+
+val now_ns : unit -> int
+(** Wall clock in integer nanoseconds. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] and returns its result with the elapsed wall
+    time in milliseconds (used by [\timing] and the TUI status
+    segment). *)
+
+(** {1 Sinks} *)
+
+type sink = Off | Logs | Memory
+
+val sink : unit -> sink
+val set_sink : sink -> unit
+
+val recording : unit -> bool
+(** [sink () <> Off]. Instrumented code uses this to skip computing
+    expensive span annotations (e.g. row counts) when nobody
+    listens. *)
+
+(** {1 Spans} *)
+
+type event = {
+  name : string;
+  kind : string;
+  uid : int;  (** 0 when no sheet is involved *)
+  depth : int;  (** nesting depth at entry *)
+  start_ns : int;  (** relative to process start *)
+  dur_ns : int;
+  rows_in : int;  (** -1 when unknown *)
+  rows_out : int;  (** -1 when unknown *)
+}
+
+type span
+
+val span : ?uid:int -> ?kind:string -> string -> span
+(** Open a span. Constant-time no-op when the sink is [Off]. *)
+
+val finish : ?rows_in:int -> ?rows_out:int -> span -> unit
+(** Close a span, emitting the completed {!event} to the sink.
+    Closing out of order is tolerated (the span is removed wherever
+    it sits) but counted — see {!nesting_ok}. *)
+
+val with_span : ?uid:int -> ?kind:string -> string -> (unit -> 'a) -> 'a
+(** Bracket a thunk; the span is closed on exceptions too. *)
+
+val open_spans : unit -> int
+(** Number of spans opened but not yet finished. 0 after any balanced
+    workload — the [@obs] gate fails otherwise. *)
+
+val nesting_ok : unit -> bool
+(** No span was ever closed out of order (since {!clear_events}). *)
+
+val events : unit -> event list
+(** Contents of the [Memory] ring, oldest first. *)
+
+val dropped : unit -> int
+(** Events evicted from the ring since {!clear_events}. *)
+
+val clear_events : unit -> unit
+(** Empty the ring and reset the open-span stack, the nesting-violation
+    flag, and the dropped count. Does not touch metrics. *)
+
+val events_well_formed : event list -> bool
+(** Pairwise interval check: any two overlapping events at different
+    depths must nest (the deeper inside the shallower). *)
+
+(** {1 Metrics} *)
+
+module Metrics : sig
+  type m
+
+  val counter : string -> m
+  (** Intern a counter by name (returns the existing one if
+      registered). *)
+
+  val gauge : string -> m
+
+  val incr : ?by:int -> m -> unit
+  val set : m -> int -> unit
+  val get : m -> int
+  val name : m -> string
+  val is_counter : m -> bool
+
+  val value_of : string -> int
+  (** 0 when the name was never registered. *)
+
+  val snapshot : unit -> (string * int) list
+  (** Sorted by name. *)
+
+  val reset : unit -> unit
+  (** Zero every registered metric (registrations survive). *)
+
+  val to_json : unit -> Obs_json.t
+  val render : unit -> string
+end
+
+(** {2 Well-known metric names}
+
+    Registered up front so snapshots always carry the full set, zeros
+    included. The instrumented modules intern these same names. *)
+
+val k_engine_ops : string
+val k_engine_errors : string
+val k_cache_hits : string
+val k_cache_misses : string
+val k_cache_evictions : string
+val k_cache_seeds : string
+val k_full_replays : string
+val k_incremental_derivations : string
+val k_incremental_fallbacks : string
+val k_plan_nodes : string
+val k_plan_rows_in : string
+val k_plan_rows_out : string
+val k_undo_depth : string
+val k_redo_depth : string
+val k_sql_translations : string
+val k_sql_inverse_translations : string
+val k_sql_executions : string
+
+(** The registry's well-known slice as a typed record. *)
+type core_stats = {
+  engine_ops : int;
+  engine_errors : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  cache_seeds : int;
+  full_replays : int;
+  incremental_derivations : int;
+  incremental_fallbacks : int;
+  plan_nodes : int;
+  plan_rows_in : int;
+  plan_rows_out : int;
+  undo_depth : int;
+  redo_depth : int;
+  sql_translations : int;
+  sql_inverse_translations : int;
+  sql_executions : int;
+}
+
+val core_stats : unit -> core_stats
+
+(** {1 Chrome trace export} *)
+
+val to_chrome_trace : event list -> Obs_json.t
+(** [trace_event]-format JSON ("ph": "X" complete events, microsecond
+    timestamps) with the current metrics snapshot under [otherData]. *)
+
+val chrome_trace_string : unit -> string
+(** {!to_chrome_trace} of the current [Memory] ring, pretty-printed. *)
+
+val save_chrome_trace : path:string -> unit
+(** Write {!chrome_trace_string} to a file ([--trace out.json] in
+    [experiments] and [bench]). *)

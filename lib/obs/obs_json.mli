@@ -1,0 +1,35 @@
+(** A minimal JSON value with an exact printer and a total parser.
+
+    Sheetscope exports Chrome [trace_event] files and the benchmark
+    baseline through this module; the parser exists so the repo can
+    validate its own exports (the [@obs] gate and the fuzz harness
+    round-trip every trace through {!parse}).
+
+    Printing is exact: for any value [v] free of non-finite floats,
+    [parse (to_string v) = Ok v] structurally. Non-finite floats have
+    no JSON spelling and print as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Compact by default; [~pretty:true] indents by two spaces. *)
+
+val parse : string -> (t, string) result
+(** Total: malformed input (including nesting deeper than 512 levels)
+    comes back as [Error], never an exception. Numbers without a
+    fraction or exponent parse as [Int] (falling back to [Float] on
+    overflow); all others as [Float]. *)
+
+val equal : t -> t -> bool
+(** Structural equality ([Obj] field order matters, as the printer
+    preserves it). *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on anything else. *)

@@ -33,7 +33,12 @@ let eval_with_group schema group_rows row e =
     ~lookup:(fun name -> Row.get row (Schema.index_exn schema name))
     ~agg e
 
+let c_executions =
+  Sheet_obs.Obs.Metrics.counter Sheet_obs.Obs.k_sql_executions
+
 let run catalog (q : Sql_ast.query) =
+  Sheet_obs.Obs.Metrics.incr c_executions;
+  Sheet_obs.Obs.with_span ~kind:"sql" "sql.run" @@ fun () ->
   let* resolved = Sql_analyzer.analyze catalog q in
   let q = resolved.Sql_analyzer.query in
   (* FROM: product of the named relations (renaming handled by

@@ -90,7 +90,11 @@ let rec resolve_expr computed (e : Expr.t) : (Expr.t, string) result =
       | Some a ->
           Result.map (fun a -> Expr.Agg (fn, Some a)) (resolve a))
 
+let c_inverse_translations =
+  Sheet_obs.Obs.Metrics.counter Sheet_obs.Obs.k_sql_inverse_translations
+
 let compile ~table (sheet : Spreadsheet.t) =
+  Sheet_obs.Obs.Metrics.incr c_inverse_translations;
   let state = sheet.Spreadsheet.state in
   let computed = state.Query_state.computed in
   let grouping = Spreadsheet.grouping sheet in

@@ -211,7 +211,11 @@ let translate_full catalog (q : Sql_ast.query) =
       sql_output = resolved.Sql_analyzer.output;
       collapse = grouped || q.Sql_ast.distinct }
 
+let c_translations =
+  Sheet_obs.Obs.Metrics.counter Sheet_obs.Obs.k_sql_translations
+
 let translate catalog q =
+  Sheet_obs.Obs.Metrics.incr c_translations;
   let* fp = translate_full catalog q in
   Ok fp.plan
 

@@ -13,6 +13,7 @@ type t = {
   top : int;
   mode : mode;
   message : string;
+  last_ms : float option;
   quit : bool;
 }
 
@@ -32,6 +33,7 @@ let init session =
   { session; row = 0; col = 0; top = 0; mode = Grid;
     message = "f filter  s sort  g group  a avg  c count  h hide  u undo  \
                m menu  : command  q quit";
+    last_ms = None;
     quit = false }
 
 let visible t = Session.materialized t.session
@@ -87,11 +89,12 @@ let run_command t text =
     in
     { t with mode = Grid; message }
   else
-  match Script.run_line t.session text with
-  | Ok { Script.session; output } ->
+  match Sheet_obs.Obs.time (fun () -> Script.run_line t.session text) with
+  | Ok { Script.session; output }, ms ->
       { t with
         session;
         mode = Grid;
+        last_ms = Some ms;
         message =
           (match output with
           | Some out -> (
@@ -100,7 +103,7 @@ let run_command t text =
               | None -> out
               | Some _ -> "ok")
           | None -> text) }
-  | Error msg -> { t with mode = Grid; message = "error: " ^ msg }
+  | Error msg, _ -> { t with mode = Grid; message = "error: " ^ msg }
 
 let apply_key t ~page key =
   match (key, cursor_cell t, cursor_column t) with
@@ -221,9 +224,14 @@ let render_text ?(width = 100) ?(height = 24) t =
       (Materialize.full_cached (Session.current t.session))
   in
   let buf = Buffer.create 2048 in
-  (* status *)
-  Buffer.add_string buf
-    (pad width (Render.status_line (Session.current t.session)));
+  (* status, with the last command's wall time when known *)
+  let status =
+    let base = Render.status_line (Session.current t.session) in
+    match t.last_ms with
+    | Some ms -> Printf.sprintf "%s | last %.1f ms" base ms
+    | None -> base
+  in
+  Buffer.add_string buf (pad width status);
   Buffer.add_char buf '\n';
   (* header with cursor column marked *)
   let header =

@@ -40,6 +40,9 @@ type t = {
   top : int;  (** first visible data row (scrolling) *)
   mode : mode;
   message : string;  (** status / error line *)
+  last_ms : float option;
+      (** wall time of the last command-line/keystroke command,
+          rendered as a "last N ms" segment of the status line *)
   quit : bool;
 }
 

@@ -53,8 +53,9 @@ let script_total =
     (QCheck.make ~print:(fun s -> s) gen_garbage)
     (fun s ->
       let session = Session.create ~name:"cars" Sample_cars.relation in
-      (* 'export'/'html' write files; keep fuzzing away from the
-         filesystem by skipping those commands *)
+      (* 'export'/'html'/'trace export' write files and 'trace'
+         mutates the global sink; keep fuzzing away from both by
+         skipping those commands *)
       QCheck.assume
         (not
            (List.exists
@@ -63,7 +64,7 @@ let script_total =
                 && String.lowercase_ascii
                      (String.sub s 0 (String.length prefix))
                    = prefix)
-              [ "export"; "html"; "import" ]));
+              [ "export"; "html"; "import"; "trace" ]));
       no_exception (fun () -> Script.run_line session s))
 
 let sql_executor_total =
@@ -231,6 +232,67 @@ let sheetlint_expr_total =
                diags)
       | exception _ -> false)
 
+(* ---------- Sheetscope's JSON codec ---------- *)
+
+module J = Sheet_obs.Obs_json
+
+let json_parser_total =
+  QCheck.Test.make ~count:1000 ~name:"Obs_json.parse never raises"
+    (QCheck.make ~print:(fun s -> s)
+       QCheck.Gen.(
+         oneof
+           [ gen_garbage;
+             (* JSON-flavored soup *)
+             (let* words =
+                list_size (int_range 0 20)
+                  (oneofl
+                     [ "{"; "}"; "["; "]"; ":"; ","; "null"; "true";
+                       "false"; "42"; "-0.5"; "1e9"; "1e999"; "\"x\"";
+                       "\"\\u0041\""; "\"\\ud83d\\ude00\""; "\"\\q\"";
+                       "\"" ])
+              in
+              return (String.concat "" words)) ]))
+    (fun s -> no_exception (fun () -> J.parse s))
+
+let gen_json : J.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [ return J.Null;
+        map (fun b -> J.Bool b) bool;
+        map (fun i -> J.Int i) (int_range (-1000000) 1000000);
+        (* finite floats only: non-finite ones serialize as null by
+           design, which is a lossy (documented) conversion *)
+        map (fun f -> J.Float f) (float_range (-1e15) 1e15);
+        map (fun s -> J.String s)
+          (string_size ~gen:(map Char.chr (int_range 32 126))
+             (int_range 0 12)) ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then scalar
+         else
+           oneof
+             [ scalar;
+               map (fun xs -> J.List xs)
+                 (list_size (int_range 0 4) (self (n / 3)));
+               map (fun kvs -> J.Obj kvs)
+                 (list_size (int_range 0 4)
+                    (pair
+                       (string_size
+                          ~gen:(map Char.chr (int_range 97 122))
+                          (int_range 1 6))
+                       (self (n / 3)))) ])
+
+let json_round_trip =
+  QCheck.Test.make ~count:1000
+    ~name:"Obs_json: to_string |> parse is the identity"
+    (QCheck.make ~print:J.to_string gen_json)
+    (fun v ->
+      match J.parse (J.to_string v) with
+      | Ok v' -> J.equal v v'
+      | Error _ -> false)
+
 let sheetlint_sql_total =
   QCheck.Test.make ~count:500
     ~name:"Sheetlint.sql_string never raises nor reports an analyzer failure"
@@ -258,4 +320,5 @@ let () =
         [ script_total; sql_executor_total; persist_total; csv_total ];
       suite "analysis"
         [ expr_domain_total; sheetlint_expr_total; sheetlint_sql_total ];
+      suite "json" [ json_parser_total; json_round_trip ];
       suite "tui" [ browser_total ] ]

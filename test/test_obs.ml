@@ -1,0 +1,349 @@
+(* Sheetscope: the instrumentation must never change what a query
+   returns, and what it records must be well formed.
+
+   - with the sink off (the default), [Plan.execute_instrumented]
+     equals [Plan.execute] equals [Materialize.full] on random query
+     states (the generator style of test_props.ml);
+   - the same with the Memory sink on, plus: spans balanced, properly
+     nested, and interval-consistent;
+   - counters are monotone across work; gauges are not counters;
+   - the Chrome trace export parses back through Obs_json and
+     round-trips;
+   - the materialization cache's stats are deterministic around
+     [reset_cache];
+   - Obs_json itself: totality and exact round-trips on awkward
+     values. *)
+
+open Sheet_rel
+open Sheet_core
+module Obs = Sheet_obs.Obs
+module J = Sheet_obs.Obs_json
+
+let ( let* ) = QCheck.Gen.( let* ) [@@warning "-32"]
+
+(* ---------- random query states over the cars schema ---------- *)
+
+let models = [ "Jetta"; "Civic"; "Accord" ]
+let conditions = [ "Excellent"; "Good"; "Fair" ]
+
+let gen_base_relation : Relation.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* n = int_range 0 30 in
+  let* rows =
+    list_repeat n
+      (let* id = int_range 1 999 in
+       let* model = oneofl models in
+       let* price = int_range 8000 30000 in
+       let* year = int_range 2000 2008 in
+       let* mileage = int_range 0 150000 in
+       let* condition = oneofl conditions in
+       return
+         (Row.of_list
+            [ Value.Int id; Value.String model; Value.Int price;
+              Value.Int year; Value.Int mileage; Value.String condition ]))
+  in
+  return (Relation.make Sample_cars.schema rows)
+
+let numeric_cols = [ "Price"; "Year"; "Mileage" ]
+let string_cols = [ "Model"; "Condition" ]
+
+let gen_pred : Expr.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  oneof
+    [ (let* col = oneofl numeric_cols in
+       let* op = oneofl [ Expr.Lt; Expr.Le; Expr.Gt; Expr.Ge; Expr.Eq ] in
+       let* v = int_range 1990 120000 in
+       return (Expr.Cmp (op, Expr.Col col, Expr.Const (Value.Int v))));
+      (let* col = oneofl string_cols in
+       let* v = oneofl (models @ conditions) in
+       return (Expr.Cmp (Expr.Eq, Expr.Col col, Expr.Const (Value.String v))))
+    ]
+
+let gen_unary_op ~tag : Op.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  oneof
+    [ (let* p = gen_pred in
+       return (Op.Select p));
+      (let* col = oneofl (numeric_cols @ string_cols) in
+       return (Op.Project col));
+      (let* fn = oneofl [ Expr.Sum; Expr.Avg; Expr.Min; Expr.Max ] in
+       let* col = oneofl numeric_cols in
+       return
+         (Op.Aggregate
+            { fn; col = Some col; level = 1;
+              as_name = Some (Printf.sprintf "agg_%s" tag) }));
+      (let* a = oneofl numeric_cols in
+       let* b = oneofl numeric_cols in
+       return
+         (Op.Formula
+            { name = Some (Printf.sprintf "fc_%s" tag);
+              expr = Expr.Arith (Expr.Add, Expr.Col a, Expr.Col b) }));
+      return Op.Dedup;
+      (let* col = oneofl (string_cols @ [ "Year" ]) in
+       let* dir = oneofl [ Grouping.Asc; Grouping.Desc ] in
+       return (Op.Group { basis = [ col ]; dir }));
+      (let* col = oneofl (numeric_cols @ string_cols) in
+       let* dir = oneofl [ Grouping.Asc; Grouping.Desc ] in
+       return (Op.Order { attr = col; dir; level = 1 })) ]
+
+(* a random sheet: ops that fail a guard are simply skipped, so every
+   generated value yields a usable query state *)
+let gen_sheet : Spreadsheet.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* rel = gen_base_relation in
+  let* ops =
+    list_size (int_range 0 6)
+      (let* i = int_range 0 999 in
+       gen_unary_op ~tag:(string_of_int i))
+  in
+  return
+    (List.fold_left
+       (fun sheet op ->
+         match Engine.apply sheet op with
+         | Ok sheet -> sheet
+         | Error _ -> sheet)
+       (Spreadsheet.of_relation ~name:"t" rel)
+       ops)
+
+let sheet_arbitrary =
+  QCheck.make
+    ~print:(fun sheet -> Render.status_line sheet)
+    gen_sheet
+
+(* ---------- instrumented = plain = materializer ---------- *)
+
+let with_sink sink f =
+  let old = Obs.sink () in
+  Obs.set_sink sink;
+  Fun.protect ~finally:(fun () -> Obs.set_sink old) f
+
+let instrumented_equals_plain_off =
+  QCheck.Test.make ~count:1000
+    ~name:"sink off: execute_instrumented = execute = Materialize.full"
+    sheet_arbitrary
+    (fun sheet ->
+      with_sink Obs.Off @@ fun () ->
+      let plan = Plan.of_sheet sheet in
+      let plain = Plan.execute plan in
+      let rel, profile = Plan.execute_instrumented plan in
+      Relation.equal rel plain
+      && Relation.equal rel (Materialize.full sheet)
+      && profile.Plan.p_rows_out = Relation.cardinality rel)
+
+let instrumented_equals_plain_memory =
+  QCheck.Test.make ~count:300
+    ~name:"memory sink: same results, spans balanced and nested"
+    sheet_arbitrary
+    (fun sheet ->
+      with_sink Obs.Memory @@ fun () ->
+      Obs.clear_events ();
+      let plan = Plan.of_sheet sheet in
+      let rel, _profile = Plan.execute_instrumented plan in
+      let ok_result = Relation.equal rel (Materialize.full sheet) in
+      ok_result
+      && Obs.open_spans () = 0
+      && Obs.nesting_ok ()
+      && Obs.events_well_formed (Obs.events ()))
+
+let profile_chain_rows =
+  QCheck.Test.make ~count:200
+    ~name:"profile chain: every node reports non-negative rows and time"
+    sheet_arbitrary
+    (fun sheet ->
+      let _rel, profile =
+        Plan.execute_instrumented (Plan.of_sheet sheet)
+      in
+      let rec ok (p : Plan.profile) =
+        p.Plan.p_rows_out >= 0
+        && p.Plan.p_time_ns >= 0
+        && p.Plan.p_label <> ""
+        && (match p.Plan.p_child with Some c -> ok c | None -> true)
+      in
+      ok profile && Plan.profile_total_ns profile >= 0)
+
+(* ---------- counters ---------- *)
+
+let counter_names =
+  [ Obs.k_engine_ops; Obs.k_engine_errors; Obs.k_cache_hits;
+    Obs.k_cache_misses; Obs.k_cache_evictions; Obs.k_cache_seeds;
+    Obs.k_full_replays; Obs.k_incremental_derivations;
+    Obs.k_incremental_fallbacks; Obs.k_plan_nodes; Obs.k_plan_rows_in;
+    Obs.k_plan_rows_out; Obs.k_sql_translations;
+    Obs.k_sql_inverse_translations; Obs.k_sql_executions ]
+
+let counters_monotone =
+  QCheck.Test.make ~count:200
+    ~name:"counters only grow across engine + plan work"
+    sheet_arbitrary
+    (fun sheet ->
+      let before =
+        List.map (fun n -> (n, Obs.Metrics.value_of n)) counter_names
+      in
+      ignore (Plan.execute_instrumented (Plan.of_sheet sheet));
+      ignore (Engine.apply sheet Op.Dedup);
+      List.for_all
+        (fun (n, v0) -> Obs.Metrics.value_of n >= v0)
+        before)
+
+let counters_snapshot () =
+  let snap = Obs.Metrics.snapshot () in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (n ^ " present") true
+        (List.mem_assoc n snap))
+    counter_names;
+  (* the typed record agrees with the registry *)
+  let stats = Obs.core_stats () in
+  Alcotest.(check int) "engine_ops" (Obs.Metrics.value_of Obs.k_engine_ops)
+    stats.Obs.engine_ops;
+  Alcotest.(check int) "plan_nodes" (Obs.Metrics.value_of Obs.k_plan_nodes)
+    stats.Obs.plan_nodes
+
+(* ---------- cache stats ---------- *)
+
+let cache_stats_deterministic () =
+  Materialize.reset_cache ();
+  let s0 = Materialize.cache_stats () in
+  Alcotest.(check int) "hits zero" 0 s0.Materialize.hits;
+  Alcotest.(check int) "misses zero" 0 s0.Materialize.misses;
+  Alcotest.(check int) "entries zero" 0 s0.Materialize.entries;
+  let sheet = Spreadsheet.of_relation ~name:"cars" Sample_cars.relation in
+  let r1 = Materialize.full_cached sheet in
+  let r2 = Materialize.full_cached sheet in
+  Alcotest.(check bool) "same relation" true (Relation.equal r1 r2);
+  let s = Materialize.cache_stats () in
+  Alcotest.(check int) "one miss" 1 s.Materialize.misses;
+  Alcotest.(check int) "one hit" 1 s.Materialize.hits;
+  Alcotest.(check int) "one entry" 1 s.Materialize.entries;
+  Alcotest.(check int) "no eviction" 0 s.Materialize.evictions;
+  Materialize.reset_cache ();
+  let s = Materialize.cache_stats () in
+  Alcotest.(check int) "reset misses" 0 s.Materialize.misses;
+  Alcotest.(check int) "reset entries" 0 s.Materialize.entries
+
+let seed_counts_in_stats () =
+  Materialize.reset_cache ();
+  let sheet = Spreadsheet.of_relation ~name:"cars" Sample_cars.relation in
+  Materialize.seed_cache sheet (Materialize.full sheet);
+  let s = Materialize.cache_stats () in
+  Alcotest.(check int) "one seed" 1 s.Materialize.seeds;
+  Alcotest.(check int) "one entry" 1 s.Materialize.entries;
+  (* the seeded value is served back without a miss *)
+  ignore (Materialize.full_cached sheet);
+  let s = Materialize.cache_stats () in
+  Alcotest.(check int) "hit on seeded" 1 s.Materialize.hits;
+  Alcotest.(check int) "no miss" 0 s.Materialize.misses
+
+(* ---------- chrome trace export ---------- *)
+
+let trace_round_trip () =
+  with_sink Obs.Memory @@ fun () ->
+  Obs.clear_events ();
+  let sheet = Spreadsheet.of_relation ~name:"cars" Sample_cars.relation in
+  let sheet =
+    match
+      Engine.apply sheet
+        (Op.Select
+           (Expr.Cmp (Expr.Lt, Expr.Col "Price", Expr.Const (Value.Int 20000))))
+    with
+    | Ok s -> s
+    | Error _ -> Alcotest.fail "select refused"
+  in
+  ignore (Materialize.full sheet);
+  ignore (Plan.execute_instrumented (Plan.of_sheet sheet));
+  let text = Obs.chrome_trace_string () in
+  match J.parse text with
+  | Error msg -> Alcotest.fail ("trace does not parse: " ^ msg)
+  | Ok v -> (
+      (match J.member "traceEvents" v with
+      | Some (J.List (_ :: _)) -> ()
+      | _ -> Alcotest.fail "no traceEvents");
+      match J.parse (J.to_string v) with
+      | Ok v' ->
+          Alcotest.(check bool) "round-trips" true (J.equal v v')
+      | Error msg -> Alcotest.fail ("re-parse failed: " ^ msg))
+
+let ring_clears () =
+  with_sink Obs.Memory @@ fun () ->
+  Obs.clear_events ();
+  ignore
+    (Materialize.full
+       (Spreadsheet.of_relation ~name:"cars" Sample_cars.relation));
+  Alcotest.(check bool) "recorded" true (Obs.events () <> []);
+  Obs.clear_events ();
+  Alcotest.(check int) "empty" 0 (List.length (Obs.events ()))
+
+(* ---------- Obs_json ---------- *)
+
+let json_round_trip_values () =
+  let cases =
+    [ J.Null; J.Bool true; J.Bool false; J.Int 0; J.Int (-42);
+      J.Int max_int; J.Float 0.1; J.Float (-1e300); J.Float 1.5;
+      J.String ""; J.String "a\"b\\c\nd\te";
+      J.String "caf\xc3\xa9";  (* UTF-8 passes through *)
+      J.List []; J.Obj [];
+      J.Obj
+        [ ("k", J.List [ J.Int 1; J.Float 2.5; J.String "x"; J.Null ]);
+          ("nested", J.Obj [ ("deep", J.List [ J.Obj [] ]) ]) ] ]
+  in
+  List.iter
+    (fun v ->
+      match J.parse (J.to_string v) with
+      | Ok v' ->
+          Alcotest.(check bool)
+            (J.to_string v ^ " round-trips")
+            true (J.equal v v')
+      | Error msg -> Alcotest.fail (J.to_string v ^ ": " ^ msg))
+    cases;
+  (* floats keep their type: 2.0 must not come back as Int 2 *)
+  match J.parse (J.to_string (J.Float 2.0)) with
+  | Ok (J.Float _) -> ()
+  | Ok _ -> Alcotest.fail "float decayed to another constructor"
+  | Error msg -> Alcotest.fail msg
+
+let json_parse_errors () =
+  List.iter
+    (fun s ->
+      match J.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S should not parse" s))
+    [ ""; "{"; "["; "tru"; "nul"; "{\"a\":}"; "[1,]"; "\"unterminated";
+      "{\"a\" 1}"; "01x"; "- 1"; "\xff" ];
+  (* escapes and unicode *)
+  (match J.parse {|"Aé😀"|} with
+  | Ok (J.String s) ->
+      Alcotest.(check string) "unicode escapes" "A\xc3\xa9\xf0\x9f\x98\x80" s
+  | Ok _ | Error _ -> Alcotest.fail "unicode escape parse");
+  (* depth guard: deeply nested input must fail, not overflow *)
+  let deep = String.concat "" (List.init 2000 (fun _ -> "[")) in
+  match J.parse deep with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unbounded depth accepted"
+
+let () =
+  let prop t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "sheet_obs"
+    [ ("equivalence",
+       [ prop instrumented_equals_plain_off;
+         prop instrumented_equals_plain_memory;
+         prop profile_chain_rows ]);
+      ("metrics",
+       [ prop counters_monotone;
+         Alcotest.test_case "snapshot carries well-known names" `Quick
+           counters_snapshot ]);
+      ("cache",
+       [ Alcotest.test_case "stats deterministic around reset" `Quick
+           cache_stats_deterministic;
+         Alcotest.test_case "seeding counts and serves hits" `Quick
+           seed_counts_in_stats ]);
+      ("trace",
+       [ Alcotest.test_case "chrome export round-trips" `Quick
+           trace_round_trip;
+         Alcotest.test_case "clear_events empties the ring" `Quick
+           ring_clears ]);
+      ("json",
+       [ Alcotest.test_case "value round-trips" `Quick
+           json_round_trip_values;
+         Alcotest.test_case "totality and escapes" `Quick
+           json_parse_errors ]) ]

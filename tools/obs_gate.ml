@@ -1,0 +1,91 @@
+(* Observability gate: run every bundled TPC-H task script under full
+   tracing and fail the build when the instrumentation itself is
+   broken — unclosed or mis-nested spans, negative counters, a
+   profiled row count that disagrees with the materializer, or a
+   Chrome trace export that does not parse back. Run via
+   [dune build @obs], next to [@lint]. *)
+
+open Sheet_core
+module Obs = Sheet_obs.Obs
+
+let failures = ref 0
+
+let check label ok detail =
+  if not ok then begin
+    Printf.printf "FAIL %s: %s\n" label detail;
+    incr failures
+  end
+
+let run_task catalog (task : Sheet_tpch.Tpch_tasks.t) =
+  let label what = Printf.sprintf "task %2d %s" task.id what in
+  (* deterministic per-task baseline: empty ring, zero metrics, cold
+     materialization cache *)
+  Obs.clear_events ();
+  Obs.Metrics.reset ();
+  Materialize.reset_cache ();
+  match Sheet_sql.Catalog.find catalog task.base with
+  | None -> check (label "base") false ("no base relation " ^ task.base)
+  | Some base -> (
+      let session = Session.create ~name:task.base base in
+      match Script.run_silent session task.script with
+      | Error msg -> check (label "script") false msg
+      | Ok session ->
+          let sheet = Session.current session in
+          (* EXPLAIN ANALYZE agrees with the materializer on every row *)
+          let rel, profile = Plan.execute_instrumented (Plan.of_sheet sheet) in
+          let expected = Materialize.full sheet in
+          check (label "rows")
+            (profile.Plan.p_rows_out
+             = Sheet_rel.Relation.cardinality expected
+            && Sheet_rel.Relation.cardinality rel
+               = Sheet_rel.Relation.cardinality expected)
+            (Printf.sprintf "profiled %d rows, materializer %d"
+               profile.Plan.p_rows_out
+               (Sheet_rel.Relation.cardinality expected));
+          check (label "result")
+            (Sheet_rel.Relation.equal_unordered_data
+               (Sheet_rel.Relation.normalize rel)
+               (Sheet_rel.Relation.normalize expected))
+            "instrumented plan result differs from Materialize.full";
+          (* spans balanced and properly nested *)
+          check (label "spans") (Obs.open_spans () = 0)
+            (Printf.sprintf "%d unclosed span(s)" (Obs.open_spans ()));
+          check (label "nesting") (Obs.nesting_ok ())
+            "span closed out of order";
+          check (label "intervals")
+            (Obs.events_well_formed (Obs.events ()))
+            "overlapping spans do not nest";
+          (* counters never go negative *)
+          List.iter
+            (fun (name, v) ->
+              check (label ("metric " ^ name)) (v >= 0)
+                (Printf.sprintf "negative value %d" v))
+            (Obs.Metrics.snapshot ());
+          (* the Chrome trace of this task round-trips through the
+             bundled JSON parser *)
+          let trace = Obs.chrome_trace_string () in
+          (match Sheet_obs.Obs_json.parse trace with
+          | Error msg -> check (label "trace") false ("invalid JSON: " ^ msg)
+          | Ok parsed ->
+              check (label "trace")
+                (Sheet_obs.Obs_json.equal parsed
+                   (Sheet_obs.Obs_json.parse
+                      (Sheet_obs.Obs_json.to_string ~pretty:true parsed)
+                   |> Result.get_ok))
+                "trace JSON does not round-trip"))
+
+let () =
+  Obs.set_sink Obs.Memory;
+  let catalog =
+    Sheet_tpch.Tpch_views.install
+      (Sheet_tpch.Tpch_gen.generate
+         { Sheet_tpch.Tpch_gen.sf = 0.001; seed = 42 })
+  in
+  let tasks = Sheet_tpch.Tpch_tasks.all @ Sheet_tpch.Tpch_tasks.extensions in
+  List.iter (run_task catalog) tasks;
+  if !failures > 0 then begin
+    Printf.eprintf "obs gate: %d failure(s)\n" !failures;
+    exit 1
+  end
+  else
+    Printf.printf "obs gate: %d task(s) traced clean\n" (List.length tasks)
