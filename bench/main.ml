@@ -9,9 +9,11 @@
               dune exec bench/main.exe -- --trace trace.json
 
    Microbenchmark runs also write a machine-readable baseline
-   (benchmark name -> ns/run and rows/s where the workload has a known
-   input cardinality) so future PRs have a perf trajectory to compare
-   against; --trace records a Chrome trace_event file of the artifact
+   (benchmark name -> ns/run mean, exact p50/p90/p99/max sample
+   percentiles, and rows/s where the workload has a known input
+   cardinality — schema sheetmusiq-bench/v2) so future PRs have a
+   perf trajectory to compare against with tools/bench_diff.exe;
+   --trace records a Chrome trace_event file of the artifact
    regenerations through Sheetscope (lib/obs). *)
 
 open Sheet_rel
@@ -317,18 +319,52 @@ let workloads =
      grouping_vs_sort sheet_1k ~tree:false)
   ]
 
+(* Tail-latency sampling: a direct timing loop alongside Bechamel's
+   OLS mean, because interactive latency is a percentile problem
+   (ISSUE 4 / DESIGN.md §8). Exact sample percentiles — rank
+   ceil(phi*n) of the sorted run times — not histogram estimates. *)
+let sample_percentiles f =
+  ignore (f ());
+  (* warmup *)
+  let budget_ns = 250_000_000 in
+  let t_start = Sheet_obs.Obs.now_ns () in
+  let samples = ref [] in
+  let n = ref 0 in
+  while
+    !n < 5
+    || (!n < 40 && Sheet_obs.Obs.now_ns () - t_start < budget_ns)
+  do
+    let t0 = Sheet_obs.Obs.now_ns () in
+    ignore (f ());
+    samples := (Sheet_obs.Obs.now_ns () - t0) :: !samples;
+    incr n
+  done;
+  let arr = Array.of_list !samples in
+  Array.sort compare arr;
+  let len = Array.length arr in
+  let pct phi =
+    let rank = max 1 (int_of_float (ceil (phi *. float_of_int len))) in
+    arr.(min (len - 1) (rank - 1))
+  in
+  (pct 0.5, pct 0.9, pct 0.99, arr.(len - 1), len)
+
 let json_of_results results =
   let open Sheet_obs in
   Obs_json.Obj
-    [ ("schema", Obs_json.String "sheetmusiq-bench/v1");
+    [ ("schema", Obs_json.String "sheetmusiq-bench/v2");
       ("unit", Obs_json.String "ns/run");
       ("results",
        Obs_json.Obj
          (List.map
-            (fun (name, rows, ns) ->
+            (fun (name, rows, ns, (p50, p90, p99, mx, samples)) ->
               ( name,
                 Obs_json.Obj
                   (("ns_per_run", Obs_json.Float ns)
+                   :: ("p50_ns", Obs_json.Int p50)
+                   :: ("p90_ns", Obs_json.Int p90)
+                   :: ("p99_ns", Obs_json.Int p99)
+                   :: ("max_ns", Obs_json.Int mx)
+                   :: ("samples", Obs_json.Int samples)
                   ::
                   (match rows with
                   | Some r when ns > 0. ->
@@ -359,7 +395,15 @@ let run_benchmarks ~json_path =
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
   in
-  Printf.printf "%-40s %14s %14s\n" "benchmark" "time/run" "rows/s";
+  Printf.printf "%-40s %14s %14s %12s %12s\n" "benchmark" "time/run"
+    "rows/s" "p50" "p99";
+  let pretty_ns ns =
+    if Float.is_nan ns then "n/a"
+    else if ns > 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+    else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+    else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+    else Printf.sprintf "%8.0f ns" ns
+  in
   let results =
     List.map
       (fun (name, rows, f) ->
@@ -374,28 +418,22 @@ let run_benchmarks ~json_path =
             | _ -> ())
           analyzed;
         let estimate = !estimate in
-        let pretty =
-          if Float.is_nan estimate then "n/a"
-          else if estimate > 1e9 then
-            Printf.sprintf "%8.2f s " (estimate /. 1e9)
-          else if estimate > 1e6 then
-            Printf.sprintf "%8.2f ms" (estimate /. 1e6)
-          else if estimate > 1e3 then
-            Printf.sprintf "%8.2f us" (estimate /. 1e3)
-          else Printf.sprintf "%8.0f ns" estimate
-        in
+        let ((p50, _, p99, _, _) as pcts) = sample_percentiles f in
         let throughput =
           match rows with
           | Some r when (not (Float.is_nan estimate)) && estimate > 0. ->
               Printf.sprintf "%12.3e" (float_of_int r /. (estimate /. 1e9))
           | _ -> "-"
         in
-        Printf.printf "%-40s %14s %14s\n%!" name pretty throughput;
-        (name, rows, estimate))
+        Printf.printf "%-40s %14s %14s %12s %12s\n%!" name
+          (pretty_ns estimate) throughput
+          (pretty_ns (float_of_int p50))
+          (pretty_ns (float_of_int p99));
+        (name, rows, estimate, pcts))
       workloads
   in
   write_json ~path:json_path
-    (List.filter (fun (_, _, ns) -> not (Float.is_nan ns)) results)
+    (List.filter (fun (_, _, ns, _) -> not (Float.is_nan ns)) results)
 
 let () =
   let argv = Array.to_list Sys.argv in

@@ -50,7 +50,8 @@ Display:
 Observability (Sheetscope):
   explain                         show the compiled + optimized plan
   explain analyze | profile       run the plan, per-node rows and timings
-  metrics                         counters and gauges snapshot
+  metrics                         counters, gauges, latency percentiles
+  flightrec [json|clear]          session flight recorder (last 512 events)
   trace [status|mem|logs|off|clear]   span tracing sink control
   trace export <path>             write Chrome trace_event JSON|}
 

@@ -9,7 +9,7 @@
    [Sheet_ui.Browser]; this file only translates Notty terminal
    events and repaints. Keys: arrows move, f filter-to-cell, s sort,
    g group, a avg, c count, h hide, u/r undo/redo, m menu, : command,
-   q quit. *)
+   F flight-recorder pane, q quit. *)
 
 open Sheet_rel
 open Sheet_core

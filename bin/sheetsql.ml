@@ -13,6 +13,8 @@
      \profile <SQL>  translate, run through the plan interpreter, and
                    print per-node rows and timings (EXPLAIN ANALYZE)
      \timing       toggle per-statement wall-time reporting
+     \flightrec [json|clear]   dump / export / reset the session
+                   flight recorder (Sheetscope)
      \d            list tables
      \d <table>    describe a table
      \q            quit
@@ -142,7 +144,8 @@ let () =
   list_tables catalog;
   Printf.printf
     "\\d to list tables, \\t <sql> to translate, \\lint <sql> to analyze, \
-     \\profile <sql> to time, \\timing to toggle, \\q to quit.\n";
+     \\profile <sql> to time, \\timing to toggle, \\flightrec [json|clear] \
+     for the flight recorder, \\q to quit.\n";
   let buffer = Buffer.create 256 in
   (try
      while true do
@@ -159,6 +162,15 @@ let () =
        else if trimmed = "\\timing" then begin
          timing := not !timing;
          Printf.printf "Timing is %s.\n" (if !timing then "on" else "off")
+       end
+       else if trimmed = "\\flightrec" then
+         print_endline (Sheet_obs.Obs.Flightrec.render ())
+       else if trimmed = "\\flightrec json" then
+         print_endline
+           (Sheet_obs.Obs_json.to_string (Sheet_obs.Obs.Flightrec.to_json ()))
+       else if trimmed = "\\flightrec clear" then begin
+         Sheet_obs.Obs.Flightrec.clear ();
+         print_endline "flight recorder cleared"
        end
        else if
          String.length trimmed >= 9 && String.sub trimmed 0 9 = "\\profile "

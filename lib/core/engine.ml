@@ -443,12 +443,20 @@ let dispatch ?store sheet (op : Op.t) =
   | Op.Dedup -> dedup sheet
   | Op.Rename { old_name; new_name } -> rename sheet ~old_name ~new_name
 
+let h_apply = Obs.Histogram.histogram Obs.h_engine_apply
+
 let apply ?store sheet (op : Op.t) =
   Obs.Metrics.incr c_ops;
   let sp =
     Obs.span ~uid:sheet.Spreadsheet.uid ~kind:(Op.kind op) "engine.apply"
   in
+  let t0 = Obs.now_ns () in
   let result = dispatch ?store sheet op in
+  let dt = Obs.now_ns () - t0 in
+  Obs.Histogram.record h_apply dt;
+  Obs.Histogram.record
+    (Obs.Histogram.histogram (Obs.h_engine_apply ^ "." ^ Op.kind op))
+    dt;
   (match result with Error _ -> Obs.Metrics.incr c_errors | Ok _ -> ());
   Obs.finish sp;
   result

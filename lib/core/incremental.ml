@@ -139,15 +139,19 @@ let derive ~(parent : Spreadsheet.t) ~(op : Op.t) ~(child : Spreadsheet.t) =
   | Op.Rename _ | Op.Product _ | Op.Union _ | Op.Diff _ | Op.Join _ ->
       None
 
+let h_derive = Obs.Histogram.histogram Obs.h_incremental_derive
+
 let materialize_after ~parent ~op ~child =
   let sp =
     Obs.span ~uid:child.Spreadsheet.uid ~kind:(Op.kind op)
       "incremental.materialize_after"
   in
+  let t0 = Obs.now_ns () in
   let rel =
     match derive ~parent ~op ~child with
     | Some rel ->
         Obs.Metrics.incr c_derivations;
+        Obs.Histogram.record h_derive (Obs.now_ns () - t0);
         rel
     | None ->
         Obs.Metrics.incr c_fallbacks;

@@ -6,6 +6,8 @@ let c_misses = Obs.Metrics.counter Obs.k_cache_misses
 let c_evictions = Obs.Metrics.counter Obs.k_cache_evictions
 let c_seeds = Obs.Metrics.counter Obs.k_cache_seeds
 let c_full_replays = Obs.Metrics.counter Obs.k_full_replays
+let h_full = Obs.Histogram.histogram Obs.h_materialize_full
+let h_stratum = Obs.Histogram.histogram Obs.h_materialize_stratum
 
 let internal_error fmt =
   Printf.ksprintf (fun s -> failwith ("Materialize: internal error: " ^ s)) fmt
@@ -126,6 +128,7 @@ let unsorted_full (sheet : Spreadsheet.t) =
       Obs.span ~uid:sheet.Spreadsheet.uid ~kind:"stratum 0"
         "materialize.stratum"
     in
+    let t0 = Obs.now_ns () in
     let base_rows = Relation.rows sheet.Spreadsheet.base in
     let rows = apply_selections base_schema (preds_at 0) base_rows in
     let rows =
@@ -141,6 +144,7 @@ let unsorted_full (sheet : Spreadsheet.t) =
         distinct_rows ~key_positions rows
       else rows
     in
+    Obs.Histogram.record h_stratum (Obs.now_ns () - t0);
     Obs.finish ~rows_in:(count base_rows) ~rows_out:(count rows) sp;
     rows
   in
@@ -153,6 +157,7 @@ let unsorted_full (sheet : Spreadsheet.t) =
             "materialize.stratum"
         in
         let rows_in = count rows in
+        let t0 = Obs.now_ns () in
         let cells = computed_cells sheet schema rows c in
         let schema =
           Schema.append schema
@@ -160,6 +165,7 @@ let unsorted_full (sheet : Spreadsheet.t) =
         in
         let rows = List.map2 Row.append1 rows cells in
         let rows = apply_selections schema (preds_at k) rows in
+        Obs.Histogram.record h_stratum (Obs.now_ns () - t0);
         Obs.finish ~rows_in ~rows_out:(count rows) sp;
         (schema, rows, k + 1))
       (base_schema, rows, 1)
@@ -171,6 +177,10 @@ let full (sheet : Spreadsheet.t) =
   Obs.Metrics.incr c_full_replays;
   Obs.with_span ~uid:sheet.Spreadsheet.uid ~kind:"full" "materialize.full"
     (fun () ->
+      let t0 = Obs.now_ns () in
+      Fun.protect
+        ~finally:(fun () -> Obs.Histogram.record h_full (Obs.now_ns () - t0))
+      @@ fun () ->
       let rel = unsorted_full sheet in
       let keys =
         List.map
@@ -228,9 +238,12 @@ let reset_cache () =
 
 let evict_if_over_limit () =
   if Hashtbl.length cache > cache_limit then begin
+    let n = Hashtbl.length cache in
     Hashtbl.reset cache;
     incr evictions;
-    Obs.Metrics.incr c_evictions
+    Obs.Metrics.incr c_evictions;
+    Obs.Flightrec.record ~kind:"cache-eviction"
+      (Printf.sprintf "wholesale, %d entries" n)
   end
 
 let full_cached (sheet : Spreadsheet.t) =
@@ -238,12 +251,17 @@ let full_cached (sheet : Spreadsheet.t) =
   | Some rel ->
       incr hits;
       Obs.Metrics.incr c_hits;
+      Obs.Flightrec.record ~uid:sheet.Spreadsheet.uid ~kind:"cache-hit"
+        "materialize";
       rel
   | None ->
       incr misses;
       Obs.Metrics.incr c_misses;
       evict_if_over_limit ();
+      let t0 = Obs.now_ns () in
       let rel = full sheet in
+      Obs.Flightrec.record ~uid:sheet.Spreadsheet.uid
+        ~dur_ns:(Obs.now_ns () - t0) ~kind:"cache-miss" "full replay";
       Hashtbl.replace cache sheet.Spreadsheet.uid rel;
       rel
 

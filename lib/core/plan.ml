@@ -169,9 +169,6 @@ let apply_node node input =
         rel
   | Sort (keys, _) -> Rel_algebra.sort keys (rel ())
 
-let rec execute node =
-  apply_node node (Option.map execute (child node))
-
 (* ---------- node labels (shared by explain / explain analyze) ---- *)
 
 let node_label = function
@@ -208,6 +205,16 @@ let node_kind = function
   | Extend_aggregate _ -> "extend-agg"
   | Sort _ -> "sort"
 
+let node_histogram node =
+  Obs.Histogram.histogram (Obs.h_plan_node_prefix ^ node_kind node)
+
+let rec execute node =
+  let input = Option.map execute (child node) in
+  let t0 = Obs.now_ns () in
+  let rel = apply_node node input in
+  Obs.Histogram.record (node_histogram node) (Obs.now_ns () - t0);
+  rel
+
 (* ---------- instrumented execution (EXPLAIN ANALYZE) ---------- *)
 
 type profile = {
@@ -227,6 +234,7 @@ let rec execute_instrumented node =
   let t0 = Obs.now_ns () in
   let rel = apply_node node input in
   let dt = Obs.now_ns () - t0 in
+  Obs.Histogram.record (node_histogram node) dt;
   let rows_out = Relation.cardinality rel in
   Obs.Metrics.incr c_plan_nodes;
   Obs.Metrics.incr ~by:rows_in c_plan_rows_in;

@@ -1,5 +1,6 @@
 open Sheet_rel
 module Obs = Sheet_obs.Obs
+module Obs_json = Sheet_obs.Obs_json
 
 type outcome = { session : Session.t; output : string option }
 
@@ -338,7 +339,19 @@ let run_line session line =
         let _rel, _profile, text = Plan.explain_analyze plan in
         Ok { session; output = Some text }
     | "metrics" ->
-        Ok { session; output = Some (Obs.Metrics.render ()) }
+        Ok { session; output = Some (Obs.metrics_report ()) }
+    | "flightrec" -> (
+        match split_words (String.lowercase_ascii rest) with
+        | [] -> Ok { session; output = Some (Obs.Flightrec.render ()) }
+        | [ "json" ] ->
+            Ok
+              { session;
+                output =
+                  Some (Obs_json.to_string (Obs.Flightrec.to_json ())) }
+        | [ "clear" ] ->
+            Obs.Flightrec.clear ();
+            Ok { session; output = Some "flight recorder cleared" }
+        | _ -> Error "flightrec: expected [json|clear]")
     | "trace" -> (
         match split_words (String.lowercase_ascii rest), split_words rest with
         | ([] | [ "status" ]), _ ->

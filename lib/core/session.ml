@@ -41,6 +41,7 @@ let push t label sheet =
   observe { t with past = { sheet; label } :: t.past; future = [] }
 
 let apply t op =
+  let t0 = Obs.now_ns () in
   match Engine.apply ~store:t.sheets (current t) op with
   | Ok sheet ->
       (* Derive the new materialization incrementally where the
@@ -48,8 +49,18 @@ let apply t op =
          this step is immediate (Sec. V's cost argument). *)
       ignore (Incremental.materialize_after ~parent:(current t) ~op
                 ~child:sheet);
+      let dur_ns = Obs.now_ns () - t0 in
+      let uid = sheet.Spreadsheet.uid in
+      Obs.Flightrec.record ~uid ~dur_ns ~kind:"op" (Op.describe op);
+      if dur_ns >= Obs.Flightrec.slow_threshold_ns () then
+        Obs.Flightrec.record ~uid ~dur_ns ~kind:"slow-op" (Op.describe op);
       Ok (push t (Op.describe op) sheet)
-  | Error e -> Error e
+  | Error e ->
+      Obs.Flightrec.record
+        ~uid:(current t).Spreadsheet.uid
+        ~dur_ns:(Obs.now_ns () - t0) ~kind:"op-rejected"
+        (Printf.sprintf "%s: %s" (Op.describe op) (Errors.to_string e));
+      Error e
 
 let history t =
   List.rev t.past
@@ -61,12 +72,15 @@ let can_redo t = t.future <> []
 let undo t =
   match t.past with
   | s :: (_ :: _ as rest) ->
+      Obs.Flightrec.record ~uid:s.sheet.Spreadsheet.uid ~kind:"undo" s.label;
       Some (observe { t with past = rest; future = s :: t.future })
   | _ -> None
 
 let redo t =
   match t.future with
-  | s :: rest -> Some (observe { t with past = s :: t.past; future = rest })
+  | s :: rest ->
+      Obs.Flightrec.record ~uid:s.sheet.Spreadsheet.uid ~kind:"redo" s.label;
+      Some (observe { t with past = s :: t.past; future = rest })
   | [] -> None
 
 let goto t index =
@@ -108,8 +122,14 @@ let selections_on t col = Engine.selections_on (current t) col
 
 let modification t label result =
   match result with
-  | Ok sheet -> Ok (push t label sheet)
-  | Error e -> Error e
+  | Ok sheet ->
+      Obs.Flightrec.record ~uid:sheet.Spreadsheet.uid ~kind:"op" label;
+      Ok (push t label sheet)
+  | Error e ->
+      Obs.Flightrec.record
+        ~uid:(current t).Spreadsheet.uid ~kind:"op-rejected"
+        (Printf.sprintf "%s: %s" label (Errors.to_string e));
+      Error e
 
 let replace_selection t ~id pred =
   modification t

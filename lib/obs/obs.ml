@@ -7,9 +7,31 @@
 
 let src = Logs.Src.create "sheetscope" ~doc:"SheetMusiq instrumentation"
 
-(* ---------- clock ---------- *)
+(* ---------- clock ----------
 
-let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+   The wall clock can step backwards (NTP slew, VM migration); a span
+   or histogram sample must never report a negative duration. Readings
+   are clamped into a monotone timeline: [now_ns] never decreases
+   within a process. The raw source is swappable so tests can drive
+   time backwards and check the clamp. *)
+
+let wall_clock_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let raw_clock = ref wall_clock_ns
+let last_ns = ref 0
+
+let now_ns () =
+  let t = !raw_clock () in
+  if t > !last_ns then last_ns := t;
+  !last_ns
+
+let set_raw_clock_for_tests = function
+  | Some f -> raw_clock := f
+  | None ->
+      raw_clock := wall_clock_ns;
+      (* re-anchor so a test clock set far in the future does not pin
+         the timeline there *)
+      last_ns := wall_clock_ns ()
 
 let epoch_ns = now_ns ()
 
@@ -110,7 +132,9 @@ let finish ?(rows_in = -1) ?(rows_out = -1) sp =
         uid = sp.s_uid;
         depth = sp.s_depth;
         start_ns = sp.s_start;
-        dur_ns = now_ns () - epoch_ns - sp.s_start;
+        (* the clamped clock makes this non-negative already; the [max]
+           guards the invariant even against a hostile test clock *)
+        dur_ns = max 0 (now_ns () - epoch_ns - sp.s_start);
         rows_in;
         rows_out }
   end
@@ -208,6 +232,206 @@ module Metrics = struct
         (List.map (fun (name, v) -> Printf.sprintf "%-32s %10d" name v) snap)
 end
 
+(* ---------- latency histograms ----------
+
+   Third metric family (DESIGN.md §8): log-bucketed latency
+   histograms. Bucket boundaries are fixed — four per decade from
+   100 ns to 10 s — so recording is O(1) (a binary search over 33
+   ints), histograms of the same shape merge by adding bucket counts,
+   and two processes' histograms are comparable. Count and sum are
+   exact; p50/p90/p99 are bucket estimates (linear interpolation
+   inside the bucket holding the rank, never above the observed max);
+   max is exact. Like counters — and unlike spans — histograms always
+   record, sink or no sink: one record costs a few int increments. *)
+
+module Histogram = struct
+  (* 100 ns * 10^(i/4) for i = 0..32: 100 ns, 178 ns, 316 ns, 562 ns,
+     1 us, ... 10 s. Bucket i covers (boundaries[i-1], boundaries[i]]
+     (bucket 0 starts at 0); one extra bucket catches > 10 s. *)
+  let boundaries =
+    Array.init 33 (fun i ->
+        int_of_float (Float.round (1e2 *. (10. ** (float_of_int i /. 4.)))))
+
+  let num_buckets = Array.length boundaries + 1
+
+  type h = {
+    h_name : string;
+    counts : int array;
+    mutable count : int;
+    mutable sum_ns : int;
+    mutable max_ns : int;
+  }
+
+  let make name =
+    { h_name = name;
+      counts = Array.make num_buckets 0;
+      count = 0;
+      sum_ns = 0;
+      max_ns = 0 }
+
+  let registry : (string, h) Hashtbl.t = Hashtbl.create 32
+
+  let histogram name =
+    match Hashtbl.find_opt registry name with
+    | Some h -> h
+    | None ->
+        let h = make name in
+        Hashtbl.replace registry name h;
+        h
+
+  (* smallest i with v <= boundaries.(i); the overflow bucket past the
+     last boundary *)
+  let bucket_index v =
+    let n = Array.length boundaries in
+    if v <= boundaries.(0) then 0
+    else if v > boundaries.(n - 1) then n
+    else begin
+      let lo = ref 1 and hi = ref (n - 1) in
+      while !hi > !lo do
+        let mid = (!lo + !hi) / 2 in
+        if v <= boundaries.(mid) then hi := mid else lo := mid + 1
+      done;
+      !hi
+    end
+
+  (* inclusive upper edge of a bucket; [max_int] for the overflow *)
+  let bucket_hi i =
+    if i < Array.length boundaries then boundaries.(i) else max_int
+
+  (* exclusive lower edge (0 for the first bucket) *)
+  let bucket_lo i = if i = 0 then 0 else boundaries.(i - 1)
+
+  let record h ns =
+    let ns = if ns < 0 then 0 else ns in
+    let i = bucket_index ns in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.count <- h.count + 1;
+    h.sum_ns <- h.sum_ns + ns;
+    if ns > h.max_ns then h.max_ns <- ns
+
+  let count h = h.count
+  let sum_ns h = h.sum_ns
+  let max_ns h = h.max_ns
+  let name h = h.h_name
+
+  let merge a b =
+    { h_name = a.h_name;
+      counts = Array.init num_buckets (fun i -> a.counts.(i) + b.counts.(i));
+      count = a.count + b.count;
+      sum_ns = a.sum_ns + b.sum_ns;
+      max_ns = max a.max_ns b.max_ns }
+
+  (* data equality — the name is not compared, so merge commutativity
+     is testable on differently-named operands *)
+  let equal a b =
+    a.count = b.count && a.sum_ns = b.sum_ns && a.max_ns = b.max_ns
+    && a.counts = b.counts
+
+  (* Estimate the [phi]-quantile (0 < phi <= 1): locate the bucket
+     holding the ceil(phi*count)-th smallest sample, interpolate
+     linearly inside it, and never exceed the exact max. *)
+  let percentile h phi =
+    if h.count = 0 then 0.
+    else begin
+      let rank =
+        max 1 (min h.count (int_of_float (ceil (phi *. float_of_int h.count))))
+      in
+      let i = ref 0 and before = ref 0 in
+      while !before + h.counts.(!i) < rank do
+        before := !before + h.counts.(!i);
+        incr i
+      done;
+      let lo = float_of_int (bucket_lo !i) in
+      let hi =
+        Float.min
+          (float_of_int (min (bucket_hi !i) h.max_ns))
+          (float_of_int h.max_ns)
+      in
+      let hi = Float.max hi lo in
+      let in_bucket = float_of_int h.counts.(!i) in
+      lo +. ((hi -. lo) *. float_of_int (rank - !before) /. in_bucket)
+    end
+
+  type snapshot = {
+    s_name : string;
+    s_count : int;
+    s_sum_ns : int;
+    s_max_ns : int;
+    s_p50_ns : float;
+    s_p90_ns : float;
+    s_p99_ns : float;
+    s_buckets : (int * int) list;  (* (inclusive upper edge, count), nonzero only *)
+  }
+
+  let snapshot_of h =
+    { s_name = h.h_name;
+      s_count = h.count;
+      s_sum_ns = h.sum_ns;
+      s_max_ns = h.max_ns;
+      s_p50_ns = percentile h 0.50;
+      s_p90_ns = percentile h 0.90;
+      s_p99_ns = percentile h 0.99;
+      s_buckets =
+        List.filter_map
+          (fun i ->
+            if h.counts.(i) = 0 then None
+            else Some (bucket_hi i, h.counts.(i)))
+          (List.init num_buckets Fun.id) }
+
+  let snapshots () =
+    Hashtbl.fold (fun _ h acc -> snapshot_of h :: acc) registry []
+    |> List.sort (fun a b -> String.compare a.s_name b.s_name)
+
+  let reset () =
+    Hashtbl.iter
+      (fun _ h ->
+        Array.fill h.counts 0 num_buckets 0;
+        h.count <- 0;
+        h.sum_ns <- 0;
+        h.max_ns <- 0)
+      registry
+
+  let json_of_snapshot s =
+    Obs_json.Obj
+      [ ("count", Obs_json.Int s.s_count);
+        ("sum_ns", Obs_json.Int s.s_sum_ns);
+        ("max_ns", Obs_json.Int s.s_max_ns);
+        ("p50_ns", Obs_json.Float s.s_p50_ns);
+        ("p90_ns", Obs_json.Float s.s_p90_ns);
+        ("p99_ns", Obs_json.Float s.s_p99_ns);
+        ("buckets",
+         Obs_json.List
+           (List.map
+              (fun (le, n) ->
+                Obs_json.List [ Obs_json.Int le; Obs_json.Int n ])
+              s.s_buckets)) ]
+
+  let to_json () =
+    Obs_json.Obj
+      (List.map (fun s -> (s.s_name, json_of_snapshot s)) (snapshots ()))
+
+  let pp_ns f =
+    if f >= 1e9 then Printf.sprintf "%7.2f s " (f /. 1e9)
+    else if f >= 1e6 then Printf.sprintf "%7.2f ms" (f /. 1e6)
+    else if f >= 1e3 then Printf.sprintf "%7.2f us" (f /. 1e3)
+    else Printf.sprintf "%7.0f ns" f
+
+  let render () =
+    let snaps = snapshots () in
+    if snaps = [] then "(no histograms recorded)"
+    else
+      String.concat "\n"
+        (Printf.sprintf "%-28s %8s  %10s %10s %10s %10s" "histogram" "count"
+           "p50" "p90" "p99" "max"
+        :: List.map
+             (fun s ->
+               Printf.sprintf "%-28s %8d  %10s %10s %10s %10s" s.s_name
+                 s.s_count (pp_ns s.s_p50_ns) (pp_ns s.s_p90_ns)
+                 (pp_ns s.s_p99_ns)
+                 (pp_ns (float_of_int s.s_max_ns)))
+             snaps)
+end
+
 (* Well-known metric names: registered up front so a snapshot always
    carries the full record, zeros included. *)
 let k_engine_ops = "engine.ops"
@@ -228,6 +452,17 @@ let k_sql_translations = "sql.translations"
 let k_sql_inverse_translations = "sql.inverse_translations"
 let k_sql_executions = "sql.executions"
 
+(* Well-known histogram names. [h_engine_apply] counts every
+   [Engine.apply] (per-kind series ride alongside under
+   "engine.apply.<kind>"); the plan interpreter records one sample per
+   node under "plan.node.<kind>". *)
+let h_engine_apply = "engine.apply"
+let h_materialize_full = "materialize.full"
+let h_materialize_stratum = "materialize.stratum"
+let h_incremental_derive = "incremental.derive"
+let h_plan_node_prefix = "plan.node."
+let h_sql_run = "sql.run"
+
 let () =
   List.iter
     (fun k -> ignore (Metrics.counter k))
@@ -236,7 +471,15 @@ let () =
       k_incremental_derivations; k_incremental_fallbacks; k_plan_nodes;
       k_plan_rows_in; k_plan_rows_out; k_sql_translations;
       k_sql_inverse_translations; k_sql_executions ];
-  List.iter (fun k -> ignore (Metrics.gauge k)) [ k_undo_depth; k_redo_depth ]
+  List.iter (fun k -> ignore (Metrics.gauge k)) [ k_undo_depth; k_redo_depth ];
+  List.iter
+    (fun k -> ignore (Histogram.histogram k))
+    [ h_engine_apply; h_materialize_full; h_materialize_stratum;
+      h_incremental_derive; h_sql_run ];
+  List.iter
+    (fun kind -> ignore (Histogram.histogram (h_plan_node_prefix ^ kind)))
+    [ "scan"; "project"; "filter"; "distinct"; "extend"; "extend-agg";
+      "sort" ]
 
 type core_stats = {
   engine_ops : int;
@@ -278,6 +521,111 @@ let core_stats () =
     sql_inverse_translations = v k_sql_inverse_translations;
     sql_executions = v k_sql_executions }
 
+(* ---------- session flight recorder ----------
+
+   A bounded ring of structured events describing what a session did
+   — operators applied and rejected, undo/redo, materialization-cache
+   traffic, SQL translations, and "slow op" markers for anything over
+   the threshold — so a slow or wedged session can be diagnosed after
+   the fact. Always on (the ring is small and a record is one
+   allocation), independent of the span sink; the SHEETSCOPE_SLOW_MS
+   environment knob (default 100) sets the slow-op threshold. *)
+
+module Flightrec = struct
+  type event = {
+    at_ns : int;  (* relative to process start *)
+    f_kind : string;
+    f_label : string;
+    f_uid : int;  (* 0 when no sheet is involved *)
+    f_dur_ns : int;  (* -1 when unknown *)
+  }
+
+  let capacity = ref 512
+  let ring : event Queue.t = Queue.create ()
+  let dropped_events = ref 0
+
+  let default_slow_ms = 100.
+
+  let slow_ms_of_env () =
+    match Sys.getenv_opt "SHEETSCOPE_SLOW_MS" with
+    | Some s -> (
+        match float_of_string_opt (String.trim s) with
+        | Some ms when ms >= 0. -> ms
+        | _ -> default_slow_ms)
+    | None -> default_slow_ms
+
+  let slow_threshold = ref (int_of_float (slow_ms_of_env () *. 1e6))
+
+  let slow_threshold_ns () = !slow_threshold
+  let set_slow_threshold_ms ms =
+    slow_threshold := int_of_float (Float.max 0. ms *. 1e6)
+
+  let set_capacity n = capacity := max 1 n
+
+  let record ?(uid = 0) ?(dur_ns = -1) ~kind label =
+    if Queue.length ring >= !capacity then begin
+      ignore (Queue.pop ring);
+      incr dropped_events
+    end;
+    Queue.push
+      { at_ns = now_ns () - epoch_ns;
+        f_kind = kind;
+        f_label = label;
+        f_uid = uid;
+        f_dur_ns = dur_ns }
+      ring
+
+  let events () = List.of_seq (Queue.to_seq ring)
+  let dropped () = !dropped_events
+
+  let clear () =
+    Queue.clear ring;
+    dropped_events := 0
+
+  let event_to_json ev =
+    Obs_json.Obj
+      (List.concat
+         [ [ ("at_ns", Obs_json.Int ev.at_ns);
+             ("kind", Obs_json.String ev.f_kind);
+             ("label", Obs_json.String ev.f_label) ];
+           (if ev.f_uid = 0 then [] else [ ("uid", Obs_json.Int ev.f_uid) ]);
+           (if ev.f_dur_ns < 0 then []
+            else [ ("dur_ns", Obs_json.Int ev.f_dur_ns) ]) ])
+
+  let to_json () =
+    Obs_json.Obj
+      [ ("schema", Obs_json.String "sheetscope-flightrec/v1");
+        ("slow_threshold_ms",
+         Obs_json.Float (float_of_int !slow_threshold /. 1e6));
+        ("dropped", Obs_json.Int !dropped_events);
+        ("events", Obs_json.List (List.map event_to_json (events ()))) ]
+
+  let render ?limit () =
+    let evs = events () in
+    let evs =
+      match limit with
+      | Some n when List.length evs > n ->
+          let skip = List.length evs - n in
+          List.filteri (fun i _ -> i >= skip) evs
+      | _ -> evs
+    in
+    if evs = [] then "(flight recorder empty)"
+    else
+      String.concat "\n"
+        (List.map
+           (fun ev ->
+             Printf.sprintf "%10.3f s  %-14s %s%s%s"
+               (float_of_int ev.at_ns /. 1e9)
+               ev.f_kind ev.f_label
+               (if ev.f_dur_ns < 0 then ""
+                else
+                  Printf.sprintf "  (%.3f ms)"
+                    (float_of_int ev.f_dur_ns /. 1e6))
+               (if ev.f_uid = 0 then ""
+                else Printf.sprintf "  [sheet #%d]" ev.f_uid))
+           evs)
+end
+
 (* ---------- Chrome trace_event export ---------- *)
 
 let event_to_json ev =
@@ -307,10 +655,34 @@ let to_chrome_trace evs =
       ("otherData",
        Obs_json.Obj
          [ ("exporter", Obs_json.String "sheetscope");
+           (* ring truncation and nesting violations surfaced here so a
+              truncated trace is visibly truncated, not silently thin *)
            ("dropped_events", Obs_json.Int !dropped_events);
-           ("metrics", Metrics.to_json ()) ]) ]
+           ("open_spans", Obs_json.Int (List.length !open_stack));
+           ("nesting_ok", Obs_json.Bool (!violations = 0));
+           ("metrics", Metrics.to_json ());
+           ("histograms", Histogram.to_json ()) ]) ]
 
 let chrome_trace_string () = Obs_json.to_string ~pretty:true (to_chrome_trace (events ()))
+
+(* One human-readable page: counters/gauges, latency histograms, and
+   the trace/recorder health lines (so a truncated ring or a nesting
+   violation shows up in `metrics`, not only in exported JSON). *)
+let metrics_report () =
+  String.concat "\n"
+    [ Metrics.render ();
+      "";
+      Histogram.render ();
+      "";
+      Printf.sprintf "%-32s %10d" "trace.dropped_events" !dropped_events;
+      Printf.sprintf "%-32s %10d" "trace.open_spans"
+        (List.length !open_stack);
+      Printf.sprintf "%-32s %10s" "trace.nesting_ok"
+        (if !violations = 0 then "true" else "false");
+      Printf.sprintf "%-32s %10d" "flightrec.events"
+        (Queue.length Flightrec.ring);
+      Printf.sprintf "%-32s %10d" "flightrec.dropped"
+        (Flightrec.dropped ()) ]
 
 let save_chrome_trace ~path =
   let oc = open_out path in

@@ -27,7 +27,15 @@
 (** {1 Clock} *)
 
 val now_ns : unit -> int
-(** Wall clock in integer nanoseconds. *)
+(** Monotone clock in integer nanoseconds: wall readings clamped so
+    the value never decreases within a process (NTP steps and VM
+    migrations cannot produce a negative span or histogram sample). *)
+
+val set_raw_clock_for_tests : (unit -> int) option -> unit
+(** Swap the raw reading under the monotone clamp ([None] restores the
+    wall clock and re-anchors). Test-only: lets the clock-regression
+    suite drive time backwards and observe that durations stay
+    non-negative. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f] and returns its result with the elapsed wall
@@ -123,6 +131,90 @@ module Metrics : sig
   val render : unit -> string
 end
 
+(** {1 Latency histograms}
+
+    The third metric family (DESIGN.md §8): log-bucketed latency
+    histograms with fixed boundaries — four buckets per decade from
+    100 ns to 10 s plus an overflow bucket — so recording is O(1),
+    histograms merge by adding bucket counts, and snapshots from
+    different runs are comparable. Count, sum and max are exact;
+    p50/p90/p99 are bucket estimates (linear interpolation inside the
+    bucket holding the rank, never above the observed max). Like
+    counters, histograms always record — one sample costs a bucket
+    lookup and four int updates, sink or no sink. *)
+
+module Histogram : sig
+  type h
+
+  val boundaries : int array
+  (** The 33 inclusive upper bucket edges, strictly increasing,
+      [boundaries.(0) = 100] ns .. [boundaries.(32) = 10^10] ns. *)
+
+  val histogram : string -> h
+  (** Intern by name (returns the existing histogram if registered) —
+      the analogue of {!Metrics.counter}. *)
+
+  val make : string -> h
+  (** A detached, unregistered histogram (merging grounds, tests). *)
+
+  val record : h -> int -> unit
+  (** Record one duration in nanoseconds (negative samples clamp
+      to 0). O(1). *)
+
+  val count : h -> int
+  val sum_ns : h -> int
+  val max_ns : h -> int
+  val name : h -> string
+
+  val percentile : h -> float -> float
+  (** [percentile h phi] estimates the [phi]-quantile in ns; 0 when
+      empty. Monotone in [phi] and never above [max_ns h]. *)
+
+  val merge : h -> h -> h
+  (** Bucketwise sum (detached result, named after the left operand).
+      Commutative and associative up to {!equal}. *)
+
+  val equal : h -> h -> bool
+  (** Data equality (bucket counts, count, sum, max) — names are not
+      compared. *)
+
+  type snapshot = {
+    s_name : string;
+    s_count : int;
+    s_sum_ns : int;
+    s_max_ns : int;
+    s_p50_ns : float;
+    s_p90_ns : float;
+    s_p99_ns : float;
+    s_buckets : (int * int) list;
+        (** (inclusive upper edge ns, count), nonzero buckets only;
+            the overflow bucket's edge is [max_int] *)
+  }
+
+  val snapshot_of : h -> snapshot
+
+  val snapshots : unit -> snapshot list
+  (** Every registered histogram, sorted by name. *)
+
+  val reset : unit -> unit
+  (** Zero every registered histogram (registrations survive). *)
+
+  val to_json : unit -> Obs_json.t
+  val render : unit -> string
+end
+
+(** {2 Well-known histogram names} *)
+
+val h_engine_apply : string
+val h_materialize_full : string
+val h_materialize_stratum : string
+val h_incremental_derive : string
+
+val h_plan_node_prefix : string
+(** ["plan.node."] — the interpreter appends the node kind. *)
+
+val h_sql_run : string
+
 (** {2 Well-known metric names}
 
     Registered up front so snapshots always carry the full set, zeros
@@ -169,6 +261,56 @@ type core_stats = {
 
 val core_stats : unit -> core_stats
 
+(** {1 Session flight recorder}
+
+    A bounded ring of structured events — operators applied/rejected,
+    undo/redo, materialization-cache hit/miss/eviction, SQL
+    translations, and slow-op markers over the configurable threshold
+    — recorded {e always} (independently of the span sink) so a slow
+    or wedged session can be diagnosed post hoc: `flightrec` in the
+    REPL, `\flightrec` in sheetsql, the [F] pane in the TUI. The
+    threshold comes from [SHEETSCOPE_SLOW_MS] (default 100). *)
+
+module Flightrec : sig
+  type event = {
+    at_ns : int;  (** relative to process start *)
+    f_kind : string;
+        (** "op", "op-rejected", "undo", "redo", "cache-hit",
+            "cache-miss", "cache-eviction", "sql-translation",
+            "slow-op" *)
+    f_label : string;
+    f_uid : int;  (** 0 when no sheet is involved *)
+    f_dur_ns : int;  (** -1 when unknown *)
+  }
+
+  val record : ?uid:int -> ?dur_ns:int -> kind:string -> string -> unit
+  (** Append one event (evicting the oldest past capacity). *)
+
+  val events : unit -> event list
+  (** Ring contents, oldest first. *)
+
+  val dropped : unit -> int
+  (** Events evicted since {!clear}. *)
+
+  val clear : unit -> unit
+
+  val set_capacity : int -> unit
+  (** Ring capacity (default 512, clamped to >= 1). *)
+
+  val slow_threshold_ns : unit -> int
+  (** Current slow-op threshold; initialized from [SHEETSCOPE_SLOW_MS]
+      (milliseconds, default 100). *)
+
+  val set_slow_threshold_ms : float -> unit
+
+  val to_json : unit -> Obs_json.t
+  (** ["sheetscope-flightrec/v1"]: threshold, dropped count, and the
+      event list — round-trips through {!Obs_json.parse}. *)
+
+  val render : ?limit:int -> unit -> string
+  (** Human-readable dump (most recent [limit] events when given). *)
+end
+
 (** {1 Chrome trace export} *)
 
 val to_chrome_trace : event list -> Obs_json.t
@@ -181,3 +323,9 @@ val chrome_trace_string : unit -> string
 val save_chrome_trace : path:string -> unit
 (** Write {!chrome_trace_string} to a file ([--trace out.json] in
     [experiments] and [bench]). *)
+
+val metrics_report : unit -> string
+(** The full observability snapshot as one human-readable block:
+    counters/gauges, histogram percentiles, trace-ring health
+    (dropped events, open spans, nesting) and flight-recorder depth —
+    what the REPL [metrics] command prints. *)

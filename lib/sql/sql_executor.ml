@@ -36,9 +36,16 @@ let eval_with_group schema group_rows row e =
 let c_executions =
   Sheet_obs.Obs.Metrics.counter Sheet_obs.Obs.k_sql_executions
 
+let h_run = Sheet_obs.Obs.Histogram.histogram Sheet_obs.Obs.h_sql_run
+
 let run catalog (q : Sql_ast.query) =
   Sheet_obs.Obs.Metrics.incr c_executions;
   Sheet_obs.Obs.with_span ~kind:"sql" "sql.run" @@ fun () ->
+  let t0 = Sheet_obs.Obs.now_ns () in
+  Fun.protect
+    ~finally:(fun () ->
+      Sheet_obs.Obs.Histogram.record h_run (Sheet_obs.Obs.now_ns () - t0))
+  @@ fun () ->
   let* resolved = Sql_analyzer.analyze catalog q in
   let q = resolved.Sql_analyzer.query in
   (* FROM: product of the named relations (renaming handled by

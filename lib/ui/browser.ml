@@ -5,6 +5,7 @@ type mode =
   | Grid
   | Menu of { items : Context_menu.item list; selected : int }
   | Command of string
+  | Flightrec
 
 type t = {
   session : Session.t;
@@ -32,7 +33,7 @@ type event =
 let init session =
   { session; row = 0; col = 0; top = 0; mode = Grid;
     message = "f filter  s sort  g group  a avg  c count  h hide  u undo  \
-               m menu  : command  q quit";
+               m menu  : command  F flightrec  q quit";
     last_ms = None;
     quit = false }
 
@@ -141,6 +142,8 @@ let apply_key t ~page key =
       in
       { t with mode = Menu { items; selected = 0 } }
   | ':', _, _ -> { t with mode = Command "" }
+  | 'F', _, _ ->
+      { t with mode = Flightrec; message = "flight recorder (Esc to close)" }
   | _ -> { t with message = Printf.sprintf "unbound key %C" key }
   [@@warning "-27"]
 
@@ -196,6 +199,10 @@ let handle ?(page = 20) t event =
     | Grid -> handle_grid t ~page event
     | Menu { items; selected } -> handle_menu t ~page items selected event
     | Command text -> handle_command t ~page text event
+    | Flightrec -> (
+        match event with
+        | Escape | Key 'q' | Key 'F' -> { t with mode = Grid; message = "" }
+        | _ -> t)
 
 (* ---------- text rendering ---------- *)
 
@@ -203,7 +210,26 @@ let pad width s =
   let n = String.length s in
   if n >= width then String.sub s 0 width else s ^ String.make (width - n) ' '
 
+(* Full-screen flight-recorder pane ([F] in grid mode): the most recent
+   ring events, newest last, clipped to the window. *)
+let render_flightrec ~width ~height t =
+  let buf = Buffer.create 2048 in
+  let status = Render.status_line (Session.current t.session) in
+  Buffer.add_string buf (pad width status);
+  Buffer.add_char buf '\n';
+  let body =
+    Sheet_obs.Obs.Flightrec.render ~limit:(max 1 (height - 3)) ()
+  in
+  String.split_on_char '\n' body
+  |> List.iter (fun line ->
+         Buffer.add_string buf (pad width line);
+         Buffer.add_char buf '\n');
+  Buffer.add_string buf (pad width t.message);
+  Buffer.contents buf
+
 let render_text ?(width = 100) ?(height = 24) t =
+  if t.mode = Flightrec then render_flightrec ~width ~height t
+  else
   let rel = visible t in
   let schema = Relation.schema rel in
   let cols = Schema.names schema in
@@ -271,7 +297,7 @@ let render_text ?(width = 100) ?(height = 24) t =
     rows;
   (* mode line *)
   (match t.mode with
-  | Grid -> Buffer.add_string buf (pad width t.message)
+  | Grid | Flightrec -> Buffer.add_string buf (pad width t.message)
   | Command text -> Buffer.add_string buf (pad width (":" ^ text))
   | Menu { items; selected } ->
       List.iteri

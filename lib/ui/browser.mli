@@ -23,6 +23,7 @@
     - [u] undo, [r] redo;
     - [m] open the contextual menu for the cursor column;
     - [:] open the command line (any Script command);
+    - [F] open the Sheetscope flight-recorder pane (Esc closes);
     - [q] quit. *)
 
 open Sheet_rel
@@ -32,6 +33,7 @@ type mode =
   | Grid
   | Menu of { items : Context_menu.item list; selected : int }
   | Command of string  (** text typed so far *)
+  | Flightrec  (** full-screen flight-recorder pane *)
 
 type t = {
   session : Session.t;

@@ -153,6 +153,25 @@ let test_render_text () =
   let text = Browser.render_text s in
   Alcotest.(check bool) "command prompt" true (contains text ":")
 
+let test_flightrec_pane () =
+  Sheet_obs.Obs.Flightrec.clear ();
+  (* a keystroke op so the pane has something to show *)
+  let s = feed (start ()) [ Browser.Key 's' ] in
+  let s = feed s [ Browser.Key 'F' ] in
+  Alcotest.(check bool) "F opens the pane" true
+    (s.Browser.mode = Browser.Flightrec);
+  let text = Browser.render_text ~width:120 ~height:20 s in
+  Alcotest.(check bool) "pane shows the recorded op" true
+    (contains text "op");
+  (* movement keys do not disturb the pane *)
+  let s = feed s [ Browser.Down; Browser.Up ] in
+  Alcotest.(check bool) "pane stays open" true
+    (s.Browser.mode = Browser.Flightrec);
+  let s = feed s [ Browser.Escape ] in
+  Alcotest.(check bool) "escape closes" true
+    (s.Browser.mode = Browser.Grid);
+  Sheet_obs.Obs.Flightrec.clear ()
+
 let () =
   Alcotest.run "sheet_browser"
     [ ( "grid",
@@ -170,4 +189,6 @@ let () =
           Alcotest.test_case "command line" `Quick test_command_mode;
           Alcotest.test_case "command errors" `Quick
             test_command_errors_reported;
-          Alcotest.test_case "render" `Quick test_render_text ] ) ]
+          Alcotest.test_case "render" `Quick test_render_text;
+          Alcotest.test_case "flight-recorder pane" `Quick
+            test_flightrec_pane ] ) ]

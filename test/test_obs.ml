@@ -274,6 +274,296 @@ let ring_clears () =
   Obs.clear_events ();
   Alcotest.(check int) "empty" 0 (List.length (Obs.events ()))
 
+(* ---------- latency histograms ---------- *)
+
+module H = Obs.Histogram
+
+let samples_arbitrary =
+  QCheck.make
+    ~print:QCheck.Print.(list int)
+    QCheck.Gen.(
+      list_size (int_range 1 150)
+        (* spread across the whole bucket range, 0 ns .. ~30 s *)
+        (oneof
+           [ int_range 0 1_000;
+             int_range 1_000 1_000_000;
+             int_range 1_000_000 1_000_000_000;
+             int_range 1_000_000_000 30_000_000_000 ]))
+
+let fill xs =
+  let h = H.make "t" in
+  List.iter (H.record h) xs;
+  h
+
+let boundaries_well_formed () =
+  let b = H.boundaries in
+  Alcotest.(check int) "33 edges" 33 (Array.length b);
+  Alcotest.(check int) "100 ns first" 100 b.(0);
+  Alcotest.(check int) "10 s last" 10_000_000_000 b.(32);
+  for i = 1 to Array.length b - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "edge %d increases" i)
+      true
+      (b.(i) > b.(i - 1))
+  done
+
+(* the test's own bucket lookup, independent of the binary search *)
+let bucket_of v =
+  let n = Array.length H.boundaries in
+  let rec go i = if i >= n || v <= H.boundaries.(i) then i else go (i + 1) in
+  go 0
+
+let hist_exactness =
+  QCheck.Test.make ~count:500 ~name:"count/sum/max are exact"
+    samples_arbitrary
+    (fun xs ->
+      let h = fill xs in
+      H.count h = List.length xs
+      && H.sum_ns h = List.fold_left ( + ) 0 xs
+      && H.max_ns h = List.fold_left max 0 xs)
+
+let hist_merge_commutative =
+  QCheck.Test.make ~count:300 ~name:"merge is commutative"
+    (QCheck.pair samples_arbitrary samples_arbitrary)
+    (fun (xs, ys) ->
+      let a = fill xs and b = fill ys in
+      H.equal (H.merge a b) (H.merge b a))
+
+let hist_merge_associative =
+  QCheck.Test.make ~count:300 ~name:"merge is associative"
+    (QCheck.triple samples_arbitrary samples_arbitrary samples_arbitrary)
+    (fun (xs, ys, zs) ->
+      let a = fill xs and b = fill ys and c = fill zs in
+      H.equal (H.merge (H.merge a b) c) (H.merge a (H.merge b c)))
+
+let hist_merge_is_concat =
+  QCheck.Test.make ~count:300 ~name:"merge a b = histogram of xs @ ys"
+    (QCheck.pair samples_arbitrary samples_arbitrary)
+    (fun (xs, ys) ->
+      H.equal (H.merge (fill xs) (fill ys)) (fill (xs @ ys)))
+
+let hist_percentile_bounds =
+  QCheck.Test.make ~count:500
+    ~name:"p50 <= p90 <= p99 <= max, each inside its sample's bucket"
+    samples_arbitrary
+    (fun xs ->
+      let h = fill xs in
+      let sorted = Array.of_list (List.sort compare xs) in
+      let n = Array.length sorted in
+      let in_bucket phi =
+        let p = H.percentile h phi in
+        let rank =
+          max 1 (min n (int_of_float (ceil (phi *. float_of_int n))))
+        in
+        let b = bucket_of sorted.(rank - 1) in
+        let lo = if b = 0 then 0 else H.boundaries.(b - 1) in
+        let hi =
+          if b < Array.length H.boundaries then H.boundaries.(b) else max_int
+        in
+        p >= float_of_int lo && p <= float_of_int (min hi (H.max_ns h))
+      in
+      let p50 = H.percentile h 0.50 in
+      let p90 = H.percentile h 0.90 in
+      let p99 = H.percentile h 0.99 in
+      in_bucket 0.50 && in_bucket 0.90 && in_bucket 0.99
+      && p50 <= p90 && p90 <= p99
+      && p99 <= float_of_int (H.max_ns h))
+
+let hist_clamps_negative () =
+  let h = H.make "t" in
+  H.record h (-5);
+  Alcotest.(check int) "counted" 1 (H.count h);
+  Alcotest.(check int) "sum clamped" 0 (H.sum_ns h);
+  Alcotest.(check int) "max clamped" 0 (H.max_ns h);
+  Alcotest.(check (float 0.)) "percentile zero" 0. (H.percentile h 1.0)
+
+let hist_empty_percentile () =
+  Alcotest.(check (float 0.)) "empty is 0" 0. (H.percentile (H.make "t") 0.5)
+
+(* Histograms always record (like counters); the whole point is that
+   a sample costs about as much as an int increment, so recording can
+   stay on with the sink off. Generous bounds keep this robust on a
+   noisy machine: O(1) per record and within 50x of a bare counter. *)
+let record_cost_comparable () =
+  with_sink Obs.Off @@ fun () ->
+  let h = H.make "cost" in
+  let c = Obs.Metrics.counter "test.cost_counter" in
+  let n = 200_000 in
+  let t0 = Obs.now_ns () in
+  for _ = 1 to n do
+    Obs.Metrics.incr c
+  done;
+  let t_counter = Obs.now_ns () - t0 in
+  let t0 = Obs.now_ns () in
+  for i = 1 to n do
+    H.record h i
+  done;
+  let t_record = Obs.now_ns () - t0 in
+  Alcotest.(check bool) "record cost comparable to a counter incr" true
+    (t_record <= max 1 t_counter * 50 || t_record / n < 1_000)
+
+let hist_snapshot_and_json () =
+  H.reset ();
+  let h = H.histogram Obs.h_engine_apply in
+  List.iter (H.record h) [ 150; 1_500; 150_000; 15_000_000 ];
+  let s = H.snapshot_of h in
+  Alcotest.(check int) "count" 4 s.H.s_count;
+  Alcotest.(check int) "max" 15_000_000 s.H.s_max_ns;
+  Alcotest.(check bool) "nonzero buckets only" true
+    (List.for_all (fun (_, n) -> n > 0) s.H.s_buckets);
+  Alcotest.(check int) "bucket counts total" 4
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 s.H.s_buckets);
+  (match J.parse (J.to_string (H.to_json ())) with
+  | Ok j ->
+      Alcotest.(check bool) "engine.apply present" true
+        (J.member Obs.h_engine_apply j <> None)
+  | Error msg -> Alcotest.fail msg);
+  H.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (H.count h)
+
+(* ---------- the monotone clock ---------- *)
+
+let clock_never_negative () =
+  (* pin a test clock 10 s in the future, then step it backwards: the
+     clamp must freeze time rather than let a duration go negative *)
+  let t = ref (Obs.now_ns () + 10_000_000_000) in
+  Obs.set_raw_clock_for_tests (Some (fun () -> !t));
+  Fun.protect ~finally:(fun () -> Obs.set_raw_clock_for_tests None)
+  @@ fun () ->
+  with_sink Obs.Memory @@ fun () ->
+  Obs.clear_events ();
+  let a = Obs.now_ns () in
+  t := !t - 5_000_000_000;
+  let b = Obs.now_ns () in
+  Alcotest.(check bool) "now_ns never decreases" true (b >= a);
+  let sp = Obs.span "backwards" in
+  t := !t - 3_000_000_000;
+  Obs.finish sp;
+  (match Obs.events () with
+  | [ ev ] ->
+      Alcotest.(check bool) "dur_ns >= 0" true (ev.Obs.dur_ns >= 0);
+      (* the clamp freezes time, so the duration is not absurd either *)
+      Alcotest.(check bool) "dur_ns not absurd" true
+        (ev.Obs.dur_ns <= 1_000_000_000)
+  | evs ->
+      Alcotest.fail
+        (Printf.sprintf "expected 1 event, got %d" (List.length evs)));
+  (* histogram samples taken across the step are clamped too *)
+  let h = H.make "t" in
+  let t0 = Obs.now_ns () in
+  t := !t - 1_000_000_000;
+  H.record h (Obs.now_ns () - t0);
+  Alcotest.(check bool) "sample >= 0" true (H.max_ns h >= 0)
+
+(* ---------- the flight recorder ---------- *)
+
+let flightrec_ring () =
+  Obs.Flightrec.clear ();
+  Obs.Flightrec.set_capacity 4;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Flightrec.set_capacity 512;
+      Obs.Flightrec.clear ())
+  @@ fun () ->
+  for i = 1 to 6 do
+    Obs.Flightrec.record ~kind:"op" (Printf.sprintf "e%d" i)
+  done;
+  let evs = Obs.Flightrec.events () in
+  Alcotest.(check int) "bounded at capacity" 4 (List.length evs);
+  Alcotest.(check int) "two dropped" 2 (Obs.Flightrec.dropped ());
+  Alcotest.(check string) "oldest evicted first" "e3"
+    (List.hd evs).Obs.Flightrec.f_label;
+  Alcotest.(check string) "newest kept" "e6"
+    (List.nth evs 3).Obs.Flightrec.f_label;
+  Obs.Flightrec.clear ();
+  Alcotest.(check int) "clear empties" 0
+    (List.length (Obs.Flightrec.events ()));
+  Alcotest.(check int) "clear resets dropped" 0 (Obs.Flightrec.dropped ())
+
+let flightrec_json_round_trip () =
+  Obs.Flightrec.clear ();
+  Obs.Flightrec.record ~uid:7 ~dur_ns:123_456 ~kind:"op" "Select Price < 2";
+  Obs.Flightrec.record ~kind:"undo" "Group Model";
+  Obs.Flightrec.record ~uid:9 ~kind:"cache-hit" "materialize";
+  let j = Obs.Flightrec.to_json () in
+  (match J.member "schema" j with
+  | Some (J.String "sheetscope-flightrec/v1") -> ()
+  | _ -> Alcotest.fail "missing schema tag");
+  (match J.member "events" j with
+  | Some (J.List l) -> Alcotest.(check int) "3 events" 3 (List.length l)
+  | _ -> Alcotest.fail "missing events");
+  (match J.parse (J.to_string j) with
+  | Ok j' -> Alcotest.(check bool) "round-trips" true (J.equal j j')
+  | Error msg -> Alcotest.fail msg);
+  Obs.Flightrec.clear ()
+
+let flightrec_threshold () =
+  let old_ns = Obs.Flightrec.slow_threshold_ns () in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Flightrec.set_slow_threshold_ms (float_of_int old_ns /. 1e6))
+  @@ fun () ->
+  Obs.Flightrec.set_slow_threshold_ms 5.;
+  Alcotest.(check int) "5 ms in ns" 5_000_000
+    (Obs.Flightrec.slow_threshold_ns ());
+  Obs.Flightrec.set_slow_threshold_ms (-1.);
+  Alcotest.(check int) "negative clamps to 0" 0
+    (Obs.Flightrec.slow_threshold_ns ())
+
+let flightrec_render_limit () =
+  Obs.Flightrec.clear ();
+  for i = 1 to 5 do
+    Obs.Flightrec.record ~kind:"op" (Printf.sprintf "r%d" i)
+  done;
+  let text = Obs.Flightrec.render ~limit:2 () in
+  Alcotest.(check bool) "newest shown" true
+    (String.length text > 0
+    && List.length (String.split_on_char '\n' text) = 2);
+  Obs.Flightrec.clear ()
+
+(* ---------- report surfaces ---------- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let trace_other_data_health () =
+  with_sink Obs.Memory @@ fun () ->
+  Obs.clear_events ();
+  ignore
+    (Materialize.full
+       (Spreadsheet.of_relation ~name:"cars" Sample_cars.relation));
+  match J.parse (Obs.chrome_trace_string ()) with
+  | Error msg -> Alcotest.fail msg
+  | Ok j -> (
+      match J.member "otherData" j with
+      | None -> Alcotest.fail "no otherData"
+      | Some od ->
+          List.iter
+            (fun k ->
+              Alcotest.(check bool) (k ^ " present") true
+                (J.member k od <> None))
+            [ "dropped_events"; "open_spans"; "nesting_ok"; "metrics";
+              "histograms" ];
+          (match J.member "nesting_ok" od with
+          | Some (J.Bool true) -> ()
+          | _ -> Alcotest.fail "nesting_ok should be Bool true"))
+
+let metrics_report_surfaces () =
+  (* run real work so the well-known histograms hold samples *)
+  let sheet = Spreadsheet.of_relation ~name:"cars" Sample_cars.relation in
+  (match Engine.apply sheet Op.Dedup with
+  | Ok s -> ignore (Plan.execute (Plan.of_sheet s))
+  | Error _ -> Alcotest.fail "dedup refused");
+  let report = Obs.metrics_report () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " in report") true
+        (contains report needle))
+    [ "engine.apply"; "plan.node.scan"; "p50"; "p99";
+      "trace.dropped_events"; "trace.nesting_ok"; "flightrec.events" ]
+
 (* ---------- Obs_json ---------- *)
 
 let json_round_trip_values () =
@@ -337,11 +627,43 @@ let () =
            cache_stats_deterministic;
          Alcotest.test_case "seeding counts and serves hits" `Quick
            seed_counts_in_stats ]);
+      ("histograms",
+       [ Alcotest.test_case "bucket boundaries well formed" `Quick
+           boundaries_well_formed;
+         prop hist_exactness;
+         prop hist_merge_commutative;
+         prop hist_merge_associative;
+         prop hist_merge_is_concat;
+         prop hist_percentile_bounds;
+         Alcotest.test_case "negative samples clamp to 0" `Quick
+           hist_clamps_negative;
+         Alcotest.test_case "empty percentile is 0" `Quick
+           hist_empty_percentile;
+         Alcotest.test_case "sinks-off record cost" `Quick
+           record_cost_comparable;
+         Alcotest.test_case "snapshot + JSON export" `Quick
+           hist_snapshot_and_json ]);
+      ("clock",
+       [ Alcotest.test_case "backwards wall clock cannot go negative"
+           `Quick clock_never_negative ]);
+      ("flightrec",
+       [ Alcotest.test_case "bounded ring evicts oldest" `Quick
+           flightrec_ring;
+         Alcotest.test_case "JSON round-trips" `Quick
+           flightrec_json_round_trip;
+         Alcotest.test_case "slow threshold knob" `Quick
+           flightrec_threshold;
+         Alcotest.test_case "render limit keeps newest" `Quick
+           flightrec_render_limit ]);
       ("trace",
        [ Alcotest.test_case "chrome export round-trips" `Quick
            trace_round_trip;
          Alcotest.test_case "clear_events empties the ring" `Quick
-           ring_clears ]);
+           ring_clears;
+         Alcotest.test_case "otherData carries ring health" `Quick
+           trace_other_data_health;
+         Alcotest.test_case "metrics_report surfaces everything" `Quick
+           metrics_report_surfaces ]);
       ("json",
        [ Alcotest.test_case "value round-trips" `Quick
            json_round_trip_values;

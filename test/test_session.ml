@@ -149,6 +149,61 @@ let test_modification_is_a_history_entry () =
       Alcotest.(check bool) "undo restores 2005" true
         (List.for_all (Value.equal (Value.Int 2005)) years)
 
+(* ---------- the flight recorder sees what the session did ---------- *)
+
+module Obs = Sheet_obs.Obs
+
+let flight_kinds () =
+  List.map (fun e -> e.Obs.Flightrec.f_kind) (Obs.Flightrec.events ())
+
+let test_flightrec_records_ops () =
+  Obs.Flightrec.clear ();
+  let s = run (session ()) "select Year = 2005\ngroup Model asc" in
+  Alcotest.(check bool) "op events recorded" true
+    (List.length
+       (List.filter (fun k -> k = "op") (flight_kinds ()))
+    >= 2);
+  let s = Option.get (Session.undo s) in
+  let s = Option.get (Session.redo s) in
+  ignore s;
+  Alcotest.(check bool) "undo recorded" true
+    (List.mem "undo" (flight_kinds ()));
+  Alcotest.(check bool) "redo recorded" true
+    (List.mem "redo" (flight_kinds ()));
+  (* op events carry the sheet uid and a duration *)
+  let op =
+    List.find (fun e -> e.Obs.Flightrec.f_kind = "op")
+      (Obs.Flightrec.events ())
+  in
+  Alcotest.(check bool) "uid attached" true (op.Obs.Flightrec.f_uid > 0);
+  Alcotest.(check bool) "duration attached" true
+    (op.Obs.Flightrec.f_dur_ns >= 0);
+  Obs.Flightrec.clear ()
+
+let test_flightrec_records_rejections () =
+  Obs.Flightrec.clear ();
+  let s = session () in
+  (match Session.apply s (Op.Project "NoSuchColumn") with
+  | Ok _ -> Alcotest.fail "projecting a missing column should fail"
+  | Error _ -> ());
+  Alcotest.(check bool) "rejection recorded" true
+    (List.mem "op-rejected" (flight_kinds ()));
+  Obs.Flightrec.clear ()
+
+let test_flightrec_slow_op_marker () =
+  Obs.Flightrec.clear ();
+  let old_ns = Obs.Flightrec.slow_threshold_ns () in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Flightrec.set_slow_threshold_ms (float_of_int old_ns /. 1e6);
+      Obs.Flightrec.clear ())
+  @@ fun () ->
+  (* threshold 0: every applied op is "slow" *)
+  Obs.Flightrec.set_slow_threshold_ms 0.;
+  ignore (run (session ()) "select Year = 2005");
+  Alcotest.(check bool) "slow-op marker emitted" true
+    (List.mem "slow-op" (flight_kinds ()))
+
 let () =
   Alcotest.run "sheet_session"
     [ ( "history",
@@ -164,4 +219,11 @@ let () =
           Alcotest.test_case "open is undoable" `Quick test_open_is_undoable;
           Alcotest.test_case "listing/close" `Quick test_store_listing;
           Alcotest.test_case "load relation" `Quick
-            test_load_relation_switch ] ) ]
+            test_load_relation_switch ] );
+      ( "flightrec",
+        [ Alcotest.test_case "ops, undo, redo recorded" `Quick
+            test_flightrec_records_ops;
+          Alcotest.test_case "rejections recorded" `Quick
+            test_flightrec_records_rejections;
+          Alcotest.test_case "slow-op marker" `Quick
+            test_flightrec_slow_op_marker ] ) ]

@@ -1,0 +1,132 @@
+(* bench_diff — the consumer of BENCH_sheetmusiq.json (ISSUE 4).
+
+   Usage:
+     dune exec tools/bench_diff.exe -- <baseline.json> <candidate.json>
+
+   Reads two bench baselines (schema sheetmusiq-bench/v1 or /v2 —
+   v1 has only ns_per_run means, v2 adds exact sample percentiles),
+   prints a per-benchmark delta table, and exits non-zero when any
+   guarded entry — a name starting with "op/" or "table" (the paper's
+   operator-scaling and table-regeneration workloads) — regressed by
+   more than 25 % on ns_per_run. This is the required check for every
+   perf-claiming PR: regenerate a fresh baseline, diff against the
+   committed one, and only commit the new file if the gate is green.
+
+   Exit codes: 0 ok, 1 regression, 2 usage / unreadable input. *)
+
+module J = Sheet_obs.Obs_json
+
+let threshold_pct = 25.
+
+let guarded name =
+  let starts_with prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  starts_with "op/" name || starts_with "table" name
+
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 2) fmt
+
+let read_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> contents
+  | exception Sys_error msg -> die "bench_diff: %s" msg
+
+type entry = { ns : float; p50 : float option; p99 : float option }
+
+let number = function
+  | Some (J.Float f) -> Some f
+  | Some (J.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+(* Both schema versions land in the same shape; v1 entries simply have
+   no percentile fields. *)
+let load path =
+  let json =
+    match J.parse (read_file path) with
+    | Ok j -> j
+    | Error msg -> die "bench_diff: %s: %s" path msg
+  in
+  (match J.member "schema" json with
+  | Some (J.String ("sheetmusiq-bench/v1" | "sheetmusiq-bench/v2")) -> ()
+  | Some (J.String other) ->
+      die "bench_diff: %s: unsupported schema %S" path other
+  | _ -> die "bench_diff: %s: missing \"schema\" field" path);
+  match J.member "results" json with
+  | Some (J.Obj entries) ->
+      List.filter_map
+        (fun (name, v) ->
+          match number (J.member "ns_per_run" v) with
+          | Some ns ->
+              Some
+                ( name,
+                  { ns;
+                    p50 = number (J.member "p50_ns" v);
+                    p99 = number (J.member "p99_ns" v) } )
+          | None -> None)
+        entries
+  | _ -> die "bench_diff: %s: missing \"results\" object" path
+
+let pretty_ns ns =
+  if ns >= 1e9 then Printf.sprintf "%.2fs" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2fms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2fus" (ns /. 1e3)
+  else Printf.sprintf "%.0fns" ns
+
+let pct_delta ~old ~new_ =
+  if old <= 0. then 0. else (new_ -. old) /. old *. 100.
+
+let () =
+  let baseline_path, candidate_path =
+    match Sys.argv with
+    | [| _; a; b |] -> (a, b)
+    | _ -> die "usage: bench_diff <baseline.json> <candidate.json>"
+  in
+  let baseline = load baseline_path in
+  let candidate = load candidate_path in
+  let names =
+    List.sort_uniq compare
+      (List.map fst baseline @ List.map fst candidate)
+  in
+  Printf.printf "%-40s %12s %12s %9s %8s  %s\n" "benchmark" "baseline"
+    "candidate" "delta" "p99" "";
+  let regressions = ref [] in
+  List.iter
+    (fun name ->
+      match (List.assoc_opt name baseline, List.assoc_opt name candidate) with
+      | Some b, Some c ->
+          let delta = pct_delta ~old:b.ns ~new_:c.ns in
+          let p99_delta =
+            match (b.p99, c.p99) with
+            | Some bp, Some cp -> Printf.sprintf "%+7.1f%%" (pct_delta ~old:bp ~new_:cp)
+            | _ -> "-"
+          in
+          let flag =
+            if guarded name && delta > threshold_pct then begin
+              regressions := name :: !regressions;
+              "REGRESSION"
+            end
+            else if delta > threshold_pct then "slower (unguarded)"
+            else if delta < -.threshold_pct then "faster"
+            else ""
+          in
+          Printf.printf "%-40s %12s %12s %+8.1f%% %8s  %s\n" name
+            (pretty_ns b.ns) (pretty_ns c.ns) delta p99_delta flag
+      | Some b, None ->
+          Printf.printf "%-40s %12s %12s %9s %8s  removed\n" name
+            (pretty_ns b.ns) "-" "-" "-"
+      | None, Some c ->
+          Printf.printf "%-40s %12s %12s %9s %8s  added\n" name "-"
+            (pretty_ns c.ns) "-" "-"
+      | None, None -> ())
+    names;
+  match List.rev !regressions with
+  | [] ->
+      Printf.printf "\nok: no guarded benchmark regressed by more than %.0f%%\n"
+        threshold_pct;
+      exit 0
+  | offenders ->
+      Printf.printf "\nFAIL: %d benchmark(s) regressed by more than %.0f%%:\n"
+        (List.length offenders) threshold_pct;
+      List.iter (fun n -> Printf.printf "  - %s\n" n) offenders;
+      exit 1

@@ -22,6 +22,8 @@ let run_task catalog (task : Sheet_tpch.Tpch_tasks.t) =
      materialization cache *)
   Obs.clear_events ();
   Obs.Metrics.reset ();
+  Obs.Histogram.reset ();
+  Obs.Flightrec.clear ();
   Materialize.reset_cache ();
   match Sheet_sql.Catalog.find catalog task.base with
   | None -> check (label "base") false ("no base relation " ^ task.base)
@@ -61,6 +63,29 @@ let run_task catalog (task : Sheet_tpch.Tpch_tasks.t) =
               check (label ("metric " ^ name)) (v >= 0)
                 (Printf.sprintf "negative value %d" v))
             (Obs.Metrics.snapshot ());
+          (* the ring was never truncated mid-task — a dropped event
+             means the trace silently under-reports *)
+          check (label "dropped") (Obs.dropped () = 0)
+            (Printf.sprintf "%d event(s) dropped from the ring"
+               (Obs.dropped ()));
+          (* every engine op recorded exactly one latency sample *)
+          check (label "histogram")
+            (Obs.Histogram.count (Obs.Histogram.histogram Obs.h_engine_apply)
+            = Obs.Metrics.value_of Obs.k_engine_ops)
+            (Printf.sprintf "engine.apply histogram has %d samples, %s = %d"
+               (Obs.Histogram.count
+                  (Obs.Histogram.histogram Obs.h_engine_apply))
+               Obs.k_engine_ops
+               (Obs.Metrics.value_of Obs.k_engine_ops));
+          (* the flight recorder export round-trips through Obs_json *)
+          let fr = Sheet_obs.Obs_json.to_string (Obs.Flightrec.to_json ()) in
+          (match Sheet_obs.Obs_json.parse fr with
+          | Error msg ->
+              check (label "flightrec") false ("invalid JSON: " ^ msg)
+          | Ok parsed ->
+              check (label "flightrec")
+                (Sheet_obs.Obs_json.equal parsed (Obs.Flightrec.to_json ()))
+                "flight-recorder JSON does not round-trip");
           (* the Chrome trace of this task round-trips through the
              bundled JSON parser *)
           let trace = Obs.chrome_trace_string () in
