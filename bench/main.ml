@@ -254,6 +254,58 @@ let plan_workload ~mode () =
   in
   ignore (Plan.execute plan)
 
+(* ------------------------------------------------------------------ *)
+(* Relation-core scaling benchmarks (table/<op>-<n>)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Raw Rel_algebra operators at 1k/10k/100k rows, timed directly on
+   prebuilt relations so only the operator is measured. Named under
+   the "table" prefix so tools/bench_diff.exe guards them (alongside
+   the paper-table regenerations) against >25% regressions. *)
+
+let scaling_sizes = [ 1_000; 10_000; 100_000 ]
+
+let scaling_rels =
+  List.map (fun n -> (n, Sample_cars.scaled ~rows:n ~seed:11)) scaling_sizes
+
+let scaling_rel n = List.assoc n scaling_rels
+
+let scaling_pred = Expr_parse.parse_string_exn "Price < 20000 AND Year >= 2003"
+
+(* A one-row-per-model dimension table keeps the equijoin output at
+   exactly n rows whatever the input size. *)
+let model_dim =
+  Relation.make
+    (Schema.of_list [ ("M", Value.TString); ("Origin", Value.TString) ])
+    (List.map
+       (fun m -> Row.of_list [ Value.String m; Value.String "de" ])
+       [ "Jetta"; "Civic"; "Accord"; "Camry"; "Focus"; "Mazda3" ])
+
+let scaling_workloads =
+  List.concat_map
+    (fun n ->
+      let rel = scaling_rel n in
+      let label op = Printf.sprintf "table/%s-%dk" op (n / 1000) in
+      [ (label "select", Some n,
+         fun () -> ignore (Rel_algebra.select scaling_pred rel));
+        (label "project", Some n,
+         fun () ->
+           ignore (Rel_algebra.project [ "Model"; "Price"; "Year" ] rel));
+        (label "sort", Some n,
+         fun () ->
+           ignore
+             (Rel_algebra.sort [ ("Price", `Asc); ("Mileage", `Desc) ] rel));
+        (label "equijoin", Some n,
+         fun () ->
+           ignore (Rel_algebra.equijoin ~on:("Model", "M") rel model_dim));
+        (label "distinct", Some n,
+         fun () ->
+           ignore
+             (Rel_algebra.distinct
+                (Rel_algebra.project [ "Model"; "Year"; "Condition" ] rel)))
+      ])
+    scaling_sizes
+
 (* Ablation 4: group-tree presentation vs flat-sort emulation
    (Sec. II-A: recursive grouping can be emulated by one ordering). *)
 let grouping_vs_sort sheet ~tree () =
@@ -280,6 +332,7 @@ let grouping_vs_sort sheet ~tree () =
 let workloads =
   let sheet_1k = scaled_sheet 1000 in
   let sheet_4k = scaled_sheet 4000 in
+  let sheet_10k = scaled_sheet 10000 in
   [ (* one bench per paper table/figure *)
     ("table1/base-spreadsheet", None, fun () -> ignore (table1_workload ()));
     ("table2/grouping", None, fun () -> ignore (table2_workload ()));
@@ -292,12 +345,18 @@ let workloads =
     (* operator scaling *)
     ("op/selection-1k", Some 1000, selection_workload sheet_1k);
     ("op/selection-4k", Some 4000, selection_workload sheet_4k);
+    ("op/selection-10k", Some 10000, selection_workload sheet_10k);
     ("op/grouping-1k", Some 1000, grouping_workload sheet_1k);
     ("op/grouping-4k", Some 4000, grouping_workload sheet_4k);
     ("op/aggregation-1k", Some 1000, aggregation_workload sheet_1k);
     ("op/aggregation-4k", Some 4000, aggregation_workload sheet_4k);
+    ("op/aggregation-10k", Some 10000, aggregation_workload sheet_10k);
     ("op/dedup-1k", Some 1000, dedup_workload sheet_1k);
-    (* ablations *)
+    ("op/dedup-10k", Some 10000, dedup_workload sheet_10k);
+    (* relation-core scaling (guarded under the "table" prefix) *)
+  ]
+  @ scaling_workloads
+  @ [ (* ablations *)
     ("ablation/replay-8-selections", Some 1000,
      replay_ablation sheet_1k ~k:8 ~merged:false);
     ("ablation/replay-merged-conjunction", Some 1000,
@@ -393,7 +452,7 @@ let run_benchmarks ~json_path =
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:(Some 1000) ()
   in
   Printf.printf "%-40s %14s %14s %12s %12s\n" "benchmark" "time/run"
     "rows/s" "p50" "p99";
@@ -404,21 +463,48 @@ let run_benchmarks ~json_path =
     else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
     else Printf.sprintf "%8.0f ns" ns
   in
+  let measure (name, _rows, f) =
+    let test = Test.make ~name (Staged.stage f) in
+    let raw = Benchmark.all cfg instances test in
+    let analyzed = Analyze.all ols Instance.monotonic_clock raw in
+    let estimate = ref nan in
+    Hashtbl.iter
+      (fun _ ols_result ->
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> estimate := x
+        | _ -> ())
+      analyzed;
+    (!estimate, sample_percentiles f)
+  in
+  (* Best of three separated passes: on a shared single-core box a
+     scheduler burst can outlast one entry's whole measurement
+     window, inflating whichever statistic it touches; it would have
+     to hit the same entry in all three passes — minutes apart — to
+     survive the min. A real regression moves every pass. *)
+  let passes = 3 in
+  let best : (string, float * (int * int * int * int * int)) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  for pass = 1 to passes do
+    Printf.printf "-- pass %d/%d --\n%!" pass passes;
+    List.iter
+      (fun ((name, _, _) as w) ->
+        let ((est, _) as m) = measure w in
+        (match Hashtbl.find_opt best name with
+        | Some (e0, _) when (not (Float.is_nan e0)) && (Float.is_nan est || e0 <= est)
+          ->
+            ()
+        | _ -> Hashtbl.replace best name m);
+        Printf.printf "%-40s %14s\n%!" name (pretty_ns est))
+      workloads
+  done;
+  print_newline ();
   let results =
     List.map
-      (fun (name, rows, f) ->
-        let test = Test.make ~name (Staged.stage f) in
-        let raw = Benchmark.all cfg instances test in
-        let analyzed = Analyze.all ols Instance.monotonic_clock raw in
-        let estimate = ref nan in
-        Hashtbl.iter
-          (fun _ ols_result ->
-            match Analyze.OLS.estimates ols_result with
-            | Some (x :: _) -> estimate := x
-            | _ -> ())
-          analyzed;
-        let estimate = !estimate in
-        let ((p50, _, p99, _, _) as pcts) = sample_percentiles f in
+      (fun (name, rows, _f) ->
+        let estimate, ((p50, _, p99, _, _) as pcts) =
+          Hashtbl.find best name
+        in
         let throughput =
           match rows with
           | Some r when (not (Float.is_nan estimate)) && estimate > 0. ->

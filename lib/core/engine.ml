@@ -281,9 +281,10 @@ let rename sheet ~old_name ~new_name =
   else
     let base =
       if Schema.mem (Spreadsheet.base_schema sheet) old_name then
-        Relation.unsafe_make
+        (* zero-copy: same row array under the renamed schema *)
+        Relation.with_schema
           (Schema.rename (Spreadsheet.base_schema sheet) old_name new_name)
-          (Relation.rows sheet.Spreadsheet.base)
+          sheet.Spreadsheet.base
       else sheet.Spreadsheet.base
     in
     let state =
@@ -360,15 +361,24 @@ let product ?store sheet stored_name =
   let schema, _mapping =
     Schema.concat_with_mapping (Relation.schema left) (Relation.schema right)
   in
-  let rows =
-    List.concat_map
-      (fun ra ->
-        List.map (fun rb -> Row.append ra rb) (Relation.rows right))
-      (Relation.rows left)
+  let da = Relation.to_array left and db = Relation.to_array right in
+  let na = Array.length da and nb = Array.length db in
+  let base =
+    if na = 0 || nb = 0 then Relation.empty schema
+    else begin
+      let out = Array.make (na * nb) da.(0) in
+      for i = 0 to na - 1 do
+        let ra = da.(i) in
+        let off = i * nb in
+        for j = 0 to nb - 1 do
+          out.(off + j) <- Row.append ra db.(j)
+        done
+      done;
+      Relation.unsafe_of_array schema out
+    end
   in
   Ok
-    (rebase sheet
-       ~base:(Relation.unsafe_make schema rows)
+    (rebase sheet ~base
        ~base_name:
          (Printf.sprintf "%s x %s" sheet.Spreadsheet.base_name stored_name))
 

@@ -11,34 +11,36 @@ and members = Groups of node list | Rows of Row.t list
 type t = { schema : Schema.t; members : members }
 
 (* Split consecutive rows into runs with equal values at [positions].
-   The rows are already in presentation order, so groups are runs. *)
-let runs positions rows =
-  let key row = Row.project row positions in
-  let rec go acc current current_key = function
-    | [] ->
-        List.rev
-          (match current with
-          | [] -> acc
-          | _ -> (current_key, List.rev current) :: acc)
-    | row :: rest ->
-        let k = key row in
-        if current = [] then go acc [ row ] k rest
-        else if Row.equal k current_key then
-          go acc (row :: current) current_key rest
-        else go ((current_key, List.rev current) :: acc) [ row ] k rest
-  in
-  go [] [] (Row.of_list []) rows
+   The rows are already in presentation order, so groups are runs;
+   each run is returned as a sub-array slice (one copy, no per-row
+   consing). *)
+let runs positions data =
+  let key row = Row.project_arr row positions in
+  let n = Array.length data in
+  let out = Vec.create () in
+  let i = ref 0 in
+  while !i < n do
+    let k = key data.(!i) in
+    let j = ref (!i + 1) in
+    while !j < n && Row.equal (key data.(!j)) k do
+      incr j
+    done;
+    Vec.push out (k, Array.sub data !i (!j - !i));
+    i := !j
+  done;
+  Array.to_list (Vec.to_array out)
 
 let build sheet =
   let rel = Materialize.full sheet in
   let schema = Relation.schema rel in
   let grouping = Spreadsheet.grouping sheet in
-  let rec split level rows =
+  let rec split level data =
     match List.nth_opt grouping.Grouping.levels (level - 2) with
-    | None -> Rows rows
+    | None -> Rows (Array.to_list data)
     | Some lv ->
         let positions =
-          List.map (Schema.index_exn schema) lv.Grouping.basis_add
+          Array.of_list
+            (List.map (Schema.index_exn schema) lv.Grouping.basis_add)
         in
         Groups
           (List.map
@@ -50,9 +52,9 @@ let build sheet =
                      lv.Grouping.basis_add
                      (Row.to_list key_row);
                  members = split (level + 1) group_rows })
-             (runs positions rows))
+             (runs positions data))
   in
-  { schema; members = split 2 (Relation.rows rel) }
+  { schema; members = split 2 (Relation.to_array rel) }
 
 let rec members_rows = function
   | Rows rows -> rows

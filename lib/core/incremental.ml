@@ -24,40 +24,33 @@ let last_computed (child : Spreadsheet.t) =
 let append_computed child parent_full =
   let c = last_computed child in
   let schema = Relation.schema parent_full in
-  let rows = Relation.rows parent_full in
+  let data = Relation.to_array parent_full in
+  let index = Schema.compile_index schema in
   let cells =
     match c.Computed.spec with
     | Computed.Formula e ->
-        List.map
+        Array.map
           (fun row ->
-            Expr_eval.eval
-              ~lookup:(fun name -> Row.get row (Schema.index_exn schema name))
-              e)
-          rows
+            Expr_eval.eval ~lookup:(fun name -> Row.get row (index name)) e)
+          data
     | Computed.Aggregate { fn; arg; level } ->
         let basis =
           Grouping.cumulative_basis (Spreadsheet.grouping child) level
         in
-        let positions = List.map (Schema.index_exn schema) basis in
-        let groups = Hashtbl.create 32 in
-        let order = ref [] in
-        List.iter
+        let positions =
+          Array.of_list (List.map (Schema.index_exn schema) basis)
+        in
+        let groups = Row.Tbl.create (max 16 (Array.length data)) in
+        Array.iter
           (fun row ->
-            let key = Row.project row positions in
-            let h = Row.hash key in
-            let bucket =
-              Hashtbl.find_opt groups h |> Option.value ~default:[]
-            in
-            match List.find_opt (fun (k, _) -> Row.equal k key) bucket with
-            | Some (_, cell) -> cell := row :: !cell
-            | None ->
-                let cell = ref [ row ] in
-                Hashtbl.replace groups h ((key, cell) :: bucket);
-                order := (key, cell) :: !order)
-          rows;
-        let value_of = Hashtbl.create 32 in
-        List.iter
-          (fun (key, cell) ->
+            let key = Row.project_arr row positions in
+            match Row.Tbl.find_opt groups key with
+            | Some cell -> cell := row :: !cell
+            | None -> Row.Tbl.add groups key (ref [ row ]))
+          data;
+        let value_of = Row.Tbl.create (max 16 (Row.Tbl.length groups)) in
+        Row.Tbl.iter
+          (fun key cell ->
             let group_rows = List.rev !cell in
             let values =
               match (fn, arg) with
@@ -67,41 +60,36 @@ let append_computed child parent_full =
                   List.map
                     (fun row ->
                       Expr_eval.eval
-                        ~lookup:(fun name ->
-                          Row.get row (Schema.index_exn schema name))
+                        ~lookup:(fun name -> Row.get row (index name))
                         e)
                     group_rows
               | _, None -> failwith "aggregate without argument"
             in
-            Hashtbl.add value_of (Row.hash key)
-              (key, Expr_eval.apply_agg fn values))
-          !order;
-        List.map
+            Row.Tbl.add value_of key (Expr_eval.apply_agg fn values))
+          groups;
+        Array.map
           (fun row ->
-            let key = Row.project row positions in
-            match
-              List.find_opt
-                (fun (k, _) -> Row.equal k key)
-                (Hashtbl.find_all value_of (Row.hash key))
-            with
-            | Some (_, v) -> v
+            let key = Row.project_arr row positions in
+            match Row.Tbl.find_opt value_of key with
+            | Some v -> v
             | None -> assert false)
-          rows
+          data
   in
   let schema =
     Schema.append schema { Schema.name = c.Computed.name; ty = c.Computed.ty }
   in
-  Relation.unsafe_make schema (List.map2 Row.append1 rows cells)
+  Relation.unsafe_of_array schema (Array.map2 Row.append1 data cells)
 
 let filter_full pred parent_full =
   let schema = Relation.schema parent_full in
-  Relation.unsafe_make schema
-    (List.filter
+  let index = Schema.compile_index schema in
+  Relation.unsafe_of_array schema
+    (Vec.filter_array
        (fun row ->
          Expr_eval.eval_pred
-           ~lookup:(fun name -> Row.get row (Schema.index_exn schema name))
+           ~lookup:(fun name -> Row.get row (index name))
            pred)
-       (Relation.rows parent_full))
+       (Relation.to_array parent_full))
 
 let derive ~(parent : Spreadsheet.t) ~(op : Op.t) ~(child : Spreadsheet.t) =
   let parent_full () = Materialize.full_cached parent in

@@ -12,72 +12,80 @@ let h_stratum = Obs.Histogram.histogram Obs.h_materialize_stratum
 let internal_error fmt =
   Printf.ksprintf (fun s -> failwith ("Materialize: internal error: " ^ s)) fmt
 
-(* Partition [rows] by equality on the columns at [positions];
-   returns the groups in first-occurrence order. *)
-let partition positions rows =
-  let tbl = Hashtbl.create 64 in
-  let order = ref [] in
-  List.iter
+(* Partition the rows by equality on the columns at [positions];
+   returns the groups in first-occurrence order, keyed on real row
+   equality. *)
+let partition positions data =
+  let tbl = Row.Tbl.create (max 16 (Array.length data)) in
+  let order = Vec.create () in
+  Array.iter
     (fun row ->
-      let key = Row.project row positions in
-      let h = Row.hash key in
-      let bucket = Hashtbl.find_opt tbl h |> Option.value ~default:[] in
-      match List.find_opt (fun (k, _) -> Row.equal k key) bucket with
-      | Some (_, cell) -> cell := row :: !cell
+      let key = Row.project_arr row positions in
+      match Row.Tbl.find_opt tbl key with
+      | Some cell -> cell := row :: !cell
       | None ->
           let cell = ref [ row ] in
-          Hashtbl.replace tbl h ((key, cell) :: bucket);
-          order := (key, cell) :: !order)
-    rows;
-  List.rev_map (fun (key, cell) -> (key, List.rev !cell)) !order
+          Row.Tbl.add tbl key cell;
+          Vec.push order (key, cell))
+    data;
+  Array.to_list
+    (Array.map (fun (key, cell) -> (key, List.rev !cell)) (Vec.to_array order))
 
 (* Duplicate elimination considers the columns the user can see
    (projection removes a column from the sheet's C, Def. 6); hidden
    column values of the first occurrence survive. *)
-let distinct_rows ~key_positions rows =
-  let seen = Hashtbl.create 64 in
-  List.filter
+let distinct_rows ~key_positions data =
+  let seen = Row.Tbl.create (max 16 (Array.length data)) in
+  Vec.filter_array
     (fun row ->
-      let key = Row.project row key_positions in
-      let h = Row.hash key in
-      let bucket = Hashtbl.find_opt seen h |> Option.value ~default:[] in
-      if List.exists (fun x -> Row.equal x key) bucket then false
+      let key = Row.project_arr row key_positions in
+      if Row.Tbl.mem seen key then false
       else begin
-        Hashtbl.replace seen h (key :: bucket);
+        Row.Tbl.add seen key ();
         true
       end)
-    rows
+    data
 
-let eval_pred_on schema pred row =
-  Expr_eval.eval_pred
-    ~lookup:(fun name -> Row.get row (Schema.index_exn schema name))
-    pred
-
-let apply_selections schema preds rows =
+let apply_selections schema preds data =
   List.fold_left
-    (fun rows pred -> List.filter (eval_pred_on schema pred) rows)
-    rows preds
+    (fun data pred ->
+      let index = Schema.compile_index schema in
+      Vec.filter_array
+        (fun row ->
+          Expr_eval.eval_pred
+            ~lookup:(fun name -> Row.get row (index name))
+            pred)
+        data)
+    data preds
 
 (* Compute one computed column over the current rows, returning the
    cell value for each row (row order preserved). *)
-let computed_cells (sheet : Spreadsheet.t) schema rows (c : Computed.t) =
+let computed_cells (sheet : Spreadsheet.t) schema data (c : Computed.t) =
   match c.Computed.spec with
   | Computed.Formula e ->
-      List.map
+      let index = Schema.compile_index schema in
+      Array.map
         (fun row ->
-          Expr_eval.eval
-            ~lookup:(fun name -> Row.get row (Schema.index_exn schema name))
-            e)
-        rows
+          Expr_eval.eval ~lookup:(fun name -> Row.get row (index name)) e)
+        data
   | Computed.Aggregate { fn; arg; level } ->
       let basis =
         Grouping.cumulative_basis (Spreadsheet.grouping sheet) level
       in
-      let positions = List.map (Schema.index_exn schema) basis in
-      let groups = partition positions rows in
-      let agg_of_key = Hashtbl.create 16 in
-      List.iter
-        (fun (key, group_rows) ->
+      let positions = Array.of_list (List.map (Schema.index_exn schema) basis) in
+      let index = Schema.compile_index schema in
+      let groups = Row.Tbl.create (max 16 (Array.length data)) in
+      Array.iter
+        (fun row ->
+          let key = Row.project_arr row positions in
+          match Row.Tbl.find_opt groups key with
+          | Some cell -> cell := row :: !cell
+          | None -> Row.Tbl.add groups key (ref [ row ]))
+        data;
+      let agg_of_key = Row.Tbl.create (max 16 (Row.Tbl.length groups)) in
+      Row.Tbl.iter
+        (fun key cell ->
+          let group_rows = List.rev !cell in
           let values =
             match (fn, arg) with
             | Expr.Count_star, _ ->
@@ -86,27 +94,22 @@ let computed_cells (sheet : Spreadsheet.t) schema rows (c : Computed.t) =
                 List.map
                   (fun row ->
                     Expr_eval.eval
-                      ~lookup:(fun name ->
-                        Row.get row (Schema.index_exn schema name))
+                      ~lookup:(fun name -> Row.get row (index name))
                       e)
                   group_rows
             | _, None ->
                 internal_error "aggregate %s without argument"
                   (Expr.agg_fun_name fn)
           in
-          Hashtbl.add agg_of_key (Row.hash key)
-            (key, Expr_eval.apply_agg fn values))
+          Row.Tbl.add agg_of_key key (Expr_eval.apply_agg fn values))
         groups;
-      List.map
+      Array.map
         (fun row ->
-          let key = Row.project row positions in
-          let candidates = Hashtbl.find_all agg_of_key (Row.hash key) in
-          match
-            List.find_opt (fun (k, _) -> Row.equal k key) candidates
-          with
-          | Some (_, v) -> v
+          let key = Row.project_arr row positions in
+          match Row.Tbl.find_opt agg_of_key key with
+          | Some v -> v
           | None -> internal_error "group key vanished during aggregation")
-        rows
+        data
 
 let unsorted_full (sheet : Spreadsheet.t) =
   let state = sheet.Spreadsheet.state in
@@ -120,16 +123,15 @@ let unsorted_full (sheet : Spreadsheet.t) =
         else None)
       state.Query_state.selections
   in
-  (* row counts annotate the stratum spans only while a sink listens;
-     with tracing off no extra list walk happens *)
-  let count rows = if Obs.recording () then List.length rows else -1 in
+  (* row counts are O(1) on the array representation, so the stratum
+     spans always carry real counts *)
   let rows =
     let sp =
       Obs.span ~uid:sheet.Spreadsheet.uid ~kind:"stratum 0"
         "materialize.stratum"
     in
     let t0 = Obs.now_ns () in
-    let base_rows = Relation.rows sheet.Spreadsheet.base in
+    let base_rows = Relation.to_array sheet.Spreadsheet.base in
     let rows = apply_selections base_schema (preds_at 0) base_rows in
     let rows =
       if state.Query_state.dedup then
@@ -139,13 +141,15 @@ let unsorted_full (sheet : Spreadsheet.t) =
             (Schema.names base_schema)
         in
         let key_positions =
-          List.map (Schema.index_exn base_schema) visible_base
+          Array.of_list
+            (List.map (Schema.index_exn base_schema) visible_base)
         in
         distinct_rows ~key_positions rows
       else rows
     in
     Obs.Histogram.record h_stratum (Obs.now_ns () - t0);
-    Obs.finish ~rows_in:(count base_rows) ~rows_out:(count rows) sp;
+    Obs.finish ~rows_in:(Array.length base_rows)
+      ~rows_out:(Array.length rows) sp;
     rows
   in
   let schema, rows, _ =
@@ -156,22 +160,22 @@ let unsorted_full (sheet : Spreadsheet.t) =
             ~kind:(Printf.sprintf "stratum %d: %s" k c.Computed.name)
             "materialize.stratum"
         in
-        let rows_in = count rows in
+        let rows_in = Array.length rows in
         let t0 = Obs.now_ns () in
         let cells = computed_cells sheet schema rows c in
         let schema =
           Schema.append schema
             { Schema.name = c.Computed.name; ty = c.Computed.ty }
         in
-        let rows = List.map2 Row.append1 rows cells in
+        let rows = Array.map2 Row.append1 rows cells in
         let rows = apply_selections schema (preds_at k) rows in
         Obs.Histogram.record h_stratum (Obs.now_ns () - t0);
-        Obs.finish ~rows_in ~rows_out:(count rows) sp;
+        Obs.finish ~rows_in ~rows_out:(Array.length rows) sp;
         (schema, rows, k + 1))
       (base_schema, rows, 1)
       state.Query_state.computed
   in
-  Relation.unsafe_make schema rows
+  Relation.unsafe_of_array schema rows
 
 let full (sheet : Spreadsheet.t) =
   Obs.Metrics.incr c_full_replays;
@@ -286,14 +290,15 @@ let finest_group_boundaries (sheet : Spreadsheet.t) (rel : Relation.t) =
   else
     let basis = Grouping.finest_basis grouping in
     let positions =
-      List.map (Schema.index_exn (Relation.schema rel)) basis
+      Array.of_list
+        (List.map (Schema.index_exn (Relation.schema rel)) basis)
     in
-    let rows = Array.of_list (Relation.rows rel) in
+    let rows = Relation.to_array rel in
     let n = Array.length rows in
     let out = ref [] in
     for i = 0 to n - 2 do
-      let ki = Row.project rows.(i) positions in
-      let kj = Row.project rows.(i + 1) positions in
+      let ki = Row.project_arr rows.(i) positions in
+      let kj = Row.project_arr rows.(i + 1) positions in
       if not (Row.equal ki kj) then out := i :: !out
     done;
     List.rev !out
@@ -301,5 +306,7 @@ let finest_group_boundaries (sheet : Spreadsheet.t) (rel : Relation.t) =
 let group_count (sheet : Spreadsheet.t) ~level =
   let rel = unsorted_full sheet in
   let basis = Grouping.cumulative_basis (Spreadsheet.grouping sheet) level in
-  let positions = List.map (Schema.index_exn (Relation.schema rel)) basis in
-  List.length (partition positions (Relation.rows rel))
+  let positions =
+    Array.of_list (List.map (Schema.index_exn (Relation.schema rel)) basis)
+  in
+  List.length (partition positions (Relation.to_array rel))

@@ -138,11 +138,11 @@ let of_relation (r : Relation.t) =
     Buffer.add_string buf (String.concat "," (List.map quote_field cells));
     Buffer.add_char buf '\n'
   in
-  emit_record (Schema.names r.Relation.schema);
-  List.iter
+  emit_record (Schema.names (Relation.schema r));
+  Relation.iter
     (fun row ->
       emit_record (List.map Value.to_csv_string (Row.to_list row)))
-    r.Relation.rows;
+    r;
   Buffer.contents buf
 
 let read_file path =

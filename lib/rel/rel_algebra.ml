@@ -5,157 +5,243 @@ let err fmt = Printf.ksprintf (fun s -> raise (Algebra_error s)) fmt
 let lookup_in schema row name = Row.get row (Schema.index_exn schema name)
 
 let eval_on (r : Relation.t) row e =
-  Expr_eval.eval ~lookup:(fun name -> lookup_in r.Relation.schema row name) e
+  Expr_eval.eval ~lookup:(fun name -> lookup_in (Relation.schema r) row name) e
 
 let select pred (r : Relation.t) =
-  (match Expr_check.check_pred r.Relation.schema pred with
+  let schema = Relation.schema r in
+  (match Expr_check.check_pred schema pred with
   | Ok () -> ()
   | Error msg -> err "selection: %s" msg);
+  let index = Schema.compile_index schema in
   let keep row =
-    Expr_eval.eval_pred
-      ~lookup:(fun name -> lookup_in r.Relation.schema row name)
-      pred
+    Expr_eval.eval_pred ~lookup:(fun name -> Row.get row (index name)) pred
   in
-  Relation.unsafe_make r.Relation.schema (List.filter keep r.Relation.rows)
+  Relation.unsafe_of_array schema (Vec.filter_array keep (Relation.to_array r))
 
 let project names (r : Relation.t) =
-  let schema = Schema.restrict r.Relation.schema names in
-  let positions = List.map (Schema.index_exn r.Relation.schema) names in
-  Relation.unsafe_make schema
-    (List.map (fun row -> Row.project row positions) r.Relation.rows)
+  let schema = Schema.restrict (Relation.schema r) names in
+  let positions =
+    Array.of_list (List.map (Schema.index_exn (Relation.schema r)) names)
+  in
+  Relation.unsafe_of_array schema
+    (Array.map (fun row -> Row.project_arr row positions) (Relation.to_array r))
 
 let product (a : Relation.t) (b : Relation.t) =
-  let schema = Schema.concat a.Relation.schema b.Relation.schema in
-  let rows =
-    List.concat_map
-      (fun ra -> List.map (fun rb -> Row.append ra rb) b.Relation.rows)
-      a.Relation.rows
-  in
-  Relation.unsafe_make schema rows
+  let schema = Schema.concat (Relation.schema a) (Relation.schema b) in
+  let da = Relation.to_array a and db = Relation.to_array b in
+  let na = Array.length da and nb = Array.length db in
+  if na = 0 || nb = 0 then Relation.empty schema
+  else begin
+    let out = Array.make (na * nb) da.(0) in
+    for i = 0 to na - 1 do
+      let ra = da.(i) in
+      let base = i * nb in
+      for j = 0 to nb - 1 do
+        out.(base + j) <- Row.append ra db.(j)
+      done
+    done;
+    Relation.unsafe_of_array schema out
+  end
 
 let union (a : Relation.t) (b : Relation.t) =
-  if not (Schema.union_compatible a.Relation.schema b.Relation.schema) then
+  if not (Schema.union_compatible (Relation.schema a) (Relation.schema b)) then
     err "union: schemas are not union-compatible";
-  Relation.unsafe_make a.Relation.schema (a.Relation.rows @ b.Relation.rows)
+  Relation.unsafe_of_array (Relation.schema a)
+    (Array.append (Relation.to_array a) (Relation.to_array b))
 
 let diff (a : Relation.t) (b : Relation.t) =
-  if not (Schema.union_compatible a.Relation.schema b.Relation.schema) then
+  if not (Schema.union_compatible (Relation.schema a) (Relation.schema b)) then
     err "difference: schemas are not union-compatible";
-  (* Bag difference: each row of [b] cancels one occurrence in [a]. *)
-  let budget = Hashtbl.create 64 in
-  List.iter
+  (* Bag difference: each row of [b] cancels one occurrence in [a],
+     earliest first. Keyed on real row equality — O(1) amortized per
+     probe, where the old int-keyed bucket lists were rebuilt with
+     [List.partition] on every hit. *)
+  let db = Relation.to_array b in
+  let budget = Row.Tbl.create (max 16 (Array.length db)) in
+  Array.iter
     (fun row ->
-      let h = Row.hash row in
-      let existing = Hashtbl.find_opt budget h |> Option.value ~default:[] in
-      Hashtbl.replace budget h (row :: existing))
-    b.Relation.rows;
-  let rows =
-    List.filter
-      (fun row ->
-        let h = Row.hash row in
-        let bucket = Hashtbl.find_opt budget h |> Option.value ~default:[] in
-        match
-          List.partition (fun r -> Row.equal r row) bucket
-        with
-        | [], _ -> true
-        | _ :: rest_same, others ->
-            Hashtbl.replace budget h (rest_same @ others);
-            false)
-      a.Relation.rows
+      match Row.Tbl.find_opt budget row with
+      | Some n -> Row.Tbl.replace budget row (n + 1)
+      | None -> Row.Tbl.add budget row 1)
+    db;
+  let keep row =
+    match Row.Tbl.find_opt budget row with
+    | Some n when n > 0 ->
+        Row.Tbl.replace budget row (n - 1);
+        false
+    | _ -> true
   in
-  Relation.unsafe_make a.Relation.schema rows
+  Relation.unsafe_of_array (Relation.schema a)
+    (Vec.filter_array keep (Relation.to_array a))
 
 let join cond (a : Relation.t) (b : Relation.t) =
   let prod = product a b in
-  (match Expr_check.check_pred prod.Relation.schema cond with
+  (match Expr_check.check_pred (Relation.schema prod) cond with
   | Ok () -> ()
   | Error msg -> err "join condition: %s" msg);
   select cond prod
 
 let equijoin ~on:(left_col, right_col) (a : Relation.t) (b : Relation.t) =
-  let schema = Schema.concat a.Relation.schema b.Relation.schema in
-  let li = Schema.index_exn a.Relation.schema left_col in
-  let ri = Schema.index_exn b.Relation.schema right_col in
-  let index = Hashtbl.create 256 in
-  List.iter
+  let schema = Schema.concat (Relation.schema a) (Relation.schema b) in
+  let li = Schema.index_exn (Relation.schema a) left_col in
+  let ri = Schema.index_exn (Relation.schema b) right_col in
+  let db = Relation.to_array b in
+  let index = Value.Tbl.create (max 16 (Array.length db)) in
+  Array.iter
     (fun rb ->
       let key = Row.get rb ri in
-      let h = Value.hash key in
-      let bucket = Hashtbl.find_opt index h |> Option.value ~default:[] in
-      Hashtbl.replace index h ((key, rb) :: bucket))
-    b.Relation.rows;
-  let rows =
-    List.concat_map
-      (fun ra ->
-        let key = Row.get ra li in
-        if Value.is_null key then []
-        else
-          Hashtbl.find_opt index (Value.hash key)
-          |> Option.value ~default:[]
-          |> List.filter_map (fun (k, rb) ->
-                 if Value.equal k key then Some (Row.append ra rb) else None)
-          |> List.rev)
-      a.Relation.rows
+      if not (Value.is_null key) then
+        match Value.Tbl.find_opt index key with
+        | Some cell -> cell := rb :: !cell
+        | None -> Value.Tbl.add index key (ref [ rb ]))
+    db;
+  (* Buckets were built by prepending; reverse each once so matches
+     come out in right-relation order. *)
+  Value.Tbl.iter (fun _ cell -> cell := List.rev !cell) index;
+  (* Accumulate into a scratch array seeded at |a| (the exact output
+     size for the common key-join), growing by doubling and trimming
+     once — the same pattern as Vec.filter_array, but inline so the
+     hot loop stays in one function. Building a list first and
+     converting loses: the conversion re-stores every element into a
+     fresh major-heap array, paying the write barrier twice. *)
+  let da = Relation.to_array a in
+  let scratch = ref [||] in
+  let k = ref 0 in
+  let push row =
+    if !k >= Array.length !scratch then begin
+      let cap =
+        if Array.length !scratch = 0 then max 8 (Array.length da)
+        else 2 * Array.length !scratch
+      in
+      let grown = Array.make cap row in
+      Array.blit !scratch 0 grown 0 !k;
+      scratch := grown
+    end;
+    !scratch.(!k) <- row;
+    incr k
   in
-  Relation.unsafe_make schema rows
+  let rec emit ra = function
+    | [] -> ()
+    | rb :: rest ->
+        push (Row.append ra rb);
+        emit ra rest
+  in
+  (* A [String] key can only equal another [String] (cross-type
+     equality exists only between [Int] and [Float]), so when every
+     build-side key is a string and there are few of them — the
+     dimension-table case — probe a flat string array instead of the
+     hash table: no [Value.hash] per left row, and [String.equal]'s
+     pointer fast path catches shared key strings. *)
+  let string_keys =
+    if Value.Tbl.length index > 16 then None
+    else
+      Value.Tbl.fold
+        (fun key cell acc ->
+          match (key, acc) with
+          | Value.String s, Some (ks, bs) -> Some (s :: ks, !cell :: bs)
+          | _ -> None)
+        index
+        (Some ([], []))
+  in
+  (match string_keys with
+  | Some (ks, bs) ->
+      let skeys = Array.of_list ks and sbuckets = Array.of_list bs in
+      let nk = Array.length skeys in
+      Array.iter
+        (fun ra ->
+          match Row.get ra li with
+          | Value.String s ->
+              let rec go i =
+                if i < nk then
+                  if String.equal (Array.unsafe_get skeys i) s then
+                    emit ra (Array.unsafe_get sbuckets i)
+                  else go (i + 1)
+              in
+              go 0
+          | _ -> ())
+        da
+  | None ->
+      Array.iter
+        (fun ra ->
+          let key = Row.get ra li in
+          if not (Value.is_null key) then
+            match Value.Tbl.find_opt index key with
+            | Some cell -> emit ra !cell
+            | None -> ())
+        da);
+  Relation.unsafe_of_array schema
+    (if !k = Array.length !scratch then !scratch
+     else Array.sub !scratch 0 !k)
 
 let distinct (r : Relation.t) =
-  let seen = Hashtbl.create 64 in
-  let rows =
-    List.filter
-      (fun row ->
-        let h = Row.hash row in
-        let bucket = Hashtbl.find_opt seen h |> Option.value ~default:[] in
-        if List.exists (fun x -> Row.equal x row) bucket then false
-        else begin
-          Hashtbl.replace seen h (row :: bucket);
-          true
-        end)
-      r.Relation.rows
+  let data = Relation.to_array r in
+  let seen = Row.Tbl.create (max 16 (Array.length data)) in
+  let keep row =
+    if Row.Tbl.mem seen row then false
+    else begin
+      Row.Tbl.add seen row ();
+      true
+    end
   in
-  Relation.unsafe_make r.Relation.schema rows
+  Relation.unsafe_of_array (Relation.schema r) (Vec.filter_array keep data)
 
 let sort keys (r : Relation.t) =
   let positions =
     List.map
-      (fun (name, dir) -> (Schema.index_exn r.Relation.schema name, dir))
+      (fun (name, dir) -> (Schema.index_exn (Relation.schema r) name, dir))
       keys
   in
-  let compare_rows ra rb =
-    let rec go = function
-      | [] -> 0
-      | (i, dir) :: rest ->
-          let c = Value.compare (Row.get ra i) (Row.get rb i) in
-          let c = match dir with `Asc -> c | `Desc -> -c in
-          if c <> 0 then c else go rest
-    in
-    go positions
+  let dirc dir c = match dir with `Asc -> c | `Desc -> -c in
+  (* one- and two-key sorts dominate; a specialized comparator skips
+     the per-comparison walk over the key list *)
+  let compare_rows =
+    match positions with
+    | [ (i, d) ] ->
+        fun ra rb -> dirc d (Value.compare (Row.get ra i) (Row.get rb i))
+    | [ (i1, d1); (i2, d2) ] ->
+        fun ra rb ->
+          let c = dirc d1 (Value.compare (Row.get ra i1) (Row.get rb i1)) in
+          if c <> 0 then c
+          else dirc d2 (Value.compare (Row.get ra i2) (Row.get rb i2))
+    | positions ->
+        fun ra rb ->
+          let rec go = function
+            | [] -> 0
+            | (i, dir) :: rest ->
+                let c =
+                  dirc dir (Value.compare (Row.get ra i) (Row.get rb i))
+                in
+                if c <> 0 then c else go rest
+          in
+          go positions
   in
-  Relation.unsafe_make r.Relation.schema
-    (List.stable_sort compare_rows r.Relation.rows)
+  Relation.unsafe_of_array (Relation.schema r)
+    (Vec.stable_sorted compare_rows (Relation.to_array r))
 
 let extend name ty f (r : Relation.t) =
-  let schema = Schema.append r.Relation.schema { Schema.name; ty } in
-  Relation.unsafe_make schema
-    (List.map (fun row -> Row.append1 row (f row)) r.Relation.rows)
+  let schema = Schema.append (Relation.schema r) { Schema.name; ty } in
+  Relation.unsafe_of_array schema
+    (Array.map (fun row -> Row.append1 row (f row)) (Relation.to_array r))
 
 let group_rows cols (r : Relation.t) =
-  let positions = List.map (Schema.index_exn r.Relation.schema) cols in
-  let tbl = Hashtbl.create 64 in
-  let order = ref [] in
-  List.iter
+  let positions =
+    Array.of_list (List.map (Schema.index_exn (Relation.schema r)) cols)
+  in
+  let data = Relation.to_array r in
+  let tbl = Row.Tbl.create (max 16 (Array.length data)) in
+  let order = Vec.create () in
+  Array.iter
     (fun row ->
-      let key = Row.project row positions in
-      let h = Row.hash key in
-      let bucket = Hashtbl.find_opt tbl h |> Option.value ~default:[] in
-      match List.find_opt (fun (k, _) -> Row.equal k key) bucket with
-      | Some (_, cell) -> cell := row :: !cell
+      let key = Row.project_arr row positions in
+      match Row.Tbl.find_opt tbl key with
+      | Some cell -> cell := row :: !cell
       | None ->
           let cell = ref [ row ] in
-          Hashtbl.replace tbl h ((key, cell) :: bucket);
-          order := (key, cell) :: !order)
-    r.Relation.rows;
-  List.rev_map (fun (key, cell) -> (key, List.rev !cell)) !order
+          Row.Tbl.add tbl key cell;
+          Vec.push order (key, cell))
+    data;
+  Array.to_list
+    (Array.map (fun (key, cell) -> (key, List.rev !cell)) (Vec.to_array order))
 
 let aggregate_value (r : Relation.t) group_rows g arg =
   let values =

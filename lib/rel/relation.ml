@@ -1,4 +1,4 @@
-type t = { schema : Schema.t; rows : Row.t list }
+type t = { schema : Schema.t; data : Row.t array }
 
 exception Relation_error of string
 
@@ -20,32 +20,55 @@ let validate_row schema row =
             (Value.type_name c.Schema.ty)
   done
 
+let unsafe_of_array schema data = { schema; data }
+
+let of_array schema data =
+  Array.iter (validate_row schema) data;
+  { schema; data }
+
 let make schema rows =
   List.iter (validate_row schema) rows;
-  { schema; rows }
+  { schema; data = Array.of_list rows }
 
-let unsafe_make schema rows = { schema; rows }
+let unsafe_make schema rows = { schema; data = Array.of_list rows }
 
-let empty schema = { schema; rows = [] }
-let cardinality t = List.length t.rows
+let empty schema = { schema; data = [||] }
+let cardinality t = Array.length t.data
 let schema t = t.schema
-let rows t = t.rows
+let rows t = Array.to_list t.data
+let to_array t = t.data
+let get t i = t.data.(i)
+let iter f t = Array.iter f t.data
+
+let with_schema schema t = { t with schema }
 
 let column_values t name =
   let i = Schema.index_exn t.schema name in
-  List.map (fun r -> Row.get r i) t.rows
+  Array.to_list (Array.map (fun r -> Row.get r i) t.data)
 
-let normalize t = { t with rows = List.sort Row.compare t.rows }
+let sorted_data t =
+  let d = Array.copy t.data in
+  Array.sort Row.compare d;
+  d
+
+let normalize t = { t with data = sorted_data t }
+
+let array_equal_rows a b =
+  Array.length a = Array.length b
+  &&
+  let n = Array.length a in
+  let rec go i = i >= n || (Row.equal a.(i) b.(i) && go (i + 1)) in
+  go 0
 
 let equal a b =
   Schema.equal a.schema b.schema
-  && List.equal Row.equal (normalize a).rows (normalize b).rows
+  && array_equal_rows (sorted_data a) (sorted_data b)
 
 let equal_unordered_data a b =
   Schema.names a.schema = Schema.names b.schema
-  && List.equal Row.equal (normalize a).rows (normalize b).rows
+  && array_equal_rows (sorted_data a) (sorted_data b)
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>%a@ %a@]" Schema.pp t.schema
     (Format.pp_print_list Row.pp)
-    t.rows
+    (rows t)

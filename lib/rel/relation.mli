@@ -2,10 +2,12 @@
 
     The paper defines every spreadsheet operator against a relational
     counterpart with multiset semantics (Sec. III-B); this module is
-    that substrate. Rows are kept in a list whose order is incidental
-    — use {!normalize} or {!equal} for order-insensitive reasoning. *)
+    that substrate. Rows are stored in a flat [Row.t array] built once
+    per operator output; the order is incidental — use {!normalize} or
+    {!equal} for order-insensitive reasoning. The type is abstract so
+    the backing array can never be aliased into a mutated state. *)
 
-type t = { schema : Schema.t; rows : Row.t list }
+type t
 
 exception Relation_error of string
 
@@ -17,10 +19,36 @@ val unsafe_make : Schema.t -> Row.t list -> t
 (** No validation; for operators whose output is correct by
     construction. *)
 
+val of_array : Schema.t -> Row.t array -> t
+(** Validating constructor from an array. The array is owned by the
+    relation afterwards and must not be mutated by the caller.
+    @raise Relation_error as {!make}. *)
+
+val unsafe_of_array : Schema.t -> Row.t array -> t
+(** No validation, no copy: the array is owned by the relation and
+    must not be mutated afterwards. This is the fast path every
+    operator uses for its output. *)
+
 val empty : Schema.t -> t
 val cardinality : t -> int
 val schema : t -> Schema.t
+
 val rows : t -> Row.t list
+(** Rows as a fresh list — the source-compatible accessor renderers
+    and tests use. O(n) per call; hot paths should use {!to_array}. *)
+
+val to_array : t -> Row.t array
+(** The backing array itself (no copy). Treat it as read-only:
+    mutating it breaks relation immutability and the materialization
+    cache. *)
+
+val get : t -> int -> Row.t
+(** [get t i] is row [i] in storage order. *)
+
+val iter : (Row.t -> unit) -> t -> unit
+
+val with_schema : Schema.t -> t -> t
+(** Same rows under a different (same-arity) schema — zero-copy rename. *)
 
 val column_values : t -> string -> Value.t list
 (** All values of a column, in row order. *)

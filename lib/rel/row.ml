@@ -21,6 +21,9 @@ let set_at t i v =
 let project t positions =
   Array.of_list (List.map (fun i -> t.(i)) positions)
 
+let project_arr (t : t) (positions : int array) : t =
+  Array.map (fun i -> t.(i)) positions
+
 let compare (a : t) (b : t) =
   let la = Array.length a and lb = Array.length b in
   let n = min la lb in
@@ -35,6 +38,17 @@ let compare (a : t) (b : t) =
 let equal a b = compare a b = 0
 
 let hash t = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+
+(* Hash tables keyed on real row equality — [equal] goes through
+   [Value.compare], so [Int 3] and [Float 3.0] key the same slot, and
+   hash collisions between distinct rows are resolved by the table,
+   not by the caller. *)
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
 
 let pp ppf t =
   Format.fprintf ppf "[%a]"

@@ -17,9 +17,17 @@ val set_at : t -> int -> Value.t -> t
 val project : t -> int list -> t
 (** Keep values at the given positions, in the order given. *)
 
+val project_arr : t -> int array -> t
+(** {!project} with precompiled positions — no per-row list walk. *)
+
 val compare : t -> t -> int
 (** Lexicographic order under {!Value.compare}. *)
 
 val equal : t -> t -> bool
 val hash : t -> int
 val pp : Format.formatter -> t -> unit
+
+module Tbl : Hashtbl.S with type key = t
+(** Hash tables keyed on real row equality ({!equal} + {!hash}), so
+    distinct rows that collide under {!hash} can never merge and
+    numerically equal [Int]/[Float] cells key the same slot. *)

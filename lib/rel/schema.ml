@@ -40,6 +40,14 @@ let index_exn t name =
   | Some (i, _) -> i
   | None -> err "no such column %S" name
 
+let compile_index t =
+  let tbl = Hashtbl.create (max 8 (Array.length t.cols)) in
+  Array.iteri (fun i c -> Hashtbl.add tbl c.name i) t.cols;
+  fun name ->
+    match Hashtbl.find_opt tbl name with
+    | Some i -> i
+    | None -> err "no such column %S" name
+
 let column_at t i = t.cols.(i)
 
 let type_of t name = Option.map (fun (_, c) -> c.ty) (find t name)

@@ -23,6 +23,11 @@ val find : t -> string -> (int * column) option
 val index_exn : t -> string -> int
 (** @raise Schema_error when the column is absent. *)
 
+val compile_index : t -> string -> int
+(** [compile_index t] builds a hash table over the columns once and
+    returns an O(1) {!index_exn} — for per-row lookups in inner loops.
+    @raise Schema_error when the column is absent. *)
+
 val column_at : t -> int -> column
 val type_of : t -> string -> Value.vtype option
 

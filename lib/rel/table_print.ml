@@ -50,16 +50,16 @@ let render_cells ?align_right ~header ?(separators_after = []) rows =
   Buffer.contents buf
 
 let render (r : Relation.t) =
-  let header = Schema.names r.Relation.schema in
+  let header = Schema.names (Relation.schema r) in
   let align_right =
     List.map
       (fun c -> Value.numeric c.Schema.ty)
-      (Schema.columns r.Relation.schema)
+      (Schema.columns (Relation.schema r))
   in
   let rows =
     List.map
       (fun row -> List.map Value.to_string (Row.to_list row))
-      r.Relation.rows
+      (Relation.rows r)
   in
   render_cells ~align_right ~header rows
 

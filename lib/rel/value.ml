@@ -80,6 +80,15 @@ let hash = function
   | String s -> Hashtbl.hash s
   | Date d -> 31 * Hashtbl.hash d
 
+(* Hash tables keyed on value equality (consistent with [hash]:
+   numerically equal [Int]/[Float] values hash alike). *)
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal a b = compare a b = 0
+  let hash = hash
+end)
+
 let to_float = function
   | Int i -> Some (float_of_int i)
   | Float f -> Some f

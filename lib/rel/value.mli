@@ -51,6 +51,11 @@ val sql_compare : t -> t -> int option
 
 val hash : t -> int
 
+module Tbl : Hashtbl.S with type key = t
+(** Hash tables keyed on value equality ({!equal} + {!hash}), so
+    numerically equal [Int]/[Float] values key the same slot and hash
+    collisions between distinct values are resolved by the table. *)
+
 val to_float : t -> float option
 (** Numeric view of a value, [None] for non-numeric or [Null]. *)
 

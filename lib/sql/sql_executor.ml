@@ -14,24 +14,20 @@ let compare_keys dirs a b =
   in
   go 0
 
-let eval_plain schema row e =
-  Expr_eval.eval
-    ~lookup:(fun name -> Row.get row (Schema.index_exn schema name))
-    e
+let eval_plain index row e =
+  Expr_eval.eval ~lookup:(fun name -> Row.get row (index name)) e
 
-let eval_with_group schema group_rows row e =
+let eval_with_group index group_rows row e =
   let agg fn arg =
     let values =
       match (fn, arg) with
       | Expr.Count_star, _ -> List.map (fun _ -> Value.Null) group_rows
-      | _, Some a -> List.map (fun r -> eval_plain schema r a) group_rows
+      | _, Some a -> List.map (fun r -> eval_plain index r a) group_rows
       | _, None -> failwith "aggregate without argument"
     in
     Expr_eval.apply_agg fn values
   in
-  Expr_eval.eval
-    ~lookup:(fun name -> Row.get row (Schema.index_exn schema name))
-    ~agg e
+  Expr_eval.eval ~lookup:(fun name -> Row.get row (index name)) ~agg e
 
 let c_executions =
   Sheet_obs.Obs.Metrics.counter Sheet_obs.Obs.k_sql_executions
@@ -65,17 +61,18 @@ let run catalog (q : Sql_ast.query) =
   in
   let schema = Relation.schema source in
   assert (Schema.equal schema resolved.Sql_analyzer.source_schema);
+  let index = Schema.compile_index schema in
   (* WHERE *)
   let rows =
     match q.Sql_ast.where with
-    | None -> Relation.rows source
+    | None -> Relation.to_array source
     | Some pred ->
-        List.filter
+        Vec.filter_array
           (fun row ->
             Expr_eval.eval_pred
-              ~lookup:(fun name -> Row.get row (Schema.index_exn schema name))
+              ~lookup:(fun name -> Row.get row (index name))
               pred)
-          (Relation.rows source)
+          (Relation.to_array source)
   in
   let out_schema =
     Schema.of_list resolved.Sql_analyzer.output
@@ -88,47 +85,46 @@ let run catalog (q : Sql_ast.query) =
   (* Produce (output row, sort key) pairs. *)
   let pairs =
     if not resolved.Sql_analyzer.grouped then
-      List.map
+      Array.map
         (fun row ->
           let out =
-            Array.of_list (List.map (eval_plain schema row) select_exprs)
+            Array.of_list (List.map (eval_plain index row) select_exprs)
           in
           let key =
-            Array.of_list (List.map (eval_plain schema row) order_exprs)
+            Array.of_list (List.map (eval_plain index row) order_exprs)
           in
           (out, key))
         rows
     else begin
       let positions =
-        List.map (Schema.index_exn schema) q.Sql_ast.group_by
+        Array.of_list (List.map (Schema.index_exn schema) q.Sql_ast.group_by)
       in
       let groups =
         if q.Sql_ast.group_by = [] then
           (* aggregates without GROUP BY: one group over everything,
              even when empty *)
-          [ (Row.of_list [], rows) ]
-        else
-          let tbl = Hashtbl.create 64 in
-          let order = ref [] in
-          List.iter
+          [ (Row.of_list [], Array.to_list rows) ]
+        else begin
+          let tbl = Row.Tbl.create (max 16 (Array.length rows)) in
+          let order = Vec.create () in
+          Array.iter
             (fun row ->
-              let key = Row.project row positions in
-              let h = Row.hash key in
-              let bucket =
-                Hashtbl.find_opt tbl h |> Option.value ~default:[]
-              in
-              match
-                List.find_opt (fun (k, _) -> Row.equal k key) bucket
-              with
-              | Some (_, cell) -> cell := row :: !cell
+              let key = Row.project_arr row positions in
+              match Row.Tbl.find_opt tbl key with
+              | Some cell -> cell := row :: !cell
               | None ->
                   let cell = ref [ row ] in
-                  Hashtbl.replace tbl h ((key, cell) :: bucket);
-                  order := (key, cell) :: !order)
+                  Row.Tbl.add tbl key cell;
+                  Vec.push order (key, cell))
             rows;
-          List.rev_map (fun (k, cell) -> (k, List.rev !cell)) !order
+          Array.to_list
+            (Array.map
+               (fun (k, cell) -> (k, List.rev !cell))
+               (Vec.to_array order))
+        end
       in
-      List.filter_map
+      let out = Vec.create () in
+      List.iter
         (fun (_, group_rows) ->
           let repr =
             match group_rows with
@@ -140,39 +136,37 @@ let run catalog (q : Sql_ast.query) =
             match q.Sql_ast.having with
             | None -> true
             | Some pred -> (
-                match eval_with_group schema group_rows repr pred with
+                match eval_with_group index group_rows repr pred with
                 | Value.Bool b -> b
                 | Value.Null -> false
                 | _ -> false)
           in
-          if not keep then None
-          else
-            let out =
+          if keep then
+            let o =
               Array.of_list
-                (List.map (eval_with_group schema group_rows repr)
+                (List.map (eval_with_group index group_rows repr)
                    select_exprs)
             in
             let key =
               Array.of_list
-                (List.map (eval_with_group schema group_rows repr)
+                (List.map (eval_with_group index group_rows repr)
                    order_exprs)
             in
-            Some (out, key))
-        groups
+            Vec.push out (o, key))
+        groups;
+      Vec.to_array out
     end
   in
   (* DISTINCT (on output rows), then ORDER BY. *)
   let pairs =
     if not q.Sql_ast.distinct then pairs
     else begin
-      let seen = Hashtbl.create 64 in
-      List.filter
+      let seen = Row.Tbl.create (max 16 (Array.length pairs)) in
+      Vec.filter_array
         (fun (out, _) ->
-          let h = Row.hash out in
-          let bucket = Hashtbl.find_opt seen h |> Option.value ~default:[] in
-          if List.exists (fun x -> Row.equal x out) bucket then false
+          if Row.Tbl.mem seen out then false
           else begin
-            Hashtbl.replace seen h (out :: bucket);
+            Row.Tbl.add seen out ();
             true
           end)
         pairs
@@ -181,11 +175,11 @@ let run catalog (q : Sql_ast.query) =
   let pairs =
     if order_exprs = [] then pairs
     else
-      List.stable_sort
+      Vec.stable_sorted
         (fun (_, ka) (_, kb) -> compare_keys order_dirs ka kb)
         pairs
   in
-  Ok (Relation.unsafe_make out_schema (List.map fst pairs))
+  Ok (Relation.unsafe_of_array out_schema (Array.map fst pairs))
 
 let run_string catalog text =
   let* q = Sql_parser.parse text in

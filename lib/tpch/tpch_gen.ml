@@ -17,23 +17,23 @@ let date_range_start = (* 1992-01-01 *) 8035
 let date_range_days = 2557 (* through 1998-12-31 *)
 
 let gen_region rng =
-  Relation.make Tpch_schema.region
-    (List.init 5 (fun i ->
+  Relation.of_array Tpch_schema.region
+    (Array.init 5 (fun i ->
          Row.of_list
            [ vi i; vs Tpch_text.region_names.(i);
              vs (Tpch_text.comment rng 80) ]))
 
 let gen_nation rng =
-  Relation.make Tpch_schema.nation
-    (List.init 25 (fun i ->
+  Relation.of_array Tpch_schema.nation
+    (Array.init 25 (fun i ->
          Row.of_list
            [ vi i; vs Tpch_text.nation_names.(i);
              vi (Tpch_text.region_of_nation i);
              vs (Tpch_text.comment rng 80) ]))
 
 let gen_supplier rng n =
-  Relation.make Tpch_schema.supplier
-    (List.init n (fun i ->
+  Relation.of_array Tpch_schema.supplier
+    (Array.init n (fun i ->
          let key = i + 1 in
          let nation = Rng.int rng 25 in
          Row.of_list
@@ -46,8 +46,8 @@ let gen_supplier rng n =
              vs (Tpch_text.comment rng 60) ]))
 
 let gen_customer rng n =
-  Relation.make Tpch_schema.customer
-    (List.init n (fun i ->
+  Relation.of_array Tpch_schema.customer
+    (Array.init n (fun i ->
          let key = i + 1 in
          let nation = Rng.int rng 25 in
          Row.of_list
@@ -61,8 +61,8 @@ let gen_customer rng n =
              vs (Tpch_text.comment rng 70) ]))
 
 let gen_part rng n =
-  Relation.make Tpch_schema.part
-    (List.init n (fun i ->
+  Relation.of_array Tpch_schema.part
+    (Array.init n (fun i ->
          let key = i + 1 in
          let m = Rng.int_in rng 1 5 in
          let brand = Printf.sprintf "Brand#%d%d" m (Rng.int_in rng 1 5) in

@@ -1,0 +1,436 @@
+(* Differential execution battery.
+
+   The array-backed core gives every operator three-plus independent
+   execution paths: the stratified interpreter (Materialize.full), the
+   fused plan compiler (Plan.execute, with and without optimization),
+   the incremental derivation (Session/Incremental), and — where the
+   state is a single-block query — the SQL engine via the inverse
+   translation. Random query states over relations up to 10k rows must
+   agree on all of them.
+
+   A second battery attacks the hash-table paths (equijoin / distinct
+   / diff / grouping all key on Value.hash or Row.hash): a generator
+   draws key values from a pool containing a genuinely colliding
+   string pair (found by birthday search at startup) plus numerically
+   equal Int/Float values, and the results are compared against naive
+   reference implementations that use no hashing at all. *)
+
+open Sheet_rel
+open Sheet_core
+
+let ( let* ) = QCheck.Gen.( let* ) [@@warning "-32"]
+
+(* ---------- generators over the cars schema ---------- *)
+
+let models = [ "Jetta"; "Civic"; "Accord" ]
+let conditions = [ "Excellent"; "Good"; "Fair" ]
+
+let gen_small_relation : Relation.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* n = int_range 0 40 in
+  let* rows =
+    list_repeat n
+      (let* id = int_range 1 999 in
+       let* model = oneofl models in
+       let* price = int_range 8000 30000 in
+       let* year = int_range 2000 2008 in
+       let* mileage = int_range 0 150000 in
+       let* condition = oneofl conditions in
+       return
+         (Row.of_list
+            [ Value.Int id; Value.String model; Value.Int price;
+              Value.Int year; Value.Int mileage; Value.String condition ]))
+  in
+  return (Relation.make Sample_cars.schema rows)
+
+(* Large inputs are built deterministically from a seed so qcheck
+   shrinks over (seed, size) instead of a 10k-element list. *)
+let large_relation ~seed n =
+  let st = Random.State.make [| seed |] in
+  let model = [| "Jetta"; "Civic"; "Accord"; "Camry"; "Focus" |] in
+  let condition = [| "Excellent"; "Good"; "Fair" |] in
+  Relation.of_array Sample_cars.schema
+    (Array.init n (fun i ->
+         Row.of_list
+           [ Value.Int (i + 1);
+             Value.String model.(Random.State.int st 5);
+             Value.Int (8000 + Random.State.int st 22000);
+             Value.Int (2000 + Random.State.int st 9);
+             Value.Int (Random.State.int st 150000);
+             Value.String condition.(Random.State.int st 3) ]))
+
+let numeric_cols = [ "Price"; "Year"; "Mileage" ]
+let string_cols = [ "Model"; "Condition" ]
+
+let gen_pred : Expr.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let atom =
+    oneof
+      [ (let* col = oneofl numeric_cols in
+         let* op = oneofl [ Expr.Lt; Expr.Le; Expr.Gt; Expr.Ge; Expr.Eq ] in
+         let* v = int_range 1990 120000 in
+         return (Expr.Cmp (op, Expr.Col col, Expr.Const (Value.Int v))));
+        (let* col = oneofl string_cols in
+         let* v = oneofl (models @ conditions) in
+         return
+           (Expr.Cmp (Expr.Eq, Expr.Col col, Expr.Const (Value.String v))));
+        (let* col = oneofl numeric_cols in
+         let* lo = int_range 0 20000 in
+         let* width = int_range 1 50000 in
+         return
+           (Expr.Between
+              ( Expr.Col col,
+                Expr.Const (Value.Int lo),
+                Expr.Const (Value.Int (lo + width)) ))) ]
+  in
+  oneof
+    [ atom;
+      (let* a = atom in
+       let* b = atom in
+       oneofl [ Expr.And (a, b); Expr.Or (a, b) ]);
+      (let* a = atom in
+       return (Expr.Not a)) ]
+
+let gen_formula_expr : Expr.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* a = oneofl numeric_cols in
+  let* b = oneofl numeric_cols in
+  let* op = oneofl [ Expr.Add; Expr.Sub; Expr.Mul ] in
+  let* k = int_range 1 4 in
+  oneofl
+    [ Expr.Arith (op, Expr.Col a, Expr.Col b);
+      Expr.Arith (op, Expr.Col a, Expr.Const (Value.Int k)) ]
+
+let gen_unary_op ~tag : Op.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  oneof
+    [ (let* p = gen_pred in
+       return (Op.Select p));
+      (let* col = oneofl (numeric_cols @ string_cols) in
+       return (Op.Project col));
+      (let* fn = oneofl [ Expr.Sum; Expr.Avg; Expr.Min; Expr.Max ] in
+       let* col = oneofl numeric_cols in
+       return
+         (Op.Aggregate
+            { fn; col = Some col; level = 1;
+              as_name = Some (Printf.sprintf "agg_%s" tag) }));
+      (let* expr = gen_formula_expr in
+       return (Op.Formula { name = Some (Printf.sprintf "fc_%s" tag); expr }));
+      return Op.Dedup;
+      (let* col = oneofl (string_cols @ [ "Year" ]) in
+       let* dir = oneofl [ Grouping.Asc; Grouping.Desc ] in
+       return (Op.Group { basis = [ col ]; dir }));
+      (let* col = oneofl (numeric_cols @ string_cols) in
+       let* dir = oneofl [ Grouping.Asc; Grouping.Desc ] in
+       return (Op.Order { attr = col; dir; level = 1 })) ]
+
+let gen_ops lo hi =
+  let open QCheck.Gen in
+  list_size (int_range lo hi)
+    (let* i = int_range 0 999 in
+     gen_unary_op ~tag:(string_of_int i))
+
+let print_case (_, ops) =
+  String.concat "; " (List.map Op.describe ops)
+
+(* ---------- the differential check itself ---------- *)
+
+let has_aggregate (sheet : Spreadsheet.t) =
+  List.exists
+    (fun (c : Computed.t) ->
+      match c.Computed.spec with
+      | Computed.Aggregate _ -> true
+      | Computed.Formula _ -> false)
+    sheet.Spreadsheet.state.Query_state.computed
+
+(* Where the inverse translation yields a single-block query, the SQL
+   engine must agree with the sheet. A grouped/aggregated sheet
+   repeats each group's values on every member row while SQL returns
+   one row per group, so both sides are collapsed before comparing. *)
+let sql_agrees sheet base =
+  match Sheet_sql.Sql_of_sheet.compile ~table:"cars" sheet with
+  | Error (`Not_single_block _) -> true
+  | Ok q -> (
+      let catalog = Sheet_sql.Catalog.of_list [ ("cars", base) ] in
+      match Sheet_sql.Sql_executor.run catalog q with
+      | Error _ -> false
+      | Ok sql_rel ->
+          let vis = Materialize.visible sheet in
+          if
+            Grouping.num_levels (Spreadsheet.grouping sheet) > 0
+            || has_aggregate sheet
+          then
+            (* an empty sheet with a whole-sheet aggregate still
+               yields one SQL row (the usual COUNT-over-empty
+               asymmetry); skip that corner *)
+            Relation.cardinality vis = 0
+            || Relation.equal_unordered_data
+                 (Relation.normalize (Rel_algebra.distinct sql_rel))
+                 (Relation.normalize (Rel_algebra.distinct vis))
+          else
+            Relation.equal_unordered_data (Relation.normalize sql_rel)
+              (Relation.normalize vis))
+
+let check_state rel ops =
+  let session = Session.create ~name:"cars" rel in
+  let session =
+    List.fold_left
+      (fun session op ->
+        match Session.apply session op with
+        | Ok session -> session
+        | Error _ -> session)
+      session ops
+  in
+  let sheet = Session.current session in
+  let full = Materialize.full sheet in
+  Relation.equal (Plan.execute (Plan.of_sheet sheet)) full
+  && Relation.equal (Plan.execute (Plan.optimize (Plan.of_sheet sheet))) full
+  && Relation.equal (Session.materialized session)
+       (Rel_algebra.project (Spreadsheet.visible_columns sheet) full)
+  && sql_agrees sheet rel
+
+let differential_small =
+  QCheck.Test.make ~count:950
+    ~name:"differential: plan == replay == incremental == SQL (small)"
+    QCheck.(
+      make ~print:print_case
+        Gen.(
+          let* rel = gen_small_relation in
+          let* ops = gen_ops 0 8 in
+          return (rel, ops)))
+    (fun (rel, ops) -> check_state rel ops)
+
+let differential_large =
+  QCheck.Test.make ~count:30
+    ~name:"differential: plan == replay == incremental == SQL (1k-10k rows)"
+    QCheck.(
+      make
+        ~print:(fun ((seed, n), ops) ->
+          Printf.sprintf "seed %d, %d rows: %s" seed n
+            (String.concat "; " (List.map Op.describe ops)))
+        Gen.(
+          let* seed = int_range 0 1_000_000 in
+          let* n = int_range 1_000 10_000 in
+          let* ops = gen_ops 1 5 in
+          return ((seed, n), ops)))
+    (fun ((seed, n), ops) -> check_state (large_relation ~seed n) ops)
+
+(* ---------- adversarial hash collisions ---------- *)
+
+(* Two distinct short strings with the same [Value.hash], found by
+   birthday search: [Hashtbl.hash] folds into ~2^30 buckets, so a
+   collision among generated strings appears after a few tens of
+   thousands of probes. *)
+let colliding_strings =
+  lazy
+    (let tbl = Hashtbl.create (1 lsl 17) in
+     let rec go i =
+       if i > 3_000_000 then failwith "no Value.hash collision found"
+       else
+         let s = "k" ^ string_of_int i in
+         let h = Value.hash (Value.String s) in
+         match Hashtbl.find_opt tbl h with
+         | Some s' -> (s', s)
+         | None ->
+             Hashtbl.add tbl h s;
+             go (i + 1)
+     in
+     go 0)
+
+(* Key pool: the colliding pair (distinct values, equal hashes), a
+   numerically equal Int/Float pair (equal values, so they must land
+   in the same bucket *and* compare equal), Null, and "". *)
+let collision_pool () =
+  let s1, s2 = Lazy.force colliding_strings in
+  [| Value.String s1; Value.String s2; Value.Int 7; Value.Float 7.0;
+     Value.Null; Value.String "" |]
+
+(* Mixed-type columns on purpose: the algebra is untyped underneath,
+   and the hash paths must cope — hence [unsafe_make]. *)
+let gen_adversarial_relation key_col val_col : Relation.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let schema = Schema.of_list [ (key_col, Value.TString); (val_col, Value.TInt) ] in
+  let* n = int_range 0 30 in
+  let* cells =
+    list_repeat n
+      (let* k = int_range 0 5 in
+       let* v = int_range 0 8 in
+       return (k, v))
+  in
+  let pool = collision_pool () in
+  return
+    (Relation.unsafe_make schema
+       (List.map
+          (fun (k, v) ->
+            Row.of_list
+              [ pool.(k); (if v < 6 then pool.(v) else Value.Int (v - 6)) ])
+          cells))
+
+(* Reference implementations: no hash tables, only Row/Value equality
+   and list scans. *)
+
+let ref_equijoin ~ki ~ri a b =
+  List.concat_map
+    (fun ra ->
+      let ka = Row.get ra ki in
+      if Value.is_null ka then []
+      else
+        List.filter_map
+          (fun rb ->
+            if Value.equal ka (Row.get rb ri) then Some (Row.append ra rb)
+            else None)
+          (Relation.rows b))
+    (Relation.rows a)
+
+let ref_distinct rows =
+  List.rev
+    (List.fold_left
+       (fun acc r -> if List.exists (Row.equal r) acc then acc else r :: acc)
+       [] rows)
+
+let count_of r rows = List.length (List.filter (Row.equal r) rows)
+
+(* Bag difference cancelling the earliest left occurrences first. *)
+let ref_diff a_rows b_rows =
+  let budget =
+    List.map (fun r -> (r, ref (count_of r b_rows))) (ref_distinct a_rows)
+  in
+  List.filter
+    (fun r ->
+      let _, cell = List.find (fun (k, _) -> Row.equal k r) budget in
+      if !cell > 0 then begin
+        decr cell;
+        false
+      end
+      else true)
+    a_rows
+
+let inter_cardinality a_rows b_rows =
+  List.fold_left
+    (fun acc r -> acc + min (count_of r a_rows) (count_of r b_rows))
+    0 (ref_distinct a_rows)
+
+let gen_adversarial_pair =
+  let open QCheck.Gen in
+  let* a = gen_adversarial_relation "k" "va" in
+  let* b = gen_adversarial_relation "rk" "vb" in
+  return (a, b)
+
+let print_pair (a, b) =
+  Format.asprintf "a =@ %a@ b =@ %a" Relation.pp a Relation.pp b
+
+let equijoin_under_collisions =
+  QCheck.Test.make ~count:300
+    ~name:"collisions: equijoin == nested-loop reference (exact order)"
+    (QCheck.make ~print:print_pair gen_adversarial_pair)
+    (fun (a, b) ->
+      let j = Rel_algebra.equijoin ~on:("k", "rk") a b in
+      List.equal Row.equal (Relation.rows j) (ref_equijoin ~ki:0 ~ri:0 a b))
+
+let distinct_under_collisions =
+  QCheck.Test.make ~count:300
+    ~name:"collisions: distinct == first-occurrence reference (exact order)"
+    (QCheck.make ~print:print_pair gen_adversarial_pair)
+    (fun (a, _) ->
+      List.equal Row.equal
+        (Relation.rows (Rel_algebra.distinct a))
+        (ref_distinct (Relation.rows a)))
+
+let diff_under_collisions =
+  QCheck.Test.make ~count:300
+    ~name:"collisions: diff == earliest-first reference (exact order)"
+    (QCheck.make ~print:print_pair gen_adversarial_pair)
+    (fun (a, b) ->
+      let b = Relation.with_schema (Relation.schema a) b in
+      List.equal Row.equal
+        (Relation.rows (Rel_algebra.diff a b))
+        (ref_diff (Relation.rows a) (Relation.rows b)))
+
+let bag_law_difference =
+  QCheck.Test.make ~count:300
+    ~name:"bag law: |A - B| = |A| - |A intersect B|"
+    (QCheck.make ~print:print_pair gen_adversarial_pair)
+    (fun (a, b) ->
+      let b = Relation.with_schema (Relation.schema a) b in
+      Relation.cardinality (Rel_algebra.diff a b)
+      = Relation.cardinality a
+        - inter_cardinality (Relation.rows a) (Relation.rows b))
+
+let distinct_idempotent =
+  QCheck.Test.make ~count:300
+    ~name:"bag law: distinct (distinct A) == distinct A (exact order)"
+    (QCheck.make ~print:print_pair gen_adversarial_pair)
+    (fun (a, _) ->
+      let d = Rel_algebra.distinct a in
+      List.equal Row.equal
+        (Relation.rows (Rel_algebra.distinct d))
+        (Relation.rows d))
+
+(* ---------- 10k-row diff: correctness at scale ---------- *)
+
+(* Heavy duplication on purpose: only 15 distinct rows across 10k, so
+   every hash bucket is enormous. The reference counts occurrences
+   with plain integer keys — independent of Value/Row hashing — and
+   the check is exact, including the earliest-first cancellation
+   order. (Timing is bench/main.ml's job; this is correctness only.) *)
+let test_diff_10k () =
+  let tags = [| "x"; "y"; "z" |] in
+  let schema = Schema.of_list [ ("g", Value.TInt); ("tag", Value.TString) ] in
+  let mk shift i =
+    Row.of_list [ Value.Int (i mod 5); Value.String tags.((i + shift) mod 3) ]
+  in
+  let a = Relation.of_array schema (Array.init 10_000 (mk 0)) in
+  let b = Relation.of_array schema (Array.init 4_000 (mk 1)) in
+  let key row =
+    match Row.to_list row with
+    | [ Value.Int g; Value.String t ] -> (g, t)
+    | _ -> Alcotest.fail "unexpected row shape"
+  in
+  let counts rel =
+    let tbl = Hashtbl.create 16 in
+    Relation.iter
+      (fun r ->
+        let k = key r in
+        Hashtbl.replace tbl k
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+      rel;
+    tbl
+  in
+  let inter =
+    let ca = counts a and cb = counts b in
+    Hashtbl.fold
+      (fun k na acc ->
+        acc + min na (Option.value ~default:0 (Hashtbl.find_opt cb k)))
+      ca 0
+  in
+  let budget = counts b in
+  let expected =
+    List.filter
+      (fun r ->
+        let k = key r in
+        match Hashtbl.find_opt budget k with
+        | Some c when c > 0 ->
+            Hashtbl.replace budget k (c - 1);
+            false
+        | _ -> true)
+      (Relation.rows a)
+  in
+  let d = Rel_algebra.diff a b in
+  Alcotest.(check int)
+    "bag law at 10k" (10_000 - inter) (Relation.cardinality d);
+  Alcotest.(check bool)
+    "earliest-first cancellation, order preserved" true
+    (List.equal Row.equal expected (Relation.rows d))
+
+let () =
+  let suite name tests =
+    (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+  in
+  Alcotest.run "sheet_diff_exec"
+    [ suite "differential" [ differential_small; differential_large ];
+      suite "collisions"
+        [ equijoin_under_collisions; distinct_under_collisions;
+          diff_under_collisions ];
+      suite "bag-laws" [ bag_law_difference; distinct_idempotent ];
+      ( "scale",
+        [ Alcotest.test_case "diff at 10k rows" `Quick test_diff_10k ] ) ]

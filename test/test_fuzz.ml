@@ -108,6 +108,43 @@ let csv_total =
           true
       | exception _ -> false)
 
+(* structurally plausible but ragged CSV: rows of independent widths
+   (including zero-width and blank lines), half-quoted cells,
+   duplicate or empty headers, mixed separators — the loader must
+   reject cleanly, never escape with a match failure or index error *)
+let gen_ragged_csv : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  let cell =
+    oneofl [ ""; "1"; "4.5"; "x"; "\"q\""; "\"un"; " "; "NULL"; "-0" ]
+  in
+  let row = map (String.concat ",") (list_size (int_range 0 6) cell) in
+  let header =
+    oneofl
+      [ "ID,Model,Price,Year,Mileage,Condition"; "a,b"; "a,a"; ",";
+        "a,b,c,d,e,f,g"; "" ]
+  in
+  let* h = header in
+  let* rows = list_size (int_range 0 8) row in
+  let* sep = oneofl [ "\n"; "\r\n"; "\n\n" ] in
+  return (String.concat sep (h :: rows))
+
+let csv_ragged_total =
+  QCheck.Test.make ~count:500
+    ~name:"Csv.load_relation on ragged rows raises only Csv_error"
+    (QCheck.make ~print:(fun s -> s) gen_ragged_csv)
+    (fun s ->
+      let tolerated = function
+        | Csv.Csv_error _ | Schema.Schema_error _ | Relation.Relation_error _
+          ->
+            true
+        | _ -> false
+      in
+      let total load =
+        match load s with _ -> true | exception e -> tolerated e
+      in
+      total Csv.load_relation
+      && total (Csv.load_relation ~schema:Sample_cars.schema))
+
 let browser_total =
   QCheck.Test.make ~count:300
     ~name:"Browser.handle never raises and keeps the cursor in range"
@@ -317,7 +354,8 @@ let () =
   Alcotest.run "sheet_fuzz"
     [ suite "parsers" [ expr_parser_total; sql_parser_total ];
       suite "entry-points"
-        [ script_total; sql_executor_total; persist_total; csv_total ];
+        [ script_total; sql_executor_total; persist_total; csv_total;
+          csv_ragged_total ];
       suite "analysis"
         [ expr_domain_total; sheetlint_expr_total; sheetlint_sql_total ];
       suite "json" [ json_parser_total; json_round_trip ];
