@@ -306,6 +306,37 @@ let scaling_workloads =
       ])
     scaling_sizes
 
+(* Semantic materialization cache: answering a tightened selection
+   from a warm subsuming state (re-filter + proof) vs replaying the
+   100k base cold. Named under the "cache/" prefix so
+   tools/bench_diff.exe guards the win. Each iteration resets the
+   cache so neither thunk accumulates entries across runs. *)
+
+let cache_parent_100k =
+  lazy
+    (apply_exn
+       (Spreadsheet.of_relation ~name:"cars-cache" (scaling_rel 100_000))
+       (Op.Select (Expr_parse.parse_string_exn "Price < 12000")))
+
+let cache_parent_rel = lazy (Materialize.full (Lazy.force cache_parent_100k))
+
+let cache_child =
+  lazy
+    (apply_exn
+       (Lazy.force cache_parent_100k)
+       (Op.Select (Expr_parse.parse_string_exn "Year >= 2003")))
+
+let cache_subsumed_workload () =
+  Materialize.reset_cache ();
+  Materialize.seed_cache
+    (Lazy.force cache_parent_100k)
+    (Lazy.force cache_parent_rel);
+  ignore (Materialize.full_cached (Lazy.force cache_child))
+
+let cache_cold_workload () =
+  Materialize.reset_cache ();
+  ignore (Materialize.full_cached (Lazy.force cache_child))
+
 (* Ablation 4: group-tree presentation vs flat-sort emulation
    (Sec. II-A: recursive grouping can be emulated by one ordering). *)
 let grouping_vs_sort sheet ~tree () =
@@ -356,6 +387,10 @@ let workloads =
     (* relation-core scaling (guarded under the "table" prefix) *)
   ]
   @ scaling_workloads
+  @ [ (* semantic cache (guarded under the "cache/" prefix) *)
+    ("cache/cold-100k", Some 100_000, cache_cold_workload);
+    ("cache/subsumed-hit-100k", Some 100_000, cache_subsumed_workload)
+  ]
   @ [ (* ablations *)
     ("ablation/replay-8-selections", Some 1000,
      replay_ablation sheet_1k ~k:8 ~merged:false);

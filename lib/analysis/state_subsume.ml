@@ -1,0 +1,21 @@
+include Sheet_core.State_subsume
+
+let explain outcome =
+  match outcome with
+  | Sheet_core.State_subsume.Equal -> "states have equal selections"
+  | Sheet_core.State_subsume.Subsumed proof ->
+      "subsumed:\n" ^ Sheet_rel.Sheetsolve.explain proof
+  | Sheet_core.State_subsume.Incomparable why -> "incomparable: " ^ why
+
+let diagnose ~loc outcome =
+  match outcome with
+  | Sheet_core.State_subsume.Equal ->
+      Some
+        (Diagnostic.hint ~code:"state-equal" ~loc
+           "query state is identical to a previously materialized one")
+  | Sheet_core.State_subsume.Subsumed proof ->
+      Some
+        (Diagnostic.hint ~code:"state-subsumed" ~loc
+           ("query state is answerable from a previous materialization — "
+          ^ Sheet_rel.Sheetsolve.explain proof))
+  | Sheet_core.State_subsume.Incomparable _ -> None

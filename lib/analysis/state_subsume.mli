@@ -1,0 +1,14 @@
+(** Analysis-facing façade over {!Sheet_core.State_subsume} — the
+    cross-state subsumption check that drives the semantic
+    materialization cache — re-exported here next to the other lints
+    so analysis clients need not depend on the core module layout, and
+    extended with diagnostic rendering. *)
+
+include module type of Sheet_core.State_subsume
+
+val explain : outcome -> string
+(** Multi-line rendering including the solver proof. *)
+
+val diagnose : loc:Diagnostic.location -> outcome -> Diagnostic.t option
+(** [Some hint] for [Equal]/[Subsumed] (codes [state-equal] /
+    [state-subsumed]); [None] for [Incomparable]. *)

@@ -1,7 +1,9 @@
 open Sheet_rel
 module Obs = Sheet_obs.Obs
 
+let c_requests = Obs.Metrics.counter Obs.k_cache_requests
 let c_hits = Obs.Metrics.counter Obs.k_cache_hits
+let c_hits_subsumed = Obs.Metrics.counter Obs.k_cache_hits_subsumed
 let c_misses = Obs.Metrics.counter Obs.k_cache_misses
 let c_evictions = Obs.Metrics.counter Obs.k_cache_evictions
 let c_seeds = Obs.Metrics.counter Obs.k_cache_seeds
@@ -204,30 +206,57 @@ let full (sheet : Spreadsheet.t) =
    [full_cached] (fill on miss) and [seed_cache] (externally derived
    fills, see Incremental). Sheets are immutable and every engine op
    bumps the uid, so entries can never go stale; the only lifecycle
-   events are wholesale eviction past [cache_limit] and explicit
+   events are oldest-half eviction past [cache_limit] and explicit
    [reset_cache]. The stats below are local to this table (reset
    together with it), independent of the Sheet_obs registry, so tests
-   can observe the cache deterministically. *)
+   can observe the cache deterministically.
 
-let cache : (int, Relation.t) Hashtbl.t = Hashtbl.create 64
+   Each entry keeps the sheet alongside its materialization, which
+   makes the cache {e semantic}: a miss first scans the cached states
+   for one that {!State_subsume.check} proves subsumes the request
+   (same base relation — compared physically, since engine-derived
+   sheets share it — same computed columns, a provably weaker
+   selection) and answers by re-filtering/re-sorting the cached rows
+   instead of replaying the base data. Exact hits, subsumed hits and
+   misses are recorded distinctly, both in {!cache_stats} and through
+   the Sheet_obs counters and flight recorder. *)
+
+type entry = { e_sheet : Spreadsheet.t; e_rel : Relation.t }
+
+let cache : (int, entry) Hashtbl.t = Hashtbl.create 64
+
+(* Insertion order of uids; uids are never reused, so a uid appears at
+   most once and stays valid until evicted with its entry. *)
+let cache_order : int Queue.t = Queue.create ()
 
 let cache_limit = 512
 
+(* A miss scans cached entries oldest-first for a subsumer, but gives
+   up after this many full solver checks (cheap structural prechecks
+   are unbounded) so a pathological cache cannot stall lookups. *)
+let scan_budget = 32
+
 type cache_stats = {
+  requests : int;
   hits : int;
+  subsumed_hits : int;
   misses : int;
   seeds : int;
   evictions : int;
   entries : int;
 }
 
+let requests = ref 0
 let hits = ref 0
+let subsumed_hits = ref 0
 let misses = ref 0
 let seeds = ref 0
 let evictions = ref 0
 
 let cache_stats () =
-  { hits = !hits;
+  { requests = !requests;
+    hits = !hits;
+    subsumed_hits = !subsumed_hits;
     misses = !misses;
     seeds = !seeds;
     evictions = !evictions;
@@ -235,45 +264,136 @@ let cache_stats () =
 
 let reset_cache () =
   Hashtbl.reset cache;
+  Queue.clear cache_order;
+  requests := 0;
   hits := 0;
+  subsumed_hits := 0;
   misses := 0;
   seeds := 0;
   evictions := 0
 
+let cache_insert (sheet : Spreadsheet.t) rel =
+  let uid = sheet.Spreadsheet.uid in
+  if not (Hashtbl.mem cache uid) then Queue.push uid cache_order;
+  Hashtbl.replace cache uid { e_sheet = sheet; e_rel = rel }
+
+(* Evict the oldest half, so a hot subsumer is not thrown away with
+   the cold tail. *)
 let evict_if_over_limit () =
-  if Hashtbl.length cache > cache_limit then begin
-    let n = Hashtbl.length cache in
-    Hashtbl.reset cache;
+  let n = Hashtbl.length cache in
+  if n > cache_limit then begin
+    let target = n / 2 in
+    let removed = ref 0 in
+    while !removed < target && not (Queue.is_empty cache_order) do
+      let uid = Queue.pop cache_order in
+      if Hashtbl.mem cache uid then begin
+        Hashtbl.remove cache uid;
+        incr removed
+      end
+    done;
     incr evictions;
     Obs.Metrics.incr c_evictions;
     Obs.Flightrec.record ~kind:"cache-eviction"
-      (Printf.sprintf "wholesale, %d entries" n)
+      (Printf.sprintf "oldest half, %d of %d entries" !removed n)
   end
 
+(* Scan for a cached state proven to subsume [sheet]'s. Oldest-first
+   keeps the answer deterministic; the structural prechecks (same base
+   relation, physically; a selection the entry does not trivially
+   fail) are cheap, and only candidates that pass them spend solver
+   budget. *)
+let find_subsumer (sheet : Spreadsheet.t) =
+  let type_of = Schema.type_of (Spreadsheet.full_schema sheet) in
+  let budget = ref scan_budget in
+  let found = ref None in
+  (try
+     Queue.iter
+       (fun uid ->
+         match Hashtbl.find_opt cache uid with
+         | None -> ()
+         | Some entry ->
+             if
+               uid <> sheet.Spreadsheet.uid
+               && entry.e_sheet.Spreadsheet.base == sheet.Spreadsheet.base
+             then begin
+               if !budget <= 0 then raise Exit;
+               decr budget;
+               match
+                 State_subsume.check ~type_of
+                   ~candidate:sheet.Spreadsheet.state
+                   ~cached:entry.e_sheet.Spreadsheet.state
+               with
+               | State_subsume.Incomparable _ -> ()
+               | outcome ->
+                   found := Some (entry, outcome);
+                   raise Exit
+             end)
+       cache_order
+   with Exit -> ());
+  !found
+
+(* Answer [sheet] from a subsuming entry: keep only the rows passing
+   [sheet]'s own selections (sound because State_subsume guaranteed
+   identical schemas, computed cells and dedup survivors), then
+   re-sort for [sheet]'s grouping/ordering. *)
+let serve_subsumed (sheet : Spreadsheet.t) (cached_rel : Relation.t) =
+  let schema = Relation.schema cached_rel in
+  let preds =
+    List.map
+      (fun (s : Query_state.selection) -> s.Query_state.pred)
+      sheet.Spreadsheet.state.Query_state.selections
+  in
+  let rows = apply_selections schema preds (Relation.to_array cached_rel) in
+  let rel = Relation.unsafe_of_array schema rows in
+  let keys =
+    List.map
+      (fun (attr, dir) ->
+        (attr, match dir with Grouping.Asc -> `Asc | Grouping.Desc -> `Desc))
+      (Grouping.sort_keys (Spreadsheet.grouping sheet))
+  in
+  if keys = [] then rel else Rel_algebra.sort keys rel
+
 let full_cached (sheet : Spreadsheet.t) =
+  incr requests;
+  Obs.Metrics.incr c_requests;
   match Hashtbl.find_opt cache sheet.Spreadsheet.uid with
-  | Some rel ->
+  | Some entry ->
       incr hits;
       Obs.Metrics.incr c_hits;
-      Obs.Flightrec.record ~uid:sheet.Spreadsheet.uid ~kind:"cache-hit"
+      Obs.Flightrec.record ~uid:sheet.Spreadsheet.uid ~kind:"cache-hit-exact"
         "materialize";
-      rel
-  | None ->
-      incr misses;
-      Obs.Metrics.incr c_misses;
-      evict_if_over_limit ();
-      let t0 = Obs.now_ns () in
-      let rel = full sheet in
-      Obs.Flightrec.record ~uid:sheet.Spreadsheet.uid
-        ~dur_ns:(Obs.now_ns () - t0) ~kind:"cache-miss" "full replay";
-      Hashtbl.replace cache sheet.Spreadsheet.uid rel;
-      rel
+      entry.e_rel
+  | None -> (
+      match find_subsumer sheet with
+      | Some (entry, outcome) ->
+          incr subsumed_hits;
+          Obs.Metrics.incr c_hits_subsumed;
+          let t0 = Obs.now_ns () in
+          let rel = serve_subsumed sheet entry.e_rel in
+          Obs.Flightrec.record ~uid:sheet.Spreadsheet.uid
+            ~dur_ns:(Obs.now_ns () - t0) ~kind:"cache-hit-subsumed"
+            (Printf.sprintf "from sheet #%d: %s"
+               entry.e_sheet.Spreadsheet.uid
+               (State_subsume.describe outcome));
+          evict_if_over_limit ();
+          cache_insert sheet rel;
+          rel
+      | None ->
+          incr misses;
+          Obs.Metrics.incr c_misses;
+          evict_if_over_limit ();
+          let t0 = Obs.now_ns () in
+          let rel = full sheet in
+          Obs.Flightrec.record ~uid:sheet.Spreadsheet.uid
+            ~dur_ns:(Obs.now_ns () - t0) ~kind:"cache-miss" "full replay";
+          cache_insert sheet rel;
+          rel)
 
 let seed_cache (sheet : Spreadsheet.t) rel =
   incr seeds;
   Obs.Metrics.incr c_seeds;
   evict_if_over_limit ();
-  Hashtbl.replace cache sheet.Spreadsheet.uid rel
+  cache_insert sheet rel
 
 let visible (sheet : Spreadsheet.t) =
   Rel_algebra.project (Spreadsheet.visible_columns sheet)

@@ -27,7 +27,16 @@ val full_cached : Spreadsheet.t -> Relation.t
     (sheets are immutable values, so the cache can never go stale).
     The interface layer renders the same sheet several times per step
     — status line, data view, group boundaries — which this makes
-    free. Bounded (evicts wholesale past 512 entries). *)
+    free.
+
+    The cache is {e semantic}: on a uid miss it scans the cached
+    states for one that {!State_subsume.check} proves subsumes the
+    request (same base relation and computed columns, a provably
+    weaker selection) and answers by re-filtering/re-sorting that
+    entry's rows — a {e subsumed hit} — before falling back to a full
+    replay. Every answer equals {!full} (property-tested on the
+    differential battery). Bounded: past 512 entries the oldest half
+    is evicted. *)
 
 val visible : Spreadsheet.t -> Relation.t
 (** {!full} restricted to visible columns. *)
@@ -44,14 +53,19 @@ val seed_cache : Spreadsheet.t -> Relation.t -> unit
     fresh uid, entries never go stale; but the table is shared across
     every session/spreadsheet alive in the process, so tests that
     assert on hit/miss behaviour must call {!reset_cache} first.
-    Eviction is wholesale: once more than 512 entries are resident the
-    whole table is dropped before the next insert. *)
+    Eviction drops the {e oldest half} (by insertion order) once more
+    than 512 entries are resident, so a hot subsumer is not thrown
+    away with the cold tail; the flight recorder's [cache-eviction]
+    event carries the actual evicted count. *)
 
 type cache_stats = {
-  hits : int;  (** [full_cached] found the uid *)
+  requests : int;  (** every [full_cached] lookup *)
+  hits : int;  (** exact: [full_cached] found the uid *)
+  subsumed_hits : int;
+      (** semantic: answered by re-filtering a proven subsumer *)
   misses : int;  (** [full_cached] had to replay *)
   seeds : int;  (** [seed_cache] installs (see {!Incremental}) *)
-  evictions : int;  (** wholesale drops past the 512-entry bound *)
+  evictions : int;  (** oldest-half drops past the 512-entry bound *)
   entries : int;  (** currently resident materializations *)
 }
 

@@ -436,7 +436,9 @@ end
    carries the full record, zeros included. *)
 let k_engine_ops = "engine.ops"
 let k_engine_errors = "engine.errors"
+let k_cache_requests = "materialize.cache_requests"
 let k_cache_hits = "materialize.cache_hits"
+let k_cache_hits_subsumed = "materialize.cache_hits_subsumed"
 let k_cache_misses = "materialize.cache_misses"
 let k_cache_evictions = "materialize.cache_evictions"
 let k_cache_seeds = "materialize.cache_seeds"
@@ -466,7 +468,8 @@ let h_sql_run = "sql.run"
 let () =
   List.iter
     (fun k -> ignore (Metrics.counter k))
-    [ k_engine_ops; k_engine_errors; k_cache_hits; k_cache_misses;
+    [ k_engine_ops; k_engine_errors; k_cache_requests; k_cache_hits;
+      k_cache_hits_subsumed; k_cache_misses;
       k_cache_evictions; k_cache_seeds; k_full_replays;
       k_incremental_derivations; k_incremental_fallbacks; k_plan_nodes;
       k_plan_rows_in; k_plan_rows_out; k_sql_translations;
@@ -484,7 +487,9 @@ let () =
 type core_stats = {
   engine_ops : int;
   engine_errors : int;
+  cache_requests : int;
   cache_hits : int;
+  cache_hits_subsumed : int;
   cache_misses : int;
   cache_evictions : int;
   cache_seeds : int;
@@ -505,7 +510,9 @@ let core_stats () =
   let v = Metrics.value_of in
   { engine_ops = v k_engine_ops;
     engine_errors = v k_engine_errors;
+    cache_requests = v k_cache_requests;
     cache_hits = v k_cache_hits;
+    cache_hits_subsumed = v k_cache_hits_subsumed;
     cache_misses = v k_cache_misses;
     cache_evictions = v k_cache_evictions;
     cache_seeds = v k_cache_seeds;

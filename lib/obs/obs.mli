@@ -222,7 +222,19 @@ val h_sql_run : string
 
 val k_engine_ops : string
 val k_engine_errors : string
+val k_cache_requests : string
+(** Every [Materialize.full_cached] lookup; always equals
+    [k_cache_hits + k_cache_hits_subsumed + k_cache_misses]
+    (asserted by the [@obs] gate). *)
+
 val k_cache_hits : string
+(** Exact hits: the sheet's own uid was cached. *)
+
+val k_cache_hits_subsumed : string
+(** Semantic hits: a cached state was proven to subsume the request
+    and its materialization was re-filtered/re-sorted instead of
+    replaying the base data. *)
+
 val k_cache_misses : string
 val k_cache_evictions : string
 val k_cache_seeds : string
@@ -242,7 +254,9 @@ val k_sql_executions : string
 type core_stats = {
   engine_ops : int;
   engine_errors : int;
+  cache_requests : int;
   cache_hits : int;
+  cache_hits_subsumed : int;
   cache_misses : int;
   cache_evictions : int;
   cache_seeds : int;
@@ -275,9 +289,9 @@ module Flightrec : sig
   type event = {
     at_ns : int;  (** relative to process start *)
     f_kind : string;
-        (** "op", "op-rejected", "undo", "redo", "cache-hit",
-            "cache-miss", "cache-eviction", "sql-translation",
-            "slow-op" *)
+        (** "op", "op-rejected", "undo", "redo", "cache-hit-exact",
+            "cache-hit-subsumed", "cache-miss", "cache-eviction",
+            "sql-translation", "slow-op" *)
     f_label : string;
     f_uid : int;  (** 0 when no sheet is involved *)
     f_dur_ns : int;  (** -1 when unknown *)

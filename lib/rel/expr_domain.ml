@@ -1,211 +1,13 @@
+(* Since Sheetsolve absorbed the interval/DNF machinery this module is
+   the stable façade the lints and the plan optimizer were written
+   against; it delegates wholesale. Verdicts are strictly stronger
+   than the pre-Sheetsolve analysis (equality/disequality exclusion,
+   small-range enumeration) but remain sound, which is all the
+   clients assume. *)
+
 type verdict = [ `Maybe | `Unsat of string list ]
 
-(* Cap on the disjunctive normal form; past it the analysis gives up
-   (`Maybe) rather than blow up on adversarial inputs. *)
-let max_disjuncts = 64
-
-type lit = { atom : Expr.t; positive : bool }
-
-(* Bounded DNF of a predicate under two-valued semantics. [pos] false
-   means we are normalizing the negation (Not is pushed to the
-   leaves); returns None when the form exceeds [max_disjuncts]. *)
-let rec dnf (e : Expr.t) ~pos : lit list list option =
-  match (e, pos) with
-  | Expr.Not a, _ -> dnf a ~pos:(not pos)
-  | Expr.Between (a, lo, hi), _ ->
-      (* exactly [a >= lo AND a <= hi] under the two-valued evaluation
-         (a NULL or incomparable operand fails either way), and the
-         expansion lets negation distribute over the two comparisons *)
-      dnf
-        (Expr.And (Expr.Cmp (Expr.Ge, a, lo), Expr.Cmp (Expr.Le, a, hi)))
-        ~pos
-  | Expr.And (a, b), true | Expr.Or (a, b), false ->
-      (* conjunction: cross product of the two DNFs *)
-      Option.bind (dnf a ~pos) (fun da ->
-          Option.bind (dnf b ~pos) (fun db ->
-              let prod =
-                List.concat_map (fun ca -> List.map (fun cb -> ca @ cb) db) da
-              in
-              if List.length prod > max_disjuncts then None else Some prod))
-  | Expr.Or (a, b), true | Expr.And (a, b), false ->
-      Option.bind (dnf a ~pos) (fun da ->
-          Option.bind (dnf b ~pos) (fun db ->
-              let u = da @ db in
-              if List.length u > max_disjuncts then None else Some u))
-  | atom, positive -> Some [ [ { atom; positive } ] ]
-
-(* ---------- per-column constraints ---------- *)
-
-type constr = { itv : Interval.t; null_ok : bool }
-
-type contrib =
-  | Bottom  (** the literal alone is unsatisfiable *)
-  | Top  (** no usable information *)
-  | Col_constr of string * constr
-
-let flip_cmp = function
-  | Expr.Lt -> Expr.Gt
-  | Expr.Le -> Expr.Ge
-  | Expr.Gt -> Expr.Lt
-  | Expr.Ge -> Expr.Le
-  | (Expr.Eq | Expr.Ne) as op -> op
-
-let negate_cmp = function
-  | Expr.Lt -> Expr.Ge
-  | Expr.Le -> Expr.Gt
-  | Expr.Gt -> Expr.Le
-  | Expr.Ge -> Expr.Lt
-  | Expr.Eq -> Expr.Ne
-  | Expr.Ne -> Expr.Eq
-
-(* Comparability bands of the SQL comparison: sql_compare answers only
-   within a band, so a positive atom across bands is always false. *)
-let band = function
-  | Value.TInt | Value.TFloat -> `Num
-  | Value.TBool -> `Bool
-  | Value.TString -> `String
-  | Value.TDate -> `Date
-
-let comparable a b = band a = band b
-
-(* The constraint contributed by [c OP v] (positive) or
-   [NOT (c OP v)] (negative), given what we know of [c]'s type. *)
-let cmp_contrib ~type_of col op v ~positive =
-  if Value.is_null v then
-    (* comparison against NULL: constant false *)
-    if positive then Bottom else Top
-  else
-    match (type_of col, Value.type_of v) with
-    | Some ty, Some vty when not (comparable ty vty) ->
-        (* e.g. [Model < 10] on a string column: never holds *)
-        if positive then Bottom else Top
-    | _ ->
-        if positive then
-          Col_constr (col, { itv = Interval.of_cmp op v; null_ok = false })
-        else if type_of col <> None then
-          (* within a known band the complement of a comparison is the
-             negated comparison — plus NULL, which satisfies any
-             negated atom *)
-          Col_constr
-            (col, { itv = Interval.of_cmp (negate_cmp op) v; null_ok = true })
-        else
-          (* unknown type: the complement also contains every value of
-             other bands, unrepresentable as one interval *)
-          Top
-
-let atom_contrib ~type_of { atom; positive } =
-  (* fold constant atoms ([1 = 1], ['a' < 'b']) down to their value *)
-  let atom =
-    if Expr.columns atom = [] && not (Expr.has_agg atom) then
-      match Expr_eval.eval ~lookup:(fun _ -> raise Not_found) atom with
-      | v -> Expr.Const v
-      | exception Expr_eval.Eval_error _ -> atom
-    else atom
-  in
-  match atom with
-  | Expr.Const v ->
-      (* truthy: Bool true is true; Bool false and Null are false *)
-      let holds = match v with Value.Bool b -> b | _ -> false in
-      if holds = positive then Top else Bottom
-  | Expr.Cmp (op, Expr.Col c, Expr.Const v) ->
-      cmp_contrib ~type_of c op v ~positive
-  | Expr.Cmp (op, Expr.Const v, Expr.Col c) ->
-      cmp_contrib ~type_of c (flip_cmp op) v ~positive
-  | Expr.In_list (Expr.Col c, vs) ->
-      if not positive then Top
-      else begin
-        match List.filter (fun v -> not (Value.is_null v)) vs with
-        | [] -> Bottom  (* IN over nulls-only/empty list never holds *)
-        | v0 :: rest ->
-            let min_v, max_v =
-              List.fold_left
-                (fun (mn, mx) v ->
-                  ( (if Value.compare v mn < 0 then v else mn),
-                    if Value.compare v mx > 0 then v else mx ))
-                (v0, v0) rest
-            in
-            Col_constr
-              ( c,
-                { itv =
-                    { Interval.lo = Interval.Incl min_v;
-                      hi = Interval.Incl max_v };
-                  null_ok = false } )
-      end
-  | Expr.Is_null (Expr.Col c) ->
-      if positive then
-        Col_constr (c, { itv = Interval.empty; null_ok = true })
-      else Col_constr (c, { itv = Interval.full; null_ok = false })
-  | Expr.Like (Expr.Col c, _) ->
-      if positive then
-        Col_constr (c, { itv = Interval.full; null_ok = false })
-      else Top
-  | _ -> Top
-
-(* Meet the contributions of one conjunct into an environment;
-   [`Bottom] short-circuits. *)
-let conjunct_env ~type_of lits =
-  let rec go env = function
-    | [] -> `Env env
-    | lit :: rest -> (
-        match atom_contrib ~type_of lit with
-        | Bottom -> `Bottom
-        | Top -> go env rest
-        | Col_constr (c, k) ->
-            let merged =
-              match List.assoc_opt c env with
-              | None -> k
-              | Some k0 ->
-                  { itv = Interval.inter k0.itv k.itv;
-                    null_ok = k0.null_ok && k.null_ok }
-            in
-            go ((c, merged) :: List.remove_assoc c env) rest)
-  in
-  go [] lits
-
-(* A conjunct is provably unsatisfiable when some column's constraint
-   admits neither any non-null value nor NULL. *)
-let conjunct_unsat ~type_of lits =
-  match conjunct_env ~type_of lits with
-  | `Bottom -> Some []
-  | `Env env ->
-      let contradicted =
-        List.filter_map
-          (fun (c, k) ->
-            if
-              (not k.null_ok)
-              && Interval.is_empty ?ty:(type_of c) k.itv
-            then Some c
-            else None)
-          env
-      in
-      if contradicted = [] then None else Some contradicted
-
-let default_type_of _ = None
-
-let check ?(type_of = default_type_of) e : verdict =
-  match dnf e ~pos:true with
-  | None -> `Maybe
-  | Some disjuncts -> (
-      let rec go cols = function
-        | [] -> `Unsat (List.sort_uniq String.compare cols)
-        | conj :: rest -> (
-            match conjunct_unsat ~type_of conj with
-            | Some cs -> go (cs @ cols) rest
-            | None -> `Maybe)
-      in
-      match disjuncts with
-      | [] -> `Unsat []  (* an empty disjunction is false *)
-      | _ -> go [] disjuncts)
-
-let satisfiable ?type_of e =
-  match check ?type_of e with `Unsat _ -> false | `Maybe -> true
-
-let tautology ?type_of e =
-  match check ?type_of (Expr.Not e) with
-  | `Unsat _ -> true
-  | `Maybe -> false
-
-let implies ?type_of p q =
-  match check ?type_of (Expr.And (p, Expr.Not q)) with
-  | `Unsat _ -> true
-  | `Maybe -> false
+let check ?type_of e = (Sheetsolve.check ?type_of e :> verdict)
+let satisfiable = Sheetsolve.satisfiable
+let tautology = Sheetsolve.tautology
+let implies = Sheetsolve.implies

@@ -37,6 +37,11 @@ val is_empty : ?ty:Value.vtype -> t -> bool
 (** Provably empty. [ty], when known to be [TInt] or [TDate],
     enables discrete tightening of open integer endpoints. *)
 
+val tighten : Value.vtype option -> t -> t
+(** Close open integer/date endpoints one step in ([x > 5] becomes
+    [x >= 6]) when the type is discrete; identity otherwise. Lets
+    clients ({!Sheetsolve}) enumerate small discrete ranges. *)
+
 val inter : t -> t -> t
 
 val subset : t -> t -> bool

@@ -1,0 +1,450 @@
+type verdict = [ `Maybe | `Unsat of string list ]
+
+(* Cap on the disjunctive normal form; past it the analysis gives up
+   (`Maybe) rather than blow up on adversarial inputs. *)
+let max_disjuncts = 64
+
+(* Cap on the excluded-value set of one constraint; past it further
+   exclusions are dropped, which only loses precision, never
+   soundness. *)
+let max_excluded = 64
+
+(* Largest discrete range we enumerate when checking whether every
+   value of an interval is excluded. *)
+let max_enum = 16
+
+type lit = { atom : Expr.t; positive : bool }
+
+(* Bounded DNF of a predicate under two-valued semantics. [pos] false
+   means we are normalizing the negation (Not is pushed to the
+   leaves); returns None when the form exceeds [max_disjuncts]. *)
+let rec dnf (e : Expr.t) ~pos : lit list list option =
+  match (e, pos) with
+  | Expr.Not a, _ -> dnf a ~pos:(not pos)
+  | Expr.Between (a, lo, hi), _ ->
+      (* exactly [a >= lo AND a <= hi] under the two-valued evaluation
+         (a NULL or incomparable operand fails either way), and the
+         expansion lets negation distribute over the two comparisons *)
+      dnf
+        (Expr.And (Expr.Cmp (Expr.Ge, a, lo), Expr.Cmp (Expr.Le, a, hi)))
+        ~pos
+  | Expr.And (a, b), true | Expr.Or (a, b), false ->
+      (* conjunction: cross product of the two DNFs *)
+      Option.bind (dnf a ~pos) (fun da ->
+          Option.bind (dnf b ~pos) (fun db ->
+              let prod =
+                List.concat_map (fun ca -> List.map (fun cb -> ca @ cb) db) da
+              in
+              if List.length prod > max_disjuncts then None else Some prod))
+  | Expr.Or (a, b), true | Expr.And (a, b), false ->
+      Option.bind (dnf a ~pos) (fun da ->
+          Option.bind (dnf b ~pos) (fun db ->
+              let u = da @ db in
+              if List.length u > max_disjuncts then None else Some u))
+  | atom, positive -> Some [ [ { atom; positive } ] ]
+
+(* ---------- per-column constraints ---------- *)
+
+type constr = { itv : Interval.t; excluded : Value.t list; null_ok : bool }
+
+let top_constr = { itv = Interval.full; excluded = []; null_ok = true }
+
+type contrib =
+  | Bottom  (** the literal alone is unsatisfiable *)
+  | Top  (** no usable information *)
+  | Col_constr of string * constr
+
+let flip_cmp = function
+  | Expr.Lt -> Expr.Gt
+  | Expr.Le -> Expr.Ge
+  | Expr.Gt -> Expr.Lt
+  | Expr.Ge -> Expr.Le
+  | (Expr.Eq | Expr.Ne) as op -> op
+
+let negate_cmp = function
+  | Expr.Lt -> Expr.Ge
+  | Expr.Le -> Expr.Gt
+  | Expr.Gt -> Expr.Le
+  | Expr.Ge -> Expr.Lt
+  | Expr.Eq -> Expr.Ne
+  | Expr.Ne -> Expr.Eq
+
+(* Comparability bands of the SQL comparison: sql_compare answers only
+   within a band, so a positive atom across bands is always false. *)
+let band = function
+  | Value.TInt | Value.TFloat -> `Num
+  | Value.TBool -> `Bool
+  | Value.TString -> `String
+  | Value.TDate -> `Date
+
+let comparable a b = band a = band b
+
+(* The constraint contributed by [c OP v] (positive) or
+   [NOT (c OP v)] (negative), given what we know of [c]'s type. *)
+let cmp_contrib ~type_of col op v ~positive =
+  if Value.is_null v then
+    (* comparison against NULL: constant false *)
+    if positive then Bottom else Top
+  else
+    match (type_of col, Value.type_of v) with
+    | Some ty, Some vty when not (comparable ty vty) ->
+        (* e.g. [Model < 10] on a string column: never holds *)
+        if positive then Bottom else Top
+    | _ -> (
+        if positive then
+          match op with
+          | Expr.Ne ->
+              (* [x <> v] holds only on non-null values other than [v]
+                 (incomparable operands fail the comparison), so the
+                 exclusion is sound even without type knowledge *)
+              Col_constr
+                (col, { itv = Interval.full; excluded = [ v ]; null_ok = false })
+          | _ ->
+              Col_constr
+                ( col,
+                  { itv = Interval.of_cmp op v; excluded = []; null_ok = false }
+                )
+        else
+          match op with
+          | Expr.Eq ->
+              (* [NOT (x = v)] admits NULL, incomparables and every
+                 value other than [v] — exactly the exclusion, sound
+                 without type knowledge *)
+              Col_constr
+                (col, { itv = Interval.full; excluded = [ v ]; null_ok = true })
+          | _ when type_of col <> None ->
+              (* within a known band the complement of a comparison is
+                 the negated comparison — plus NULL, which satisfies
+                 any negated atom *)
+              Col_constr
+                ( col,
+                  { itv = Interval.of_cmp (negate_cmp op) v;
+                    excluded = [];
+                    null_ok = true } )
+          | _ ->
+              (* unknown type: the complement also contains every value
+                 of other bands, unrepresentable as one interval *)
+              Top)
+
+let atom_contrib ~type_of { atom; positive } =
+  (* fold constant atoms ([1 = 1], ['a' < 'b']) down to their value *)
+  let atom =
+    if Expr.columns atom = [] && not (Expr.has_agg atom) then
+      match Expr_eval.eval ~lookup:(fun _ -> raise Not_found) atom with
+      | v -> Expr.Const v
+      | exception Expr_eval.Eval_error _ -> atom
+    else atom
+  in
+  match atom with
+  | Expr.Const v ->
+      (* truthy: Bool true is true; Bool false and Null are false *)
+      let holds = match v with Value.Bool b -> b | _ -> false in
+      if holds = positive then Top else Bottom
+  | Expr.Cmp (op, Expr.Col c, Expr.Const v) ->
+      cmp_contrib ~type_of c op v ~positive
+  | Expr.Cmp (op, Expr.Const v, Expr.Col c) ->
+      cmp_contrib ~type_of c (flip_cmp op) v ~positive
+  | Expr.In_list (Expr.Col c, vs) -> (
+      let non_null = List.filter (fun v -> not (Value.is_null v)) vs in
+      if positive then
+        match non_null with
+        | [] -> Bottom  (* IN over nulls-only/empty list never holds *)
+        | v0 :: rest ->
+            let min_v, max_v =
+              List.fold_left
+                (fun (mn, mx) v ->
+                  ( (if Value.compare v mn < 0 then v else mn),
+                    if Value.compare v mx > 0 then v else mx ))
+                (v0, v0) rest
+            in
+            Col_constr
+              ( c,
+                { itv =
+                    { Interval.lo = Interval.Incl min_v;
+                      hi = Interval.Incl max_v };
+                  excluded = [];
+                  null_ok = false } )
+      else
+        (* [NOT (x IN vs)] admits NULL, incomparables and every value
+           equal to none of the [vs] — exactly the exclusion set *)
+        Col_constr
+          (c, { itv = Interval.full; excluded = non_null; null_ok = true }))
+  | Expr.Is_null (Expr.Col c) ->
+      if positive then
+        Col_constr (c, { itv = Interval.empty; excluded = []; null_ok = true })
+      else
+        Col_constr (c, { itv = Interval.full; excluded = []; null_ok = false })
+  | Expr.Like (Expr.Col c, _) ->
+      if positive then
+        Col_constr (c, { itv = Interval.full; excluded = []; null_ok = false })
+      else Top
+  | _ -> Top
+
+(* ---------- constraint algebra ---------- *)
+
+let meet_constr a b =
+  let excluded =
+    let merged =
+      List.fold_left
+        (fun acc v ->
+          if List.exists (Value.equal v) acc then acc else v :: acc)
+        (List.rev a.excluded) b.excluded
+    in
+    let merged = List.rev merged in
+    if List.length merged > max_excluded then
+      (* dropping exclusions only loses precision, never soundness *)
+      List.filteri (fun i _ -> i < max_excluded) merged
+    else merged
+  in
+  { itv = Interval.inter a.itv b.itv;
+    excluded;
+    null_ok = a.null_ok && b.null_ok }
+
+(* Enumerate the (non-null) values of a small interval: a closed point
+   of any type, or a short integer/date range. [None] means "too big
+   or not enumerable", never "empty". *)
+let enum_values ?ty itv =
+  let itv = Interval.tighten ty itv in
+  match (itv.Interval.lo, itv.Interval.hi) with
+  | Interval.Incl a, Interval.Incl b when Value.equal a b -> Some [ a ]
+  | Interval.Incl (Value.Int a), Interval.Incl (Value.Int b)
+    when ty = Some Value.TInt && b >= a && b - a >= 0 && b - a < max_enum ->
+      (* [b - a >= 0] guards against wraparound on astronomical ranges *)
+      Some (List.init (b - a + 1) (fun i -> Value.Int (a + i)))
+  | Interval.Incl (Value.Date a), Interval.Incl (Value.Date b)
+    when ty = Some Value.TDate && b >= a && b - a >= 0 && b - a < max_enum ->
+      Some (List.init (b - a + 1) (fun i -> Value.Date (a + i)))
+  | _ -> None
+
+(* A constraint is provably unsatisfiable when it admits neither NULL
+   nor any non-null value: the interval is empty, or it is a small
+   enumerable range whose every value is excluded. *)
+let constr_unsat ?ty k =
+  (not k.null_ok)
+  && (Interval.is_empty ?ty k.itv
+     ||
+     match enum_values ?ty k.itv with
+     | Some vs ->
+         vs <> []
+         && List.for_all
+              (fun v -> List.exists (Value.equal v) k.excluded)
+              vs
+     | None -> false)
+
+(* Meet the contributions of one conjunct into an environment;
+   [`Bottom] short-circuits. *)
+let conjunct_env ~type_of lits =
+  let rec go env = function
+    | [] -> `Env env
+    | lit :: rest -> (
+        match atom_contrib ~type_of lit with
+        | Bottom -> `Bottom
+        | Top -> go env rest
+        | Col_constr (c, k) ->
+            let merged =
+              match List.assoc_opt c env with
+              | None -> k
+              | Some k0 -> meet_constr k0 k
+            in
+            go ((c, merged) :: List.remove_assoc c env) rest)
+  in
+  go [] lits
+
+(* Columns of an environment whose constraint admits nothing. *)
+let env_unsat_cols ~type_of env =
+  let contradicted =
+    List.filter_map
+      (fun (c, k) ->
+        if constr_unsat ?ty:(type_of c) k then Some c else None)
+      env
+  in
+  if contradicted = [] then None
+  else Some (List.sort_uniq String.compare contradicted)
+
+(* A conjunct is provably unsatisfiable when some column's constraint
+   admits neither any non-null value nor NULL. *)
+let conjunct_unsat ~type_of lits =
+  match conjunct_env ~type_of lits with
+  | `Bottom -> Some []
+  | `Env env -> env_unsat_cols ~type_of env
+
+let default_type_of _ = None
+
+let check ?(type_of = default_type_of) e : verdict =
+  match dnf e ~pos:true with
+  | None -> `Maybe
+  | Some disjuncts -> (
+      let rec go cols = function
+        | [] -> `Unsat (List.sort_uniq String.compare cols)
+        | conj :: rest -> (
+            match conjunct_unsat ~type_of conj with
+            | Some cs -> go (cs @ cols) rest
+            | None -> `Maybe)
+      in
+      match disjuncts with
+      | [] -> `Unsat []  (* an empty disjunction is false *)
+      | _ -> go [] disjuncts)
+
+let satisfiable ?type_of e =
+  match check ?type_of e with `Unsat _ -> false | `Maybe -> true
+
+let tautology ?type_of e =
+  match check ?type_of (Expr.Not e) with
+  | `Unsat _ -> true
+  | `Maybe -> false
+
+(* ---------- subsumption with proof objects ---------- *)
+
+type witness = { w_col : string; w_note : string }
+
+type step =
+  | Disjunct_unsat of { disjunct : int; cols : string list }
+  | Disjunct_absorbed of {
+      disjunct : int;
+      into : int;
+      witnesses : witness list;
+    }
+
+type proof = By_cases of step list | By_refutation of string list
+
+let constr_to_string k =
+  let base = Interval.to_string k.itv in
+  let ex =
+    match k.excluded with
+    | [] -> ""
+    | vs ->
+        " \\ {" ^ String.concat ", " (List.map Value.to_string vs) ^ "}"
+  in
+  let null = if k.null_ok then " or NULL" else "" in
+  base ^ ex ^ null
+
+let lit_to_string lit =
+  if lit.positive then Expr.to_string lit.atom
+  else "NOT (" ^ Expr.to_string lit.atom ^ ")"
+
+(* Does a disjunct of [p] (literals [plits], abstracted as [env])
+   entail every literal of one disjunct of [q]? A literal repeated
+   verbatim in [p] is entailed syntactically — this keeps subsumption
+   reflexive even for atoms the abstraction cannot read (LIKE,
+   column-vs-column comparisons). Otherwise the literal is entailed
+   when its negation, met into the environment, is contradictory —
+   proving env AND NOT lit empty, i.e. env implies lit. This
+   direction is sound even though the environment itself
+   over-approximates. *)
+let absorbed_by ~type_of plits env qconj =
+  let syntactic lit =
+    List.exists
+      (fun pl -> pl.positive = lit.positive && Expr.equal pl.atom lit.atom)
+      plits
+  in
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | lit :: rest -> (
+        if syntactic lit then
+          go
+            ({ w_col =
+                 (match Expr.columns lit.atom with c :: _ -> c | [] -> "");
+               w_note =
+                 Printf.sprintf "%s appears verbatim in p"
+                   (lit_to_string lit) }
+            :: acc)
+            rest
+        else
+          match
+            atom_contrib ~type_of { lit with positive = not lit.positive }
+          with
+          | Bottom -> go acc rest  (* the literal is a tautology *)
+          | Top -> None
+          | Col_constr (c, k) ->
+              let have =
+                Option.value (List.assoc_opt c env) ~default:top_constr
+              in
+              if constr_unsat ?ty:(type_of c) (meet_constr have k) then
+                go
+                  ({ w_col = c;
+                     w_note =
+                       Printf.sprintf "%s in %s forces %s" c
+                         (constr_to_string have) (lit_to_string lit) }
+                  :: acc)
+                  rest
+              else None)
+  in
+  go [] qconj
+
+let find_absorber ~type_of plits env qdisjuncts =
+  let rec go j = function
+    | [] -> None
+    | qconj :: rest -> (
+        match absorbed_by ~type_of plits env qconj with
+        | Some witnesses -> Some (j, witnesses)
+        | None -> go (j + 1) rest)
+  in
+  go 0 qdisjuncts
+
+let subsumes ?(type_of = default_type_of) p q =
+  (* global fallback: refute [p AND NOT q] wholesale — at least as
+     strong as the by-cases route on forms the DNF cap rejects *)
+  let fallback () =
+    match check ~type_of (Expr.And (p, Expr.Not q)) with
+    | `Unsat cols -> Some (By_refutation cols)
+    | `Maybe -> None
+  in
+  match (dnf p ~pos:true, dnf q ~pos:true) with
+  | Some dp, Some dq ->
+      let rec go i acc = function
+        | [] -> Some (By_cases (List.rev acc))
+        | conj :: rest -> (
+            let step =
+              match conjunct_env ~type_of conj with
+              | `Bottom -> Some (Disjunct_unsat { disjunct = i; cols = [] })
+              | `Env env -> (
+                  match env_unsat_cols ~type_of env with
+                  | Some cols ->
+                      Some (Disjunct_unsat { disjunct = i; cols })
+                  | None -> (
+                      match find_absorber ~type_of conj env dq with
+                      | Some (into, witnesses) ->
+                          Some
+                            (Disjunct_absorbed
+                               { disjunct = i; into; witnesses })
+                      | None -> None))
+            in
+            match step with
+            | Some s -> go (i + 1) (s :: acc) rest
+            | None -> fallback ())
+      in
+      go 0 [] dp
+  | _ -> fallback ()
+
+let implies ?type_of p q = subsumes ?type_of p q <> None
+
+let equivalent ?type_of p q = implies ?type_of p q && implies ?type_of q p
+
+let contradiction ?type_of p q =
+  match check ?type_of (Expr.And (p, q)) with
+  | `Unsat cols -> Some cols
+  | `Maybe -> None
+
+let explain = function
+  | By_refutation [] -> "p AND NOT q is unsatisfiable"
+  | By_refutation cols ->
+      Printf.sprintf "p AND NOT q is unsatisfiable (columns: %s)"
+        (String.concat ", " cols)
+  | By_cases steps ->
+      steps
+      |> List.map (function
+           | Disjunct_unsat { disjunct; cols = [] } ->
+               Printf.sprintf "disjunct %d of p is empty" disjunct
+           | Disjunct_unsat { disjunct; cols } ->
+               Printf.sprintf "disjunct %d of p is empty (columns: %s)"
+                 disjunct (String.concat ", " cols)
+           | Disjunct_absorbed { disjunct; into; witnesses } ->
+               Printf.sprintf "disjunct %d of p is absorbed by disjunct %d of q%s"
+                 disjunct into
+                 (match witnesses with
+                 | [] -> ""
+                 | ws ->
+                     ": "
+                     ^ String.concat "; "
+                         (List.map (fun w -> w.w_note) ws)))
+      |> String.concat "\n"

@@ -171,6 +171,38 @@ let sql_agrees sheet base =
             Relation.equal_unordered_data (Relation.normalize sql_rel)
               (Relation.normalize vis))
 
+(* Semantic-cache differential: rebuild the same ops with fresh uids
+   (bypassing Session so nothing seeds the candidate's own uid), warm
+   the cache with a relaxed parent — the last Select dropped — and
+   require that whatever the subsumption scan decides (exact hit,
+   proven subsumer, or full replay), the served relation equals
+   Materialize.full. *)
+let subsumption_agrees rel ops =
+  let build ops =
+    List.fold_left
+      (fun sheet op ->
+        match Engine.apply sheet op with Ok s -> s | Error _ -> sheet)
+      (Spreadsheet.of_relation ~name:"cars" rel)
+      ops
+  in
+  let drop_last_select ops =
+    let is_select = function Op.Select _ -> true | _ -> false in
+    let rec go = function
+      | [] -> []
+      | Op.Select _ :: rest when not (List.exists is_select rest) -> rest
+      | op :: rest -> op :: go rest
+    in
+    go ops
+  in
+  Materialize.reset_cache ();
+  let parent = build (drop_last_select ops) in
+  ignore (Materialize.full_cached parent);
+  let candidate = build ops in
+  let served = Materialize.full_cached candidate in
+  let ok = Relation.equal served (Materialize.full candidate) in
+  Materialize.reset_cache ();
+  ok
+
 let check_state rel ops =
   let session = Session.create ~name:"cars" rel in
   let session =
@@ -188,6 +220,7 @@ let check_state rel ops =
   && Relation.equal (Session.materialized session)
        (Rel_algebra.project (Spreadsheet.visible_columns sheet) full)
   && sql_agrees sheet rel
+  && subsumption_agrees rel ops
 
 let differential_small =
   QCheck.Test.make ~count:950

@@ -164,7 +164,8 @@ let profile_chain_rows =
 (* ---------- counters ---------- *)
 
 let counter_names =
-  [ Obs.k_engine_ops; Obs.k_engine_errors; Obs.k_cache_hits;
+  [ Obs.k_engine_ops; Obs.k_engine_errors; Obs.k_cache_requests;
+    Obs.k_cache_hits; Obs.k_cache_hits_subsumed;
     Obs.k_cache_misses; Obs.k_cache_evictions; Obs.k_cache_seeds;
     Obs.k_full_replays; Obs.k_incremental_derivations;
     Obs.k_incremental_fallbacks; Obs.k_plan_nodes; Obs.k_plan_rows_in;

@@ -36,10 +36,139 @@ let () =
           | Ok ds -> report (label "script") ds));
       report (label "sql") (Sheetlint.sql_string catalog task.sql))
     tasks;
+  (* ---------- Sheetsolve self-check ----------
+
+     Run every task script, then try subsumption between the selection
+     conjunctions of every pair of states over the same base view. A
+     proven subsumption is verified against the actual materialized
+     rows (every row of the subsumed state must satisfy the subsuming
+     predicate — the solver must never lie on real data), every state
+     must subsume itself, and across the bundle at least one
+     nontrivial subsumption (between different predicates) must be
+     found, or the gate fails. *)
+  let open Sheet_rel in
+  let sheets =
+    List.filter_map
+      (fun (task : Sheet_tpch.Tpch_tasks.t) ->
+        match Sheet_sql.Catalog.find catalog task.base with
+        | None -> None
+        | Some base -> (
+            match
+              Script.run_silent (Session.create ~name:task.base base)
+                task.script
+            with
+            | Error _ -> None
+            | Ok session -> Some (task, Session.current session)))
+      tasks
+  in
+  let conj sheet = State_subsume.selection_conj sheet.Spreadsheet.state in
+  let type_of sheet = Schema.type_of (Spreadsheet.full_schema sheet) in
+  let nontrivial = ref 0 in
+  let proven = ref 0 in
+  (* every row of [sheet]'s materialization must satisfy [pred]
+     (checked only when the predicate's columns all exist there) *)
+  let sound_on_rows what sheet pred =
+    let rel = Materialize.full sheet in
+    let schema = Relation.schema rel in
+    if List.for_all (fun c -> Schema.type_of schema c <> None)
+         (Expr.columns pred)
+    then
+      let index = Schema.compile_index schema in
+      Array.iter
+        (fun row ->
+          let holds =
+            match
+              Expr_eval.eval_pred
+                ~lookup:(fun name -> Row.get row (index name))
+                pred
+            with
+            | b -> b
+            | exception Expr_eval.Eval_error _ -> true
+          in
+          if not holds then begin
+            Printf.printf
+              "solver self-check: UNSOUND subsumption (%s): row fails %s\n"
+              what (Expr.to_string pred);
+            incr failures
+          end)
+        (Relation.to_array rel)
+  in
+  List.iter
+    (fun ((ta : Sheet_tpch.Tpch_tasks.t), sa) ->
+      (* reflexivity *)
+      (match Sheetsolve.subsumes ~type_of:(type_of sa) (conj sa) (conj sa) with
+      | Some _ -> ()
+      | None ->
+          Printf.printf
+            "solver self-check: task %d does not subsume itself\n" ta.id;
+          incr failures);
+      List.iter
+        (fun ((tb : Sheet_tpch.Tpch_tasks.t), sb) ->
+          if ta.base = tb.base && not (ta.id = tb.id) then
+            match
+              Sheetsolve.subsumes ~type_of:(type_of sa) (conj sa) (conj sb)
+            with
+            | None -> ()
+            | Some _ ->
+                incr proven;
+                if not (Expr.equal (conj sa) (conj sb)) then incr nontrivial;
+                sound_on_rows
+                  (Printf.sprintf "task %d => task %d" ta.id tb.id)
+                  sa (conj sb))
+        sheets)
+    sheets;
+  (* a guaranteed-nontrivial pair per base view: a two-sided numeric
+     range against its upper half, checked on the view's real rows *)
+  let bases = List.sort_uniq compare (List.map (fun (t, _) ->
+      t.Sheet_tpch.Tpch_tasks.base) sheets)
+  in
+  List.iter
+    (fun base_name ->
+      match Sheet_sql.Catalog.find catalog base_name with
+      | None -> ()
+      | Some rel -> (
+          let schema = Relation.schema rel in
+          let numeric =
+            List.find_opt
+              (fun n ->
+                match Schema.type_of schema n with
+                | Some Value.TInt | Some Value.TFloat -> true
+                | _ -> false)
+              (Schema.names schema)
+          in
+          match numeric with
+          | None -> ()
+          | Some c ->
+              let col = Expr.Col c in
+              let p =
+                Expr.And
+                  ( Expr.Cmp (Expr.Ge, col, Expr.Const (Value.Int 0)),
+                    Expr.Cmp (Expr.Lt, col, Expr.Const (Value.Int 10)) )
+              and q = Expr.Cmp (Expr.Lt, col, Expr.Const (Value.Int 10)) in
+              (match
+                 Sheetsolve.subsumes ~type_of:(Schema.type_of schema) p q
+               with
+              | Some _ -> incr nontrivial
+              | None ->
+                  Printf.printf
+                    "solver self-check: %s: range pair on %s not proven\n"
+                    base_name c;
+                  incr failures);
+              sound_on_rows
+                (Printf.sprintf "%s range pair" base_name)
+                (Spreadsheet.of_relation ~name:base_name rel)
+                (Expr.Or (Expr.Not p, q))))
+    bases;
+  if !nontrivial = 0 then begin
+    Printf.printf "solver self-check: no nontrivial subsumption found\n";
+    incr failures
+  end;
   if !failures > 0 then begin
     Printf.eprintf "lint: %d failure(s)\n" !failures;
     exit 1
   end
   else
-    Printf.printf "lint: %d task scripts and queries, no errors\n"
-      (List.length tasks)
+    Printf.printf
+      "lint: %d task scripts and queries, no errors; solver self-check: %d \
+       subsumption(s) proven, %d nontrivial, all sound\n"
+      (List.length tasks) !proven !nontrivial

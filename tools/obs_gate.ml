@@ -77,6 +77,28 @@ let run_task catalog (task : Sheet_tpch.Tpch_tasks.t) =
                   (Obs.Histogram.histogram Obs.h_engine_apply))
                Obs.k_engine_ops
                (Obs.Metrics.value_of Obs.k_engine_ops));
+          (* hit-kind accounting: every materialization request is
+             exactly one of exact hit, subsumed hit, or miss *)
+          let v = Obs.Metrics.value_of in
+          check (label "cache accounting")
+            (v Obs.k_cache_requests
+            = v Obs.k_cache_hits
+              + v Obs.k_cache_hits_subsumed
+              + v Obs.k_cache_misses)
+            (Printf.sprintf "requests %d <> exact %d + subsumed %d + miss %d"
+               (v Obs.k_cache_requests) (v Obs.k_cache_hits)
+               (v Obs.k_cache_hits_subsumed) (v Obs.k_cache_misses));
+          (* and the module-local stats agree with the registry *)
+          let cs = Materialize.cache_stats () in
+          check (label "cache stats")
+            (cs.Materialize.requests
+             = cs.Materialize.hits + cs.Materialize.subsumed_hits
+               + cs.Materialize.misses
+            && cs.Materialize.requests = v Obs.k_cache_requests)
+            (Printf.sprintf
+               "cache_stats requests %d, hits %d, subsumed %d, misses %d"
+               cs.Materialize.requests cs.Materialize.hits
+               cs.Materialize.subsumed_hits cs.Materialize.misses);
           (* the flight recorder export round-trips through Obs_json *)
           let fr = Sheet_obs.Obs_json.to_string (Obs.Flightrec.to_json ()) in
           (match Sheet_obs.Obs_json.parse fr with
