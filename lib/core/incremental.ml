@@ -82,13 +82,8 @@ let append_computed child parent_full =
 
 let filter_full pred parent_full =
   let schema = Relation.schema parent_full in
-  let index = Schema.compile_index schema in
   Relation.unsafe_of_array schema
-    (Vec.filter_array
-       (fun row ->
-         Expr_eval.eval_pred
-           ~lookup:(fun name -> Row.get row (index name))
-           pred)
+    (Rel_algebra.select_rows ~rel:parent_full schema [ pred ]
        (Relation.to_array parent_full))
 
 let derive ~(parent : Spreadsheet.t) ~(op : Op.t) ~(child : Spreadsheet.t) =

@@ -48,17 +48,8 @@ let distinct_rows ~key_positions data =
       end)
     data
 
-let apply_selections schema preds data =
-  List.fold_left
-    (fun data pred ->
-      let index = Schema.compile_index schema in
-      Vec.filter_array
-        (fun row ->
-          Expr_eval.eval_pred
-            ~lookup:(fun name -> Row.get row (index name))
-            pred)
-        data)
-    data preds
+let apply_selections ?rel schema preds data =
+  Rel_algebra.select_rows ?rel schema preds data
 
 (* Compute one computed column over the current rows, returning the
    cell value for each row (row order preserved). *)
@@ -134,7 +125,10 @@ let unsorted_full (sheet : Spreadsheet.t) =
     in
     let t0 = Obs.now_ns () in
     let base_rows = Relation.to_array sheet.Spreadsheet.base in
-    let rows = apply_selections base_schema (preds_at 0) base_rows in
+    let rows =
+      apply_selections ~rel:sheet.Spreadsheet.base base_schema (preds_at 0)
+        base_rows
+    in
     let rows =
       if state.Query_state.dedup then
         let visible_base =
@@ -343,7 +337,10 @@ let serve_subsumed (sheet : Spreadsheet.t) (cached_rel : Relation.t) =
       (fun (s : Query_state.selection) -> s.Query_state.pred)
       sheet.Spreadsheet.state.Query_state.selections
   in
-  let rows = apply_selections schema preds (Relation.to_array cached_rel) in
+  let rows =
+    apply_selections ~rel:cached_rel schema preds
+      (Relation.to_array cached_rel)
+  in
   let rel = Relation.unsafe_of_array schema rows in
   let keys =
     List.map

@@ -274,7 +274,41 @@ let is_streaming = function
   | Filter _ | Project _ | Extend_formula _ -> true
   | Scan _ | Distinct_on _ | Extend_aggregate _ | Sort _ -> false
 
-let run_streaming ~record nodes schema data =
+let run_streaming ~record ?rel nodes schema data =
+  (* When this run starts directly on a scan's relation, its leading
+     Filter nodes can execute over the relation's Sheetcol image as
+     compiled selection vectors. Checks run first (same Algebra_error
+     the step compiler raises), and a predicate that does not compile
+     drops the whole prefix back into the fused row loop below. *)
+  let nodes, data =
+    match rel with
+    | Some r when Relation.to_array r == data -> (
+        let rec split preds acc = function
+          | (Filter (p, _) as n) :: rest -> split (p :: preds) (n :: acc) rest
+          | rest -> (List.rev preds, List.rev acc, rest)
+        in
+        let preds, consumed, rest = split [] [] nodes in
+        if preds = [] then (nodes, data)
+        else begin
+          List.iter
+            (fun p ->
+              match Expr_check.check_pred schema p with
+              | Ok () -> ()
+              | Error msg ->
+                  raise (Rel_algebra.Algebra_error ("selection: " ^ msg)))
+            preds;
+          let t0 = Obs.now_ns () in
+          match Rel_algebra.columnar_filter r preds with
+          | Some out ->
+              let dt = Obs.now_ns () - t0 in
+              List.iter (fun node -> record (node_kind node) dt) consumed;
+              (rest, out)
+          | None -> (nodes, data)
+        end)
+    | _ -> (nodes, data)
+  in
+  if nodes = [] then (schema, data)
+  else begin
   let steps, out_schema =
     List.fold_left
       (fun (steps, schema) node ->
@@ -287,31 +321,31 @@ let run_streaming ~record nodes schema data =
   let t0 = Obs.now_ns () in
   let n = Array.length data in
   let out =
-    if n = 0 then [||]
-    else begin
-      let buf = Array.make n data.(0) in
-      let k = ref 0 in
-      for i = 0 to n - 1 do
-        let row = ref data.(i) in
-        let keep = ref true in
-        let j = ref 0 in
-        while !keep && !j < nsteps do
-          (match steps.(!j) with
-          | Keep f -> keep := f !row
-          | Map f -> row := f !row);
-          incr j
-        done;
-        if !keep then begin
-          buf.(!k) <- !row;
-          incr k
-        end
-      done;
-      if !k = n then buf else Array.sub buf 0 !k
-    end
+    Par.concat
+      (Par.run ~n (fun lo hi ->
+           let buf = Array.make (hi - lo) data.(lo) in
+           let k = ref 0 in
+           for i = lo to hi - 1 do
+             let row = ref (Array.unsafe_get data i) in
+             let keep = ref true in
+             let j = ref 0 in
+             while !keep && !j < nsteps do
+               (match steps.(!j) with
+               | Keep f -> keep := f !row
+               | Map f -> row := f !row);
+               incr j
+             done;
+             if !keep then begin
+               Array.unsafe_set buf !k !row;
+               incr k
+             end
+           done;
+           if !k = hi - lo then buf else Array.sub buf 0 !k))
   in
   let dt = Obs.now_ns () - t0 in
   List.iter (fun node -> record (node_kind node) dt) nodes;
   (out_schema, out)
+  end
 
 let run_blocking ~record node schema data =
   let t0 = Obs.now_ns () in
@@ -397,7 +431,10 @@ let execute node =
   let schema = Relation.schema base in
   let data = Relation.to_array base in
   record "scan" (Obs.now_ns () - t0);
-  let rec go schema data = function
+  (* [rel] is the relation whose array [data] still is — only the
+     scan's, before any node transformed it — so the first streaming
+     run can use its columnar image. *)
+  let rec go rel schema data = function
     | [] -> (schema, data)
     | n :: _ as ops when is_streaming n ->
         let rec split acc = function
@@ -405,13 +442,13 @@ let execute node =
           | rest -> (List.rev acc, rest)
         in
         let run, rest = split [] ops in
-        let schema, data = run_streaming ~record run schema data in
-        go schema data rest
+        let schema, data = run_streaming ~record ?rel run schema data in
+        go None schema data rest
     | n :: rest ->
         let schema, data = run_blocking ~record n schema data in
-        go schema data rest
+        go None schema data rest
   in
-  let schema, data = go schema data ops in
+  let schema, data = go (Some base) schema data ops in
   Relation.unsafe_of_array schema data
 
 (* ---------- instrumented execution (EXPLAIN ANALYZE) ---------- *)

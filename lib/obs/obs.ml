@@ -139,6 +139,23 @@ let finish ?(rows_in = -1) ?(rows_out = -1) sp =
         rows_out }
   end
 
+(* Pre-timed completed spans: the morsel scheduler's worker domains
+   must not touch the single-writer ring/stack, so they only stamp
+   start/duration into per-morsel slots and the coordinator emits the
+   events after the join. [start_ns] is an absolute [now_ns] reading. *)
+let emit ?(uid = 0) ?(kind = "") ?(rows_in = -1) ?(rows_out = -1) ~start_ns
+    ~dur_ns name =
+  if recording () then
+    record
+      { name;
+        kind;
+        uid;
+        depth = List.length !open_stack;
+        start_ns = start_ns - epoch_ns;
+        dur_ns = max 0 dur_ns;
+        rows_in;
+        rows_out }
+
 let with_span ?uid ?kind name f =
   let sp = span ?uid ?kind name in
   match f () with
@@ -454,6 +471,17 @@ let k_sql_translations = "sql.translations"
 let k_sql_inverse_translations = "sql.inverse_translations"
 let k_sql_executions = "sql.executions"
 
+(* Sheetcol / morsel-parallelism names. [k_par_domains] is a gauge
+   (the resolved domain count of the most recent parallel region);
+   the rest are counters fed by the columnar scan driver. *)
+let k_par_domains = "par.domains"
+let k_par_morsels = "par.morsels"
+let k_par_scans = "par.scans"
+let k_col_columns = "columnar.columns_materialized"
+let k_col_dict_entries = "columnar.dict_entries"
+let k_col_sel_rows_in = "columnar.sel_rows_in"
+let k_col_sel_rows_out = "columnar.sel_rows_out"
+
 (* Well-known histogram names. [h_engine_apply] counts every
    [Engine.apply] (per-kind series ride alongside under
    "engine.apply.<kind>"); the plan interpreter records one sample per
@@ -464,6 +492,7 @@ let h_materialize_stratum = "materialize.stratum"
 let h_incremental_derive = "incremental.derive"
 let h_plan_node_prefix = "plan.node."
 let h_sql_run = "sql.run"
+let h_par_morsel = "par.morsel"
 
 let () =
   List.iter
@@ -473,12 +502,16 @@ let () =
       k_cache_evictions; k_cache_seeds; k_full_replays;
       k_incremental_derivations; k_incremental_fallbacks; k_plan_nodes;
       k_plan_rows_in; k_plan_rows_out; k_sql_translations;
-      k_sql_inverse_translations; k_sql_executions ];
-  List.iter (fun k -> ignore (Metrics.gauge k)) [ k_undo_depth; k_redo_depth ];
+      k_sql_inverse_translations; k_sql_executions; k_par_morsels;
+      k_par_scans; k_col_columns; k_col_dict_entries; k_col_sel_rows_in;
+      k_col_sel_rows_out ];
+  List.iter
+    (fun k -> ignore (Metrics.gauge k))
+    [ k_undo_depth; k_redo_depth; k_par_domains ];
   List.iter
     (fun k -> ignore (Histogram.histogram k))
     [ h_engine_apply; h_materialize_full; h_materialize_stratum;
-      h_incremental_derive; h_sql_run ];
+      h_incremental_derive; h_sql_run; h_par_morsel ];
   List.iter
     (fun kind -> ignore (Histogram.histogram (h_plan_node_prefix ^ kind)))
     [ "scan"; "project"; "filter"; "distinct"; "extend"; "extend-agg";

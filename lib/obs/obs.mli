@@ -80,6 +80,22 @@ val finish : ?rows_in:int -> ?rows_out:int -> span -> unit
 val with_span : ?uid:int -> ?kind:string -> string -> (unit -> 'a) -> 'a
 (** Bracket a thunk; the span is closed on exceptions too. *)
 
+val emit :
+  ?uid:int ->
+  ?kind:string ->
+  ?rows_in:int ->
+  ?rows_out:int ->
+  start_ns:int ->
+  dur_ns:int ->
+  string ->
+  unit
+(** Record an already-completed span from a timing taken elsewhere
+    ([start_ns] is an absolute {!now_ns} reading). Used by the morsel
+    scheduler ({!Sheet_rel.Par}), whose worker domains must not touch
+    the single-writer event ring: workers stamp start/duration into
+    per-morsel slots and the coordinator emits them after the join.
+    No-op when the sink is [Off]. *)
+
 val open_spans : unit -> int
 (** Number of spans opened but not yet finished. 0 after any balanced
     workload — the [@obs] gate fails otherwise. *)
@@ -215,6 +231,9 @@ val h_plan_node_prefix : string
 
 val h_sql_run : string
 
+val h_par_morsel : string
+(** One sample per morsel executed by a parallel scan region. *)
+
 (** {2 Well-known metric names}
 
     Registered up front so snapshots always carry the full set, zeros
@@ -249,6 +268,28 @@ val k_redo_depth : string
 val k_sql_translations : string
 val k_sql_inverse_translations : string
 val k_sql_executions : string
+
+val k_par_domains : string
+(** Gauge: resolved domain count of the most recent parallel region. *)
+
+val k_par_morsels : string
+(** Counter: morsels executed (1 per sequential region). *)
+
+val k_par_scans : string
+(** Counter: scan regions that actually ran multi-domain. *)
+
+val k_col_columns : string
+(** Counter: columns materialized by [Columnar.of_rows]. *)
+
+val k_col_dict_entries : string
+(** Counter: distinct strings interned into column dictionaries. *)
+
+val k_col_sel_rows_in : string
+(** Counter: candidate rows entering compiled selection vectors;
+    together with {!k_col_sel_rows_out} this gives the average
+    selection-vector density ([@obs] asserts out <= in). *)
+
+val k_col_sel_rows_out : string
 
 (** The registry's well-known slice as a typed record. *)
 type core_stats = {

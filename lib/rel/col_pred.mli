@@ -1,0 +1,20 @@
+(** Predicate compilation to selection-vector filters (Sheetcol).
+
+    A [filter] consumes the first [k] entries of an ascending index
+    array in place and returns the surviving count. Compilation is
+    partial by design: only predicate subtrees whose row evaluation
+    is total (cannot raise [Eval_error]) compile, so a compiled
+    filter is always observationally identical to the row path —
+    including two-valued NULL semantics, [Value.sql_compare]'s
+    incomparable-types-are-false rule, and NaN-exact float
+    comparisons. [None] means "use the row path". *)
+
+type filter = int array -> int -> int
+
+val compile : Schema.t -> Columnar.t -> Expr.t -> filter option
+(** Compile against a uniform columnar image whose columns line up
+    with the schema positions. Handled forms: boolean constants,
+    [And]/[Or]/[Not], [Cmp] between columns and/or constants,
+    [Between] with any compilable operands, [In_list] and [Is_null]
+    on a column, [Like] on a dictionary-coded string column.
+    Anything touching a [Boxed] column returns [None]. *)

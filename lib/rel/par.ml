@@ -1,0 +1,148 @@
+(* Morsel-parallel scan scheduling over OCaml 5 domains.
+
+   A scan over [n] rows is split into fixed-size morsels pulled from
+   an atomic work counter by [domain_count] domains (the coordinator
+   participates). Results are returned per-morsel IN INDEX ORDER, so
+   a caller concatenating them gets output bit-identical to a
+   sequential pass — determinism comes from the merge order, not from
+   scheduling. Below [parallel_threshold] rows (or with one domain)
+   the scan runs as a single morsel on the calling domain, so small
+   sheets never pay domain spawns.
+
+   Exception policy: every morsel runs to completion or failure, all
+   workers are joined, and the error of the LOWEST-indexed failing
+   morsel is re-raised — each morsel scans ascending row order, so
+   that is the error the sequential pass would have hit first.
+
+   Observability: worker domains must not touch Sheetscope's
+   single-writer state, so they only stamp start/duration into
+   per-morsel slots; after the join the coordinator feeds the
+   par.* counters, the par.morsel histogram, and (under an active
+   sink) one pre-timed span event per morsel via [Obs.emit]. *)
+
+module Obs = Sheet_obs.Obs
+
+let g_domains = Obs.Metrics.gauge Obs.k_par_domains
+let c_morsels = Obs.Metrics.counter Obs.k_par_morsels
+let c_scans = Obs.Metrics.counter Obs.k_par_scans
+let h_morsel = Obs.Histogram.histogram Obs.h_par_morsel
+
+let env_domains () =
+  match Sys.getenv_opt "SHEETMUSIQ_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | _ -> None)
+  | None -> None
+
+(* 0 = not yet resolved; resolution is deferred so tests can set the
+   count before the first scan regardless of module init order. *)
+let domains = ref 0
+
+let domain_count () =
+  if !domains = 0 then
+    domains :=
+      (match env_domains () with
+      | Some n -> n
+      | None -> max 1 (Domain.recommended_domain_count ()));
+  !domains
+
+let set_domain_count n = domains := max 1 n
+
+let default_parallel_threshold = 32_768
+let default_morsel_rows = 8_192
+
+let parallel_threshold = ref default_parallel_threshold
+let morsel_rows = ref default_morsel_rows
+let set_parallel_threshold n = parallel_threshold := max 1 n
+let set_morsel_rows n = morsel_rows := max 1 n
+
+(* [run ~n f] evaluates [f lo hi] over a partition of [0, n) into
+   half-open ranges and returns the results in range order. The
+   sequential cutover returns [f]'s single result without copying, so
+   [concat] on it is zero-cost. *)
+let run ~n (f : int -> int -> 'a) : 'a array =
+  if n = 0 then [||]
+  else begin
+    let d = domain_count () in
+    Obs.Metrics.set g_domains d;
+    let m = !morsel_rows in
+    let nm = (n + m - 1) / m in
+    if d = 1 || n < !parallel_threshold || nm = 1 then begin
+      Obs.Metrics.incr c_morsels;
+      [| f 0 n |]
+    end
+    else begin
+      let results : 'a option array = Array.make nm None in
+      let errors : exn option array = Array.make nm None in
+      let starts = Array.make nm 0 in
+      let durs = Array.make nm 0 in
+      let next = Atomic.make 0 in
+      let work () =
+        let continue = ref true in
+        while !continue do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= nm then continue := false
+          else begin
+            let lo = i * m in
+            let hi = min n (lo + m) in
+            let t0 = Obs.now_ns () in
+            (match f lo hi with
+            | x -> results.(i) <- Some x
+            | exception e -> errors.(i) <- Some e);
+            starts.(i) <- t0;
+            durs.(i) <- Obs.now_ns () - t0
+          end
+        done
+      in
+      let workers =
+        Array.init (min (d - 1) (nm - 1)) (fun _ -> Domain.spawn work)
+      in
+      work ();
+      Array.iter Domain.join workers;
+      Obs.Metrics.incr c_scans;
+      Obs.Metrics.incr ~by:nm c_morsels;
+      let emit = Obs.recording () in
+      for i = 0 to nm - 1 do
+        Obs.Histogram.record h_morsel durs.(i);
+        if emit then
+          Obs.emit ~kind:"morsel"
+            ~rows_in:(min n ((i + 1) * m) - (i * m))
+            ~start_ns:starts.(i) ~dur_ns:durs.(i) "par.morsel"
+      done;
+      let first_error = Array.find_opt Option.is_some errors in
+      match first_error with
+      | Some (Some e) -> raise e
+      | _ ->
+          Array.map
+            (function Some x -> x | None -> assert false)
+            results
+    end
+  end
+
+(* Merge per-morsel output chunks in morsel order. The single-chunk
+   case (sequential cutover) returns the chunk itself. *)
+let concat (chunks : 'a array array) : 'a array =
+  match Array.length chunks with
+  | 0 -> [||]
+  | 1 -> chunks.(0)
+  | _ ->
+      let total = Array.fold_left (fun acc c -> acc + Array.length c) 0 chunks in
+      if total = 0 then [||]
+      else begin
+        let first =
+          let rec nonempty i =
+            if Array.length chunks.(i) > 0 then chunks.(i).(0)
+            else nonempty (i + 1)
+          in
+          nonempty 0
+        in
+        let out = Array.make total first in
+        let k = ref 0 in
+        Array.iter
+          (fun c ->
+            Array.blit c 0 out !k (Array.length c);
+            k := !k + Array.length c)
+          chunks;
+        out
+      end

@@ -1,0 +1,33 @@
+(** Morsel-parallel scan scheduling over OCaml 5 domains.
+
+    Scans split into fixed-size morsels pulled from an atomic counter
+    by [domain_count] domains; per-morsel results come back in morsel
+    order, so concatenation is bit-identical to a sequential pass.
+    Small inputs (below {!set_parallel_threshold}'s value, default
+    32768 rows) or a single domain run as one morsel on the calling
+    domain. The domain count resolves from [SHEETMUSIQ_DOMAINS], else
+    [Domain.recommended_domain_count ()].
+
+    On a morsel failure every worker is still joined and the
+    lowest-indexed morsel's exception is re-raised — the error the
+    sequential scan would have hit first. *)
+
+val run : n:int -> (int -> int -> 'a) -> 'a array
+(** [run ~n f] evaluates [f lo hi] over a partition of [0, n) into
+    half-open morsel ranges; results in range order. [f] runs on
+    worker domains: it must not touch Sheetscope sinks or other
+    single-writer state (pure reads of shared immutable data are
+    fine). Feeds the [par.*] metrics and, under an active sink, one
+    pre-timed span per morsel. *)
+
+val concat : 'a array array -> 'a array
+(** Merge per-morsel chunks in morsel order; the single-chunk case is
+    zero-copy. *)
+
+val domain_count : unit -> int
+val set_domain_count : int -> unit
+val set_parallel_threshold : int -> unit
+val set_morsel_rows : int -> unit
+
+val default_parallel_threshold : int
+val default_morsel_rows : int

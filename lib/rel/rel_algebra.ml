@@ -1,3 +1,5 @@
+module Obs = Sheet_obs.Obs
+
 exception Algebra_error of string
 
 let err fmt = Printf.ksprintf (fun s -> raise (Algebra_error s)) fmt
@@ -7,24 +9,136 @@ let lookup_in schema row name = Row.get row (Schema.index_exn schema name)
 let eval_on (r : Relation.t) row e =
   Expr_eval.eval ~lookup:(fun name -> lookup_in (Relation.schema r) row name) e
 
+let c_sel_in = Obs.Metrics.counter Obs.k_col_sel_rows_in
+let c_sel_out = Obs.Metrics.counter Obs.k_col_sel_rows_out
+
+(* ---------- selection ----------
+
+   Three execution strategies, strongest first:
+
+   1. Columnar: when the relation has a (lazily built, memoized)
+      Sheetcol image and every predicate compiles (Col_pred), each
+      morsel filters an index selection vector through the compiled
+      chain and gathers the surviving row pointers — no Value boxing,
+      no per-row name resolution.
+   2. Row fallback: predicates are applied predicate-major (the whole
+      array through pred 1, then pred 2, ...) with each pass split
+      into morsels. This is exactly the historical semantics, error
+      order included: a pass raises at its first failing row before
+      any later predicate runs.
+   3. Both cut over to a single sequential morsel below the Par
+      threshold.
+
+   [select_rows] is the shared driver; Materialize's stratified
+   replay and the subsumption-serving re-filter call it with the
+   relation whose array they are filtering, so they ride the same
+   columnar path. *)
+
+let compile_columnar (r : Relation.t) preds =
+  match Relation.columnar_hot r with
+  | None -> None
+  | Some view ->
+      let schema = Relation.schema r in
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | p :: rest -> (
+            match Col_pred.compile schema view p with
+            | Some f -> go (f :: acc) rest
+            | None -> None)
+      in
+      go [] preds
+
+(* Columnar filtering of [Relation.to_array r] through [preds];
+   [None] when a predicate does not compile (caller falls back to the
+   row path). *)
+let columnar_filter (r : Relation.t) preds : Row.t array option =
+  match compile_columnar r preds with
+  | None -> None
+  | Some fs ->
+      let data = Relation.to_array r in
+      let n = Array.length data in
+      Obs.Metrics.incr ~by:n c_sel_in;
+      let chunks =
+        Par.run ~n (fun lo hi ->
+            let m = hi - lo in
+            let sel = Array.init m (fun i -> lo + i) in
+            let k = List.fold_left (fun k f -> f sel k) m fs in
+            if k = 0 then [||]
+            else begin
+              let out = Array.make k data.(Array.unsafe_get sel 0) in
+              for j = 0 to k - 1 do
+                Array.unsafe_set out j
+                  (Array.unsafe_get data (Array.unsafe_get sel j))
+              done;
+              out
+            end)
+      in
+      let out = Par.concat chunks in
+      Obs.Metrics.incr ~by:(Array.length out) c_sel_out;
+      Some out
+
+(* One predicate-major row-path pass, morselized. *)
+let filter_pass schema pred (data : Row.t array) =
+  let index = Schema.compile_index schema in
+  let n = Array.length data in
+  Par.concat
+    (Par.run ~n (fun lo hi ->
+         let buf = Array.make (hi - lo) data.(lo) in
+         let k = ref 0 in
+         for i = lo to hi - 1 do
+           let row = Array.unsafe_get data i in
+           if
+             Expr_eval.eval_pred
+               ~lookup:(fun name -> Row.get row (index name))
+               pred
+           then begin
+             Array.unsafe_set buf !k row;
+             incr k
+           end
+         done;
+         if !k = hi - lo then buf else Array.sub buf 0 !k))
+
+let select_rows ?rel schema preds (data : Row.t array) =
+  match preds with
+  | [] -> data
+  | _ -> (
+      let columnar =
+        match rel with
+        | Some r when Relation.to_array r == data -> columnar_filter r preds
+        | _ -> None
+      in
+      match columnar with
+      | Some out -> out
+      | None -> List.fold_left (fun d p -> filter_pass schema p d) data preds)
+
 let select pred (r : Relation.t) =
   let schema = Relation.schema r in
   (match Expr_check.check_pred schema pred with
   | Ok () -> ()
   | Error msg -> err "selection: %s" msg);
-  let index = Schema.compile_index schema in
-  let keep row =
-    Expr_eval.eval_pred ~lookup:(fun name -> Row.get row (index name)) pred
-  in
-  Relation.unsafe_of_array schema (Vec.filter_array keep (Relation.to_array r))
+  Relation.unsafe_of_array schema
+    (select_rows ~rel:r schema [ pred ] (Relation.to_array r))
 
 let project names (r : Relation.t) =
-  let schema = Schema.restrict (Relation.schema r) names in
+  let rschema = Relation.schema r in
+  let schema = Schema.restrict rschema names in
   let positions =
-    Array.of_list (List.map (Schema.index_exn (Relation.schema r)) names)
+    Array.of_list (List.map (Schema.index_exn rschema) names)
   in
-  Relation.unsafe_of_array schema
-    (Array.map (fun row -> Row.project_arr row positions) (Relation.to_array r))
+  let data = Relation.to_array r in
+  let out =
+    Par.concat
+      (Par.run ~n:(Array.length data) (fun lo hi ->
+           Array.init (hi - lo) (fun i ->
+               Row.project_arr (Array.unsafe_get data (lo + i)) positions)))
+  in
+  (* a memoized columnar image projects for free: the column subset
+     shares the typed arrays *)
+  match Relation.columnar_if_built r with
+  | Some view ->
+      Relation.unsafe_of_array_with_columnar schema out
+        (Columnar.select_cols view positions)
+  | None -> Relation.unsafe_of_array schema out
 
 let product (a : Relation.t) (b : Relation.t) =
   let schema = Schema.concat (Relation.schema a) (Relation.schema b) in
@@ -220,8 +334,33 @@ let sort keys (r : Relation.t) =
 
 let extend name ty f (r : Relation.t) =
   let schema = Schema.append (Relation.schema r) { Schema.name; ty } in
-  Relation.unsafe_of_array schema
-    (Array.map (fun row -> Row.append1 row (f row)) (Relation.to_array r))
+  let data = Relation.to_array r in
+  let prime = Relation.columnar_if_built r <> None in
+  (* each morsel evaluates rows in ascending order, so the lowest
+     failing morsel's error is the sequential one (see Par) *)
+  let chunks =
+    Par.run ~n:(Array.length data) (fun lo hi ->
+        let m = hi - lo in
+        if m = 0 then ([||], [||])
+        else begin
+          let cells = if prime then Array.make m Value.Null else [||] in
+          let rows = Array.make m data.(lo) in
+          for i = 0 to m - 1 do
+            let row = Array.unsafe_get data (lo + i) in
+            let v = f row in
+            if prime then Array.unsafe_set cells i v;
+            Array.unsafe_set rows i (Row.append1 row v)
+          done;
+          (rows, cells)
+        end)
+  in
+  let out = Par.concat (Array.map fst chunks) in
+  match Relation.columnar_if_built r with
+  | Some view ->
+      let cells = Par.concat (Array.map snd chunks) in
+      Relation.unsafe_of_array_with_columnar schema out
+        (Columnar.append_col view (Column.of_values cells))
+  | None -> Relation.unsafe_of_array schema out
 
 let group_rows cols (r : Relation.t) =
   let positions =

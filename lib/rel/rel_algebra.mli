@@ -10,7 +10,25 @@ exception Algebra_error of string
 
 val select : Expr.t -> Relation.t -> Relation.t
 (** [σ_r]: keep rows satisfying the (aggregate-free) predicate.
+    Runs columnar (compiled selection vectors over the relation's
+    Sheetcol image, morsel-parallel) when the predicate compiles,
+    with a row-at-a-time fallback that is observationally identical.
     @raise Algebra_error on an ill-typed predicate. *)
+
+val select_rows :
+  ?rel:Relation.t -> Schema.t -> Expr.t list -> Row.t array -> Row.t array
+(** Filter a row array through the predicates in order,
+    predicate-major (the whole array through the first predicate,
+    then the next), each pass morselized. When [rel] is given and
+    [Relation.to_array rel] is [data] itself, predicates that compile
+    run over [rel]'s columnar image instead. No type checking — for
+    replay paths whose predicates were validated at op time. *)
+
+val columnar_filter : Relation.t -> Expr.t list -> Row.t array option
+(** The columnar strategy alone: [Some] surviving rows (originals, in
+    order) when every predicate compiles against the relation's
+    image, [None] otherwise. Exposed for the plan executor's fused
+    filter runs. *)
 
 val project : string list -> Relation.t -> Relation.t
 (** [π_r]: keep the named columns in the given order; duplicates are
@@ -49,7 +67,9 @@ val sort : (string * [ `Asc | `Desc ]) list -> Relation.t -> Relation.t
 
 val extend : string -> Value.vtype -> (Row.t -> Value.t) -> Relation.t
   -> Relation.t
-(** Append a computed column. *)
+(** Append a computed column (morsel-parallel; when the input's
+    columnar image is already built, the output image is primed with
+    the new column). *)
 
 val group_rows : string list -> Relation.t -> (Row.t * Row.t list) list
 (** Partition rows by equality on the given columns. Each element is

@@ -1,4 +1,23 @@
-type t = { schema : Schema.t; data : Row.t array }
+(* The two memo fields make a relation lazily dual-format: [rows_memo]
+   caches the list conversion (satellite of ISSUE 7 — renderers call
+   [rows] repeatedly), [col_memo] caches the Sheetcol columnar image.
+   Both are derived purely from the immutable [data], so the mutation
+   is invisible: any interleaving of builders computes the same
+   value. *)
+type col_memo =
+  | Col_unbuilt
+  | Col_built of Columnar.t
+  | Col_unavailable  (* ragged data (unsafe_make): never serve columns *)
+
+type t = {
+  schema : Schema.t;
+  data : Row.t array;
+  mutable rows_memo : Row.t list option;
+  mutable col_memo : col_memo;
+  mutable col_touch : int;
+      (* columnar-scan requests served before building (see
+         [columnar_hot]) *)
+}
 
 exception Relation_error of string
 
@@ -20,27 +39,100 @@ let validate_row schema row =
             (Value.type_name c.Schema.ty)
   done
 
-let unsafe_of_array schema data = { schema; data }
+let unsafe_of_array schema data =
+  { schema; data; rows_memo = None; col_memo = Col_unbuilt; col_touch = 0 }
 
 let of_array schema data =
   Array.iter (validate_row schema) data;
-  { schema; data }
+  unsafe_of_array schema data
 
 let make schema rows =
   List.iter (validate_row schema) rows;
-  { schema; data = Array.of_list rows }
+  { schema;
+    data = Array.of_list rows;
+    rows_memo = Some rows;
+    col_memo = Col_unbuilt;
+    col_touch = 0 }
 
-let unsafe_make schema rows = { schema; data = Array.of_list rows }
+let unsafe_make schema rows =
+  { schema;
+    data = Array.of_list rows;
+    rows_memo = Some rows;
+    col_memo = Col_unbuilt;
+    col_touch = 0 }
 
-let empty schema = { schema; data = [||] }
+let empty schema = unsafe_of_array schema [||]
 let cardinality t = Array.length t.data
 let schema t = t.schema
-let rows t = Array.to_list t.data
+
+let rows t =
+  match t.rows_memo with
+  | Some l -> l
+  | None ->
+      let l = Array.to_list t.data in
+      t.rows_memo <- Some l;
+      l
+
 let to_array t = t.data
 let get t i = t.data.(i)
 let iter f t = Array.iter f t.data
 
 let with_schema schema t = { t with schema }
+
+(* Build (and memoize) the columnar image. Usable only when the data
+   is rectangular at the schema's arity — [unsafe_make] can smuggle in
+   ragged rows, whose row-path behaviour (index errors) the compiled
+   path could not reproduce. *)
+let columnar_view t =
+  match t.col_memo with
+  | Col_built v -> Some v
+  | Col_unavailable -> None
+  | Col_unbuilt ->
+      let arity = Schema.arity t.schema in
+      let v = Columnar.of_rows ~width:arity t.data in
+      if Columnar.uniform v && Columnar.width v = arity then begin
+        t.col_memo <- Col_built v;
+        Some v
+      end
+      else begin
+        t.col_memo <- Col_unavailable;
+        None
+      end
+
+let columnar_if_built t =
+  match t.col_memo with Col_built v -> Some v | _ -> None
+
+(* Materializing every column costs more than one row-path scan, so it
+   only pays off for relations scanned repeatedly — sheet bases under
+   replay, cached subsumers, benchmark fixtures — and is a net loss
+   for one-shot intermediates (e.g. inside the SQL executor's
+   pipeline, measured at +66% on the TPC-H task bench when built
+   eagerly). First scan request: stay on the row path and remember
+   the touch; second: build. Below [columnar_min_rows] the fixed
+   per-scan costs of the compiled path (predicate compilation, the
+   selection vector) exceed a whole row-path pass, so tiny relations
+   never opt in — the paper's 6-row demo sheets replay thousands of
+   times and would otherwise pay compilation on every materialize. *)
+let columnar_min_rows = 256
+
+let columnar_hot t =
+  match t.col_memo with
+  | Col_built v -> Some v
+  | Col_unavailable -> None
+  | Col_unbuilt ->
+      if Array.length t.data < columnar_min_rows then None
+      else if t.col_touch >= 1 then columnar_view t
+      else begin
+        t.col_touch <- t.col_touch + 1;
+        None
+      end
+
+let unsafe_of_array_with_columnar schema data view =
+  { schema;
+    data;
+    rows_memo = None;
+    col_memo = Col_built view;
+    col_touch = 0 }
 
 let column_values t name =
   let i = Schema.index_exn t.schema name in
@@ -51,7 +143,7 @@ let sorted_data t =
   Array.sort Row.compare d;
   d
 
-let normalize t = { t with data = sorted_data t }
+let normalize t = unsafe_of_array t.schema (sorted_data t)
 
 let array_equal_rows a b =
   Array.length a = Array.length b

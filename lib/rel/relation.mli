@@ -34,8 +34,9 @@ val cardinality : t -> int
 val schema : t -> Schema.t
 
 val rows : t -> Row.t list
-(** Rows as a fresh list — the source-compatible accessor renderers
-    and tests use. O(n) per call; hot paths should use {!to_array}. *)
+(** Rows as a list — the source-compatible accessor renderers and
+    tests use. Memoized: the conversion runs once per relation and
+    repeated calls return the same (physically equal) list. *)
 
 val to_array : t -> Row.t array
 (** The backing array itself (no copy). Treat it as read-only:
@@ -49,6 +50,33 @@ val iter : (Row.t -> unit) -> t -> unit
 
 val with_schema : Schema.t -> t -> t
 (** Same rows under a different (same-arity) schema — zero-copy rename. *)
+
+val columnar_view : t -> Columnar.t option
+(** The relation's Sheetcol image, built lazily on first use and
+    memoized (relations are immutable, so the image can never go
+    stale). [None] when the data is ragged (possible only through
+    {!unsafe_make}) — the engine then stays on the row path. *)
+
+val columnar_hot : t -> Columnar.t option
+(** {!columnar_view} behind a repeated-use heuristic: the first scan
+    request on an unbuilt view returns [None] (row path — building
+    every column costs more than one scan) and only the second
+    builds; relations under 256 rows never opt in (fixed per-scan
+    compilation costs exceed a whole row-path pass there). The
+    engine's selection paths use this so one-shot intermediate
+    relations and tiny demo sheets never pay for machinery they
+    cannot amortize. A view built explicitly via {!columnar_view} is
+    always served. *)
+
+val columnar_if_built : t -> Columnar.t option
+(** The memoized image if a previous {!columnar_view} built one;
+    never triggers a build. Operators use this to push column subsets
+    and appended columns through projection/extension for free. *)
+
+val unsafe_of_array_with_columnar : Schema.t -> Row.t array -> Columnar.t -> t
+(** {!unsafe_of_array} with a pre-built columnar image (which must
+    describe exactly [data] under [schema] — correct by construction
+    in the operators that derive both together). *)
 
 val column_values : t -> string -> Value.t list
 (** All values of a column, in row order. *)

@@ -1,0 +1,473 @@
+(* Sheetcol: the columnar substrate.
+
+   The codec tests use *structural* equality strict enough to notice a
+   constructor swap (Int 1 vs Float 1.) and a NaN payload change —
+   Value.equal would accept both, which is exactly the laxity the
+   round-trip law must not inherit.
+
+   The differential tests pin the compiled selection-vector path to
+   the row interpreter on random predicates, and the parallel tests
+   pin multi-domain morsel scans to single-domain runs row-for-row. *)
+
+open Sheet_rel
+
+
+(* bit-exact value equality: same constructor, NaN = NaN by bits *)
+let value_exact a b =
+  match (a, b) with
+  | Value.Float x, Value.Float y ->
+      Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | _ -> a = b
+
+let row_exact a b =
+  Row.width a = Row.width b
+  && List.for_all2 value_exact (Row.to_list a) (Row.to_list b)
+
+let rows_exact a b =
+  Array.length a = Array.length b
+  && Array.for_all2 row_exact a b
+
+(* ---------- generators ---------- *)
+
+let gen_value : Value.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  frequency
+    [ (3, return Value.Null);
+      (3, map (fun b -> Value.Bool b) bool);
+      (4, map (fun i -> Value.Int i) (int_range (-1000) 1000));
+      ( 4,
+        map
+          (fun f -> Value.Float f)
+          (oneof
+             [ float; return Float.nan; return (0. /. 0.); return (-0.0);
+               return Float.infinity ]) );
+      (4, map (fun s -> Value.String s) (string_size (int_range 0 6)));
+      (2, map (fun d -> Value.Date d) (int_range (-10000) 10000)) ]
+
+(* one column's worth of cells, biased toward the uniform cases the
+   specializer targets *)
+let gen_column_cells n : Value.t array QCheck.Gen.t =
+  let open QCheck.Gen in
+  let with_nulls g =
+    let* nullp = float_range 0. 0.9 in
+    array_repeat n
+      (let* p = float_range 0. 1. in
+       if p < nullp then return Value.Null else g)
+  in
+  oneof
+    [ with_nulls (map (fun i -> Value.Int i) (int_range (-1000) 1000));
+      with_nulls
+        (map
+           (fun f -> Value.Float f)
+           (oneof [ float; return Float.nan; return (-0.0) ]));
+      with_nulls
+        (map (fun s -> Value.String s) (string_size (int_range 0 4)));
+      with_nulls (map (fun b -> Value.Bool b) bool);
+      with_nulls (map (fun d -> Value.Date d) (int_range 0 20000));
+      array_repeat n gen_value (* mixed: must fall back to Boxed *) ]
+
+let gen_uniform_rows : Row.t array QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* n = int_range 0 60 in
+  let* w = int_range 0 5 in
+  let* cols = list_repeat w (gen_column_cells n) in
+  let cols = Array.of_list cols in
+  return
+    (Array.init n (fun i ->
+         Row.of_list (List.init w (fun j -> cols.(j).(i)))))
+
+let gen_ragged_rows : Row.t array QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* n = int_range 0 40 in
+  array_repeat n
+    (let* w = int_range 0 6 in
+     let* cells = list_repeat w gen_value in
+     return (Row.of_list cells))
+
+(* ---------- codec round-trip ---------- *)
+
+let roundtrip_uniform =
+  QCheck.Test.make ~count:300 ~name:"of_rows |> to_rows = id (uniform)"
+    (QCheck.make gen_uniform_rows) (fun rows ->
+      let img = Columnar.of_rows rows in
+      Columnar.uniform img && rows_exact (Columnar.to_rows img) rows)
+
+let roundtrip_ragged =
+  QCheck.Test.make ~count:300 ~name:"of_rows |> to_rows = id (ragged)"
+    (QCheck.make gen_ragged_rows) (fun rows ->
+      let img = Columnar.of_rows rows in
+      rows_exact (Columnar.to_rows img) rows)
+
+let roundtrip_with_width =
+  QCheck.Test.make ~count:200 ~name:"of_rows ~width widens, still exact"
+    (QCheck.make gen_ragged_rows) (fun rows ->
+      let img = Columnar.of_rows ~width:4 rows in
+      Columnar.width img >= 4 && rows_exact (Columnar.to_rows img) rows)
+
+(* ---------- specialization ---------- *)
+
+let test_specialization () =
+  let col vs = Column.of_values (Array.of_list vs) in
+  Alcotest.(check string)
+    "ints" "int"
+    (Column.kind_name (col [ Value.Int 1; Value.Null; Value.Int 3 ]));
+  Alcotest.(check string)
+    "floats" "float"
+    (Column.kind_name (col [ Value.Float 1.5; Value.Float Float.nan ]));
+  Alcotest.(check string)
+    "strings" "string"
+    (Column.kind_name (col [ Value.String "a"; Value.String "a" ]));
+  (* Int next to Float must stay boxed: specializing would lose the
+     constructor distinction the codec promises to keep. *)
+  Alcotest.(check string)
+    "mixed int/float stays boxed" "boxed"
+    (Column.kind_name (col [ Value.Int 1; Value.Float 1. ]));
+  Alcotest.(check string)
+    "all-null stays boxed" "boxed"
+    (Column.kind_name (col [ Value.Null; Value.Null ]));
+  Alcotest.(check string)
+    "empty stays boxed" "boxed" (Column.kind_name (col []));
+  let c = col [ Value.String "x"; Value.String "y"; Value.String "x" ] in
+  Alcotest.(check int) "dict size" 2 (Column.dict_size c)
+
+(* A relation holding a mixed-constructor column: the engine must fall
+   back to the row path and produce identical select results. *)
+let test_mixed_column_fallback () =
+  let schema =
+    Schema.of_list [ ("K", Value.TInt); ("V", Value.TFloat) ]
+  in
+  let rows =
+    Array.init 200 (fun i ->
+        Row.of_list
+          [ Value.Int i;
+            (if i mod 3 = 0 then Value.Int i else Value.Float (float i)) ])
+  in
+  let r = Relation.of_array schema rows in
+  (match Relation.columnar_view r with
+  | Some img ->
+      Alcotest.(check string)
+        "V column boxed" "boxed"
+        (Column.kind_name (Columnar.column img 1))
+  | None -> Alcotest.fail "uniform relation must have a columnar view");
+  let pred = Expr.(Cmp (Lt, Col "V", Const (Value.Int 100))) in
+  Alcotest.(check bool)
+    "columnar_filter declines boxed comparisons" true
+    (Rel_algebra.columnar_filter r [ pred ] = None);
+  let out = Rel_algebra.select pred r in
+  let index = Schema.compile_index schema in
+  let expected =
+    Array.to_list rows
+    |> List.filter (fun row ->
+           Expr_eval.eval_pred
+             ~lookup:(fun name -> Row.get row (index name))
+             pred)
+  in
+  Alcotest.(check bool)
+    "row-path result identical" true
+    (List.equal Row.equal expected (Relation.rows out))
+
+let test_ragged_relation_has_no_view () =
+  let schema =
+    Schema.of_list [ ("A", Value.TInt); ("B", Value.TInt) ]
+  in
+  let r =
+    Relation.unsafe_make schema
+      [ Row.of_list [ Value.Int 1; Value.Int 2 ];
+        Row.of_list [ Value.Int 3 ] ]
+  in
+  Alcotest.(check bool)
+    "ragged => no columnar view" true
+    (Relation.columnar_view r = None)
+
+(* ---------- compiled predicates vs the row interpreter ---------- *)
+
+let cars_schema = Sample_cars.schema
+
+let gen_cars_pred : Expr.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let gen_leaf =
+    let num_col = oneofl [ "Price"; "Year"; "Mileage"; "ID" ] in
+    let cmp = oneofl Expr.[ Eq; Ne; Lt; Le; Gt; Ge ] in
+    oneof
+      [ (let* c = num_col in
+         let* op = cmp in
+         let* v =
+           oneof
+             [ map (fun i -> Value.Int i) (int_range 0 40000);
+               map (fun f -> Value.Float f) (float_range 0. 40000.);
+               return Value.Null ]
+         in
+         return (Expr.Cmp (op, Expr.Col c, Expr.Const v)));
+        (let* op = cmp in
+         return (Expr.Cmp (op, Expr.Col "Price", Expr.Col "Mileage")));
+        (let* op = cmp in
+         let* s = oneofl [ "Jetta"; "Civic"; "nope" ] in
+         return
+           (Expr.Cmp (op, Expr.Col "Model", Expr.Const (Value.String s))));
+        (let* lo = int_range 8000 20000 in
+         let* hi = int_range 15000 30000 in
+         return
+           (Expr.Between
+              ( Expr.Col "Price",
+                Expr.Const (Value.Int lo),
+                Expr.Const (Value.Int hi) )));
+        (let* vs =
+           list_size (int_range 0 3)
+             (map (fun i -> Value.Int (2000 + i)) (int_range 0 9))
+         in
+         return (Expr.In_list (Expr.Col "Year", vs)));
+        map (fun c -> Expr.Is_null (Expr.Col c))
+          (oneofl [ "Price"; "Model" ]);
+        (let* p = oneofl [ "J%"; "%vic"; "%c%"; "_etta"; "zzz" ] in
+         return (Expr.Like (Expr.Col "Model", p))) ]
+  in
+  let rec gen_pred depth =
+    if depth = 0 then gen_leaf
+    else
+      oneof
+        [ gen_leaf;
+          (let* a = gen_pred (depth - 1) in
+           let* b = gen_pred (depth - 1) in
+           oneofl [ Expr.And (a, b); Expr.Or (a, b) ]);
+          map (fun a -> Expr.Not a) (gen_pred (depth - 1)) ]
+  in
+  gen_pred 2
+
+let gen_cars_rows n : Row.t array QCheck.Gen.t =
+  let open QCheck.Gen in
+  array_repeat n
+    (let* id = int_range 1 999 in
+     let* model =
+       oneof
+         [ map (fun s -> Value.String s)
+             (oneofl [ "Jetta"; "Civic"; "Accord" ]);
+           return Value.Null ]
+     in
+     let* price =
+       oneof [ map (fun i -> Value.Int i) (int_range 8000 30000);
+               return Value.Null ]
+     in
+     let* year = int_range 2000 2008 in
+     let* mileage = int_range 0 150000 in
+     let* cond = oneofl [ "Excellent"; "Good"; "Fair" ] in
+     return
+       (Row.of_list
+          [ Value.Int id; model; price; Value.Int year;
+            Value.Int mileage; Value.String cond ]))
+
+let compiled_vs_row =
+  QCheck.Test.make ~count:500
+    ~name:"compiled selection vector = row interpreter"
+    (QCheck.make
+       QCheck.Gen.(
+         let* n = int_range 0 80 in
+         let* rows = gen_cars_rows n in
+         let* pred = gen_cars_pred in
+         return (rows, pred)))
+    (fun (rows, pred) ->
+      let r = Relation.of_array cars_schema rows in
+      ignore (Relation.columnar_view r);
+      let index = Schema.compile_index cars_schema in
+      let expected =
+        Array.to_list rows
+        |> List.filter (fun row ->
+               Expr_eval.eval_pred
+                 ~lookup:(fun name -> Row.get row (index name))
+                 pred)
+      in
+      match Rel_algebra.columnar_filter r [ pred ] with
+      | None -> QCheck.assume_fail () (* did not compile: nothing to pin *)
+      | Some got -> List.equal Row.equal expected (Array.to_list got))
+
+(* ---------- parallel determinism ---------- *)
+
+let with_par_config ~domains ~threshold ~morsel f =
+  Par.set_domain_count domains;
+  Par.set_parallel_threshold threshold;
+  Par.set_morsel_rows morsel;
+  Fun.protect
+    ~finally:(fun () ->
+      Par.set_domain_count 1;
+      Par.set_parallel_threshold Par.default_parallel_threshold;
+      Par.set_morsel_rows Par.default_morsel_rows)
+    f
+
+let test_parallel_determinism () =
+  let r = Sample_cars.scaled ~rows:20_000 ~seed:3 in
+  ignore (Relation.columnar_view r);
+  let pred =
+    Expr.(
+      And
+        ( Cmp (Lt, Col "Price", Const (Value.Int 25000)),
+          Cmp (Ge, Col "Year", Const (Value.Int 2002)) ))
+  in
+  let seq =
+    with_par_config ~domains:1 ~threshold:1_000_000 ~morsel:8192 (fun () ->
+        Rel_algebra.select pred r)
+  in
+  let par =
+    with_par_config ~domains:4 ~threshold:64 ~morsel:512 (fun () ->
+        Rel_algebra.select pred r)
+  in
+  Alcotest.(check bool)
+    "identical row order under 4 domains" true
+    (List.equal Row.equal (Relation.rows seq) (Relation.rows par));
+  (* extend: same computed column, same order, errors aside *)
+  let ext r =
+    Rel_algebra.extend "PriceK" Value.TFloat
+      (fun row ->
+        match Row.get row 2 with
+        | Value.Int p -> Value.Float (float_of_int p /. 1000.)
+        | _ -> Value.Null)
+      r
+  in
+  let e_seq =
+    with_par_config ~domains:1 ~threshold:1_000_000 ~morsel:8192 (fun () ->
+        ext r)
+  in
+  let e_par =
+    with_par_config ~domains:4 ~threshold:64 ~morsel:512 (fun () -> ext r)
+  in
+  Alcotest.(check bool)
+    "extend identical under 4 domains" true
+    (List.equal Row.equal (Relation.rows e_seq) (Relation.rows e_par))
+
+let test_parallel_error_is_sequential_first () =
+  (* the first failing row in sequential order must be the one
+     reported even when later morsels also fail *)
+  let n = 10_000 in
+  let exception Boom of int in
+  let run () =
+    Par.run ~n (fun lo hi ->
+        for i = lo to hi - 1 do
+          if i >= 5_000 then raise (Boom i)
+        done;
+        hi - lo)
+  in
+  with_par_config ~domains:4 ~threshold:64 ~morsel:256 (fun () ->
+      match run () with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i ->
+          Alcotest.(check int) "lowest failing morsel wins" 5_000 i)
+
+let test_par_concat () =
+  Alcotest.(check (array int)) "empty" [||] (Par.concat [||]);
+  let one = [| 1; 2 |] in
+  Alcotest.(check bool)
+    "single chunk zero-copy" true
+    (Par.concat [| one |] == one);
+  Alcotest.(check (array int))
+    "merge order" [| 1; 2; 3; 4 |]
+    (Par.concat [| [| 1 |]; [||]; [| 2; 3 |]; [| 4 |] |])
+
+(* ---------- observability ---------- *)
+
+module Obs = Sheet_obs.Obs
+
+let test_columnar_metrics () =
+  let before = Obs.Metrics.value_of Obs.k_col_columns in
+  let r = Sample_cars.scaled ~rows:1_000 ~seed:5 in
+  ignore (Relation.columnar_view r);
+  let after = Obs.Metrics.value_of Obs.k_col_columns in
+  Alcotest.(check int) "6 columns materialized" 6 (after - before);
+  Alcotest.(check bool)
+    "dict entries counted" true
+    (Obs.Metrics.value_of Obs.k_col_dict_entries > 0);
+  let in0 = Obs.Metrics.value_of Obs.k_col_sel_rows_in in
+  let out0 = Obs.Metrics.value_of Obs.k_col_sel_rows_out in
+  let pred = Expr.(Cmp (Lt, Col "Price", Const (Value.Int 15000))) in
+  let sel = Rel_algebra.select pred r in
+  let in1 = Obs.Metrics.value_of Obs.k_col_sel_rows_in in
+  let out1 = Obs.Metrics.value_of Obs.k_col_sel_rows_out in
+  Alcotest.(check int) "sel rows in" 1_000 (in1 - in0);
+  Alcotest.(check int)
+    "sel rows out" (Relation.cardinality sel) (out1 - out0)
+
+let test_par_metrics () =
+  let m0 = Obs.Metrics.value_of Obs.k_par_morsels in
+  let s0 = Obs.Metrics.value_of Obs.k_par_scans in
+  with_par_config ~domains:4 ~threshold:64 ~morsel:512 (fun () ->
+      ignore (Par.run ~n:4_096 (fun lo hi -> hi - lo)));
+  let m1 = Obs.Metrics.value_of Obs.k_par_morsels in
+  let s1 = Obs.Metrics.value_of Obs.k_par_scans in
+  Alcotest.(check int) "8 morsels" 8 (m1 - m0);
+  Alcotest.(check int) "1 parallel scan" 1 (s1 - s0);
+  Alcotest.(check int)
+    "domain gauge" 4
+    (Obs.Metrics.value_of Obs.k_par_domains)
+
+(* ---------- memoization ---------- *)
+
+(* one-shot relations must not pay for view construction: the first
+   scan request declines, the second builds *)
+let test_hot_heuristic () =
+  let r = Sample_cars.scaled ~rows:500 ~seed:9 in
+  let pred = Expr.(Cmp (Lt, Col "Price", Const (Value.Int 15000))) in
+  Alcotest.(check bool)
+    "first scan stays on the row path" true
+    (Rel_algebra.columnar_filter r [ pred ] = None);
+  Alcotest.(check bool)
+    "no view built yet" true
+    (Relation.columnar_if_built r = None);
+  Alcotest.(check bool)
+    "second scan builds and compiles" true
+    (Rel_algebra.columnar_filter r [ pred ] <> None);
+  Alcotest.(check bool)
+    "view memoized" true
+    (Relation.columnar_if_built r <> None)
+
+let test_hot_min_rows () =
+  (* below the 256-row floor the hot path never opts in, no matter
+     how often it is scanned — but an explicitly built view is
+     honoured *)
+  let r = Sample_cars.scaled ~rows:50 ~seed:9 in
+  let pred = Expr.(Cmp (Lt, Col "Price", Const (Value.Int 15000))) in
+  for _ = 1 to 3 do
+    Alcotest.(check bool)
+      "tiny relation stays on the row path" true
+      (Rel_algebra.columnar_filter r [ pred ] = None)
+  done;
+  Alcotest.(check bool)
+    "no view built" true
+    (Relation.columnar_if_built r = None);
+  ignore (Relation.columnar_view r);
+  Alcotest.(check bool)
+    "explicitly built view is served" true
+    (Rel_algebra.columnar_filter r [ pred ] <> None)
+
+let test_rows_memoized () =
+  let r = Sample_cars.scaled ~rows:100 ~seed:1 in
+  Alcotest.(check bool)
+    "rows physically equal across calls" true
+    (Relation.rows r == Relation.rows r);
+  let v1 = Relation.columnar_view r in
+  let v2 = Relation.columnar_view r in
+  Alcotest.(check bool)
+    "columnar view built once" true
+    (match (v1, v2) with Some a, Some b -> a == b | _ -> false)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest ~long:false in
+  Alcotest.run "sheet_columnar"
+    [ ( "codec",
+        [ q roundtrip_uniform; q roundtrip_ragged; q roundtrip_with_width ]
+      );
+      ( "columns",
+        [ Alcotest.test_case "specialization" `Quick test_specialization;
+          Alcotest.test_case "mixed column fallback" `Quick
+            test_mixed_column_fallback;
+          Alcotest.test_case "ragged relation" `Quick
+            test_ragged_relation_has_no_view ] );
+      ("predicates", [ q compiled_vs_row ]);
+      ( "parallel",
+        [ Alcotest.test_case "determinism" `Quick test_parallel_determinism;
+          Alcotest.test_case "first error wins" `Quick
+            test_parallel_error_is_sequential_first;
+          Alcotest.test_case "concat" `Quick test_par_concat ] );
+      ( "observability",
+        [ Alcotest.test_case "columnar metrics" `Quick test_columnar_metrics;
+          Alcotest.test_case "par metrics" `Quick test_par_metrics ] );
+      ( "memoization",
+        [ Alcotest.test_case "hot heuristic" `Quick test_hot_heuristic;
+          Alcotest.test_case "hot min rows" `Quick test_hot_min_rows;
+          Alcotest.test_case "rows memoized" `Quick test_rows_memoized ] ) ]

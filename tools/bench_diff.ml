@@ -7,9 +7,10 @@
    v1 has only ns_per_run means, v2 adds exact sample percentiles),
    prints a per-benchmark delta table, and exits non-zero when any
    guarded entry — a name starting with "op/", "table" (the paper's
-   operator-scaling and table-regeneration workloads) or "cache/"
-   (the semantic-cache win) — regressed by more than 25 % on
-   ns_per_run. This is the required check for every
+   operator-scaling and table-regeneration workloads, including the
+   1M-row "table/*-1m" scans), "cache/" (the semantic-cache win) or
+   "col/" (the Sheetcol columnar substrate) — regressed by more than
+   25 % on ns_per_run. This is the required check for every
    perf-claiming PR: regenerate a fresh baseline, diff against the
    committed one, and only commit the new file if the gate is green.
 
@@ -25,7 +26,7 @@ let guarded name =
     && String.sub s 0 (String.length prefix) = prefix
   in
   starts_with "op/" name || starts_with "table" name
-  || starts_with "cache/" name
+  || starts_with "cache/" name || starts_with "col/" name
 
 let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 2) fmt
 

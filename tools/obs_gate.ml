@@ -88,6 +88,13 @@ let run_task catalog (task : Sheet_tpch.Tpch_tasks.t) =
             (Printf.sprintf "requests %d <> exact %d + subsumed %d + miss %d"
                (v Obs.k_cache_requests) (v Obs.k_cache_hits)
                (v Obs.k_cache_hits_subsumed) (v Obs.k_cache_misses));
+          (* columnar selection accounting: a selection vector can
+             only shrink, so survivors never exceed candidates *)
+          check (label "columnar sel")
+            (v Obs.k_col_sel_rows_out <= v Obs.k_col_sel_rows_in)
+            (Printf.sprintf "%s = %d > %s = %d" Obs.k_col_sel_rows_out
+               (v Obs.k_col_sel_rows_out) Obs.k_col_sel_rows_in
+               (v Obs.k_col_sel_rows_in));
           (* and the module-local stats agree with the registry *)
           let cs = Materialize.cache_stats () in
           check (label "cache stats")

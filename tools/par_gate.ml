@@ -1,0 +1,104 @@
+(* Parallel-determinism gate: replay every bundled TPC-H task script
+   once on a single domain and once morsel-parallel on four, with the
+   cutover threshold and morsel size forced low enough that the
+   sf-0.001 relations genuinely split. Fail the build when any task's
+   rows diverge — in content *or order* — between the two runs, on
+   either execution path (Materialize.full and Plan.execute), when the
+   parallel run left spans unbalanced, or when it never actually
+   scheduled a morsel. Run via [dune build @par], part of [@gates]. *)
+
+open Sheet_core
+module Obs = Sheet_obs.Obs
+module Relation = Sheet_rel.Relation
+module Row = Sheet_rel.Row
+module Par = Sheet_rel.Par
+
+let failures = ref 0
+
+let check label ok detail =
+  if not ok then begin
+    Printf.printf "FAIL %s: %s\n" label detail;
+    incr failures
+  end
+
+let with_config ~domains f =
+  Par.set_domain_count domains;
+  Par.set_parallel_threshold 64;
+  Par.set_morsel_rows 128;
+  Fun.protect
+    ~finally:(fun () ->
+      Par.set_domain_count 1;
+      Par.set_parallel_threshold Par.default_parallel_threshold;
+      Par.set_morsel_rows Par.default_morsel_rows)
+    f
+
+(* Materialize and plan-execute the task's final sheet; fresh caches
+   so both runs replay the full pipeline. *)
+let replay catalog (task : Sheet_tpch.Tpch_tasks.t) =
+  Materialize.reset_cache ();
+  match Sheet_sql.Catalog.find catalog task.base with
+  | None -> Error ("no base relation " ^ task.base)
+  | Some base -> (
+      let session = Session.create ~name:task.base base in
+      match Script.run_silent session task.script with
+      | Error msg -> Error msg
+      | Ok session ->
+          let sheet = Session.current session in
+          Ok
+            ( Relation.rows (Materialize.full sheet),
+              Relation.rows (Plan.execute (Plan.of_sheet sheet)) ))
+
+(* morsels/scans scheduled by the 4-domain runs only (the 1-domain
+   runs also tick the counters, but always with one morsel per scan) *)
+let par_morsels = ref 0
+let par_scans = ref 0
+
+let run_task catalog (task : Sheet_tpch.Tpch_tasks.t) =
+  let label what = Printf.sprintf "task %2d %s" task.id what in
+  let seq = with_config ~domains:1 (fun () -> replay catalog task) in
+  Obs.clear_events ();
+  let m0 = Obs.Metrics.value_of Obs.k_par_morsels in
+  let s0 = Obs.Metrics.value_of Obs.k_par_scans in
+  let par = with_config ~domains:4 (fun () -> replay catalog task) in
+  par_morsels :=
+    !par_morsels + (Obs.Metrics.value_of Obs.k_par_morsels - m0);
+  par_scans := !par_scans + (Obs.Metrics.value_of Obs.k_par_scans - s0);
+  match (seq, par) with
+  | Error msg, _ | _, Error msg -> check (label "script") false msg
+  | Ok (m1, p1), Ok (m4, p4) ->
+      check (label "materialize")
+        (List.equal Row.equal m1 m4)
+        "row list diverges between 1 and 4 domains";
+      check (label "plan")
+        (List.equal Row.equal p1 p4)
+        "plan rows diverge between 1 and 4 domains";
+      check (label "spans") (Obs.open_spans () = 0)
+        (Printf.sprintf "%d unclosed span(s)" (Obs.open_spans ()));
+      check (label "nesting") (Obs.nesting_ok ()) "span closed out of order"
+
+let () =
+  Obs.set_sink Obs.Memory;
+  let catalog =
+    Sheet_tpch.Tpch_views.install
+      (Sheet_tpch.Tpch_gen.generate
+         { Sheet_tpch.Tpch_gen.sf = 0.001; seed = 42 })
+  in
+  let tasks = Sheet_tpch.Tpch_tasks.all @ Sheet_tpch.Tpch_tasks.extensions in
+  List.iter (run_task catalog) tasks;
+  (* the 4-domain runs must have actually split scans into morsels —
+     a silently sequential "parallel" run would make the whole
+     comparison vacuous *)
+  check "par.morsels" (!par_morsels > 0) "no morsel was ever scheduled";
+  check "par.scans"
+    (!par_scans > 0)
+    "no scan ever took the multi-morsel path";
+  let morsels = !par_morsels in
+  if !failures > 0 then begin
+    Printf.eprintf "par gate: %d failure(s)\n" !failures;
+    exit 1
+  end
+  else
+    Printf.printf
+      "par gate: %d task(s) bit-identical across 1 and 4 domains (%d \
+       morsels)\n"
+      (List.length tasks) morsels
