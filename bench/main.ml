@@ -339,6 +339,29 @@ let columnar_workloads =
          (Rel_algebra.columnar_filter (Lazy.force rel_1m) [ scaling_pred ]))
   ]
 
+(* Sharded Sheetscope record path under contention: four domains
+   (three spawned plus the coordinator) hammer one histogram and one
+   counter concurrently, sinks off — the hot-path cost the v3
+   sharding must keep invisible. Guarded under the "obs/" prefix so
+   tools/bench_diff.exe fails the build if a record ever grows a lock
+   or a false-sharing stall. 100k records + 100k increments per
+   run. *)
+
+let obs_contended_workload =
+  let h = Sheet_obs.Obs.Histogram.histogram "bench.obs_contended" in
+  let c = Sheet_obs.Obs.Metrics.counter "bench.obs_contended" in
+  fun () ->
+    let per_domain = 25_000 in
+    let work () =
+      for i = 1 to per_domain do
+        Sheet_obs.Obs.Metrics.incr c;
+        Sheet_obs.Obs.Histogram.record h (i land 1023)
+      done
+    in
+    let workers = Array.init 3 (fun _ -> Domain.spawn work) in
+    work ();
+    Array.iter Domain.join workers
+
 (* Semantic materialization cache: answering a tightened selection
    from a warm subsuming state (re-filter + proof) vs replaying the
    100k base cold. Named under the "cache/" prefix so
@@ -423,7 +446,8 @@ let workloads =
   @ columnar_workloads
   @ [ (* semantic cache (guarded under the "cache/" prefix) *)
     ("cache/cold-100k", Some 100_000, cache_cold_workload);
-    ("cache/subsumed-hit-100k", Some 100_000, cache_subsumed_workload)
+    ("cache/subsumed-hit-100k", Some 100_000, cache_subsumed_workload);
+    ("obs/record-contended", Some 100_000, obs_contended_workload)
   ]
   @ [ (* ablations *)
     ("ablation/replay-8-selections", Some 1000,

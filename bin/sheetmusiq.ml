@@ -51,6 +51,8 @@ Observability (Sheetscope):
   explain                         show the compiled + optimized plan
   explain analyze | profile       run the plan, per-node rows and timings
   metrics                         counters, gauges, latency percentiles
+  slo [json]                      evaluate latency/error-rate SLOs
+                                  (per-session series included)
   flightrec [json|clear]          session flight recorder (last 512 events)
   trace [status|mem|logs|off|clear]   span tracing sink control
   trace export <path>             write Chrome trace_event JSON|}
@@ -138,6 +140,11 @@ let handle_extra session line =
 
 let () =
   let session = ref (load_initial ()) in
+  (* per-session labeled series: engine.apply{session=...} etc. feed
+     the `slo` report *)
+  Sheet_obs.Obs.set_ambient_labels
+    (Sheet_obs.Obs.Labels.v
+       [ ("session", (Session.current !session).Spreadsheet.base_name) ]);
   Printf.printf "SheetMusiq -- direct data manipulation. 'help' for \
                  commands, 'quit' to exit.\n\n";
   show !session;

@@ -58,8 +58,13 @@ let event_of_notty = function
   | _ -> None
 
 let () =
+  let session = load_initial () in
+  (* per-session labeled series feeding the slo status segment *)
+  Sheet_obs.Obs.set_ambient_labels
+    (Sheet_obs.Obs.Labels.v
+       [ ("session", (Session.current session).Spreadsheet.base_name) ]);
   let term = Notty_unix.Term.create () in
-  let state = ref (Browser.init (load_initial ())) in
+  let state = ref (Browser.init session) in
   let rec loop () =
     let w, h = Notty_unix.Term.size term in
     Notty_unix.Term.image term

@@ -15,6 +15,8 @@
      \timing       toggle per-statement wall-time reporting
      \flightrec [json|clear]   dump / export / reset the session
                    flight recorder (Sheetscope)
+     \slo [json]   evaluate the declared latency/error-rate SLOs
+                   (per-session labeled series included)
      \d            list tables
      \d <table>    describe a table
      \q            quit
@@ -138,6 +140,9 @@ let translate_and_run catalog sql =
 
 let () =
   let catalog = build_catalog () in
+  (* per-session labeled series: sql.run{session=sheetsql} feeds \slo *)
+  Sheet_obs.Obs.set_ambient_labels
+    (Sheet_obs.Obs.Labels.v [ ("session", "sheetsql") ]);
   Printf.printf
     "sheetsql -- core single-block SQL over the spreadsheet engine.\n\
      Tables:\n";
@@ -145,7 +150,8 @@ let () =
   Printf.printf
     "\\d to list tables, \\t <sql> to translate, \\lint <sql> to analyze, \
      \\profile <sql> to time, \\timing to toggle, \\flightrec [json|clear] \
-     for the flight recorder, \\q to quit.\n";
+     for the flight recorder, \\slo [json] for the SLO report, \\q to \
+     quit.\n";
   let buffer = Buffer.create 256 in
   (try
      while true do
@@ -172,6 +178,11 @@ let () =
          Sheet_obs.Obs.Flightrec.clear ();
          print_endline "flight recorder cleared"
        end
+       else if trimmed = "\\slo" then
+         print_endline (Sheet_obs.Obs.Slo.render ())
+       else if trimmed = "\\slo json" then
+         print_endline
+           (Sheet_obs.Obs_json.to_string (Sheet_obs.Obs.Slo.to_json ()))
        else if
          String.length trimmed >= 9 && String.sub trimmed 0 9 = "\\profile "
        then

@@ -467,6 +467,11 @@ let apply ?store sheet (op : Op.t) =
   Obs.Histogram.record
     (Obs.Histogram.histogram (Obs.h_engine_apply ^ "." ^ Op.kind op))
     dt;
+  (let labels = Obs.ambient_labels () in
+   if not (Obs.Labels.is_empty labels) then
+     Obs.Histogram.record
+       (Obs.Histogram.histogram_labeled Obs.h_engine_apply labels)
+       dt);
   (match result with Error _ -> Obs.Metrics.incr c_errors | Ok _ -> ());
   Obs.finish sp;
   result

@@ -340,6 +340,14 @@ let run_line session line =
         Ok { session; output = Some text }
     | "metrics" ->
         Ok { session; output = Some (Obs.metrics_report ()) }
+    | "slo" -> (
+        match split_words (String.lowercase_ascii rest) with
+        | [] -> Ok { session; output = Some (Obs.Slo.render ()) }
+        | [ "json" ] ->
+            Ok
+              { session;
+                output = Some (Obs_json.to_string (Obs.Slo.to_json ())) }
+        | _ -> Error "slo: expected [json]")
     | "flightrec" -> (
         match split_words (String.lowercase_ascii rest) with
         | [] -> Ok { session; output = Some (Obs.Flightrec.render ()) }

@@ -1,29 +1,57 @@
-(* Sheetscope: span tracing, a metrics registry, and pluggable sinks.
+(* Sheetscope v3: span tracing, a domain-safe sharded metrics registry,
+   labeled per-session series, SLO evaluation, and pluggable sinks.
 
-   Everything here is deliberately single-threaded mutable state, like
-   the materialization cache it observes. The off-sink fast path is a
-   single mutable-bool test so instrumented code costs nothing when
-   nobody is watching (property-tested byte-identical). *)
+   Since v3 the metric families survive concurrent writers: counters,
+   gauges and histograms are sharded over per-domain atomic cells
+   (exact merge-on-read), the span ring is mutex-protected, and
+   [emit] may be called from any domain — the old rule that morsel
+   workers must never touch Sheetscope is gone. Span *opening*
+   ([span]/[finish]) keeps single-writer nesting state and stays a
+   coordinator-only affair; workers record completed spans through
+   [emit]. The off-sink fast path is still a single mutable-bool test
+   so instrumented code costs nothing when nobody is watching
+   (property-tested byte-identical). *)
 
 let src = Logs.Src.create "sheetscope" ~doc:"SheetMusiq instrumentation"
+
+let with_lock m f = Mutex.protect m f
+
+(* ---------- sharding ----------
+
+   Fixed power-of-two shard count; a domain owns the slot of its id
+   modulo [num_shards]. Collisions (two live domains whose ids are
+   congruent) are allowed: every cell update is atomic, so collisions
+   cost contention, never lost increments — merge-on-read totals are
+   exact whatever the schedule. *)
+
+let num_shards = 64
+let shard_index () = (Domain.self () :> int) land (num_shards - 1)
+
+(* atomic max via CAS loop *)
+let rec atomic_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then atomic_max cell v
 
 (* ---------- clock ----------
 
    The wall clock can step backwards (NTP slew, VM migration); a span
    or histogram sample must never report a negative duration. Readings
    are clamped into a monotone timeline: [now_ns] never decreases
-   within a process. The raw source is swappable so tests can drive
+   within a process — the watermark is atomic so the guarantee holds
+   across domains too. The raw source is swappable so tests can drive
    time backwards and check the clamp. *)
 
 let wall_clock_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
 let raw_clock = ref wall_clock_ns
-let last_ns = ref 0
+let last_ns = Atomic.make 0
 
-let now_ns () =
+let rec now_ns () =
   let t = !raw_clock () in
-  if t > !last_ns then last_ns := t;
-  !last_ns
+  let cur = Atomic.get last_ns in
+  if t > cur then
+    if Atomic.compare_and_set last_ns cur t then t else now_ns ()
+  else cur
 
 let set_raw_clock_for_tests = function
   | Some f -> raw_clock := f
@@ -31,7 +59,7 @@ let set_raw_clock_for_tests = function
       raw_clock := wall_clock_ns;
       (* re-anchor so a test clock set far in the future does not pin
          the timeline there *)
-      last_ns := wall_clock_ns ()
+      Atomic.set last_ns (wall_clock_ns ())
 
 let epoch_ns = now_ns ()
 
@@ -75,38 +103,53 @@ type span = {
 let dummy_span =
   { sid = 0; s_name = ""; s_kind = ""; s_uid = 0; s_depth = 0; s_start = 0 }
 
-let span_counter = ref 0
+let span_counter = Atomic.make 0
+
+(* Nesting state is deliberately single-writer (the session's driving
+   thread): worker domains record completed spans via [emit] and never
+   push or pop here. *)
 let open_stack : int list ref = ref []
-let violations = ref 0
+let violations = Atomic.make 0
 
 let ring_capacity = ref 65536
 let ring : event Queue.t = Queue.create ()
 let dropped_events = ref 0
+let ring_mutex = Mutex.create ()
 
 let record ev =
   match !current_sink with
   | Off -> ()
   | Memory ->
-      if Queue.length ring >= !ring_capacity then begin
-        ignore (Queue.pop ring);
-        incr dropped_events
-      end;
-      Queue.push ev ring
+      with_lock ring_mutex (fun () ->
+          if Queue.length ring >= !ring_capacity then begin
+            ignore (Queue.pop ring);
+            incr dropped_events
+          end;
+          Queue.push ev ring)
   | Logs ->
-      Logs.app ~src (fun m ->
-          m "%*s%s%s %.3f ms%s%s" (2 * ev.depth) "" ev.name
-            (if ev.kind = "" then "" else "[" ^ ev.kind ^ "]")
-            (float_of_int ev.dur_ns /. 1e6)
-            (if ev.rows_out < 0 then ""
-             else Printf.sprintf " -> %d rows" ev.rows_out)
-            (if ev.uid = 0 then "" else Printf.sprintf " (sheet #%d)" ev.uid))
+      with_lock ring_mutex (fun () ->
+          Logs.app ~src (fun m ->
+              m "%*s%s%s %.3f ms%s%s" (2 * ev.depth) "" ev.name
+                (if ev.kind = "" then "" else "[" ^ ev.kind ^ "]")
+                (float_of_int ev.dur_ns /. 1e6)
+                (if ev.rows_out < 0 then ""
+                 else Printf.sprintf " -> %d rows" ev.rows_out)
+                (if ev.uid = 0 then ""
+                 else Printf.sprintf " (sheet #%d)" ev.uid)))
+
+let current_depth () = List.length !open_stack
+
+(* GC gauges are sampled at span boundaries; forward-declared so
+   [span]/[finish] can call the sampler defined after [Metrics]. *)
+let gc_sampler : (unit -> unit) ref = ref (fun () -> ())
+let sample_gc_gauges () = !gc_sampler ()
 
 let span ?(uid = 0) ?(kind = "") name =
   if not (recording ()) then dummy_span
   else begin
-    incr span_counter;
+    sample_gc_gauges ();
     let s =
-      { sid = !span_counter;
+      { sid = Atomic.fetch_and_add span_counter 1 + 1;
         s_name = name;
         s_kind = kind;
         s_uid = uid;
@@ -124,33 +167,40 @@ let finish ?(rows_in = -1) ?(rows_out = -1) sp =
     | _ ->
         (* closing out of order: count the violation but still remove
            the span so one mistake does not cascade *)
-        incr violations;
+        Atomic.incr violations;
         open_stack := List.filter (fun id -> id <> sp.sid) !open_stack);
+    sample_gc_gauges ();
     record
       { name = sp.s_name;
         kind = sp.s_kind;
         uid = sp.s_uid;
         depth = sp.s_depth;
-        start_ns = sp.s_start;
         (* the clamped clock makes this non-negative already; the [max]
            guards the invariant even against a hostile test clock *)
         dur_ns = max 0 (now_ns () - epoch_ns - sp.s_start);
         rows_in;
-        rows_out }
+        rows_out;
+        start_ns = sp.s_start }
   end
 
-(* Pre-timed completed spans: the morsel scheduler's worker domains
-   must not touch the single-writer ring/stack, so they only stamp
-   start/duration into per-morsel slots and the coordinator emits the
-   events after the join. [start_ns] is an absolute [now_ns] reading. *)
-let emit ?(uid = 0) ?(kind = "") ?(rows_in = -1) ?(rows_out = -1) ~start_ns
-    ~dur_ns name =
+(* Completed spans recorded after the fact, from any domain: the
+   morsel workers time their own morsels and push the event straight
+   into the (mutex-protected) ring. [depth] defaults to the
+   coordinator's current nesting depth; parallel callers pass the
+   depth captured before the fan-out so worker events nest under the
+   span that spawned them. [start_ns] is an absolute [now_ns]
+   reading. *)
+let emit ?(uid = 0) ?(kind = "") ?(rows_in = -1) ?(rows_out = -1) ?depth
+    ~start_ns ~dur_ns name =
   if recording () then
+    let depth =
+      match depth with Some d -> d | None -> List.length !open_stack
+    in
     record
       { name;
         kind;
         uid;
-        depth = List.length !open_stack;
+        depth;
         start_ns = start_ns - epoch_ns;
         dur_ns = max 0 dur_ns;
         rows_in;
@@ -167,15 +217,19 @@ let with_span ?uid ?kind name f =
       raise e
 
 let open_spans () = List.length !open_stack
-let nesting_ok () = !violations = 0
-let events () = List.of_seq (Queue.to_seq ring)
-let dropped () = !dropped_events
+let nesting_ok () = Atomic.get violations = 0
+
+let events () =
+  with_lock ring_mutex (fun () -> List.of_seq (Queue.to_seq ring))
+
+let dropped () = with_lock ring_mutex (fun () -> !dropped_events)
 
 let clear_events () =
-  Queue.clear ring;
+  with_lock ring_mutex (fun () ->
+      Queue.clear ring;
+      dropped_events := 0);
   open_stack := [];
-  violations := 0;
-  dropped_events := 0
+  Atomic.set violations 0
 
 (* Completed events are well-formed when every pair of overlapping
    intervals nests: the deeper one lies inside the shallower one. *)
@@ -200,42 +254,155 @@ let events_well_formed evs =
     arr;
   !ok
 
+(* ---------- labels ----------
+
+   A bounded extra dimension on counters and histograms: a labeled
+   series is a full registry entry named [base ^ "{k=v,...}"], so
+   snapshots, JSON export and SLO evaluation see per-session /
+   per-task series with no new machinery. Cardinality is capped per
+   base name; past the cap every new label set lands in one shared
+   "{__overflow__}" series, so a hostile or buggy labeler can create
+   at most cap + 1 entries per family. *)
+
+module Labels = struct
+  type t = (string * string) list  (* sorted by key, deduped *)
+
+  let empty = []
+  let is_empty l = l = []
+
+  (* keys/values are embedded in series names: strip the four
+     characters that would make the encoding ambiguous *)
+  let sanitize s =
+    String.map (function '{' | '}' | ',' | '=' -> '_' | c -> c) s
+
+  let v pairs =
+    List.fold_left
+      (fun acc (k, value) ->
+        let k = sanitize k and value = sanitize value in
+        (k, value) :: List.remove_assoc k acc)
+      [] pairs
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let pairs t = t
+
+  let to_string = function
+    | [] -> ""
+    | ls ->
+        "{"
+        ^ String.concat ","
+            (List.map (fun (k, value) -> k ^ "=" ^ value) ls)
+        ^ "}"
+end
+
+let overflow_suffix = "{__overflow__}"
+
+let series_base name =
+  match String.index_opt name '{' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let default_label_cap = 64
+let label_cap_ref = ref default_label_cap
+let set_label_cap n = label_cap_ref := max 1 n
+let label_cap () = !label_cap_ref
+
+(* one mutex guards both registries and the per-family label counts *)
+let reg_mutex = Mutex.create ()
+
+(* admitted label sets per (registry tag, base name) *)
+let label_sets : (string, int) Hashtbl.t = Hashtbl.create 16
+
+(* Resolve the registry key for [name]+[labels]: an existing labeled
+   series, a fresh one while the family is under the cap, or the
+   overflow series. Caller holds [reg_mutex]; [mem] answers "is this
+   key already registered". *)
+let labeled_key ~tag ~mem name labels =
+  if Labels.is_empty labels then name
+  else
+    let key = name ^ Labels.to_string labels in
+    if mem key then key
+    else
+      let family = tag ^ ":" ^ name in
+      let admitted =
+        Option.value (Hashtbl.find_opt label_sets family) ~default:0
+      in
+      if admitted < !label_cap_ref then begin
+        Hashtbl.replace label_sets family (admitted + 1);
+        key
+      end
+      else name ^ overflow_suffix
+
+(* Ambient labels: the session identity the shells stamp on hot-path
+   series (engine.apply, sql.run). Single-writer like the span stack —
+   worker domains never set or read it. *)
+let ambient = ref Labels.empty
+let set_ambient_labels ls = ambient := ls
+let ambient_labels () = !ambient
+
 (* ---------- metrics ---------- *)
 
 module Metrics = struct
   type mkind = Counter | Gauge
 
-  type m = { m_name : string; m_kind : mkind; mutable value : int }
+  type m = { m_name : string; m_kind : mkind; cells : int Atomic.t array }
 
   let registry : (string, m) Hashtbl.t = Hashtbl.create 64
 
-  let find name m_kind =
+  let find_locked name m_kind =
     match Hashtbl.find_opt registry name with
     | Some m -> m
     | None ->
-        let m = { m_name = name; m_kind; value = 0 } in
+        let m =
+          { m_name = name;
+            m_kind;
+            cells = Array.init num_shards (fun _ -> Atomic.make 0) }
+        in
         Hashtbl.replace registry name m;
         m
 
-  let counter name = find name Counter
-  let gauge name = find name Gauge
+  let counter name = with_lock reg_mutex (fun () -> find_locked name Counter)
+  let gauge name = with_lock reg_mutex (fun () -> find_locked name Gauge)
 
-  let incr ?(by = 1) m = m.value <- m.value + by
-  let set m v = m.value <- v
-  let get m = m.value
+  let counter_labeled name labels =
+    with_lock reg_mutex (fun () ->
+        find_locked
+          (labeled_key ~tag:"m" ~mem:(Hashtbl.mem registry) name labels)
+          Counter)
+
+  let incr ?(by = 1) m =
+    ignore (Atomic.fetch_and_add m.cells.(shard_index ()) by)
+
+  (* gauges are last-write-wins: the value lives in cell 0 and a [set]
+     clears whatever other shards accumulated *)
+  let set m v =
+    Array.iteri (fun i c -> if i > 0 then Atomic.set c 0) m.cells;
+    Atomic.set m.cells.(0) v
+
+  let get m = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 m.cells
   let name m = m.m_name
   let is_counter m = m.m_kind = Counter
 
   let value_of name =
-    match Hashtbl.find_opt registry name with
-    | Some m -> m.value
+    match with_lock reg_mutex (fun () -> Hashtbl.find_opt registry name) with
+    | Some m -> get m
     | None -> 0
 
-  let snapshot () =
-    Hashtbl.fold (fun name m acc -> (name, m.value) :: acc) registry []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  let entries () =
+    with_lock reg_mutex (fun () ->
+        Hashtbl.fold (fun _ m acc -> m :: acc) registry [])
+    |> List.sort (fun a b -> String.compare a.m_name b.m_name)
 
-  let reset () = Hashtbl.iter (fun _ m -> m.value <- 0) registry
+  let snapshot () = List.map (fun m -> (m.m_name, get m)) (entries ())
+
+  let counters_snapshot () =
+    List.filter_map
+      (fun m -> if m.m_kind = Counter then Some (m.m_name, get m) else None)
+      (entries ())
+
+  let reset () =
+    List.iter
+      (fun m -> Array.iter (fun c -> Atomic.set c 0) m.cells)
+      (entries ())
 
   let to_json () =
     Obs_json.Obj
@@ -259,7 +426,9 @@ end
    exact; p50/p90/p99 are bucket estimates (linear interpolation
    inside the bucket holding the rank, never above the observed max);
    max is exact. Like counters — and unlike spans — histograms always
-   record, sink or no sink: one record costs a few int increments. *)
+   record, sink or no sink, and since v3 from any domain: cells are
+   sharded per domain and every update is atomic, so concurrent
+   totals equal a single-writer run exactly. *)
 
 module Histogram = struct
   (* 100 ns * 10^(i/4) for i = 0..32: 100 ns, 178 ns, 316 ns, 562 ns,
@@ -271,30 +440,52 @@ module Histogram = struct
 
   let num_buckets = Array.length boundaries + 1
 
-  type h = {
-    h_name : string;
-    counts : int array;
-    mutable count : int;
-    mutable sum_ns : int;
-    mutable max_ns : int;
+  type shard = {
+    sh_counts : int Atomic.t array;
+    sh_count : int Atomic.t;
+    sh_sum : int Atomic.t;
+    sh_max : int Atomic.t;
   }
 
+  (* shard slots fill lazily: most histograms are only ever touched by
+     the driving domain, so eager allocation of every slot would waste
+     num_shards * num_buckets atomics per series *)
+  type h = { h_name : string; shards : shard option Atomic.t array }
+
+  let fresh_shard () =
+    { sh_counts = Array.init num_buckets (fun _ -> Atomic.make 0);
+      sh_count = Atomic.make 0;
+      sh_sum = Atomic.make 0;
+      sh_max = Atomic.make 0 }
+
   let make name =
-    { h_name = name;
-      counts = Array.make num_buckets 0;
-      count = 0;
-      sum_ns = 0;
-      max_ns = 0 }
+    { h_name = name; shards = Array.init num_shards (fun _ -> Atomic.make None) }
+
+  let shard h =
+    let cell = h.shards.(shard_index ()) in
+    match Atomic.get cell with
+    | Some s -> s
+    | None ->
+        let s = fresh_shard () in
+        if Atomic.compare_and_set cell None (Some s) then s
+        else (match Atomic.get cell with Some s -> s | None -> assert false)
 
   let registry : (string, h) Hashtbl.t = Hashtbl.create 32
 
-  let histogram name =
+  let find_locked name =
     match Hashtbl.find_opt registry name with
     | Some h -> h
     | None ->
         let h = make name in
         Hashtbl.replace registry name h;
         h
+
+  let histogram name = with_lock reg_mutex (fun () -> find_locked name)
+
+  let histogram_labeled name labels =
+    with_lock reg_mutex (fun () ->
+        find_locked
+          (labeled_key ~tag:"h" ~mem:(Hashtbl.mem registry) name labels))
 
   (* smallest i with v <= boundaries.(i); the overflow bucket past the
      last boundary *)
@@ -320,54 +511,98 @@ module Histogram = struct
 
   let record h ns =
     let ns = if ns < 0 then 0 else ns in
+    let s = shard h in
     let i = bucket_index ns in
-    h.counts.(i) <- h.counts.(i) + 1;
-    h.count <- h.count + 1;
-    h.sum_ns <- h.sum_ns + ns;
-    if ns > h.max_ns then h.max_ns <- ns
+    ignore (Atomic.fetch_and_add s.sh_counts.(i) 1);
+    ignore (Atomic.fetch_and_add s.sh_count 1);
+    ignore (Atomic.fetch_and_add s.sh_sum ns);
+    atomic_max s.sh_max ns
 
-  let count h = h.count
-  let sum_ns h = h.sum_ns
-  let max_ns h = h.max_ns
+  (* exact merged totals across shards — every reader goes through
+     this, so a snapshot is a single-writer-equivalent view *)
+  type totals = {
+    t_counts : int array;
+    t_count : int;
+    t_sum : int;
+    t_max : int;
+  }
+
+  let totals h =
+    let t =
+      { t_counts = Array.make num_buckets 0; t_count = 0; t_sum = 0; t_max = 0 }
+    in
+    Array.fold_left
+      (fun acc cell ->
+        match Atomic.get cell with
+        | None -> acc
+        | Some s ->
+            Array.iteri
+              (fun i c -> acc.t_counts.(i) <- acc.t_counts.(i) + Atomic.get c)
+              s.sh_counts;
+            { acc with
+              t_count = acc.t_count + Atomic.get s.sh_count;
+              t_sum = acc.t_sum + Atomic.get s.sh_sum;
+              t_max = max acc.t_max (Atomic.get s.sh_max) })
+      t h.shards
+
+  let of_totals name t =
+    let h = make name in
+    let s = fresh_shard () in
+    Array.iteri (fun i n -> Atomic.set s.sh_counts.(i) n) t.t_counts;
+    Atomic.set s.sh_count t.t_count;
+    Atomic.set s.sh_sum t.t_sum;
+    Atomic.set s.sh_max t.t_max;
+    Atomic.set h.shards.(0) (Some s);
+    h
+
+  let count h = (totals h).t_count
+  let sum_ns h = (totals h).t_sum
+  let max_ns h = (totals h).t_max
   let name h = h.h_name
 
   let merge a b =
-    { h_name = a.h_name;
-      counts = Array.init num_buckets (fun i -> a.counts.(i) + b.counts.(i));
-      count = a.count + b.count;
-      sum_ns = a.sum_ns + b.sum_ns;
-      max_ns = max a.max_ns b.max_ns }
+    let ta = totals a and tb = totals b in
+    of_totals a.h_name
+      { t_counts =
+          Array.init num_buckets (fun i -> ta.t_counts.(i) + tb.t_counts.(i));
+        t_count = ta.t_count + tb.t_count;
+        t_sum = ta.t_sum + tb.t_sum;
+        t_max = max ta.t_max tb.t_max }
 
   (* data equality — the name is not compared, so merge commutativity
      is testable on differently-named operands *)
   let equal a b =
-    a.count = b.count && a.sum_ns = b.sum_ns && a.max_ns = b.max_ns
-    && a.counts = b.counts
+    let ta = totals a and tb = totals b in
+    ta.t_count = tb.t_count && ta.t_sum = tb.t_sum && ta.t_max = tb.t_max
+    && ta.t_counts = tb.t_counts
 
   (* Estimate the [phi]-quantile (0 < phi <= 1): locate the bucket
      holding the ceil(phi*count)-th smallest sample, interpolate
      linearly inside it, and never exceed the exact max. *)
-  let percentile h phi =
-    if h.count = 0 then 0.
+  let percentile_of_totals t phi =
+    if t.t_count = 0 then 0.
     else begin
       let rank =
-        max 1 (min h.count (int_of_float (ceil (phi *. float_of_int h.count))))
+        max 1
+          (min t.t_count (int_of_float (ceil (phi *. float_of_int t.t_count))))
       in
       let i = ref 0 and before = ref 0 in
-      while !before + h.counts.(!i) < rank do
-        before := !before + h.counts.(!i);
+      while !before + t.t_counts.(!i) < rank do
+        before := !before + t.t_counts.(!i);
         incr i
       done;
       let lo = float_of_int (bucket_lo !i) in
       let hi =
         Float.min
-          (float_of_int (min (bucket_hi !i) h.max_ns))
-          (float_of_int h.max_ns)
+          (float_of_int (min (bucket_hi !i) t.t_max))
+          (float_of_int t.t_max)
       in
       let hi = Float.max hi lo in
-      let in_bucket = float_of_int h.counts.(!i) in
+      let in_bucket = float_of_int t.t_counts.(!i) in
       lo +. ((hi -. lo) *. float_of_int (rank - !before) /. in_bucket)
     end
+
+  let percentile h phi = percentile_of_totals (totals h) phi
 
   type snapshot = {
     s_name : string;
@@ -381,32 +616,49 @@ module Histogram = struct
   }
 
   let snapshot_of h =
+    let t = totals h in
     { s_name = h.h_name;
-      s_count = h.count;
-      s_sum_ns = h.sum_ns;
-      s_max_ns = h.max_ns;
-      s_p50_ns = percentile h 0.50;
-      s_p90_ns = percentile h 0.90;
-      s_p99_ns = percentile h 0.99;
+      s_count = t.t_count;
+      s_sum_ns = t.t_sum;
+      s_max_ns = t.t_max;
+      s_p50_ns = percentile_of_totals t 0.50;
+      s_p90_ns = percentile_of_totals t 0.90;
+      s_p99_ns = percentile_of_totals t 0.99;
       s_buckets =
         List.filter_map
           (fun i ->
-            if h.counts.(i) = 0 then None
-            else Some (bucket_hi i, h.counts.(i)))
+            if t.t_counts.(i) = 0 then None
+            else Some (bucket_hi i, t.t_counts.(i)))
           (List.init num_buckets Fun.id) }
 
-  let snapshots () =
-    Hashtbl.fold (fun _ h acc -> snapshot_of h :: acc) registry []
-    |> List.sort (fun a b -> String.compare a.s_name b.s_name)
+  let entries () =
+    with_lock reg_mutex (fun () ->
+        Hashtbl.fold (fun _ h acc -> h :: acc) registry [])
+    |> List.sort (fun a b -> String.compare a.h_name b.h_name)
+
+  let snapshots () = List.map snapshot_of (entries ())
+
+  let counts_snapshot () = List.map (fun h -> (h.h_name, count h)) (entries ())
+
+  (* every registered series of one family: the base histogram plus
+     its labeled variants, sorted by name — what SLO evaluation walks *)
+  let series_of_base base =
+    List.filter (fun h -> series_base h.h_name = base) (entries ())
 
   let reset () =
-    Hashtbl.iter
-      (fun _ h ->
-        Array.fill h.counts 0 num_buckets 0;
-        h.count <- 0;
-        h.sum_ns <- 0;
-        h.max_ns <- 0)
-      registry
+    List.iter
+      (fun h ->
+        Array.iter
+          (fun cell ->
+            match Atomic.get cell with
+            | None -> ()
+            | Some s ->
+                Array.iter (fun c -> Atomic.set c 0) s.sh_counts;
+                Atomic.set s.sh_count 0;
+                Atomic.set s.sh_sum 0;
+                Atomic.set s.sh_max 0)
+          h.shards)
+      (entries ())
 
   let json_of_snapshot s =
     Obs_json.Obj
@@ -473,7 +725,8 @@ let k_sql_executions = "sql.executions"
 
 (* Sheetcol / morsel-parallelism names. [k_par_domains] is a gauge
    (the resolved domain count of the most recent parallel region);
-   the rest are counters fed by the columnar scan driver. *)
+   the rest are counters fed by the columnar scan driver — since v3
+   the executing domain ticks them itself. *)
 let k_par_domains = "par.domains"
 let k_par_morsels = "par.morsels"
 let k_par_scans = "par.scans"
@@ -482,10 +735,19 @@ let k_col_dict_entries = "columnar.dict_entries"
 let k_col_sel_rows_in = "columnar.sel_rows_in"
 let k_col_sel_rows_out = "columnar.sel_rows_out"
 
+(* Runtime telemetry: GC gauges sampled at span boundaries (and on
+   every metrics/trace export), so traces carry the collector's view
+   of the workload that produced them. *)
+let k_gc_minor = "gc.minor_collections"
+let k_gc_major = "gc.major_collections"
+let k_gc_promoted = "gc.promoted_words"
+let k_gc_heap = "gc.heap_words"
+
 (* Well-known histogram names. [h_engine_apply] counts every
    [Engine.apply] (per-kind series ride alongside under
-   "engine.apply.<kind>"); the plan interpreter records one sample per
-   node under "plan.node.<kind>". *)
+   "engine.apply.<kind>", per-session ones under
+   "engine.apply{session=...}"); the plan interpreter records one
+   sample per node under "plan.node.<kind>". *)
 let h_engine_apply = "engine.apply"
 let h_materialize_full = "materialize.full"
 let h_materialize_stratum = "materialize.stratum"
@@ -507,7 +769,8 @@ let () =
       k_col_sel_rows_out ];
   List.iter
     (fun k -> ignore (Metrics.gauge k))
-    [ k_undo_depth; k_redo_depth; k_par_domains ];
+    [ k_undo_depth; k_redo_depth; k_par_domains; k_gc_minor; k_gc_major;
+      k_gc_promoted; k_gc_heap ];
   List.iter
     (fun k -> ignore (Histogram.histogram k))
     [ h_engine_apply; h_materialize_full; h_materialize_stratum;
@@ -516,6 +779,21 @@ let () =
     (fun kind -> ignore (Histogram.histogram (h_plan_node_prefix ^ kind)))
     [ "scan"; "project"; "filter"; "distinct"; "extend"; "extend-agg";
       "sort" ]
+
+(* wire the span-boundary GC sampler now that the gauges exist *)
+let g_gc_minor = Metrics.gauge k_gc_minor
+let g_gc_major = Metrics.gauge k_gc_major
+let g_gc_promoted = Metrics.gauge k_gc_promoted
+let g_gc_heap = Metrics.gauge k_gc_heap
+
+let () =
+  gc_sampler :=
+    fun () ->
+      let s = Gc.quick_stat () in
+      Metrics.set g_gc_minor s.Gc.minor_collections;
+      Metrics.set g_gc_major s.Gc.major_collections;
+      Metrics.set g_gc_promoted (int_of_float s.Gc.promoted_words);
+      Metrics.set g_gc_heap s.Gc.heap_words
 
 type core_stats = {
   engine_ops : int;
@@ -565,11 +843,12 @@ let core_stats () =
 
    A bounded ring of structured events describing what a session did
    — operators applied and rejected, undo/redo, materialization-cache
-   traffic, SQL translations, and "slow op" markers for anything over
-   the threshold — so a slow or wedged session can be diagnosed after
-   the fact. Always on (the ring is small and a record is one
-   allocation), independent of the span sink; the SHEETSCOPE_SLOW_MS
-   environment knob (default 100) sets the slow-op threshold. *)
+   traffic, SQL translations, "slow op" markers for anything over
+   the threshold, and one-time configuration warnings — so a slow or
+   wedged session can be diagnosed after the fact. Always on (the
+   ring is small and a record is one allocation), independent of the
+   span sink; the SHEETSCOPE_SLOW_MS environment knob (default 100)
+   sets the slow-op threshold. *)
 
 module Flightrec = struct
   type event = {
@@ -583,18 +862,11 @@ module Flightrec = struct
   let capacity = ref 512
   let ring : event Queue.t = Queue.create ()
   let dropped_events = ref 0
+  let fr_mutex = Mutex.create ()
 
   let default_slow_ms = 100.
 
-  let slow_ms_of_env () =
-    match Sys.getenv_opt "SHEETSCOPE_SLOW_MS" with
-    | Some s -> (
-        match float_of_string_opt (String.trim s) with
-        | Some ms when ms >= 0. -> ms
-        | _ -> default_slow_ms)
-    | None -> default_slow_ms
-
-  let slow_threshold = ref (int_of_float (slow_ms_of_env () *. 1e6))
+  let slow_threshold = ref (int_of_float (default_slow_ms *. 1e6))
 
   let slow_threshold_ns () = !slow_threshold
   let set_slow_threshold_ms ms =
@@ -603,24 +875,29 @@ module Flightrec = struct
   let set_capacity n = capacity := max 1 n
 
   let record ?(uid = 0) ?(dur_ns = -1) ~kind label =
-    if Queue.length ring >= !capacity then begin
-      ignore (Queue.pop ring);
-      incr dropped_events
-    end;
-    Queue.push
-      { at_ns = now_ns () - epoch_ns;
-        f_kind = kind;
-        f_label = label;
-        f_uid = uid;
-        f_dur_ns = dur_ns }
-      ring
+    with_lock fr_mutex (fun () ->
+        if Queue.length ring >= !capacity then begin
+          ignore (Queue.pop ring);
+          incr dropped_events
+        end;
+        Queue.push
+          { at_ns = now_ns () - epoch_ns;
+            f_kind = kind;
+            f_label = label;
+            f_uid = uid;
+            f_dur_ns = dur_ns }
+          ring)
 
-  let events () = List.of_seq (Queue.to_seq ring)
-  let dropped () = !dropped_events
+  let events () =
+    with_lock fr_mutex (fun () -> List.of_seq (Queue.to_seq ring))
+
+  let length () = with_lock fr_mutex (fun () -> Queue.length ring)
+  let dropped () = with_lock fr_mutex (fun () -> !dropped_events)
 
   let clear () =
-    Queue.clear ring;
-    dropped_events := 0
+    with_lock fr_mutex (fun () ->
+        Queue.clear ring;
+        dropped_events := 0)
 
   let event_to_json ev =
     Obs_json.Obj
@@ -637,7 +914,7 @@ module Flightrec = struct
       [ ("schema", Obs_json.String "sheetscope-flightrec/v1");
         ("slow_threshold_ms",
          Obs_json.Float (float_of_int !slow_threshold /. 1e6));
-        ("dropped", Obs_json.Int !dropped_events);
+        ("dropped", Obs_json.Int (dropped ()));
         ("events", Obs_json.List (List.map event_to_json (events ()))) ]
 
   let render ?limit () =
@@ -666,6 +943,220 @@ module Flightrec = struct
            evs)
 end
 
+(* ---------- environment knobs ----------
+
+   Centralized env parsing with warn-once diagnostics: an invalid
+   value used to be silently swallowed; now the first rejection per
+   variable drops a "env-warning" event into the flight recorder
+   naming the variable, the rejected value and the fallback used. *)
+
+module Env = struct
+  let warned : (string, unit) Hashtbl.t = Hashtbl.create 4
+  let env_mutex = Mutex.create ()
+
+  let reset_warnings_for_tests () =
+    with_lock env_mutex (fun () -> Hashtbl.reset warned)
+
+  let warn_invalid ~var ~value ~fallback =
+    let first =
+      with_lock env_mutex (fun () ->
+          if Hashtbl.mem warned var then false
+          else begin
+            Hashtbl.replace warned var ();
+            true
+          end)
+    in
+    if first then
+      Flightrec.record ~kind:"env-warning"
+        (Printf.sprintf "%s=%S is invalid; using %s" var value fallback)
+
+  let int_at_least ~min ~fallback var =
+    match Sys.getenv_opt var with
+    | None -> None
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= min -> Some n
+        | _ ->
+            warn_invalid ~var ~value:s ~fallback;
+            None)
+
+  let float_at_least ~min ~fallback var =
+    match Sys.getenv_opt var with
+    | None -> None
+    | Some s -> (
+        match float_of_string_opt (String.trim s) with
+        | Some f when f >= min -> Some f
+        | _ ->
+            warn_invalid ~var ~value:s ~fallback;
+            None)
+end
+
+(* the flight recorder's slow-op threshold comes from the environment;
+   re-runnable so tests can drive the knob *)
+let reload_env_config () =
+  Flightrec.set_slow_threshold_ms
+    (Option.value
+       (Env.float_at_least ~min:0.
+          ~fallback:
+            (Printf.sprintf "the %.0f ms default" Flightrec.default_slow_ms)
+          "SHEETSCOPE_SLOW_MS")
+       ~default:Flightrec.default_slow_ms)
+
+let () = reload_env_config ()
+
+(* ---------- SLO definitions and evaluation ----------
+
+   Service-level objectives declared in one place and evaluated
+   against the live registry: latency targets check a percentile of a
+   histogram family — the base series and every labeled
+   (per-session / per-task) series it has grown — and rate targets
+   check a counter ratio. A series with no data passes vacuously but
+   is reported as such. Surfaced as `slo` in the REPL, `\slo` in
+   sheetsql, the TUI status segment, and JSON via {!Slo.to_json}. *)
+
+module Slo = struct
+  type def =
+    | Latency of {
+        slo_name : string;
+        hist : string;
+        phi : float;
+        under_ms : float;
+      }
+    | Error_rate of {
+        slo_name : string;
+        errors : string;
+        total : string;
+        under : float;  (* fraction, e.g. 0.01 = 1 % *)
+      }
+
+  let def_name = function
+    | Latency l -> l.slo_name
+    | Error_rate e -> e.slo_name
+
+  (* the one place targets are declared *)
+  let defaults =
+    [ Latency
+        { slo_name = "engine-apply-p99";
+          hist = h_engine_apply;
+          phi = 0.99;
+          under_ms = 50. };
+      Latency
+        { slo_name = "materialize-full-p99";
+          hist = h_materialize_full;
+          phi = 0.99;
+          under_ms = 200. };
+      Latency
+        { slo_name = "sql-run-p99";
+          hist = h_sql_run;
+          phi = 0.99;
+          under_ms = 100. };
+      Error_rate
+        { slo_name = "engine-error-rate";
+          errors = k_engine_errors;
+          total = k_engine_ops;
+          under = 0.01 } ]
+
+  let declared = ref defaults
+  let declare d = declared := !declared @ [ d ]
+  let definitions () = !declared
+  let reset_declarations () = declared := defaults
+
+  type verdict = {
+    v_slo : string;
+    v_series : string;
+    v_observed : float;  (* ms for latency, fraction for error rate *)
+    v_limit : float;
+    v_count : int;  (* samples (latency) / denominator (rate); 0 = no data *)
+    v_ok : bool;
+  }
+
+  let evaluate () =
+    List.concat_map
+      (fun def ->
+        match def with
+        | Latency { slo_name; hist; phi; under_ms } ->
+            let series =
+              match Histogram.series_of_base hist with
+              | [] -> [ Histogram.histogram hist ]
+              | hs -> hs
+            in
+            List.map
+              (fun h ->
+                let n = Histogram.count h in
+                let observed_ms = Histogram.percentile h phi /. 1e6 in
+                { v_slo = slo_name;
+                  v_series = Histogram.name h;
+                  v_observed = observed_ms;
+                  v_limit = under_ms;
+                  v_count = n;
+                  v_ok = n = 0 || observed_ms <= under_ms })
+              series
+        | Error_rate { slo_name; errors; total; under } ->
+            let den = Metrics.value_of total in
+            let num = Metrics.value_of errors in
+            let frac =
+              if den = 0 then 0. else float_of_int num /. float_of_int den
+            in
+            [ { v_slo = slo_name;
+                v_series = errors ^ "/" ^ total;
+                v_observed = frac;
+                v_limit = under;
+                v_count = den;
+                v_ok = den = 0 || frac <= under } ])
+      !declared
+
+  let ok () = List.for_all (fun v -> v.v_ok) (evaluate ())
+
+  let summary () =
+    let vs = evaluate () in
+    let failing = List.length (List.filter (fun v -> not v.v_ok) vs) in
+    if failing = 0 then Printf.sprintf "slo %d/%d ok" (List.length vs) (List.length vs)
+    else Printf.sprintf "slo %d/%d FAILING" failing (List.length vs)
+
+  let is_latency v = String.contains v.v_series '/' = false
+
+  let render () =
+    let vs = evaluate () in
+    if vs = [] then "(no SLOs declared)"
+    else
+      String.concat "\n"
+        (Printf.sprintf "%-24s %-42s %12s %12s  %s" "slo" "series" "observed"
+           "limit" "status"
+        :: List.map
+             (fun v ->
+               let fmt x =
+                 if is_latency v then Printf.sprintf "%.3f ms" x
+                 else Printf.sprintf "%.2f %%" (x *. 100.)
+               in
+               Printf.sprintf "%-24s %-42s %12s %12s  %s" v.v_slo v.v_series
+                 (if v.v_count = 0 then "-" else fmt v.v_observed)
+                 (fmt v.v_limit)
+                 (if v.v_count = 0 then "no data"
+                  else if v.v_ok then "ok"
+                  else "FAIL"))
+             vs)
+
+  let to_json () =
+    Obs_json.Obj
+      [ ("schema", Obs_json.String "sheetscope-slo/v1");
+        ("ok", Obs_json.Bool (ok ()));
+        ("slos",
+         Obs_json.List
+           (List.map
+              (fun v ->
+                Obs_json.Obj
+                  [ ("slo", Obs_json.String v.v_slo);
+                    ("series", Obs_json.String v.v_series);
+                    ("unit",
+                     Obs_json.String
+                       (if is_latency v then "ms" else "fraction"));
+                    ("observed", Obs_json.Float v.v_observed);
+                    ("limit", Obs_json.Float v.v_limit);
+                    ("count", Obs_json.Int v.v_count);
+                    ("ok", Obs_json.Bool v.v_ok) ])
+              (evaluate ()))) ]
+end
+
 (* ---------- Chrome trace_event export ---------- *)
 
 let event_to_json ev =
@@ -689,6 +1180,7 @@ let event_to_json ev =
       ("args", Obs_json.Obj args) ]
 
 let to_chrome_trace evs =
+  sample_gc_gauges ();
   Obs_json.Obj
     [ ("traceEvents", Obs_json.List (List.map event_to_json evs));
       ("displayTimeUnit", Obs_json.String "ms");
@@ -697,30 +1189,33 @@ let to_chrome_trace evs =
          [ ("exporter", Obs_json.String "sheetscope");
            (* ring truncation and nesting violations surfaced here so a
               truncated trace is visibly truncated, not silently thin *)
-           ("dropped_events", Obs_json.Int !dropped_events);
+           ("dropped_events", Obs_json.Int (dropped ()));
            ("open_spans", Obs_json.Int (List.length !open_stack));
-           ("nesting_ok", Obs_json.Bool (!violations = 0));
+           ("nesting_ok", Obs_json.Bool (nesting_ok ()));
            ("metrics", Metrics.to_json ());
-           ("histograms", Histogram.to_json ()) ]) ]
+           ("histograms", Histogram.to_json ());
+           ("slo", Slo.to_json ()) ]) ]
 
 let chrome_trace_string () = Obs_json.to_string ~pretty:true (to_chrome_trace (events ()))
 
-(* One human-readable page: counters/gauges, latency histograms, and
-   the trace/recorder health lines (so a truncated ring or a nesting
-   violation shows up in `metrics`, not only in exported JSON). *)
+(* One human-readable page: counters/gauges (GC included), latency
+   histograms, the SLO summary, and the trace/recorder health lines
+   (so a truncated ring or a nesting violation shows up in `metrics`,
+   not only in exported JSON). *)
 let metrics_report () =
+  sample_gc_gauges ();
   String.concat "\n"
     [ Metrics.render ();
       "";
       Histogram.render ();
       "";
-      Printf.sprintf "%-32s %10d" "trace.dropped_events" !dropped_events;
+      Printf.sprintf "%-32s %10s" "slo.status" (Slo.summary ());
+      Printf.sprintf "%-32s %10d" "trace.dropped_events" (dropped ());
       Printf.sprintf "%-32s %10d" "trace.open_spans"
         (List.length !open_stack);
       Printf.sprintf "%-32s %10s" "trace.nesting_ok"
-        (if !violations = 0 then "true" else "false");
-      Printf.sprintf "%-32s %10d" "flightrec.events"
-        (Queue.length Flightrec.ring);
+        (if nesting_ok () then "true" else "false");
+      Printf.sprintf "%-32s %10d" "flightrec.events" (Flightrec.length ());
       Printf.sprintf "%-32s %10d" "flightrec.dropped"
         (Flightrec.dropped ()) ]
 

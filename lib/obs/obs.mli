@@ -1,17 +1,17 @@
 (** Sheetscope: the measurement layer under the engine.
 
-    Three pieces (DESIGN.md §7):
+    Four pieces (DESIGN.md §8):
 
     - {e span tracing}: [span]/[finish] bracket a unit of work with
       monotone-enough wall timings, nestable, tagged with the sheet
       [uid] and an operator [kind]. The engine, the materializer's
       replay strata, the incremental deriver, and every plan node are
       bracketed this way.
-    - {e metrics}: a process-wide registry of named counters and
-      gauges (cache hits/misses, replays vs derivations, rows per
-      plan node, undo/redo depth, SQL translation counts),
-      snapshotable as an association list, a typed {!core_stats}
-      record, or JSON.
+    - {e metrics}: a process-wide registry of named counters, gauges
+      and latency histograms (cache hits/misses, replays vs
+      derivations, rows per plan node, undo/redo depth, GC activity,
+      per-op latency), snapshotable as an association list, a typed
+      {!core_stats} record, or JSON.
     - {e sinks}: where completed spans go. [Off] (the default) makes
       [span] a single mutable-bool test returning a shared dummy —
       instrumented code paths are property-tested byte-identical to
@@ -19,17 +19,25 @@
       the [sheetscope] {!Logs.Src.t}; [Memory] appends to a bounded
       in-memory ring, from which {!to_chrome_trace} exports a Chrome
       [about://tracing] / Perfetto-loadable JSON file.
+    - {e SLOs}: latency and error-rate targets declared in one place
+      ({!Slo}), evaluated against the live registry including every
+      labeled per-session series.
 
-    Counters always count (an [int] increment per event, sink or no
-    sink); spans only materialize under an active sink. All state is
-    single-threaded, like the engine it observes. *)
+    Counters and histograms always count (sink or no sink) and are
+    {e domain-safe} since v3: values live in per-domain sharded atomic
+    cells with exact merge-on-read, so concurrent totals equal a
+    single-writer run exactly, and the event ring behind [emit] is
+    mutex-protected. Span {e nesting} state ([span]/[finish]) remains
+    single-writer — the session's driving thread opens and closes
+    spans; worker domains record completed work via {!emit}. *)
 
 (** {1 Clock} *)
 
 val now_ns : unit -> int
 (** Monotone clock in integer nanoseconds: wall readings clamped so
     the value never decreases within a process (NTP steps and VM
-    migrations cannot produce a negative span or histogram sample). *)
+    migrations cannot produce a negative span or histogram sample).
+    The watermark is atomic, so the guarantee holds across domains. *)
 
 val set_raw_clock_for_tests : (unit -> int) option -> unit
 (** Swap the raw reading under the monotone clamp ([None] restores the
@@ -70,7 +78,9 @@ type event = {
 type span
 
 val span : ?uid:int -> ?kind:string -> string -> span
-(** Open a span. Constant-time no-op when the sink is [Off]. *)
+(** Open a span. Constant-time no-op when the sink is [Off]. When
+    recording, GC gauges are refreshed ({!sample_gc_gauges}).
+    Single-writer: only the session's driving thread may open spans. *)
 
 val finish : ?rows_in:int -> ?rows_out:int -> span -> unit
 (** Close a span, emitting the completed {!event} to the sink.
@@ -80,21 +90,28 @@ val finish : ?rows_in:int -> ?rows_out:int -> span -> unit
 val with_span : ?uid:int -> ?kind:string -> string -> (unit -> 'a) -> 'a
 (** Bracket a thunk; the span is closed on exceptions too. *)
 
+val current_depth : unit -> int
+(** The driving thread's current span-nesting depth — captured before
+    a parallel fan-out and passed to {!emit} so worker events nest
+    under the span that spawned them. *)
+
 val emit :
   ?uid:int ->
   ?kind:string ->
   ?rows_in:int ->
   ?rows_out:int ->
+  ?depth:int ->
   start_ns:int ->
   dur_ns:int ->
   string ->
   unit
 (** Record an already-completed span from a timing taken elsewhere
-    ([start_ns] is an absolute {!now_ns} reading). Used by the morsel
-    scheduler ({!Sheet_rel.Par}), whose worker domains must not touch
-    the single-writer event ring: workers stamp start/duration into
-    per-morsel slots and the coordinator emits them after the join.
-    No-op when the sink is [Off]. *)
+    ([start_ns] is an absolute {!now_ns} reading). Safe from any
+    domain — the ring is mutex-protected — so morsel workers
+    ({!Sheet_rel.Par}) record their own morsels live. [depth]
+    defaults to the calling thread's current nesting depth; parallel
+    callers pass the coordinator's depth captured before the
+    fan-out. No-op when the sink is [Off]. *)
 
 val open_spans : unit -> int
 (** Number of spans opened but not yet finished. 0 after any balanced
@@ -117,7 +134,63 @@ val events_well_formed : event list -> bool
 (** Pairwise interval check: any two overlapping events at different
     depths must nest (the deeper inside the shallower). *)
 
-(** {1 Metrics} *)
+(** {1 Labels}
+
+    A bounded extra dimension on counters and histograms: a labeled
+    series is a full registry entry named [base ^ "{k=v,...}"] (keys
+    sorted, characters ['{' '}' ',' '='] sanitized to ['_']), so
+    snapshots, JSON export and SLO evaluation see per-session and
+    per-task series with no extra machinery. Cardinality is hard-capped
+    per base name ({!label_cap}, default 64): past the cap, every new
+    label set collapses into one shared ["{__overflow__}"] series, so
+    a buggy or hostile labeler creates at most cap + 1 entries per
+    family. *)
+
+module Labels : sig
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+
+  val v : (string * string) list -> t
+  (** Build a label set: keys deduped (last binding wins), sorted,
+      and sanitized. *)
+
+  val pairs : t -> (string * string) list
+  (** Sorted key/value pairs. *)
+
+  val to_string : t -> string
+  (** ["{k=v,k2=v2}"], or [""] for {!empty} — exactly the suffix
+      appended to the base series name. *)
+end
+
+val series_base : string -> string
+(** The part of a series name before the first ['{'] — maps a labeled
+    series back to its family. *)
+
+val overflow_suffix : string
+(** ["{__overflow__}"] — the suffix of the shared past-the-cap
+    series. *)
+
+val label_cap : unit -> int
+val set_label_cap : int -> unit
+(** Per-family cardinality cap (clamped to >= 1); applies to label
+    sets admitted after the call. *)
+
+val set_ambient_labels : Labels.t -> unit
+(** Install the ambient label set the hot paths (engine apply, SQL
+    run) stamp on their histograms — the shells set
+    [session=<name>] at startup, the gates set [task=<id>] per
+    replay. Single-writer, like the span stack. *)
+
+val ambient_labels : unit -> Labels.t
+
+(** {1 Metrics}
+
+    Counters and gauges are sharded over per-domain atomic cells:
+    {!Metrics.incr} is safe from any domain and {!Metrics.get} sums
+    the shards, so totals are exact whatever the interleaving. Gauges
+    are last-write-wins. *)
 
 module Metrics : sig
   type m
@@ -127,6 +200,11 @@ module Metrics : sig
       registered). *)
 
   val gauge : string -> m
+
+  val counter_labeled : string -> Labels.t -> m
+  (** Intern the labeled series [name ^ Labels.to_string labels],
+      subject to the family cardinality cap (the overflow series past
+      it). With {!Labels.empty} this is [counter]. *)
 
   val incr : ?by:int -> m -> unit
   val set : m -> int -> unit
@@ -139,6 +217,10 @@ module Metrics : sig
 
   val snapshot : unit -> (string * int) list
   (** Sorted by name. *)
+
+  val counters_snapshot : unit -> (string * int) list
+  (** Counters only (no gauges), sorted by name — the domain-count
+      identity gates compare these across runs. *)
 
   val reset : unit -> unit
   (** Zero every registered metric (registrations survive). *)
@@ -156,8 +238,9 @@ end
     different runs are comparable. Count, sum and max are exact;
     p50/p90/p99 are bucket estimates (linear interpolation inside the
     bucket holding the rank, never above the observed max). Like
-    counters, histograms always record — one sample costs a bucket
-    lookup and four int updates, sink or no sink. *)
+    counters, histograms always record — sink or no sink — and from
+    any domain: samples land in lazily-allocated per-domain shards
+    and every reader merges them, so concurrent totals are exact. *)
 
 module Histogram : sig
   type h
@@ -170,12 +253,16 @@ module Histogram : sig
   (** Intern by name (returns the existing histogram if registered) —
       the analogue of {!Metrics.counter}. *)
 
+  val histogram_labeled : string -> Labels.t -> h
+  (** Intern the labeled series, subject to the family cardinality
+      cap — the analogue of {!Metrics.counter_labeled}. *)
+
   val make : string -> h
   (** A detached, unregistered histogram (merging grounds, tests). *)
 
   val record : h -> int -> unit
   (** Record one duration in nanoseconds (negative samples clamp
-      to 0). O(1). *)
+      to 0). O(1); safe from any domain. *)
 
   val count : h -> int
   val sum_ns : h -> int
@@ -188,7 +275,8 @@ module Histogram : sig
 
   val merge : h -> h -> h
   (** Bucketwise sum (detached result, named after the left operand).
-      Commutative and associative up to {!equal}. *)
+      Commutative and associative up to {!equal}, with the empty
+      histogram as identity. *)
 
   val equal : h -> h -> bool
   (** Data equality (bucket counts, count, sum, max) — names are not
@@ -212,6 +300,16 @@ module Histogram : sig
   val snapshots : unit -> snapshot list
   (** Every registered histogram, sorted by name. *)
 
+  val counts_snapshot : unit -> (string * int) list
+  (** (name, exact sample count) for every registered histogram,
+      sorted by name — the duration-free slice the domain-count
+      identity gates compare across runs. *)
+
+  val series_of_base : string -> h list
+  (** Every registered series of one family — the base histogram plus
+      its labeled variants — sorted by name. What {!Slo} evaluation
+      walks. *)
+
   val reset : unit -> unit
   (** Zero every registered histogram (registrations survive). *)
 
@@ -232,7 +330,8 @@ val h_plan_node_prefix : string
 val h_sql_run : string
 
 val h_par_morsel : string
-(** One sample per morsel executed by a parallel scan region. *)
+(** One sample per morsel executed by a parallel scan region —
+    recorded live by the executing domain. *)
 
 (** {2 Well-known metric names}
 
@@ -273,10 +372,11 @@ val k_par_domains : string
 (** Gauge: resolved domain count of the most recent parallel region. *)
 
 val k_par_morsels : string
-(** Counter: morsels executed (1 per sequential region). *)
+(** Counter: morsels executed (1 per sequential region) — since v3
+    ticked live by the executing domain. *)
 
 val k_par_scans : string
-(** Counter: scan regions that actually ran multi-domain. *)
+(** Counter: scan regions that split into more than one morsel. *)
 
 val k_col_columns : string
 (** Counter: columns materialized by [Columnar.of_rows]. *)
@@ -290,6 +390,29 @@ val k_col_sel_rows_in : string
     selection-vector density ([@obs] asserts out <= in). *)
 
 val k_col_sel_rows_out : string
+
+(** {2 Runtime telemetry}
+
+    GC gauges sampled at span boundaries and on every metrics/trace
+    export, so a trace carries the collector's view of the workload
+    that produced it. *)
+
+val k_gc_minor : string
+(** Gauge: minor collections since process start. *)
+
+val k_gc_major : string
+(** Gauge: major collection cycles since process start. *)
+
+val k_gc_promoted : string
+(** Gauge: words promoted minor → major since process start. *)
+
+val k_gc_heap : string
+(** Gauge: current major-heap size in words. *)
+
+val sample_gc_gauges : unit -> unit
+(** Refresh the GC gauges from [Gc.quick_stat] now. Called
+    automatically by [span]/[finish] (when recording),
+    {!metrics_report} and {!to_chrome_trace}. *)
 
 (** The registry's well-known slice as a typed record. *)
 type core_stats = {
@@ -320,11 +443,13 @@ val core_stats : unit -> core_stats
 
     A bounded ring of structured events — operators applied/rejected,
     undo/redo, materialization-cache hit/miss/eviction, SQL
-    translations, and slow-op markers over the configurable threshold
-    — recorded {e always} (independently of the span sink) so a slow
-    or wedged session can be diagnosed post hoc: `flightrec` in the
-    REPL, `\flightrec` in sheetsql, the [F] pane in the TUI. The
-    threshold comes from [SHEETSCOPE_SLOW_MS] (default 100). *)
+    translations, slow-op markers over the configurable threshold,
+    and one-time configuration warnings — recorded {e always}
+    (independently of the span sink) so a slow or wedged session can
+    be diagnosed post hoc: `flightrec` in the REPL, `\flightrec` in
+    sheetsql, the [F] pane in the TUI. The threshold comes from
+    [SHEETSCOPE_SLOW_MS] (default 100; an invalid value falls back
+    with an ["env-warning"] event — see {!Env}). *)
 
 module Flightrec : sig
   type event = {
@@ -332,17 +457,21 @@ module Flightrec : sig
     f_kind : string;
         (** "op", "op-rejected", "undo", "redo", "cache-hit-exact",
             "cache-hit-subsumed", "cache-miss", "cache-eviction",
-            "sql-translation", "slow-op" *)
+            "sql-translation", "slow-op", "env-warning" *)
     f_label : string;
     f_uid : int;  (** 0 when no sheet is involved *)
     f_dur_ns : int;  (** -1 when unknown *)
   }
 
   val record : ?uid:int -> ?dur_ns:int -> kind:string -> string -> unit
-  (** Append one event (evicting the oldest past capacity). *)
+  (** Append one event (evicting the oldest past capacity). Safe from
+      any domain (mutex-protected ring). *)
 
   val events : unit -> event list
   (** Ring contents, oldest first. *)
+
+  val length : unit -> int
+  (** Current ring depth. *)
 
   val dropped : unit -> int
   (** Events evicted since {!clear}. *)
@@ -351,6 +480,10 @@ module Flightrec : sig
 
   val set_capacity : int -> unit
   (** Ring capacity (default 512, clamped to >= 1). *)
+
+  val default_slow_ms : float
+  (** 100. — the fallback when [SHEETSCOPE_SLOW_MS] is unset or
+      invalid. *)
 
   val slow_threshold_ns : unit -> int
   (** Current slow-op threshold; initialized from [SHEETSCOPE_SLOW_MS]
@@ -366,11 +499,105 @@ module Flightrec : sig
   (** Human-readable dump (most recent [limit] events when given). *)
 end
 
+(** {1 Environment knobs}
+
+    Centralized parsing of Sheetscope/SheetMusiq environment
+    variables. An invalid value is rejected exactly as before, but no
+    longer silently: the first rejection per variable records an
+    ["env-warning"] flight-recorder event naming the variable, the
+    rejected value and the fallback used. *)
+
+module Env : sig
+  val int_at_least : min:int -> fallback:string -> string -> int option
+  (** [int_at_least ~min ~fallback var] parses [var] as an integer
+      [>= min]. [None] when unset or invalid; an invalid (present but
+      unparsable or below [min]) value warns once per variable,
+      describing [fallback]. *)
+
+  val float_at_least : min:float -> fallback:string -> string -> float option
+
+  val reset_warnings_for_tests : unit -> unit
+  (** Forget which variables already warned, so tests can observe the
+      warn-once behavior repeatedly. *)
+end
+
+val reload_env_config : unit -> unit
+(** Re-read [SHEETSCOPE_SLOW_MS] (run once at module init). Test
+    hook. *)
+
+(** {1 SLOs}
+
+    Latency and error-rate targets declared in one place, evaluated
+    against the live registry. A latency target checks a percentile
+    of a histogram family — the base series {e and} every labeled
+    (per-session / per-task) series it has grown; a rate target checks
+    a counter ratio. Series with no data pass vacuously but are
+    reported as "no data". Surfaced as `slo` in the REPL, `\slo` in
+    sheetsql, the TUI status segment, {!metrics_report}, and trace
+    export. *)
+
+module Slo : sig
+  type def =
+    | Latency of {
+        slo_name : string;
+        hist : string;  (** histogram family base name *)
+        phi : float;  (** e.g. 0.99 *)
+        under_ms : float;
+      }
+    | Error_rate of {
+        slo_name : string;
+        errors : string;  (** numerator counter *)
+        total : string;  (** denominator counter *)
+        under : float;  (** fraction, e.g. 0.01 = 1 % *)
+      }
+
+  val def_name : def -> string
+
+  val defaults : def list
+  (** The shipped targets: [engine.apply] p99 < 50 ms,
+      [materialize.full] p99 < 200 ms, [sql.run] p99 < 100 ms, and
+      engine error-rate < 1 %. *)
+
+  val declare : def -> unit
+  (** Append a target to the declared set. *)
+
+  val definitions : unit -> def list
+
+  val reset_declarations : unit -> unit
+  (** Back to {!defaults}. *)
+
+  type verdict = {
+    v_slo : string;
+    v_series : string;
+    v_observed : float;  (** ms for latency, fraction for error rate *)
+    v_limit : float;
+    v_count : int;
+        (** samples (latency) / denominator (rate); 0 = no data *)
+    v_ok : bool;
+  }
+
+  val evaluate : unit -> verdict list
+  (** One verdict per (target, series) pair, in declaration order,
+      labeled series sorted by name within a target. *)
+
+  val ok : unit -> bool
+  val summary : unit -> string
+  (** e.g. ["slo 4/4 ok"] or ["slo 1/6 FAILING"] — the TUI status
+      segment. *)
+
+  val render : unit -> string
+  (** The human-readable report table. *)
+
+  val to_json : unit -> Obs_json.t
+  (** ["sheetscope-slo/v1"]. *)
+end
+
 (** {1 Chrome trace export} *)
 
 val to_chrome_trace : event list -> Obs_json.t
 (** [trace_event]-format JSON ("ph": "X" complete events, microsecond
-    timestamps) with the current metrics snapshot under [otherData]. *)
+    timestamps) with the current metrics, histogram and SLO snapshots
+    under [otherData]. *)
 
 val chrome_trace_string : unit -> string
 (** {!to_chrome_trace} of the current [Memory] ring, pretty-printed. *)
@@ -381,6 +608,7 @@ val save_chrome_trace : path:string -> unit
 
 val metrics_report : unit -> string
 (** The full observability snapshot as one human-readable block:
-    counters/gauges, histogram percentiles, trace-ring health
-    (dropped events, open spans, nesting) and flight-recorder depth —
-    what the REPL [metrics] command prints. *)
+    counters/gauges (GC included), histogram percentiles, the SLO
+    summary, trace-ring health (dropped events, open spans, nesting)
+    and flight-recorder depth — what the REPL [metrics] command
+    prints. *)

@@ -5,20 +5,28 @@
    participates). Results are returned per-morsel IN INDEX ORDER, so
    a caller concatenating them gets output bit-identical to a
    sequential pass — determinism comes from the merge order, not from
-   scheduling. Below [parallel_threshold] rows (or with one domain)
+   scheduling.
+
+   Morselization depends only on (n, parallel_threshold, morsel_rows)
+   — never on the domain count — so the par.* counters and the
+   par.morsel histogram read identically whether the morsels ran on
+   one domain or eight (the @par gate replays TPC-H under 1 vs 4
+   domains and asserts exactly that). Below [parallel_threshold] rows
    the scan runs as a single morsel on the calling domain, so small
-   sheets never pay domain spawns.
+   sheets never pay the machinery; with one domain the calling domain
+   simply drains the morsel queue itself, spawning nothing.
 
    Exception policy: every morsel runs to completion or failure, all
    workers are joined, and the error of the LOWEST-indexed failing
    morsel is re-raised — each morsel scans ascending row order, so
    that is the error the sequential pass would have hit first.
 
-   Observability: worker domains must not touch Sheetscope's
-   single-writer state, so they only stamp start/duration into
-   per-morsel slots; after the join the coordinator feeds the
-   par.* counters, the par.morsel histogram, and (under an active
-   sink) one pre-timed span event per morsel via [Obs.emit]. *)
+   Observability: since Sheetscope v3 the metric cells are sharded
+   per domain and the event ring is mutex-protected, so each worker
+   records its own morsels live — histogram sample, morsel counter,
+   and (under an active sink) the span event — at the nesting depth
+   the coordinator captured before the fan-out. The old post-join
+   replay of pre-timed spans is gone. *)
 
 module Obs = Sheet_obs.Obs
 
@@ -28,12 +36,8 @@ let c_scans = Obs.Metrics.counter Obs.k_par_scans
 let h_morsel = Obs.Histogram.histogram Obs.h_par_morsel
 
 let env_domains () =
-  match Sys.getenv_opt "SHEETMUSIQ_DOMAINS" with
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> Some n
-      | _ -> None)
-  | None -> None
+  Obs.Env.int_at_least ~min:1
+    ~fallback:"Domain.recommended_domain_count" "SHEETMUSIQ_DOMAINS"
 
 (* 0 = not yet resolved; resolution is deferred so tests can set the
    count before the first scan regardless of module init order. *)
@@ -48,6 +52,7 @@ let domain_count () =
   !domains
 
 let set_domain_count n = domains := max 1 n
+let reset_domain_count_for_tests () = domains := 0
 
 let default_parallel_threshold = 32_768
 let default_morsel_rows = 8_192
@@ -68,16 +73,16 @@ let run ~n (f : int -> int -> 'a) : 'a array =
     Obs.Metrics.set g_domains d;
     let m = !morsel_rows in
     let nm = (n + m - 1) / m in
-    if d = 1 || n < !parallel_threshold || nm = 1 then begin
+    if n < !parallel_threshold || nm = 1 then begin
       Obs.Metrics.incr c_morsels;
       [| f 0 n |]
     end
     else begin
       let results : 'a option array = Array.make nm None in
       let errors : exn option array = Array.make nm None in
-      let starts = Array.make nm 0 in
-      let durs = Array.make nm 0 in
       let next = Atomic.make 0 in
+      let emit = Obs.recording () in
+      let depth = Obs.current_depth () in
       let work () =
         let continue = ref true in
         while !continue do
@@ -90,8 +95,12 @@ let run ~n (f : int -> int -> 'a) : 'a array =
             (match f lo hi with
             | x -> results.(i) <- Some x
             | exception e -> errors.(i) <- Some e);
-            starts.(i) <- t0;
-            durs.(i) <- Obs.now_ns () - t0
+            let dt = Obs.now_ns () - t0 in
+            Obs.Histogram.record h_morsel dt;
+            Obs.Metrics.incr c_morsels;
+            if emit then
+              Obs.emit ~kind:"morsel" ~rows_in:(hi - lo) ~depth ~start_ns:t0
+                ~dur_ns:dt "par.morsel"
           end
         done
       in
@@ -101,15 +110,6 @@ let run ~n (f : int -> int -> 'a) : 'a array =
       work ();
       Array.iter Domain.join workers;
       Obs.Metrics.incr c_scans;
-      Obs.Metrics.incr ~by:nm c_morsels;
-      let emit = Obs.recording () in
-      for i = 0 to nm - 1 do
-        Obs.Histogram.record h_morsel durs.(i);
-        if emit then
-          Obs.emit ~kind:"morsel"
-            ~rows_in:(min n ((i + 1) * m) - (i * m))
-            ~start_ns:starts.(i) ~dur_ns:durs.(i) "par.morsel"
-      done;
       let first_error = Array.find_opt Option.is_some errors in
       match first_error with
       | Some (Some e) -> raise e

@@ -3,10 +3,15 @@
     Scans split into fixed-size morsels pulled from an atomic counter
     by [domain_count] domains; per-morsel results come back in morsel
     order, so concatenation is bit-identical to a sequential pass.
-    Small inputs (below {!set_parallel_threshold}'s value, default
-    32768 rows) or a single domain run as one morsel on the calling
-    domain. The domain count resolves from [SHEETMUSIQ_DOMAINS], else
-    [Domain.recommended_domain_count ()].
+    Morselization depends only on the row count and the
+    threshold/morsel-size knobs — never on the domain count — so the
+    [par.*] telemetry is identical whatever the parallelism (the
+    [@par] gate asserts it). Small inputs (below
+    {!set_parallel_threshold}'s value, default 32768 rows) run as one
+    morsel on the calling domain. The domain count resolves from
+    [SHEETMUSIQ_DOMAINS], else [Domain.recommended_domain_count ()];
+    an invalid value warns once through the flight recorder
+    ({!Sheet_obs.Obs.Env}).
 
     On a morsel failure every worker is still joined and the
     lowest-indexed morsel's exception is re-raised — the error the
@@ -15,10 +20,12 @@
 val run : n:int -> (int -> int -> 'a) -> 'a array
 (** [run ~n f] evaluates [f lo hi] over a partition of [0, n) into
     half-open morsel ranges; results in range order. [f] runs on
-    worker domains: it must not touch Sheetscope sinks or other
-    single-writer state (pure reads of shared immutable data are
-    fine). Feeds the [par.*] metrics and, under an active sink, one
-    pre-timed span per morsel. *)
+    worker domains: it may record Sheetscope metrics, histograms and
+    completed spans (all domain-safe since v3) but must not open
+    spans or touch other single-writer state. Each executing domain
+    feeds the [par.*] counters, the [par.morsel] histogram and, under
+    an active sink, one live span event per morsel at the
+    coordinator's nesting depth. *)
 
 val concat : 'a array array -> 'a array
 (** Merge per-morsel chunks in morsel order; the single-chunk case is
@@ -26,6 +33,11 @@ val concat : 'a array array -> 'a array
 
 val domain_count : unit -> int
 val set_domain_count : int -> unit
+
+val reset_domain_count_for_tests : unit -> unit
+(** Forget the resolved count so the next {!domain_count} re-reads
+    [SHEETMUSIQ_DOMAINS] — lets tests exercise the env parsing. *)
+
 val set_parallel_threshold : int -> unit
 val set_morsel_rows : int -> unit
 

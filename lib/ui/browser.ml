@@ -253,9 +253,12 @@ let render_text ?(width = 100) ?(height = 24) t =
   (* status, with the last command's wall time when known *)
   let status =
     let base = Render.status_line (Session.current t.session) in
-    match t.last_ms with
-    | Some ms -> Printf.sprintf "%s | last %.1f ms" base ms
-    | None -> base
+    let base =
+      match t.last_ms with
+      | Some ms -> Printf.sprintf "%s | last %.1f ms" base ms
+      | None -> base
+    in
+    base ^ " | " ^ Sheet_obs.Obs.Slo.summary ()
   in
   Buffer.add_string buf (pad width status);
   Buffer.add_char buf '\n';

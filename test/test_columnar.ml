@@ -396,6 +396,56 @@ let test_par_metrics () =
     "domain gauge" 4
     (Obs.Metrics.value_of Obs.k_par_domains)
 
+(* morselization depends only on (n, threshold, morsel_rows), never on
+   the domain count — the invariant the @par identity gate rests on *)
+let test_morselization_domain_independent () =
+  let count ~domains =
+    let m0 = Obs.Metrics.value_of Obs.k_par_morsels in
+    with_par_config ~domains ~threshold:64 ~morsel:512 (fun () ->
+        ignore (Par.run ~n:4_096 (fun lo hi -> hi - lo)));
+    Obs.Metrics.value_of Obs.k_par_morsels - m0
+  in
+  Alcotest.(check int) "8 morsels on 1 domain" 8 (count ~domains:1);
+  Alcotest.(check int) "8 morsels on 4 domains" 8 (count ~domains:4)
+
+(* since v3 workers record their own morsel spans live through the
+   mutex-protected ring — one completed event per morsel, and the
+   coordinator's span bookkeeping stays balanced *)
+let test_workers_record_spans_live () =
+  let old_sink = Obs.sink () in
+  Obs.set_sink Obs.Memory;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.clear_events ();
+      Obs.set_sink old_sink)
+  @@ fun () ->
+  Obs.clear_events ();
+  let m0 = Obs.Metrics.value_of Obs.k_par_morsels in
+  with_par_config ~domains:4 ~threshold:64 ~morsel:512 (fun () ->
+      Obs.with_span "scan-host" (fun () ->
+          ignore (Par.run ~n:4_096 (fun lo hi -> hi - lo))));
+  let morsels = Obs.Metrics.value_of Obs.k_par_morsels - m0 in
+  let events = Obs.events () in
+  let morsel_events =
+    List.filter (fun (e : Obs.event) -> e.Obs.kind = "morsel") events
+  in
+  Alcotest.(check int)
+    "one live event per morsel" morsels
+    (List.length morsel_events);
+  List.iter
+    (fun (e : Obs.event) ->
+      Alcotest.(check string) "morsel span name" "par.morsel" e.Obs.name;
+      Alcotest.(check int) "nests under the host span" 1 e.Obs.depth;
+      Alcotest.(check bool) "covers real rows" true (e.Obs.rows_in > 0))
+    morsel_events;
+  Alcotest.(check int)
+    "rows covered exactly once" 4_096
+    (List.fold_left
+       (fun acc (e : Obs.event) -> acc + e.Obs.rows_in)
+       0 morsel_events);
+  Alcotest.(check int) "spans balanced" 0 (Obs.open_spans ());
+  Alcotest.(check bool) "nesting clean" true (Obs.nesting_ok ())
+
 (* ---------- memoization ---------- *)
 
 (* one-shot relations must not pay for view construction: the first
@@ -466,7 +516,11 @@ let () =
           Alcotest.test_case "concat" `Quick test_par_concat ] );
       ( "observability",
         [ Alcotest.test_case "columnar metrics" `Quick test_columnar_metrics;
-          Alcotest.test_case "par metrics" `Quick test_par_metrics ] );
+          Alcotest.test_case "par metrics" `Quick test_par_metrics;
+          Alcotest.test_case "morselization ignores domain count" `Quick
+            test_morselization_domain_independent;
+          Alcotest.test_case "workers record morsel spans live" `Quick
+            test_workers_record_spans_live ] );
       ( "memoization",
         [ Alcotest.test_case "hot heuristic" `Quick test_hot_heuristic;
           Alcotest.test_case "hot min rows" `Quick test_hot_min_rows;

@@ -612,6 +612,356 @@ let json_parse_errors () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "unbounded depth accepted"
 
+(* ---------- the v3 merge algebra and sharded cells ---------- *)
+
+let hist_merge_zero_identity =
+  QCheck.Test.make ~count:300 ~name:"merge with empty is identity"
+    samples_arbitrary
+    (fun xs ->
+      let a = fill xs and z = H.make "zero" in
+      H.equal (H.merge a z) a && H.equal (H.merge z a) a)
+
+(* Four domains hammer one registered counter and one registered
+   histogram concurrently; the merged totals must equal the
+   single-writer arithmetic exactly — no lost increments, whatever
+   the interleaving. Run under both sinks: Off (the common case) and
+   Memory (workers additionally emit span events through the
+   mutex-protected ring). *)
+let sharded_hammer sink () =
+  with_sink sink @@ fun () ->
+  Obs.clear_events ();
+  let c = Obs.Metrics.counter "test.hammer" in
+  let h = H.histogram "test.hammer" in
+  Obs.Metrics.reset ();
+  H.reset ();
+  let n = 50_000 in
+  let emits = 1_000 in
+  let work () =
+    for i = 1 to n do
+      Obs.Metrics.incr c;
+      H.record h (i land 1023)
+    done;
+    for _ = 1 to emits do
+      let t = Obs.now_ns () in
+      Obs.emit ~kind:"hammer" ~depth:1 ~start_ns:t ~dur_ns:10 "test.emit"
+    done
+  in
+  let workers = Array.init 3 (fun _ -> Domain.spawn work) in
+  work ();
+  Array.iter Domain.join workers;
+  let expected_sum =
+    let s = ref 0 in
+    for i = 1 to n do
+      s := !s + (i land 1023)
+    done;
+    4 * !s
+  in
+  Alcotest.(check int) "counter total exact" (4 * n) (Obs.Metrics.get c);
+  Alcotest.(check int) "histogram count exact" (4 * n) (H.count h);
+  Alcotest.(check int) "histogram sum exact" expected_sum (H.sum_ns h);
+  Alcotest.(check int) "histogram max exact" 1023 (H.max_ns h);
+  (match sink with
+  | Obs.Memory ->
+      Alcotest.(check int) "all emitted events kept" (4 * emits)
+        (List.length (Obs.events ()));
+      Alcotest.(check int) "nothing dropped" 0 (Obs.dropped ())
+  | _ -> Alcotest.(check int) "off sink keeps no events" 0
+           (List.length (Obs.events ())));
+  Obs.clear_events ();
+  Obs.Metrics.reset ();
+  H.reset ()
+
+(* ---------- labels ---------- *)
+
+let labels_normalize () =
+  let l =
+    Obs.Labels.v [ ("task", "a"); ("session", "x{y},z=w"); ("task", "b") ]
+  in
+  Alcotest.(check string) "sorted, deduped, sanitized"
+    "{session=x_y__z_w,task=b}"
+    (Obs.Labels.to_string l);
+  Alcotest.(check bool) "empty renders empty" true
+    (Obs.Labels.to_string Obs.Labels.empty = "");
+  Alcotest.(check string) "base of labeled series" "engine.apply"
+    (Obs.series_base ("engine.apply" ^ Obs.Labels.to_string l));
+  Alcotest.(check string) "base of plain series" "engine.apply"
+    (Obs.series_base "engine.apply")
+
+let label_cardinality_bounded () =
+  let old_cap = Obs.label_cap () in
+  Fun.protect ~finally:(fun () -> Obs.set_label_cap old_cap) @@ fun () ->
+  Obs.set_label_cap 4;
+  let base = "test.labelcap" in
+  for i = 1 to 20 do
+    let h =
+      H.histogram_labeled base
+        (Obs.Labels.v [ ("session", Printf.sprintf "s%02d" i) ])
+    in
+    H.record h 100
+  done;
+  let series = H.series_of_base base in
+  Alcotest.(check bool)
+    (Printf.sprintf "at most cap+1 series, got %d" (List.length series))
+    true
+    (List.length series <= 5);
+  let overflow =
+    List.find_opt
+      (fun h -> H.name h = base ^ Obs.overflow_suffix)
+      series
+  in
+  (match overflow with
+  | None -> Alcotest.fail "no overflow series created"
+  | Some h ->
+      (* 4 admitted series got 1 sample each; the other 16 share one *)
+      Alcotest.(check int) "overflow absorbed the rest" 16 (H.count h));
+  (* total samples conserved across the family *)
+  Alcotest.(check int) "family total" 20
+    (List.fold_left (fun acc h -> acc + H.count h) 0 series);
+  (* counters share the admission logic *)
+  for i = 1 to 20 do
+    Obs.Metrics.incr
+      (Obs.Metrics.counter_labeled "test.labelcap.c"
+         (Obs.Labels.v [ ("session", Printf.sprintf "s%02d" i) ]))
+  done;
+  Alcotest.(check int) "counter overflow series absorbs" 16
+    (Obs.Metrics.value_of ("test.labelcap.c" ^ Obs.overflow_suffix))
+
+let ambient_labels_flow_to_engine () =
+  H.reset ();
+  Obs.set_ambient_labels (Obs.Labels.v [ ("session", "amb-test") ]);
+  Fun.protect ~finally:(fun () -> Obs.set_ambient_labels Obs.Labels.empty)
+  @@ fun () ->
+  let sheet = Spreadsheet.of_relation ~name:"cars" Sample_cars.relation in
+  (match Engine.apply sheet Op.Dedup with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "dedup refused");
+  Alcotest.(check int) "one labeled sample" 1
+    (H.count
+       (H.histogram_labeled Obs.h_engine_apply
+          (Obs.Labels.v [ ("session", "amb-test") ])));
+  H.reset ()
+
+(* ---------- SLOs ---------- *)
+
+let slo_latency_and_rate () =
+  Obs.Slo.reset_declarations ();
+  Fun.protect ~finally:(fun () -> Obs.Slo.reset_declarations ())
+  @@ fun () ->
+  H.reset ();
+  Obs.Metrics.reset ();
+  Obs.Slo.declare
+    (Obs.Slo.Latency
+       { slo_name = "test-lat"; hist = "test.slo"; phi = 0.99;
+         under_ms = 1. });
+  Obs.Slo.declare
+    (Obs.Slo.Error_rate
+       { slo_name = "test-rate"; errors = "test.slo.err";
+         total = "test.slo.tot"; under = 0.01 });
+  (* empty series: vacuous pass, reported as no data *)
+  let vacuous =
+    List.find
+      (fun v -> v.Obs.Slo.v_slo = "test-lat")
+      (Obs.Slo.evaluate ())
+  in
+  Alcotest.(check bool) "no data passes" true vacuous.Obs.Slo.v_ok;
+  Alcotest.(check int) "no data count" 0 vacuous.Obs.Slo.v_count;
+  (* violate the latency target: 5 ms against a 1 ms budget *)
+  H.record (H.histogram "test.slo") 5_000_000;
+  (* violate the rate target: 5 % against 1 % *)
+  let err = Obs.Metrics.counter "test.slo.err" in
+  let tot = Obs.Metrics.counter "test.slo.tot" in
+  Obs.Metrics.incr ~by:5 err;
+  Obs.Metrics.incr ~by:100 tot;
+  let verdicts = Obs.Slo.evaluate () in
+  let find name = List.find (fun v -> v.Obs.Slo.v_slo = name) verdicts in
+  Alcotest.(check bool) "latency target fails" false (find "test-lat").Obs.Slo.v_ok;
+  Alcotest.(check bool) "rate target fails" false (find "test-rate").Obs.Slo.v_ok;
+  Alcotest.(check bool) "overall not ok" false (Obs.Slo.ok ());
+  Alcotest.(check bool) "summary says FAILING" true
+    (contains (Obs.Slo.summary ()) "FAILING");
+  Alcotest.(check bool) "render flags FAIL" true
+    (contains (Obs.Slo.render ()) "FAIL");
+  (* JSON schema + round-trip *)
+  let j = Obs.Slo.to_json () in
+  (match J.member "schema" j with
+  | Some (J.String "sheetscope-slo/v1") -> ()
+  | _ -> Alcotest.fail "missing slo schema tag");
+  (match J.parse (J.to_string j) with
+  | Ok j' -> Alcotest.(check bool) "slo json round-trips" true (J.equal j j')
+  | Error msg -> Alcotest.fail msg);
+  H.reset ();
+  Obs.Metrics.reset ()
+
+let slo_covers_labeled_series () =
+  Obs.Slo.reset_declarations ();
+  H.reset ();
+  (* a fast base series but a slow labeled one: the labeled series
+     must be evaluated on its own and fail the 50 ms default *)
+  H.record (H.histogram Obs.h_engine_apply) 1_000;
+  H.record
+    (H.histogram_labeled Obs.h_engine_apply
+       (Obs.Labels.v [ ("session", "slow-tenant") ]))
+    90_000_000;
+  let verdicts = Obs.Slo.evaluate () in
+  let labeled =
+    List.find_opt
+      (fun v -> contains v.Obs.Slo.v_series "session=slow-tenant")
+      verdicts
+  in
+  (match labeled with
+  | None -> Alcotest.fail "labeled series not evaluated"
+  | Some v ->
+      Alcotest.(check bool) "slow tenant flagged" false v.Obs.Slo.v_ok);
+  let base =
+    List.find
+      (fun v -> v.Obs.Slo.v_series = Obs.h_engine_apply)
+      verdicts
+  in
+  Alcotest.(check bool) "fast base still ok" true base.Obs.Slo.v_ok;
+  H.reset ()
+
+let slo_defaults_present () =
+  Obs.Slo.reset_declarations ();
+  let names = List.map Obs.Slo.def_name (Obs.Slo.definitions ()) in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " declared") true (List.mem n names))
+    [ "engine-apply-p99"; "materialize-full-p99"; "sql-run-p99";
+      "engine-error-rate" ]
+
+(* ---------- env warnings ---------- *)
+
+let env_warn_once_slow_ms () =
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "SHEETSCOPE_SLOW_MS" "100";
+      Obs.Env.reset_warnings_for_tests ();
+      Obs.reload_env_config ();
+      Obs.Flightrec.clear ())
+  @@ fun () ->
+  Unix.putenv "SHEETSCOPE_SLOW_MS" "not-a-number";
+  Obs.Env.reset_warnings_for_tests ();
+  Obs.Flightrec.clear ();
+  Obs.reload_env_config ();
+  Alcotest.(check int) "fell back to the 100 ms default" 100_000_000
+    (Obs.Flightrec.slow_threshold_ns ());
+  let warnings () =
+    List.filter
+      (fun e -> e.Obs.Flightrec.f_kind = "env-warning")
+      (Obs.Flightrec.events ())
+  in
+  (match warnings () with
+  | [ w ] ->
+      Alcotest.(check bool) "names the variable" true
+        (contains w.Obs.Flightrec.f_label "SHEETSCOPE_SLOW_MS");
+      Alcotest.(check bool) "names the rejected value" true
+        (contains w.Obs.Flightrec.f_label "not-a-number");
+      Alcotest.(check bool) "names the fallback" true
+        (contains w.Obs.Flightrec.f_label "default")
+  | ws ->
+      Alcotest.fail
+        (Printf.sprintf "expected exactly 1 warning, got %d"
+           (List.length ws)));
+  (* warn-once: reloading again must not repeat the event *)
+  Obs.reload_env_config ();
+  Alcotest.(check int) "still one warning" 1 (List.length (warnings ()));
+  (* a valid value takes effect without warning *)
+  Unix.putenv "SHEETSCOPE_SLOW_MS" "5";
+  Obs.Env.reset_warnings_for_tests ();
+  Obs.Flightrec.clear ();
+  Obs.reload_env_config ();
+  Alcotest.(check int) "valid value applied" 5_000_000
+    (Obs.Flightrec.slow_threshold_ns ());
+  Alcotest.(check int) "no warning for a valid value" 0
+    (List.length (warnings ()))
+
+let env_warn_once_domains () =
+  let module Par = Sheet_rel.Par in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "SHEETMUSIQ_DOMAINS" "1";
+      Par.set_domain_count 1;
+      Obs.Env.reset_warnings_for_tests ();
+      Obs.Flightrec.clear ())
+  @@ fun () ->
+  Unix.putenv "SHEETMUSIQ_DOMAINS" "0";
+  Obs.Env.reset_warnings_for_tests ();
+  Obs.Flightrec.clear ();
+  Par.reset_domain_count_for_tests ();
+  let resolved = Par.domain_count () in
+  Alcotest.(check int) "fell back to recommended_domain_count"
+    (max 1 (Domain.recommended_domain_count ()))
+    resolved;
+  let warnings =
+    List.filter
+      (fun e -> e.Obs.Flightrec.f_kind = "env-warning")
+      (Obs.Flightrec.events ())
+  in
+  (match warnings with
+  | [ w ] ->
+      Alcotest.(check bool) "names the variable" true
+        (contains w.Obs.Flightrec.f_label "SHEETMUSIQ_DOMAINS")
+  | ws ->
+      Alcotest.fail
+        (Printf.sprintf "expected exactly 1 warning, got %d"
+           (List.length ws)));
+  (* a valid value resolves without warning *)
+  Unix.putenv "SHEETMUSIQ_DOMAINS" "3";
+  Obs.Env.reset_warnings_for_tests ();
+  Obs.Flightrec.clear ();
+  Par.reset_domain_count_for_tests ();
+  Alcotest.(check int) "valid value applied" 3 (Par.domain_count ());
+  Alcotest.(check int) "no warning" 0
+    (List.length
+       (List.filter
+          (fun e -> e.Obs.Flightrec.f_kind = "env-warning")
+          (Obs.Flightrec.events ())))
+
+(* ---------- GC gauges ---------- *)
+
+let gc_gauges_sampled () =
+  with_sink Obs.Memory @@ fun () ->
+  Obs.clear_events ();
+  Obs.with_span "gc-probe" (fun () ->
+      ignore (Sys.opaque_identity (List.init 10_000 string_of_int)));
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " sampled") true (Obs.Metrics.value_of k > 0))
+    [ Obs.k_gc_minor; Obs.k_gc_heap ];
+  (* the report and the trace carry them *)
+  Alcotest.(check bool) "gauge in metrics_report" true
+    (contains (Obs.metrics_report ()) Obs.k_gc_heap);
+  (match J.parse (Obs.chrome_trace_string ()) with
+  | Ok j -> (
+      match J.member "otherData" j with
+      | Some od -> (
+          match J.member "metrics" od with
+          | Some m ->
+              Alcotest.(check bool) "gauge in trace export" true
+                (J.member Obs.k_gc_heap m <> None)
+          | None -> Alcotest.fail "no metrics in otherData")
+      | None -> Alcotest.fail "no otherData")
+  | Error msg -> Alcotest.fail msg);
+  Obs.clear_events ()
+
+(* ---------- emit depth ---------- *)
+
+let emit_depth_explicit () =
+  with_sink Obs.Memory @@ fun () ->
+  Obs.clear_events ();
+  let t = Obs.now_ns () in
+  Obs.emit ~depth:3 ~start_ns:t ~dur_ns:5 "explicit";
+  Obs.emit ~start_ns:t ~dur_ns:5 "implicit";
+  (match Obs.events () with
+  | [ a; b ] ->
+      Alcotest.(check int) "explicit depth honored" 3 a.Obs.depth;
+      Alcotest.(check int) "implicit depth is current nesting" 0 b.Obs.depth
+  | evs ->
+      Alcotest.fail
+        (Printf.sprintf "expected 2 events, got %d" (List.length evs)));
+  Alcotest.(check int) "current_depth at top level" 0 (Obs.current_depth ());
+  Obs.clear_events ()
+
 let () =
   let prop t = QCheck_alcotest.to_alcotest t in
   Alcotest.run "sheet_obs"
@@ -635,6 +985,7 @@ let () =
          prop hist_merge_commutative;
          prop hist_merge_associative;
          prop hist_merge_is_concat;
+         prop hist_merge_zero_identity;
          prop hist_percentile_bounds;
          Alcotest.test_case "negative samples clamp to 0" `Quick
            hist_clamps_negative;
@@ -665,6 +1016,35 @@ let () =
            trace_other_data_health;
          Alcotest.test_case "metrics_report surfaces everything" `Quick
            metrics_report_surfaces ]);
+      ("sharding",
+       [ Alcotest.test_case "4-domain hammer exact, sink off" `Quick
+           (sharded_hammer Obs.Off);
+         Alcotest.test_case "4-domain hammer exact, sink memory" `Quick
+           (sharded_hammer Obs.Memory);
+         Alcotest.test_case "emit depth explicit vs ambient" `Quick
+           emit_depth_explicit ]);
+      ("labels",
+       [ Alcotest.test_case "normalization and series names" `Quick
+           labels_normalize;
+         Alcotest.test_case "cardinality bounded by the cap" `Quick
+           label_cardinality_bounded;
+         Alcotest.test_case "ambient labels reach engine.apply" `Quick
+           ambient_labels_flow_to_engine ]);
+      ("slo",
+       [ Alcotest.test_case "latency and rate verdicts" `Quick
+           slo_latency_and_rate;
+         Alcotest.test_case "labeled series evaluated per tenant" `Quick
+           slo_covers_labeled_series;
+         Alcotest.test_case "shipped defaults declared" `Quick
+           slo_defaults_present ]);
+      ("env",
+       [ Alcotest.test_case "SHEETSCOPE_SLOW_MS warns once" `Quick
+           env_warn_once_slow_ms;
+         Alcotest.test_case "SHEETMUSIQ_DOMAINS warns once" `Quick
+           env_warn_once_domains ]);
+      ("gc",
+       [ Alcotest.test_case "gauges sampled at span boundaries" `Quick
+           gc_gauges_sampled ]);
       ("json",
        [ Alcotest.test_case "value round-trips" `Quick
            json_round_trip_values;

@@ -1,18 +1,26 @@
 (* bench_diff — the consumer of BENCH_sheetmusiq.json (ISSUE 4).
 
    Usage:
-     dune exec tools/bench_diff.exe -- <baseline.json> <candidate.json>
+     dune exec tools/bench_diff.exe -- [--json] <baseline.json> <candidate.json>
 
    Reads two bench baselines (schema sheetmusiq-bench/v1 or /v2 —
    v1 has only ns_per_run means, v2 adds exact sample percentiles),
    prints a per-benchmark delta table, and exits non-zero when any
    guarded entry — a name starting with "op/", "table" (the paper's
    operator-scaling and table-regeneration workloads, including the
-   1M-row "table/*-1m" scans), "cache/" (the semantic-cache win) or
-   "col/" (the Sheetcol columnar substrate) — regressed by more than
-   25 % on ns_per_run. This is the required check for every
-   perf-claiming PR: regenerate a fresh baseline, diff against the
-   committed one, and only commit the new file if the gate is green.
+   1M-row "table/*-1m" scans), "cache/" (the semantic-cache win),
+   "col/" (the Sheetcol columnar substrate) or "obs/" (the sharded
+   Sheetscope record path) — regressed by more than 25 % on
+   ns_per_run. This is the required check for every perf-claiming PR:
+   regenerate a fresh baseline, diff against the committed one, and
+   only commit the new file if the gate is green.
+
+   With [--json] the same delta table is emitted machine-readably
+   (schema "sheetmusiq-bench-diff/v1"): one entry per benchmark with
+   its status — ok / regression / faster / slower-unguarded / added /
+   removed — plus explicit regression/added/removed name lists, so CI
+   and future PRs consume the verdict without scraping text. Exit
+   codes are identical in both modes.
 
    Exit codes: 0 ok, 1 regression, 2 usage / unreadable input. *)
 
@@ -27,6 +35,7 @@ let guarded name =
   in
   starts_with "op/" name || starts_with "table" name
   || starts_with "cache/" name || starts_with "col/" name
+  || starts_with "obs/" name
 
 let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 2) fmt
 
@@ -79,11 +88,149 @@ let pretty_ns ns =
 let pct_delta ~old ~new_ =
   if old <= 0. then 0. else (new_ -. old) /. old *. 100.
 
+(* the per-benchmark verdict, shared by the text and JSON renderers *)
+type row = {
+  r_name : string;
+  r_baseline : entry option;
+  r_candidate : entry option;
+  r_status : string;  (* ok | regression | faster | slower-unguarded
+                         | added | removed *)
+  r_delta_pct : float option;
+  r_p99_delta_pct : float option;
+}
+
+let classify name baseline candidate =
+  match (baseline, candidate) with
+  | Some b, Some c ->
+      let delta = pct_delta ~old:b.ns ~new_:c.ns in
+      let status =
+        if guarded name && delta > threshold_pct then "regression"
+        else if delta > threshold_pct then "slower-unguarded"
+        else if delta < -.threshold_pct then "faster"
+        else "ok"
+      in
+      { r_name = name;
+        r_baseline = baseline;
+        r_candidate = candidate;
+        r_status = status;
+        r_delta_pct = Some delta;
+        r_p99_delta_pct =
+          (match (b.p99, c.p99) with
+          | Some bp, Some cp -> Some (pct_delta ~old:bp ~new_:cp)
+          | _ -> None) }
+  | Some _, None ->
+      { r_name = name;
+        r_baseline = baseline;
+        r_candidate = None;
+        r_status = "removed";
+        r_delta_pct = None;
+        r_p99_delta_pct = None }
+  | None, Some _ ->
+      { r_name = name;
+        r_baseline = None;
+        r_candidate = candidate;
+        r_status = "added";
+        r_delta_pct = None;
+        r_p99_delta_pct = None }
+  | None, None ->
+      { r_name = name;
+        r_baseline = None;
+        r_candidate = None;
+        r_status = "ok";
+        r_delta_pct = None;
+        r_p99_delta_pct = None }
+
+let names_with status rows =
+  List.filter_map
+    (fun r -> if r.r_status = status then Some r.r_name else None)
+    rows
+
+let print_text rows =
+  Printf.printf "%-40s %12s %12s %9s %8s  %s\n" "benchmark" "baseline"
+    "candidate" "delta" "p99" "";
+  List.iter
+    (fun r ->
+      let ns = function
+        | Some e -> pretty_ns e.ns
+        | None -> "-"
+      in
+      match r.r_delta_pct with
+      | Some delta ->
+          let p99 =
+            match r.r_p99_delta_pct with
+            | Some d -> Printf.sprintf "%+7.1f%%" d
+            | None -> "-"
+          in
+          let flag =
+            match r.r_status with
+            | "regression" -> "REGRESSION"
+            | "slower-unguarded" -> "slower (unguarded)"
+            | "faster" -> "faster"
+            | _ -> ""
+          in
+          Printf.printf "%-40s %12s %12s %+8.1f%% %8s  %s\n" r.r_name
+            (ns r.r_baseline) (ns r.r_candidate) delta p99 flag
+      | None ->
+          Printf.printf "%-40s %12s %12s %9s %8s  %s\n" r.r_name
+            (ns r.r_baseline) (ns r.r_candidate) "-" "-" r.r_status)
+    rows;
+  match names_with "regression" rows with
+  | [] ->
+      Printf.printf "\nok: no guarded benchmark regressed by more than %.0f%%\n"
+        threshold_pct
+  | offenders ->
+      Printf.printf "\nFAIL: %d benchmark(s) regressed by more than %.0f%%:\n"
+        (List.length offenders) threshold_pct;
+      List.iter (fun n -> Printf.printf "  - %s\n" n) offenders
+
+let print_json ~baseline_path ~candidate_path rows =
+  let opt_float = function
+    | Some f -> J.Float f
+    | None -> J.Null
+  in
+  let json =
+    J.Obj
+      [ ("schema", J.String "sheetmusiq-bench-diff/v1");
+        ("baseline", J.String baseline_path);
+        ("candidate", J.String candidate_path);
+        ("threshold_pct", J.Float threshold_pct);
+        ("ok", J.Bool (names_with "regression" rows = []));
+        ("entries",
+         J.List
+           (List.map
+              (fun r ->
+                J.Obj
+                  (List.concat
+                     [ [ ("name", J.String r.r_name);
+                         ("status", J.String r.r_status);
+                         ("guarded", J.Bool (guarded r.r_name)) ];
+                       (match r.r_baseline with
+                       | Some e ->
+                           [ ("baseline_ns", J.Float e.ns);
+                             ("baseline_p99_ns", opt_float e.p99) ]
+                       | None -> []);
+                       (match r.r_candidate with
+                       | Some e ->
+                           [ ("candidate_ns", J.Float e.ns);
+                             ("candidate_p99_ns", opt_float e.p99) ]
+                       | None -> []);
+                       [ ("delta_pct", opt_float r.r_delta_pct);
+                         ("p99_delta_pct", opt_float r.r_p99_delta_pct) ] ]))
+              rows));
+        ("regressions",
+         J.List (List.map (fun n -> J.String n) (names_with "regression" rows)));
+        ("added", J.List (List.map (fun n -> J.String n) (names_with "added" rows)));
+        ("removed",
+         J.List (List.map (fun n -> J.String n) (names_with "removed" rows))) ]
+  in
+  print_endline (J.to_string ~pretty:true json)
+
 let () =
-  let baseline_path, candidate_path =
+  let json_mode, baseline_path, candidate_path =
     match Sys.argv with
-    | [| _; a; b |] -> (a, b)
-    | _ -> die "usage: bench_diff <baseline.json> <candidate.json>"
+    | [| _; a; b |] -> (false, a, b)
+    | [| _; "--json"; a; b |] -> (true, a, b)
+    | _ -> die "usage: bench_diff [--json] <baseline.json> <candidate.json>"
   in
   let baseline = load baseline_path in
   let candidate = load candidate_path in
@@ -91,45 +238,13 @@ let () =
     List.sort_uniq compare
       (List.map fst baseline @ List.map fst candidate)
   in
-  Printf.printf "%-40s %12s %12s %9s %8s  %s\n" "benchmark" "baseline"
-    "candidate" "delta" "p99" "";
-  let regressions = ref [] in
-  List.iter
-    (fun name ->
-      match (List.assoc_opt name baseline, List.assoc_opt name candidate) with
-      | Some b, Some c ->
-          let delta = pct_delta ~old:b.ns ~new_:c.ns in
-          let p99_delta =
-            match (b.p99, c.p99) with
-            | Some bp, Some cp -> Printf.sprintf "%+7.1f%%" (pct_delta ~old:bp ~new_:cp)
-            | _ -> "-"
-          in
-          let flag =
-            if guarded name && delta > threshold_pct then begin
-              regressions := name :: !regressions;
-              "REGRESSION"
-            end
-            else if delta > threshold_pct then "slower (unguarded)"
-            else if delta < -.threshold_pct then "faster"
-            else ""
-          in
-          Printf.printf "%-40s %12s %12s %+8.1f%% %8s  %s\n" name
-            (pretty_ns b.ns) (pretty_ns c.ns) delta p99_delta flag
-      | Some b, None ->
-          Printf.printf "%-40s %12s %12s %9s %8s  removed\n" name
-            (pretty_ns b.ns) "-" "-" "-"
-      | None, Some c ->
-          Printf.printf "%-40s %12s %12s %9s %8s  added\n" name "-"
-            (pretty_ns c.ns) "-" "-"
-      | None, None -> ())
-    names;
-  match List.rev !regressions with
-  | [] ->
-      Printf.printf "\nok: no guarded benchmark regressed by more than %.0f%%\n"
-        threshold_pct;
-      exit 0
-  | offenders ->
-      Printf.printf "\nFAIL: %d benchmark(s) regressed by more than %.0f%%:\n"
-        (List.length offenders) threshold_pct;
-      List.iter (fun n -> Printf.printf "  - %s\n" n) offenders;
-      exit 1
+  let rows =
+    List.map
+      (fun name ->
+        classify name (List.assoc_opt name baseline)
+          (List.assoc_opt name candidate))
+      names
+  in
+  if json_mode then print_json ~baseline_path ~candidate_path rows
+  else print_text rows;
+  if names_with "regression" rows = [] then exit 0 else exit 1

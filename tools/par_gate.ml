@@ -1,11 +1,26 @@
 (* Parallel-determinism gate: replay every bundled TPC-H task script
    once on a single domain and once morsel-parallel on four, with the
    cutover threshold and morsel size forced low enough that the
-   sf-0.001 relations genuinely split. Fail the build when any task's
-   rows diverge — in content *or order* — between the two runs, on
-   either execution path (Materialize.full and Plan.execute), when the
-   parallel run left spans unbalanced, or when it never actually
-   scheduled a morsel. Run via [dune build @par], part of [@gates]. *)
+   sf-0.001 relations genuinely split. Each config gets a FRESH
+   catalog (columnar memoization would otherwise make the second run
+   artificially warm) and per-task zeroed telemetry. Fail the build
+   when any task diverges between the two runs:
+
+   - rows, in content *or order*, on either execution path
+     (Materialize.full and Plan.execute);
+   - counter totals (Sheetscope v3 shards per domain and merges on
+     read — totals must be exactly those of the single-writer run);
+   - histogram sample counts (the duration-free slice; durations are
+     wall time and legitimately differ);
+   - the span multiset — every (name, kind, depth, rows_in, rows_out)
+     recorded under the Memory sink, with workers recording morsel
+     spans live. Only the ring order may differ (workers interleave);
+     sorted, the two runs must be identical.
+
+   Also fails when a parallel run left spans unbalanced or when no
+   scan ever split into morsels (a silently sequential "parallel" run
+   would make the comparison vacuous). Run via [dune build @par],
+   part of [@gates]. *)
 
 open Sheet_core
 module Obs = Sheet_obs.Obs
@@ -32,9 +47,22 @@ let with_config ~domains f =
       Par.set_morsel_rows Par.default_morsel_rows)
     f
 
-(* Materialize and plan-execute the task's final sheet; fresh caches
-   so both runs replay the full pipeline. *)
-let replay catalog (task : Sheet_tpch.Tpch_tasks.t) =
+(* everything a task run leaves behind, minus wall time *)
+type observation = {
+  o_mat : Row.t list;
+  o_plan : Row.t list;
+  o_counters : (string * int) list;  (* nonzero counters, sorted *)
+  o_hists : (string * int) list;  (* nonzero sample counts, sorted *)
+  o_spans : (string * string * int * int * int) list;
+      (* (name, kind, depth, rows_in, rows_out), sorted multiset *)
+}
+
+let nonzero = List.filter (fun (_, v) -> v <> 0)
+
+let observe catalog (task : Sheet_tpch.Tpch_tasks.t) =
+  Obs.clear_events ();
+  Obs.Metrics.reset ();
+  Obs.Histogram.reset ();
   Materialize.reset_cache ();
   match Sheet_sql.Catalog.find catalog task.base with
   | None -> Error ("no base relation " ^ task.base)
@@ -44,61 +72,97 @@ let replay catalog (task : Sheet_tpch.Tpch_tasks.t) =
       | Error msg -> Error msg
       | Ok session ->
           let sheet = Session.current session in
+          let mat = Relation.rows (Materialize.full sheet) in
+          let plan = Relation.rows (Plan.execute (Plan.of_sheet sheet)) in
+          check
+            (Printf.sprintf "task %2d balance" task.id)
+            (Obs.open_spans () = 0 && Obs.nesting_ok ())
+            (Printf.sprintf "%d unclosed span(s), nesting_ok %b"
+               (Obs.open_spans ()) (Obs.nesting_ok ()));
           Ok
-            ( Relation.rows (Materialize.full sheet),
-              Relation.rows (Plan.execute (Plan.of_sheet sheet)) ))
+            { o_mat = mat;
+              o_plan = plan;
+              o_counters = nonzero (Obs.Metrics.counters_snapshot ());
+              o_hists = nonzero (Obs.Histogram.counts_snapshot ());
+              o_spans =
+                List.map
+                  (fun (e : Obs.event) ->
+                    (e.name, e.kind, e.depth, e.rows_in, e.rows_out))
+                  (Obs.events ())
+                |> List.sort compare })
 
-(* morsels/scans scheduled by the 4-domain runs only (the 1-domain
-   runs also tick the counters, but always with one morsel per scan) *)
-let par_morsels = ref 0
-let par_scans = ref 0
-
-let run_task catalog (task : Sheet_tpch.Tpch_tasks.t) =
-  let label what = Printf.sprintf "task %2d %s" task.id what in
-  let seq = with_config ~domains:1 (fun () -> replay catalog task) in
-  Obs.clear_events ();
-  let m0 = Obs.Metrics.value_of Obs.k_par_morsels in
-  let s0 = Obs.Metrics.value_of Obs.k_par_scans in
-  let par = with_config ~domains:4 (fun () -> replay catalog task) in
-  par_morsels :=
-    !par_morsels + (Obs.Metrics.value_of Obs.k_par_morsels - m0);
-  par_scans := !par_scans + (Obs.Metrics.value_of Obs.k_par_scans - s0);
-  match (seq, par) with
-  | Error msg, _ | _, Error msg -> check (label "script") false msg
-  | Ok (m1, p1), Ok (m4, p4) ->
-      check (label "materialize")
-        (List.equal Row.equal m1 m4)
-        "row list diverges between 1 and 4 domains";
-      check (label "plan")
-        (List.equal Row.equal p1 p4)
-        "plan rows diverge between 1 and 4 domains";
-      check (label "spans") (Obs.open_spans () = 0)
-        (Printf.sprintf "%d unclosed span(s)" (Obs.open_spans ()));
-      check (label "nesting") (Obs.nesting_ok ()) "span closed out of order"
-
-let () =
-  Obs.set_sink Obs.Memory;
+(* one full pass over every task under a fixed domain count, against
+   a fresh catalog *)
+let collect ~domains tasks =
   let catalog =
     Sheet_tpch.Tpch_views.install
       (Sheet_tpch.Tpch_gen.generate
          { Sheet_tpch.Tpch_gen.sf = 0.001; seed = 42 })
   in
+  with_config ~domains (fun () ->
+      List.map (fun task -> observe catalog task) tasks)
+
+let pp_assoc l =
+  String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) l)
+
+let diff_assoc a b =
+  List.filter (fun kv -> not (List.mem kv b)) a
+  @ List.filter (fun kv -> not (List.mem kv a)) b
+
+let run_task (task : Sheet_tpch.Tpch_tasks.t) seq par =
+  let label what = Printf.sprintf "task %2d %s" task.id what in
+  match (seq, par) with
+  | Error msg, _ | _, Error msg -> check (label "script") false msg
+  | Ok s, Ok p ->
+      check (label "materialize")
+        (List.equal Row.equal s.o_mat p.o_mat)
+        "row list diverges between 1 and 4 domains";
+      check (label "plan")
+        (List.equal Row.equal s.o_plan p.o_plan)
+        "plan rows diverge between 1 and 4 domains";
+      check (label "counters")
+        (s.o_counters = p.o_counters)
+        (Printf.sprintf "sharded totals diverge: %s"
+           (pp_assoc (diff_assoc s.o_counters p.o_counters)));
+      check (label "histograms")
+        (s.o_hists = p.o_hists)
+        (Printf.sprintf "sample counts diverge: %s"
+           (pp_assoc (diff_assoc s.o_hists p.o_hists)));
+      check (label "spans")
+        (s.o_spans = p.o_spans)
+        (Printf.sprintf "span multiset diverges (%d vs %d events)"
+           (List.length s.o_spans) (List.length p.o_spans))
+
+let () =
+  Obs.set_sink Obs.Memory;
   let tasks = Sheet_tpch.Tpch_tasks.all @ Sheet_tpch.Tpch_tasks.extensions in
-  List.iter (run_task catalog) tasks;
-  (* the 4-domain runs must have actually split scans into morsels —
-     a silently sequential "parallel" run would make the whole
-     comparison vacuous *)
-  check "par.morsels" (!par_morsels > 0) "no morsel was ever scheduled";
+  let seq = collect ~domains:1 tasks in
+  let par = collect ~domains:4 tasks in
+  List.iter2 (fun (t, s) p -> run_task t s p)
+    (List.combine tasks seq) par;
+  (* the runs must have actually split scans into morsels — and since
+     morselization is domain-count independent, both configs report
+     the same counts *)
+  let total key obs =
+    List.fold_left
+      (fun acc -> function
+        | Ok o ->
+            acc
+            + Option.value (List.assoc_opt key o.o_counters) ~default:0
+        | Error _ -> acc)
+      0 obs
+  in
+  let morsels = total Obs.k_par_morsels par in
+  check "par.morsels" (morsels > 0) "no morsel was ever scheduled";
   check "par.scans"
-    (!par_scans > 0)
+    (total Obs.k_par_scans par > 0)
     "no scan ever took the multi-morsel path";
-  let morsels = !par_morsels in
   if !failures > 0 then begin
     Printf.eprintf "par gate: %d failure(s)\n" !failures;
     exit 1
   end
   else
     Printf.printf
-      "par gate: %d task(s) bit-identical across 1 and 4 domains (%d \
-       morsels)\n"
+      "par gate: %d task(s) bit-identical across 1 and 4 domains — rows, \
+       order, counters, histogram counts, span multisets (%d morsels)\n"
       (List.length tasks) morsels
