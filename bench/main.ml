@@ -362,6 +362,31 @@ let obs_contended_workload =
     work ();
     Array.iter Domain.join workers
 
+(* Sheetdoctor profile collection on the materialization hot path:
+   one full replay of a 4-selection + computed-column sheet with the
+   per-query profile ring recording (its default state). The gate
+   (tools/doctor_gate.exe) bounds collection overhead relative to a
+   disabled run; this entry guards the absolute cost under the "obs/"
+   prefix so a profile hook that starts allocating per row fails
+   bench_diff. *)
+
+let profile_sheet_4k =
+  lazy
+    (let s = scaled_sheet 4000 in
+     let s = apply_exn s (Op.Select (Expr_parse.parse_string_exn "Price < 15000")) in
+     let s =
+       apply_exn s
+         (Op.Formula
+            { name = Some "Markup";
+              expr = Expr_parse.parse_string_exn "Price * 0.1" })
+     in
+     let s = apply_exn s (Op.Select (Expr_parse.parse_string_exn "Year >= 2001")) in
+     apply_exn s (Op.Order { attr = "Price"; dir = Grouping.Desc; level = 1 }))
+
+let profile_overhead_workload () =
+  ignore (Materialize.full (Lazy.force profile_sheet_4k));
+  Sheet_obs.Obs.Profile.clear ()
+
 (* Semantic materialization cache: answering a tightened selection
    from a warm subsuming state (re-filter + proof) vs replaying the
    100k base cold. Named under the "cache/" prefix so
@@ -447,7 +472,8 @@ let workloads =
   @ [ (* semantic cache (guarded under the "cache/" prefix) *)
     ("cache/cold-100k", Some 100_000, cache_cold_workload);
     ("cache/subsumed-hit-100k", Some 100_000, cache_subsumed_workload);
-    ("obs/record-contended", Some 100_000, obs_contended_workload)
+    ("obs/record-contended", Some 100_000, obs_contended_workload);
+    ("obs/profile-overhead", Some 4000, profile_overhead_workload)
   ]
   @ [ (* ablations *)
     ("ablation/replay-8-selections", Some 1000,

@@ -50,6 +50,9 @@ Display:
 Observability (Sheetscope):
   explain                         show the compiled + optimized plan
   explain analyze | profile       run the plan, per-node rows and timings
+  profile last|<uid>|json         Sheetdoctor execution profiles (path
+                                  attribution, cache/strategy, allocations)
+  doctor                          anomaly detection over recorded profiles
   metrics                         counters, gauges, latency percentiles
   slo [json]                      evaluate latency/error-rate SLOs
                                   (per-session series included)
@@ -127,6 +130,9 @@ let handle_extra session line =
       print_endline
         (Sheet_analysis.Sheetlint.render
            (Sheet_analysis.Sheetlint.session session));
+      true
+  | [ "doctor" ] ->
+      print_endline (Sheet_analysis.Doctor.render ());
       true
   | [ "sheets" ] ->
       (match Store.names (Session.store session) with

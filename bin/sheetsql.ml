@@ -12,6 +12,8 @@
                    it both ways and compare
      \profile <SQL>  translate, run through the plan interpreter, and
                    print per-node rows and timings (EXPLAIN ANALYZE)
+     \doctor       Sheetdoctor anomaly detection over the profiles
+                   recorded so far this session
      \timing       toggle per-statement wall-time reporting
      \flightrec [json|clear]   dump / export / reset the session
                    flight recorder (Sheetscope)
@@ -105,6 +107,7 @@ let profile_sql catalog sql =
               let sheet = Sheet_core.Session.current session in
               let _rel, _profile, text =
                 Sheet_core.Plan.explain_analyze
+                  ~uid:sheet.Sheet_core.Spreadsheet.uid
                   (Sheet_core.Plan.of_sheet sheet)
               in
               print_string text))
@@ -149,9 +152,9 @@ let () =
   list_tables catalog;
   Printf.printf
     "\\d to list tables, \\t <sql> to translate, \\lint <sql> to analyze, \
-     \\profile <sql> to time, \\timing to toggle, \\flightrec [json|clear] \
-     for the flight recorder, \\slo [json] for the SLO report, \\q to \
-     quit.\n";
+     \\profile <sql> to time, \\doctor for anomaly detection, \\timing to \
+     toggle, \\flightrec [json|clear] for the flight recorder, \\slo \
+     [json] for the SLO report, \\q to quit.\n";
   let buffer = Buffer.create 256 in
   (try
      while true do
@@ -178,6 +181,8 @@ let () =
          Sheet_obs.Obs.Flightrec.clear ();
          print_endline "flight recorder cleared"
        end
+       else if trimmed = "\\doctor" then
+         print_endline (Sheet_analysis.Doctor.render ())
        else if trimmed = "\\slo" then
          print_endline (Sheet_obs.Obs.Slo.render ())
        else if trimmed = "\\slo json" then

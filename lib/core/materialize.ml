@@ -123,6 +123,7 @@ let unsorted_full (sheet : Spreadsheet.t) =
       Obs.span ~uid:sheet.Spreadsheet.uid ~kind:"stratum 0"
         "materialize.stratum"
     in
+    let a0 = Gc.allocated_bytes () in
     let t0 = Obs.now_ns () in
     let base_rows = Relation.to_array sheet.Spreadsheet.base in
     let rows =
@@ -143,9 +144,13 @@ let unsorted_full (sheet : Spreadsheet.t) =
         distinct_rows ~key_positions rows
       else rows
     in
-    Obs.Histogram.record h_stratum (Obs.now_ns () - t0);
+    let dt = Obs.now_ns () - t0 in
+    Obs.Histogram.record h_stratum dt;
     Obs.finish ~rows_in:(Array.length base_rows)
       ~rows_out:(Array.length rows) sp;
+    Obs.Profile.note_node ~rows_in:(Array.length base_rows)
+      ~rows_out:(Array.length rows) ~kind:"stratum" ~label:"stratum 0"
+      ~time_ns:dt ~alloc_bytes:(Gc.allocated_bytes () -. a0) ();
     rows
   in
   let schema, rows, _ =
@@ -157,6 +162,7 @@ let unsorted_full (sheet : Spreadsheet.t) =
             "materialize.stratum"
         in
         let rows_in = Array.length rows in
+        let a0 = Gc.allocated_bytes () in
         let t0 = Obs.now_ns () in
         let cells = computed_cells sheet schema rows c in
         let schema =
@@ -165,16 +171,37 @@ let unsorted_full (sheet : Spreadsheet.t) =
         in
         let rows = Array.map2 Row.append1 rows cells in
         let rows = apply_selections schema (preds_at k) rows in
-        Obs.Histogram.record h_stratum (Obs.now_ns () - t0);
+        let dt = Obs.now_ns () - t0 in
+        Obs.Histogram.record h_stratum dt;
         Obs.finish ~rows_in ~rows_out:(Array.length rows) sp;
+        Obs.Profile.note_node ~rows_in ~rows_out:(Array.length rows)
+          ~kind:"stratum"
+          ~label:(Printf.sprintf "stratum %d: %s" k c.Computed.name)
+          ~time_ns:dt ~alloc_bytes:(Gc.allocated_bytes () -. a0) ();
         (schema, rows, k + 1))
       (base_schema, rows, 1)
       state.Query_state.computed
   in
   Relation.unsafe_of_array schema rows
 
+(* Run [f ()] inside a Sheetdoctor profile region keyed on the sheet's
+   uid; when an enclosing region already covers the same uid (e.g.
+   [full] reached through a [full_cached] miss) the nested enter is
+   collapsed so one request yields one record. *)
+let profiled ~uid f =
+  Obs.Profile.enter ~kind:"materialize" ~uid;
+  match f () with
+  | rel ->
+      Obs.Profile.commit ~rows_out:(Relation.cardinality rel);
+      rel
+  | exception e ->
+      Obs.Profile.commit ~rows_out:(-1);
+      raise e
+
 let full (sheet : Spreadsheet.t) =
   Obs.Metrics.incr c_full_replays;
+  profiled ~uid:sheet.Spreadsheet.uid @@ fun () ->
+  Obs.Profile.note_strategy "full-replay";
   Obs.with_span ~uid:sheet.Spreadsheet.uid ~kind:"full" "materialize.full"
     (fun () ->
       let t0 = Obs.now_ns () in
@@ -192,7 +219,18 @@ let full (sheet : Spreadsheet.t) =
       if keys = [] then rel
       else
         Obs.with_span ~uid:sheet.Spreadsheet.uid ~kind:"sort"
-          "materialize.sort" (fun () -> Rel_algebra.sort keys rel))
+          "materialize.sort" (fun () ->
+            let a0 = Gc.allocated_bytes () in
+            let t0 = Obs.now_ns () in
+            let sorted = Rel_algebra.sort keys rel in
+            Obs.Profile.note_node ~rows_in:(Relation.cardinality rel)
+              ~rows_out:(Relation.cardinality sorted) ~kind:"sort"
+              ~label:
+                (Printf.sprintf "sort [%s]"
+                   (String.concat ", " (List.map fst keys)))
+              ~time_ns:(Obs.now_ns () - t0)
+              ~alloc_bytes:(Gc.allocated_bytes () -. a0) ();
+            sorted))
 
 (* ---------- the materialization cache ----------
 
@@ -353,10 +391,12 @@ let serve_subsumed (sheet : Spreadsheet.t) (cached_rel : Relation.t) =
 let full_cached (sheet : Spreadsheet.t) =
   incr requests;
   Obs.Metrics.incr c_requests;
+  profiled ~uid:sheet.Spreadsheet.uid @@ fun () ->
   match Hashtbl.find_opt cache sheet.Spreadsheet.uid with
   | Some entry ->
       incr hits;
       Obs.Metrics.incr c_hits;
+      Obs.Profile.note_cache "exact";
       Obs.Flightrec.record ~uid:sheet.Spreadsheet.uid ~kind:"cache-hit-exact"
         "materialize";
       entry.e_rel
@@ -365,6 +405,7 @@ let full_cached (sheet : Spreadsheet.t) =
       | Some (entry, outcome) ->
           incr subsumed_hits;
           Obs.Metrics.incr c_hits_subsumed;
+          Obs.Profile.note_cache "subsumed";
           let t0 = Obs.now_ns () in
           let rel = serve_subsumed sheet entry.e_rel in
           Obs.Flightrec.record ~uid:sheet.Spreadsheet.uid
@@ -378,6 +419,7 @@ let full_cached (sheet : Spreadsheet.t) =
       | None ->
           incr misses;
           Obs.Metrics.incr c_misses;
+          Obs.Profile.note_cache "miss";
           evict_if_over_limit ();
           let t0 = Obs.now_ns () in
           let rel = full sheet in
@@ -389,6 +431,7 @@ let full_cached (sheet : Spreadsheet.t) =
 let seed_cache (sheet : Spreadsheet.t) rel =
   incr seeds;
   Obs.Metrics.incr c_seeds;
+  Obs.Profile.note_cache "seed";
   evict_if_over_limit ();
   cache_insert sheet rel
 

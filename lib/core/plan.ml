@@ -297,11 +297,17 @@ let run_streaming ~record ?rel nodes schema data =
               | Error msg ->
                   raise (Rel_algebra.Algebra_error ("selection: " ^ msg)))
             preds;
+          let a0 = Gc.allocated_bytes () in
           let t0 = Obs.now_ns () in
           match Rel_algebra.columnar_filter r preds with
           | Some out ->
               let dt = Obs.now_ns () - t0 in
               List.iter (fun node -> record (node_kind node) dt) consumed;
+              Obs.Profile.note_node ~rows_in:(Array.length data)
+                ~rows_out:(Array.length out) ~path:"columnar" ~kind:"filter"
+                ~label:(String.concat " + " (List.map node_label consumed))
+                ~time_ns:dt
+                ~alloc_bytes:(Gc.allocated_bytes () -. a0) ();
               (rest, out)
           | None -> (nodes, data)
         end)
@@ -318,6 +324,7 @@ let run_streaming ~record ?rel nodes schema data =
   in
   let steps = Array.of_list (List.rev steps) in
   let nsteps = Array.length steps in
+  let a0 = Gc.allocated_bytes () in
   let t0 = Obs.now_ns () in
   let n = Array.length data in
   let out =
@@ -344,10 +351,16 @@ let run_streaming ~record ?rel nodes schema data =
   in
   let dt = Obs.now_ns () - t0 in
   List.iter (fun node -> record (node_kind node) dt) nodes;
+  Obs.Profile.note_node ~rows_in:n ~rows_out:(Array.length out) ~path:"fused"
+    ~kind:"run"
+    ~label:(String.concat " + " (List.map node_label nodes))
+    ~time_ns:dt
+    ~alloc_bytes:(Gc.allocated_bytes () -. a0) ();
   (out_schema, out)
   end
 
 let run_blocking ~record node schema data =
+  let a0 = Gc.allocated_bytes () in
   let t0 = Obs.now_ns () in
   let result =
     match node with
@@ -417,10 +430,29 @@ let run_blocking ~record node schema data =
     | Scan _ | Filter _ | Project _ | Extend_formula _ ->
         invalid_arg "Plan.run_blocking: streaming node"
   in
-  record (node_kind node) (Obs.now_ns () - t0);
+  let dt = Obs.now_ns () - t0 in
+  record (node_kind node) dt;
+  Obs.Profile.note_node ~rows_in:(Array.length data)
+    ~rows_out:(Array.length (snd result)) ~path:"blocking"
+    ~kind:(node_kind node) ~label:(node_label node) ~time_ns:dt
+    ~alloc_bytes:(Gc.allocated_bytes () -. a0) ();
   result
 
-let execute node =
+(* Run [f ()] inside a Sheetdoctor profile region and commit it with
+   the result cardinality (or -1 when [f] raises). The attribution
+   hooks in [run_streaming]/[run_blocking]/[Rel_algebra] only record
+   while such a region is open. *)
+let profiled ~kind ~uid f =
+  Obs.Profile.enter ~kind ~uid;
+  match f () with
+  | rel ->
+      Obs.Profile.commit ~rows_out:(Relation.cardinality rel);
+      rel
+  | exception e ->
+      Obs.Profile.commit ~rows_out:(-1);
+      raise e
+
+let execute_raw node =
   let base, ops = linearize node in
   let record kind dt =
     Obs.Histogram.record
@@ -451,6 +483,9 @@ let execute node =
   let schema, data = go (Some base) schema data ops in
   Relation.unsafe_of_array schema data
 
+let execute ?(uid = 0) node =
+  profiled ~kind:"plan" ~uid (fun () -> execute_raw node)
+
 (* ---------- instrumented execution (EXPLAIN ANALYZE) ---------- *)
 
 type profile = {
@@ -460,13 +495,14 @@ type profile = {
   p_child : profile option;
 }
 
-let rec execute_instrumented node =
+let rec instrumented_node node =
   (* the child runs first, outside this node's span, so [p_time_ns]
      and the span duration are self-time *)
-  let below = Option.map execute_instrumented (child node) in
+  let below = Option.map instrumented_node (child node) in
   let input = Option.map fst below in
   let rows_in = match input with Some r -> Relation.cardinality r | None -> 0 in
   let sp = Obs.span ~kind:(node_kind node) "plan.node" in
+  let a0 = Gc.allocated_bytes () in
   let t0 = Obs.now_ns () in
   let rel = apply_node node input in
   let dt = Obs.now_ns () - t0 in
@@ -476,11 +512,24 @@ let rec execute_instrumented node =
   Obs.Metrics.incr ~by:rows_in c_plan_rows_in;
   Obs.Metrics.incr ~by:rows_out c_plan_rows_out;
   Obs.finish ~rows_in ~rows_out sp;
+  Obs.Profile.note_node ~rows_in ~rows_out ~kind:(node_kind node)
+    ~label:(node_label node) ~time_ns:dt
+    ~alloc_bytes:(Gc.allocated_bytes () -. a0) ();
   ( rel,
     { p_label = node_label node;
       p_rows_out = rows_out;
       p_time_ns = dt;
       p_child = Option.map snd below } )
+
+let execute_instrumented ?(uid = 0) node =
+  Obs.Profile.enter ~kind:"plan" ~uid;
+  match instrumented_node node with
+  | (rel, _) as res ->
+      Obs.Profile.commit ~rows_out:(Relation.cardinality rel);
+      res
+  | exception e ->
+      Obs.Profile.commit ~rows_out:(-1);
+      raise e
 
 let rec profile_total_ns p =
   p.p_time_ns
@@ -504,8 +553,8 @@ let render_profile profile =
     (Printf.sprintf "Total: %.3f ms\n" (total /. 1e6));
   Buffer.contents buf
 
-let explain_analyze plan =
-  let rel, profile = execute_instrumented plan in
+let explain_analyze ?(uid = 0) plan =
+  let rel, profile = execute_instrumented ~uid plan in
   (rel, profile, render_profile profile)
 
 (* ---------- schema of a plan ---------- *)

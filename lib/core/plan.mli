@@ -58,7 +58,11 @@ val of_sheet : Spreadsheet.t -> node
 (** Compile the sheet's query state. Executing the result equals
     {!Materialize.full}. *)
 
-val execute : node -> Relation.t
+val execute : ?uid:int -> node -> Relation.t
+(** Run the plan. Opens a Sheetdoctor profile region (kind ["plan"],
+    keyed on [uid], default [0]) for the duration, so fused-run
+    extents, columnar-vs-row path attribution and counter deltas land
+    in {!Sheet_obs.Obs.Profile}. *)
 
 (** {2 Instrumented execution — EXPLAIN ANALYZE}
 
@@ -73,12 +77,14 @@ type profile = {
   p_child : profile option;
 }
 
-val execute_instrumented : node -> Relation.t * profile
+val execute_instrumented : ?uid:int -> node -> Relation.t * profile
 (** Same result as {!execute} (property-tested, sink on or off), plus
     the per-node profile. Emits one [plan.node] span per node and
-    bumps the [plan.*] counters whatever the sink. *)
+    bumps the [plan.*] counters whatever the sink. Also records a
+    Sheetdoctor profile region (kind ["plan"], keyed on [uid]) with
+    one node entry per plan node, including allocation deltas. *)
 
-val explain_analyze : node -> Relation.t * profile * string
+val explain_analyze : ?uid:int -> node -> Relation.t * profile * string
 (** {!execute_instrumented} plus the rendered tree — one line per node
     with rows, self time, and percentage of total. *)
 

@@ -332,12 +332,48 @@ let run_line session line =
               Some
                 ("plan:\n" ^ Plan.explain plan ^ "optimized (for visible \
                   columns):\n" ^ Plan.explain optimized) }
-    | "explain" (* analyze *) | "profile" ->
+    | "explain" (* analyze *) ->
         (* the raw (unoptimized) plan mirrors the replay strata, so the
            root's row count equals the full materialization's *)
-        let plan = Plan.of_sheet (Session.current session) in
-        let _rel, _profile, text = Plan.explain_analyze plan in
+        let sheet = Session.current session in
+        let plan = Plan.of_sheet sheet in
+        let _rel, _profile, text =
+          Plan.explain_analyze ~uid:sheet.Spreadsheet.uid plan
+        in
         Ok { session; output = Some text }
+    | "profile" -> (
+        match split_words (String.lowercase_ascii rest) with
+        | [] ->
+            (* bare [profile] keeps its EXPLAIN ANALYZE behavior; the
+               run also lands in the Sheetdoctor ring under the
+               sheet's uid *)
+            let sheet = Session.current session in
+            let plan = Plan.of_sheet sheet in
+            let _rel, _profile, text =
+              Plan.explain_analyze ~uid:sheet.Spreadsheet.uid plan
+            in
+            Ok { session; output = Some text }
+        | [ "last" ] -> (
+            match Obs.Profile.last () with
+            | Some r ->
+                Ok { session; output = Some (Obs.Profile.render_record r) }
+            | None -> Error "profile: no profiles recorded")
+        | [ "json" ] ->
+            Ok
+              { session;
+                output = Some (Obs_json.to_string (Obs.Profile.to_json ())) }
+        | [ w ] -> (
+            match int_of_string_opt w with
+            | Some uid -> (
+                match Obs.Profile.find ~uid with
+                | Some r ->
+                    Ok
+                      { session;
+                        output = Some (Obs.Profile.render_record r) }
+                | None ->
+                    Error (Printf.sprintf "profile: no profile for #%d" uid))
+            | None -> Error "profile: expected [last|<uid>|json]")
+        | _ -> Error "profile: expected [last|<uid>|json]")
     | "metrics" ->
         Ok { session; output = Some (Obs.metrics_report ()) }
     | "slo" -> (

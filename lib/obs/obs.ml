@@ -301,6 +301,17 @@ let series_base name =
   | Some i -> String.sub name 0 i
   | None -> name
 
+(* Deterministic registry order: sort by (family base, label suffix)
+   so a base series is immediately followed by its labeled variants.
+   Raw byte order would tear families apart — '{' (0x7b) sorts after
+   every letter, so "engine.apply{...}" would land after
+   "engine.apply.filter". Gate and doctor output diff stably because
+   every snapshot/render/JSON export goes through this order. *)
+let series_order a b =
+  match String.compare (series_base a) (series_base b) with
+  | 0 -> String.compare a b
+  | c -> c
+
 let default_label_cap = 64
 let label_cap_ref = ref default_label_cap
 let set_label_cap n = label_cap_ref := max 1 n
@@ -390,7 +401,7 @@ module Metrics = struct
   let entries () =
     with_lock reg_mutex (fun () ->
         Hashtbl.fold (fun _ m acc -> m :: acc) registry [])
-    |> List.sort (fun a b -> String.compare a.m_name b.m_name)
+    |> List.sort (fun a b -> series_order a.m_name b.m_name)
 
   let snapshot () = List.map (fun m -> (m.m_name, get m)) (entries ())
 
@@ -634,7 +645,7 @@ module Histogram = struct
   let entries () =
     with_lock reg_mutex (fun () ->
         Hashtbl.fold (fun _ h acc -> h :: acc) registry [])
-    |> List.sort (fun a b -> String.compare a.h_name b.h_name)
+    |> List.sort (fun a b -> series_order a.h_name b.h_name)
 
   let snapshots () = List.map snapshot_of (entries ())
 
@@ -991,8 +1002,415 @@ module Env = struct
             None)
 end
 
-(* the flight recorder's slow-op threshold comes from the environment;
-   re-runnable so tests can drive the knob *)
+(* ---------- per-query execution profiles (Sheetdoctor) ----------
+
+   A bounded ring of per-materialization records — the execution black
+   box for one query: which cache outcome answered it (exact /
+   subsumed / miss / seed), full replay vs incremental derivation, a
+   node-by-node breakdown with wall time, row counts and allocation
+   deltas, and *path attribution*: which filter predicates ran as
+   compiled selection vectors and which fell back to the row path
+   (naming the non-total subtree), plus the morsel/domain shape of the
+   parallel scans underneath.
+
+   Collection mirrors the flight recorder: always on (a record is a
+   few small allocations), independent of the span sink, bounded with
+   a drop counter (capacity from SHEETSCOPE_PROFILE_CAP, default 64).
+   Like span nesting, the region stack is single-writer — only the
+   session's driving thread enters/commits regions and notes
+   attribution; worker domains contribute only through the sharded
+   counters whose deltas a region snapshots at its boundaries, so the
+   merged-on-read totals keep the record exact under parallelism. *)
+
+module Profile = struct
+  type node = {
+    n_kind : string;
+    n_label : string;
+    n_rows_in : int;  (* -1 when unknown *)
+    n_rows_out : int;  (* -1 when unknown *)
+    n_time_ns : int;
+    n_alloc_bytes : float;
+    n_path : string;  (* "" | "columnar" | "row" | "fused" | "blocking" *)
+    n_detail : string;
+  }
+
+  type t = {
+    p_session : string;  (* ambient labels at commit, "" when none *)
+    p_uid : int;  (* 0 when no sheet is involved *)
+    p_kind : string;  (* "materialize" | "plan" *)
+    p_rows_out : int;  (* -1 when the region failed *)
+    p_total_ns : int;
+    p_alloc_bytes : float;
+    p_cache : string;  (* "exact" | "subsumed" | "miss" | "seed" | "" *)
+    p_strategy : string;  (* "full-replay" | "incremental" | "" *)
+    p_domains : int;
+    p_morsels : int;
+    p_par_scans : int;
+    p_sel_rows_in : int;
+    p_sel_rows_out : int;
+    p_compiled : string list;
+    p_fallbacks : (string * string) list;  (* (predicate, reason) *)
+    p_nodes : node list;
+  }
+
+  let default_cap = 64
+  let capacity = ref default_cap
+  let set_capacity n = capacity := max 1 n
+  let ring : t Queue.t = Queue.create ()
+  let dropped_records = ref 0
+  let pr_mutex = Mutex.create ()
+
+  (* collection can be switched off entirely (the overhead bench
+     measures the difference); regions entered while disabled record
+     nothing even if re-enabled before they commit *)
+  let enabled_flag = ref true
+  let enabled () = !enabled_flag
+  let set_enabled b = enabled_flag := b
+
+  type pending = {
+    pd_uid : int;
+    pd_kind : string;
+    pd_t0 : int;
+    pd_alloc0 : float;
+    pd_morsels0 : int;
+    pd_scans0 : int;
+    pd_sel_in0 : int;
+    pd_sel_out0 : int;
+    mutable pd_cache : string;
+    mutable pd_strategy : string;
+    mutable pd_compiled : string list;  (* reversed *)
+    mutable pd_fallbacks : (string * string) list;  (* reversed *)
+    mutable pd_nodes : node list;  (* reversed *)
+  }
+
+  (* [Nested]: a same-uid re-entry (e.g. [Materialize.full] inside a
+     [full_cached] miss) — its notes flow to the enclosing region so
+     one query yields one record, not two. *)
+  type slot = Disabled | Nested | Region of pending
+
+  let stack : slot list ref = ref []
+
+  let c_morsels = Metrics.counter k_par_morsels
+  let c_scans = Metrics.counter k_par_scans
+  let c_sel_in = Metrics.counter k_col_sel_rows_in
+  let c_sel_out = Metrics.counter k_col_sel_rows_out
+  let g_domains = Metrics.gauge k_par_domains
+
+  let rec find_region = function
+    | [] -> None
+    | Region p :: _ -> Some p
+    | (Disabled | Nested) :: rest -> find_region rest
+
+  let in_region () =
+    match find_region !stack with Some _ -> true | None -> false
+
+  let open_regions () = List.length !stack
+  let reset_stack_for_tests () = stack := []
+
+  let push_record r =
+    with_lock pr_mutex (fun () ->
+        if Queue.length ring >= !capacity then begin
+          ignore (Queue.pop ring);
+          incr dropped_records
+        end;
+        Queue.push r ring)
+
+  let enter ~kind ~uid =
+    let slot =
+      if not !enabled_flag then Disabled
+      else if
+        uid <> 0
+        && List.exists
+             (function Region p -> p.pd_uid = uid | _ -> false)
+             !stack
+      then Nested
+      else
+        Region
+          { pd_uid = uid;
+            pd_kind = kind;
+            pd_t0 = now_ns ();
+            pd_alloc0 = Gc.allocated_bytes ();
+            pd_morsels0 = Metrics.get c_morsels;
+            pd_scans0 = Metrics.get c_scans;
+            pd_sel_in0 = Metrics.get c_sel_in;
+            pd_sel_out0 = Metrics.get c_sel_out;
+            pd_cache = "";
+            pd_strategy = "";
+            pd_compiled = [];
+            pd_fallbacks = [];
+            pd_nodes = [] }
+    in
+    stack := slot :: !stack
+
+  let commit ~rows_out =
+    match !stack with
+    | [] -> ()  (* unbalanced commit: tolerated, like span mis-nesting *)
+    | slot :: rest -> (
+        stack := rest;
+        match slot with
+        | Disabled | Nested -> ()
+        | Region p ->
+            push_record
+              { p_session = Labels.to_string (ambient_labels ());
+                p_uid = p.pd_uid;
+                p_kind = p.pd_kind;
+                p_rows_out = rows_out;
+                p_total_ns = max 0 (now_ns () - p.pd_t0);
+                p_alloc_bytes =
+                  Float.max 0. (Gc.allocated_bytes () -. p.pd_alloc0);
+                p_cache = p.pd_cache;
+                p_strategy = p.pd_strategy;
+                p_domains = Metrics.get g_domains;
+                p_morsels = Metrics.get c_morsels - p.pd_morsels0;
+                p_par_scans = Metrics.get c_scans - p.pd_scans0;
+                p_sel_rows_in = Metrics.get c_sel_in - p.pd_sel_in0;
+                p_sel_rows_out = Metrics.get c_sel_out - p.pd_sel_out0;
+                p_compiled = List.rev p.pd_compiled;
+                p_fallbacks = List.rev p.pd_fallbacks;
+                p_nodes = List.rev p.pd_nodes })
+
+  let note f = match find_region !stack with None -> () | Some p -> f p
+  let note_cache outcome = note (fun p -> p.pd_cache <- outcome)
+  let note_strategy s = note (fun p -> p.pd_strategy <- s)
+
+  let note_compiled pred =
+    note (fun p -> p.pd_compiled <- pred :: p.pd_compiled)
+
+  let note_fallback ~pred ~reason =
+    note (fun p -> p.pd_fallbacks <- (pred, reason) :: p.pd_fallbacks)
+
+  let note_node ?(rows_in = -1) ?(rows_out = -1) ?(path = "") ?(detail = "")
+      ~kind ~label ~time_ns ~alloc_bytes () =
+    note (fun p ->
+        p.pd_nodes <-
+          { n_kind = kind;
+            n_label = label;
+            n_rows_in = rows_in;
+            n_rows_out = rows_out;
+            n_time_ns = time_ns;
+            n_alloc_bytes = alloc_bytes;
+            n_path = path;
+            n_detail = detail }
+          :: p.pd_nodes)
+
+  let records () =
+    with_lock pr_mutex (fun () -> List.of_seq (Queue.to_seq ring))
+
+  let length () = with_lock pr_mutex (fun () -> Queue.length ring)
+  let dropped () = with_lock pr_mutex (fun () -> !dropped_records)
+
+  let clear () =
+    with_lock pr_mutex (fun () ->
+        Queue.clear ring;
+        dropped_records := 0)
+
+  let last () =
+    with_lock pr_mutex (fun () -> Queue.fold (fun _ r -> Some r) None ring)
+
+  let find ~uid =
+    List.fold_left
+      (fun acc r -> if r.p_uid = uid then Some r else acc)
+      None (records ())
+
+  (* ----- JSON (schema "sheetscope-profile/v1") -----
+
+     The printer/parser pair is total and round-trips records exactly
+     (fuzz-tested): printing never raises, and [of_json] answers
+     [Error], never an exception, on arbitrary JSON. *)
+
+  let node_to_json n =
+    Obs_json.Obj
+      [ ("kind", Obs_json.String n.n_kind);
+        ("label", Obs_json.String n.n_label);
+        ("rows_in", Obs_json.Int n.n_rows_in);
+        ("rows_out", Obs_json.Int n.n_rows_out);
+        ("time_ns", Obs_json.Int n.n_time_ns);
+        ("alloc_bytes", Obs_json.Float n.n_alloc_bytes);
+        ("path", Obs_json.String n.n_path);
+        ("detail", Obs_json.String n.n_detail) ]
+
+  let record_to_json r =
+    Obs_json.Obj
+      [ ("session", Obs_json.String r.p_session);
+        ("uid", Obs_json.Int r.p_uid);
+        ("kind", Obs_json.String r.p_kind);
+        ("rows_out", Obs_json.Int r.p_rows_out);
+        ("total_ns", Obs_json.Int r.p_total_ns);
+        ("alloc_bytes", Obs_json.Float r.p_alloc_bytes);
+        ("cache", Obs_json.String r.p_cache);
+        ("strategy", Obs_json.String r.p_strategy);
+        ("domains", Obs_json.Int r.p_domains);
+        ("morsels", Obs_json.Int r.p_morsels);
+        ("par_scans", Obs_json.Int r.p_par_scans);
+        ("sel_rows_in", Obs_json.Int r.p_sel_rows_in);
+        ("sel_rows_out", Obs_json.Int r.p_sel_rows_out);
+        ("compiled",
+         Obs_json.List (List.map (fun s -> Obs_json.String s) r.p_compiled));
+        ("fallbacks",
+         Obs_json.List
+           (List.map
+              (fun (pred, reason) ->
+                Obs_json.Obj
+                  [ ("pred", Obs_json.String pred);
+                    ("reason", Obs_json.String reason) ])
+              r.p_fallbacks));
+        ("nodes", Obs_json.List (List.map node_to_json r.p_nodes)) ]
+
+  let to_json () =
+    Obs_json.Obj
+      [ ("schema", Obs_json.String "sheetscope-profile/v1");
+        ("capacity", Obs_json.Int !capacity);
+        ("dropped", Obs_json.Int (dropped ()));
+        ("profiles", Obs_json.List (List.map record_to_json (records ()))) ]
+
+  let ( let* ) = Result.bind
+
+  let str_field j k =
+    match Obs_json.member k j with
+    | Some (Obs_json.String s) -> Ok s
+    | _ -> Error (Printf.sprintf "profile: expected string field %S" k)
+
+  let int_field j k =
+    match Obs_json.member k j with
+    | Some (Obs_json.Int i) -> Ok i
+    | _ -> Error (Printf.sprintf "profile: expected int field %S" k)
+
+  let float_field j k =
+    match Obs_json.member k j with
+    | Some (Obs_json.Float f) -> Ok f
+    | Some (Obs_json.Int i) -> Ok (float_of_int i)
+    | _ -> Error (Printf.sprintf "profile: expected number field %S" k)
+
+  let list_field j k =
+    match Obs_json.member k j with
+    | Some (Obs_json.List l) -> Ok l
+    | _ -> Error (Printf.sprintf "profile: expected list field %S" k)
+
+  let rec map_result f = function
+    | [] -> Ok []
+    | x :: rest ->
+        let* y = f x in
+        let* ys = map_result f rest in
+        Ok (y :: ys)
+
+  let node_of_json j =
+    let* n_kind = str_field j "kind" in
+    let* n_label = str_field j "label" in
+    let* n_rows_in = int_field j "rows_in" in
+    let* n_rows_out = int_field j "rows_out" in
+    let* n_time_ns = int_field j "time_ns" in
+    let* n_alloc_bytes = float_field j "alloc_bytes" in
+    let* n_path = str_field j "path" in
+    let* n_detail = str_field j "detail" in
+    Ok
+      { n_kind; n_label; n_rows_in; n_rows_out; n_time_ns; n_alloc_bytes;
+        n_path; n_detail }
+
+  let fallback_of_json j =
+    let* pred = str_field j "pred" in
+    let* reason = str_field j "reason" in
+    Ok (pred, reason)
+
+  let record_of_json j =
+    let* p_session = str_field j "session" in
+    let* p_uid = int_field j "uid" in
+    let* p_kind = str_field j "kind" in
+    let* p_rows_out = int_field j "rows_out" in
+    let* p_total_ns = int_field j "total_ns" in
+    let* p_alloc_bytes = float_field j "alloc_bytes" in
+    let* p_cache = str_field j "cache" in
+    let* p_strategy = str_field j "strategy" in
+    let* p_domains = int_field j "domains" in
+    let* p_morsels = int_field j "morsels" in
+    let* p_par_scans = int_field j "par_scans" in
+    let* p_sel_rows_in = int_field j "sel_rows_in" in
+    let* p_sel_rows_out = int_field j "sel_rows_out" in
+    let* compiled = list_field j "compiled" in
+    let* p_compiled =
+      map_result
+        (function
+          | Obs_json.String s -> Ok s
+          | _ -> Error "profile: \"compiled\" entries must be strings")
+        compiled
+    in
+    let* fallbacks = list_field j "fallbacks" in
+    let* p_fallbacks = map_result fallback_of_json fallbacks in
+    let* nodes = list_field j "nodes" in
+    let* p_nodes = map_result node_of_json nodes in
+    Ok
+      { p_session; p_uid; p_kind; p_rows_out; p_total_ns; p_alloc_bytes;
+        p_cache; p_strategy; p_domains; p_morsels; p_par_scans;
+        p_sel_rows_in; p_sel_rows_out; p_compiled; p_fallbacks; p_nodes }
+
+  let of_json j =
+    match Obs_json.member "schema" j with
+    | Some (Obs_json.String "sheetscope-profile/v1") ->
+        let* l = list_field j "profiles" in
+        map_result record_of_json l
+    | _ -> Error "profile: missing or unsupported \"schema\""
+
+  (* ----- rendering ----- *)
+
+  let pp_bytes b =
+    if b >= 1048576. then Printf.sprintf "%.1f MB" (b /. 1048576.)
+    else if b >= 1024. then Printf.sprintf "%.1f kB" (b /. 1024.)
+    else Printf.sprintf "%.0f B" b
+
+  let render_record r =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf "#%d %s%s  rows=%d  total=%.3f ms  alloc=%s" r.p_uid
+         r.p_kind
+         (if r.p_session = "" then "" else " " ^ r.p_session)
+         r.p_rows_out
+         (float_of_int r.p_total_ns /. 1e6)
+         (pp_bytes r.p_alloc_bytes));
+    if r.p_cache <> "" || r.p_strategy <> "" then
+      Buffer.add_string buf
+        (Printf.sprintf "\n  cache=%s strategy=%s"
+           (if r.p_cache = "" then "-" else r.p_cache)
+           (if r.p_strategy = "" then "-" else r.p_strategy));
+    Buffer.add_string buf
+      (Printf.sprintf "\n  domains=%d morsels=%d scans=%d  sel %d -> %d"
+         r.p_domains r.p_morsels r.p_par_scans r.p_sel_rows_in
+         r.p_sel_rows_out);
+    List.iter
+      (fun pred -> Buffer.add_string buf ("\n  compiled: " ^ pred))
+      r.p_compiled;
+    List.iter
+      (fun (pred, reason) ->
+        Buffer.add_string buf
+          (Printf.sprintf "\n  row-path: %s (%s)" pred reason))
+      r.p_fallbacks;
+    List.iter
+      (fun n ->
+        Buffer.add_string buf
+          (Printf.sprintf "\n    %-12s %-30s %10s  %8.3f ms%s" n.n_kind
+             n.n_label
+             ((if n.n_rows_in < 0 then ""
+               else string_of_int n.n_rows_in ^ " -> ")
+             ^ if n.n_rows_out < 0 then "?" else string_of_int n.n_rows_out)
+             (float_of_int n.n_time_ns /. 1e6)
+             (if n.n_path = "" then "" else "  [" ^ n.n_path ^ "]")))
+      r.p_nodes;
+    Buffer.contents buf
+
+  let render ?limit () =
+    let rs = records () in
+    let rs =
+      match limit with
+      | Some n when List.length rs > n ->
+          let skip = List.length rs - n in
+          List.filteri (fun i _ -> i >= skip) rs
+      | _ -> rs
+    in
+    if rs = [] then "(no profiles recorded)"
+    else String.concat "\n" (List.map render_record rs)
+end
+
+(* the flight recorder's slow-op threshold and the profile-ring
+   capacity come from the environment; re-runnable so tests can drive
+   the knobs *)
 let reload_env_config () =
   Flightrec.set_slow_threshold_ms
     (Option.value
@@ -1000,7 +1418,14 @@ let reload_env_config () =
           ~fallback:
             (Printf.sprintf "the %.0f ms default" Flightrec.default_slow_ms)
           "SHEETSCOPE_SLOW_MS")
-       ~default:Flightrec.default_slow_ms)
+       ~default:Flightrec.default_slow_ms);
+  Profile.set_capacity
+    (Option.value
+       (Env.int_at_least ~min:1
+          ~fallback:
+            (Printf.sprintf "the %d-record default" Profile.default_cap)
+          "SHEETSCOPE_PROFILE_CAP")
+       ~default:Profile.default_cap)
 
 let () = reload_env_config ()
 
@@ -1194,7 +1619,8 @@ let to_chrome_trace evs =
            ("nesting_ok", Obs_json.Bool (nesting_ok ()));
            ("metrics", Metrics.to_json ());
            ("histograms", Histogram.to_json ());
-           ("slo", Slo.to_json ()) ]) ]
+           ("slo", Slo.to_json ());
+           ("profiles", Profile.to_json ()) ]) ]
 
 let chrome_trace_string () = Obs_json.to_string ~pretty:true (to_chrome_trace (events ()))
 
@@ -1217,7 +1643,9 @@ let metrics_report () =
         (if nesting_ok () then "true" else "false");
       Printf.sprintf "%-32s %10d" "flightrec.events" (Flightrec.length ());
       Printf.sprintf "%-32s %10d" "flightrec.dropped"
-        (Flightrec.dropped ()) ]
+        (Flightrec.dropped ());
+      Printf.sprintf "%-32s %10d" "profile.records" (Profile.length ());
+      Printf.sprintf "%-32s %10d" "profile.dropped" (Profile.dropped ()) ]
 
 let save_chrome_trace ~path =
   let oc = open_out path in

@@ -216,11 +216,13 @@ module Metrics : sig
   (** 0 when the name was never registered. *)
 
   val snapshot : unit -> (string * int) list
-  (** Sorted by name. *)
+  (** Sorted by (family base, label suffix): a base series is followed
+      directly by its labeled variants — deterministic and stable
+      under label admission order. *)
 
   val counters_snapshot : unit -> (string * int) list
-  (** Counters only (no gauges), sorted by name — the domain-count
-      identity gates compare these across runs. *)
+  (** Counters only (no gauges), in {!snapshot} order — the
+      domain-count identity gates compare these across runs. *)
 
   val reset : unit -> unit
   (** Zero every registered metric (registrations survive). *)
@@ -298,11 +300,12 @@ module Histogram : sig
   val snapshot_of : h -> snapshot
 
   val snapshots : unit -> snapshot list
-  (** Every registered histogram, sorted by name. *)
+  (** Every registered histogram, sorted by (family base, label
+      suffix) — labeled series directly after their base. *)
 
   val counts_snapshot : unit -> (string * int) list
-  (** (name, exact sample count) for every registered histogram,
-      sorted by name — the duration-free slice the domain-count
+  (** (name, exact sample count) for every registered histogram, in
+      {!snapshots} order — the duration-free slice the domain-count
       identity gates compare across runs. *)
 
   val series_of_base : string -> h list
@@ -521,9 +524,149 @@ module Env : sig
       warn-once behavior repeatedly. *)
 end
 
+(** {1 Per-query execution profiles (Sheetdoctor)}
+
+    A bounded ring of per-materialization records — the execution
+    black box for one query: cache outcome, full-replay vs incremental
+    strategy, a node-by-node breakdown (wall time, rows in/out,
+    allocation deltas from [Gc.allocated_bytes]), and {e path
+    attribution} — which filter predicates ran as compiled selection
+    vectors and which fell back to the row path (naming the non-total
+    subtree), plus the morsel/domain shape of the parallel scans
+    underneath ([par.*] / [columnar.sel_rows_*] counter deltas over
+    the region).
+
+    Collection mirrors the flight recorder: always on, independent of
+    the span sink, bounded with a drop counter. Capacity comes from
+    [SHEETSCOPE_PROFILE_CAP] (default 64; invalid values warn once —
+    see {!Env}). The region stack is {e single-writer} like span
+    nesting: only the session's driving thread calls
+    {!Profile.enter}/{!Profile.commit}/[note_*]; worker domains
+    contribute only through the sharded counters whose deltas the
+    region snapshots, so records are exact under parallelism and
+    identical (modulo timings/allocations/domain count) across domain
+    counts — asserted by the doctor gate. *)
+
+module Profile : sig
+  type node = {
+    n_kind : string;  (** e.g. ["filter"], ["sort"], ["stratum"] *)
+    n_label : string;
+    n_rows_in : int;  (** -1 when unknown *)
+    n_rows_out : int;  (** -1 when unknown *)
+    n_time_ns : int;
+    n_alloc_bytes : float;
+    n_path : string;
+        (** ["columnar"] | ["row"] | ["fused"] | ["blocking"] | [""] *)
+    n_detail : string;
+  }
+
+  type t = {
+    p_session : string;
+        (** the ambient labels at commit ([""] when none) *)
+    p_uid : int;  (** 0 when no sheet is involved *)
+    p_kind : string;  (** ["materialize"] | ["plan"] *)
+    p_rows_out : int;  (** -1 when the region failed *)
+    p_total_ns : int;
+    p_alloc_bytes : float;
+    p_cache : string;
+        (** ["exact"] | ["subsumed"] | ["miss"] | ["seed"] | [""] *)
+    p_strategy : string;
+        (** ["full-replay"] | ["incremental"] | [""] *)
+    p_domains : int;
+    p_morsels : int;  (** [par.morsels] delta over the region *)
+    p_par_scans : int;  (** [par.scans] delta over the region *)
+    p_sel_rows_in : int;
+        (** [columnar.sel_rows_in] delta over the region *)
+    p_sel_rows_out : int;
+    p_compiled : string list;
+        (** predicates that ran as compiled selection vectors *)
+    p_fallbacks : (string * string) list;
+        (** (predicate, reason) pairs that fell back to the row path *)
+    p_nodes : node list;  (** execution order *)
+  }
+
+  val enter : kind:string -> uid:int -> unit
+  (** Open a profiling region. A re-entry for a uid that already has
+      an open region (e.g. [Materialize.full] under a [full_cached]
+      miss) nests: its notes flow to the enclosing region and its
+      commit records nothing, so one query yields one record. *)
+
+  val commit : rows_out:int -> unit
+  (** Close the innermost region; a real (non-nested) region pushes
+      its record into the ring. Callers pass [-1] on the exception
+      path. *)
+
+  val note_cache : string -> unit
+  (** Record the cache outcome on the nearest open region (no-op
+      without one — every [note_*] is). *)
+
+  val note_strategy : string -> unit
+  val note_compiled : string -> unit
+  val note_fallback : pred:string -> reason:string -> unit
+
+  val note_node :
+    ?rows_in:int ->
+    ?rows_out:int ->
+    ?path:string ->
+    ?detail:string ->
+    kind:string ->
+    label:string ->
+    time_ns:int ->
+    alloc_bytes:float ->
+    unit ->
+    unit
+
+  val in_region : unit -> bool
+  val open_regions : unit -> int
+  (** Regions entered but not yet committed — 0 after any balanced
+      workload (the doctor gate fails otherwise). *)
+
+  val reset_stack_for_tests : unit -> unit
+
+  val enabled : unit -> bool
+  val set_enabled : bool -> unit
+  (** Switch collection off entirely ([enter] pushes an inert slot).
+      Default on; the overhead bench measures the difference. *)
+
+  val default_cap : int
+  (** 64 — the fallback when [SHEETSCOPE_PROFILE_CAP] is unset or
+      invalid. *)
+
+  val set_capacity : int -> unit
+  (** Ring capacity (clamped to >= 1). *)
+
+  val records : unit -> t list
+  (** Ring contents, oldest first. *)
+
+  val last : unit -> t option
+  val find : uid:int -> t option
+  (** The most recent record for a sheet uid. *)
+
+  val length : unit -> int
+  val dropped : unit -> int
+  (** Records evicted since {!clear}. *)
+
+  val clear : unit -> unit
+
+  val record_to_json : t -> Obs_json.t
+  val record_of_json : Obs_json.t -> (t, string) result
+  (** Total: malformed input answers [Error], never an exception;
+      round-trips {!record_to_json} exactly (fuzz-tested). *)
+
+  val to_json : unit -> Obs_json.t
+  (** ["sheetscope-profile/v1"]: capacity, dropped count and the
+      record list — also embedded in the Chrome-trace [otherData]. *)
+
+  val of_json : Obs_json.t -> (t list, string) result
+
+  val render_record : t -> string
+  val render : ?limit:int -> unit -> string
+  (** Human-readable dump (most recent [limit] records when given). *)
+end
+
 val reload_env_config : unit -> unit
-(** Re-read [SHEETSCOPE_SLOW_MS] (run once at module init). Test
-    hook. *)
+(** Re-read [SHEETSCOPE_SLOW_MS] and [SHEETSCOPE_PROFILE_CAP] (run
+    once at module init). Test hook. *)
 
 (** {1 SLOs}
 
@@ -596,8 +739,8 @@ end
 
 val to_chrome_trace : event list -> Obs_json.t
 (** [trace_event]-format JSON ("ph": "X" complete events, microsecond
-    timestamps) with the current metrics, histogram and SLO snapshots
-    under [otherData]. *)
+    timestamps) with the current metrics, histogram, SLO and
+    ["sheetscope-profile/v1"] snapshots under [otherData]. *)
 
 val chrome_trace_string : unit -> string
 (** {!to_chrome_trace} of the current [Memory] ring, pretty-printed. *)

@@ -311,3 +311,23 @@ let rec compile schema (view : Columnar.t) (e : Expr.t) : filter option =
               (* the row path raises on non-string values: not total *)
               None)
   | _ -> None
+
+(* Name the smallest subtree that blocks compilation — the non-total
+   (or boxed-column) part the profiler's path attribution reports.
+   [None] means [compile] succeeds on the whole predicate. Recursion
+   mirrors [compile]'s connective structure so the answer is always a
+   genuine blocking leaf, not an enclosing conjunction. *)
+let rec diagnose schema (view : Columnar.t) (e : Expr.t) : string option =
+  match compile schema view e with
+  | Some _ -> None
+  | None -> (
+      match e with
+      | Expr.And (a, b) | Expr.Or (a, b) -> (
+          match diagnose schema view a with
+          | Some r -> Some r
+          | None -> diagnose schema view b)
+      | Expr.Not a -> diagnose schema view a
+      | Expr.Between (a, lo, hi) ->
+          diagnose schema view
+            (Expr.And (Expr.Cmp (Expr.Ge, a, lo), Expr.Cmp (Expr.Le, a, hi)))
+      | e -> Some (Expr.to_string e))

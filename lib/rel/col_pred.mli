@@ -18,3 +18,9 @@ val compile : Schema.t -> Columnar.t -> Expr.t -> filter option
     [Between] with any compilable operands, [In_list] and [Is_null]
     on a column, [Like] on a dictionary-coded string column.
     Anything touching a [Boxed] column returns [None]. *)
+
+val diagnose : Schema.t -> Columnar.t -> Expr.t -> string option
+(** [None] when {!compile} succeeds on the whole predicate; otherwise
+    the rendering ({!Expr.to_string}) of the smallest subtree that
+    blocks compilation — what the profiler's row-path-fallback
+    attribution names. *)

@@ -48,13 +48,45 @@ let compile_columnar (r : Relation.t) preds =
       in
       go [] preds
 
+(* Path attribution for the profiler: name which predicates ran as
+   compiled selection vectors and which fall back to the row path —
+   and why (no columnar image, or the non-total subtree Col_pred
+   refuses). Rendering predicates costs a little, so the whole walk
+   is skipped unless a profile region is open. *)
+let attribute_fallback (r : Relation.t) preds =
+  if Obs.Profile.in_region () then
+    match Relation.columnar_hot r with
+    | None ->
+        List.iter
+          (fun p ->
+            Obs.Profile.note_fallback ~pred:(Expr.to_string p)
+              ~reason:"no columnar image")
+          preds
+    | Some view ->
+        let schema = Relation.schema r in
+        List.iter
+          (fun p ->
+            match Col_pred.diagnose schema view p with
+            | None -> Obs.Profile.note_compiled (Expr.to_string p)
+            | Some subtree ->
+                Obs.Profile.note_fallback ~pred:(Expr.to_string p)
+                  ~reason:("non-total subtree " ^ subtree))
+          preds
+
+let attribute_compiled preds =
+  if Obs.Profile.in_region () then
+    List.iter (fun p -> Obs.Profile.note_compiled (Expr.to_string p)) preds
+
 (* Columnar filtering of [Relation.to_array r] through [preds];
    [None] when a predicate does not compile (caller falls back to the
    row path). *)
 let columnar_filter (r : Relation.t) preds : Row.t array option =
   match compile_columnar r preds with
-  | None -> None
+  | None ->
+      attribute_fallback r preds;
+      None
   | Some fs ->
+      attribute_compiled preds;
       let data = Relation.to_array r in
       let n = Array.length data in
       Obs.Metrics.incr ~by:n c_sel_in;
@@ -105,7 +137,16 @@ let select_rows ?rel schema preds (data : Row.t array) =
       let columnar =
         match rel with
         | Some r when Relation.to_array r == data -> columnar_filter r preds
-        | _ -> None
+        | _ ->
+            (* no relation handle (or a derived row array): the
+               columnar image cannot serve this scan at all *)
+            if Obs.Profile.in_region () then
+              List.iter
+                (fun p ->
+                  Obs.Profile.note_fallback ~pred:(Expr.to_string p)
+                    ~reason:"detached row array")
+                preds;
+            None
       in
       match columnar with
       | Some out -> out

@@ -89,6 +89,16 @@ let run_command t text =
             (Sheet_analysis.Diagnostic.to_string d)
     in
     { t with mode = Grid; message }
+  else if String.trim text = "doctor" then
+    let message =
+      match Sheet_analysis.Doctor.run () with
+      | [] -> "doctor: no diagnostics"
+      | [ d ] -> "doctor: " ^ Sheet_analysis.Diagnostic.to_string d
+      | d :: _ as diags ->
+          Printf.sprintf "doctor: %d findings — %s" (List.length diags)
+            (Sheet_analysis.Diagnostic.to_string d)
+    in
+    { t with mode = Grid; message }
   else
   match Sheet_obs.Obs.time (fun () -> Script.run_line t.session text) with
   | Ok { Script.session; output }, ms ->
@@ -258,7 +268,8 @@ let render_text ?(width = 100) ?(height = 24) t =
       | Some ms -> Printf.sprintf "%s | last %.1f ms" base ms
       | None -> base
     in
-    base ^ " | " ^ Sheet_obs.Obs.Slo.summary ()
+    base ^ " | " ^ Sheet_obs.Obs.Slo.summary () ^ " | "
+    ^ Sheet_analysis.Doctor.summary ()
   in
   Buffer.add_string buf (pad width status);
   Buffer.add_char buf '\n';

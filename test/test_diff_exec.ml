@@ -17,6 +17,7 @@
 
 open Sheet_rel
 open Sheet_core
+module Obs = Sheet_obs.Obs
 
 let ( let* ) = QCheck.Gen.( let* ) [@@warning "-32"]
 
@@ -215,10 +216,36 @@ let check_state rel ops =
   in
   let sheet = Session.current session in
   let full = Materialize.full sheet in
+  (* the Sheetdoctor profile must agree with every execution path —
+     and collecting it (always on, sink Off throughout this battery)
+     must not change any result *)
+  let rows = Relation.cardinality full in
+  let profile_agrees =
+    let prel, pprof =
+      Plan.execute_instrumented ~uid:sheet.Spreadsheet.uid
+        (Plan.of_sheet sheet)
+    in
+    Relation.equal prel full
+    && pprof.Plan.p_rows_out = rows
+    && Obs.Profile.open_regions () = 0
+    &&
+    match Obs.Profile.last () with
+    | Some r ->
+        r.Obs.Profile.p_kind = "plan"
+        && r.Obs.Profile.p_uid = sheet.Spreadsheet.uid
+        && r.Obs.Profile.p_rows_out = rows
+    | None -> Obs.Profile.dropped () = 0 && false
+  in
+  let disabled_agrees =
+    Obs.Profile.set_enabled false;
+    Fun.protect ~finally:(fun () -> Obs.Profile.set_enabled true)
+    @@ fun () -> Relation.equal (Plan.execute (Plan.of_sheet sheet)) full
+  in
   Relation.equal (Plan.execute (Plan.of_sheet sheet)) full
   && Relation.equal (Plan.execute (Plan.optimize (Plan.of_sheet sheet))) full
   && Relation.equal (Session.materialized session)
        (Rel_algebra.project (Spreadsheet.visible_columns sheet) full)
+  && profile_agrees && disabled_agrees
   && sql_agrees sheet rel
   && subsumption_agrees rel ops
 

@@ -917,6 +917,241 @@ let env_warn_once_domains () =
           (fun e -> e.Obs.Flightrec.f_kind = "env-warning")
           (Obs.Flightrec.events ())))
 
+(* ---------- deterministic series ordering ---------- *)
+
+let series_ordering_pinned () =
+  Obs.Metrics.reset ();
+  Obs.Histogram.reset ();
+  let lab t = Obs.Labels.v [ ("t", t) ] in
+  (* admission order deliberately scrambled: labeled before base,
+     second family first *)
+  Obs.Metrics.incr (Obs.Metrics.counter_labeled "zz.order.ops" (lab "b"));
+  Obs.Metrics.incr (Obs.Metrics.counter "zz.order.ops");
+  Obs.Metrics.incr (Obs.Metrics.counter_labeled "zz.order.ops" (lab "a"));
+  Obs.Metrics.incr (Obs.Metrics.counter_labeled "zz.order.aaa" (lab "z"));
+  Obs.Metrics.incr (Obs.Metrics.counter "zz.order.aaa");
+  let mine =
+    List.filter
+      (fun n -> Obs.series_base n = "zz.order.ops"
+                || Obs.series_base n = "zz.order.aaa")
+      (List.map fst (Obs.Metrics.snapshot ()))
+  in
+  Alcotest.(check (list string))
+    "counters: families sorted, base before its labels"
+    [ "zz.order.aaa"; "zz.order.aaa{t=z}"; "zz.order.ops";
+      "zz.order.ops{t=a}"; "zz.order.ops{t=b}" ]
+    mine;
+  Obs.Histogram.record
+    (Obs.Histogram.histogram_labeled "zz.order.lat" (lab "b")) 10;
+  Obs.Histogram.record (Obs.Histogram.histogram "zz.order.lat") 10;
+  Obs.Histogram.record
+    (Obs.Histogram.histogram_labeled "zz.order.lat" (lab "a")) 10;
+  let mine =
+    List.filter
+      (fun n -> Obs.series_base n = "zz.order.lat")
+      (List.map fst (Obs.Histogram.counts_snapshot ()))
+  in
+  Alcotest.(check (list string))
+    "histograms: base before its labels"
+    [ "zz.order.lat"; "zz.order.lat{t=a}"; "zz.order.lat{t=b}" ]
+    mine;
+  Obs.Metrics.reset ();
+  Obs.Histogram.reset ()
+
+(* ---------- execution profiles (Sheetdoctor) ---------- *)
+
+module P = Obs.Profile
+
+let profile_region_basic () =
+  P.clear ();
+  P.reset_stack_for_tests ();
+  Obs.set_ambient_labels (Obs.Labels.v [ ("session", "ptest") ]);
+  Fun.protect
+    ~finally:(fun () -> Obs.set_ambient_labels Obs.Labels.empty)
+  @@ fun () ->
+  P.enter ~kind:"materialize" ~uid:42;
+  P.note_cache "miss";
+  (* a same-uid re-entry (full under a full_cached miss) nests *)
+  P.enter ~kind:"materialize" ~uid:42;
+  P.note_strategy "full-replay";
+  P.note_compiled "Price > 3";
+  P.note_fallback ~pred:"f(Price)" ~reason:"non-total subtree f(Price)";
+  P.note_node ~rows_in:10 ~rows_out:5 ~kind:"stratum" ~label:"stratum 0"
+    ~time_ns:1_000 ~alloc_bytes:64. ();
+  P.commit ~rows_out:5;
+  Alcotest.(check int) "nested commit records nothing" 0 (P.length ());
+  Alcotest.(check int) "outer region still open" 1 (P.open_regions ());
+  P.commit ~rows_out:5;
+  Alcotest.(check int) "balanced" 0 (P.open_regions ());
+  match P.records () with
+  | [ r ] ->
+      Alcotest.(check int) "uid" 42 r.P.p_uid;
+      Alcotest.(check string) "kind" "materialize" r.P.p_kind;
+      Alcotest.(check int) "rows" 5 r.P.p_rows_out;
+      Alcotest.(check string) "cache" "miss" r.P.p_cache;
+      Alcotest.(check string) "strategy (from the nested enter)"
+        "full-replay" r.P.p_strategy;
+      Alcotest.(check string) "session stamp" "{session=ptest}" r.P.p_session;
+      Alcotest.(check (list string)) "compiled" [ "Price > 3" ] r.P.p_compiled;
+      Alcotest.(check (list (pair string string)))
+        "fallbacks"
+        [ ("f(Price)", "non-total subtree f(Price)") ]
+        r.P.p_fallbacks;
+      (match r.P.p_nodes with
+      | [ n ] ->
+          Alcotest.(check string) "node label" "stratum 0" n.P.n_label;
+          Alcotest.(check int) "node rows out" 5 n.P.n_rows_out
+      | ns ->
+          Alcotest.failf "expected 1 node, got %d" (List.length ns))
+  | rs -> Alcotest.failf "expected 1 record, got %d" (List.length rs)
+
+let profile_ring_bounded () =
+  P.clear ();
+  P.reset_stack_for_tests ();
+  P.set_capacity 4;
+  Fun.protect
+    ~finally:(fun () ->
+      P.set_capacity P.default_cap;
+      P.clear ())
+  @@ fun () ->
+  for i = 1 to 10 do
+    P.enter ~kind:"plan" ~uid:i;
+    P.commit ~rows_out:i
+  done;
+  Alcotest.(check int) "length capped" 4 (P.length ());
+  Alcotest.(check int) "dropped counted" 6 (P.dropped ());
+  Alcotest.(check (list int)) "newest survive, oldest first"
+    [ 7; 8; 9; 10 ]
+    (List.map (fun r -> r.P.p_uid) (P.records ()));
+  (match P.last () with
+  | Some r -> Alcotest.(check int) "last is newest" 10 r.P.p_uid
+  | None -> Alcotest.fail "no last record");
+  Alcotest.(check bool) "find hits a survivor" true (P.find ~uid:9 <> None);
+  Alcotest.(check bool) "find misses an evictee" true (P.find ~uid:3 = None);
+  P.clear ();
+  Alcotest.(check int) "clear resets length" 0 (P.length ());
+  Alcotest.(check int) "clear resets dropped" 0 (P.dropped ())
+
+let profile_disabled_inert () =
+  P.clear ();
+  P.reset_stack_for_tests ();
+  P.set_enabled false;
+  Fun.protect ~finally:(fun () -> P.set_enabled true) @@ fun () ->
+  P.enter ~kind:"plan" ~uid:7;
+  P.note_cache "exact";
+  P.note_node ~kind:"x" ~label:"y" ~time_ns:1 ~alloc_bytes:0. ();
+  P.commit ~rows_out:1;
+  Alcotest.(check int) "no record" 0 (P.length ());
+  Alcotest.(check int) "balanced" 0 (P.open_regions ())
+
+let profile_json_round_trip () =
+  P.clear ();
+  P.reset_stack_for_tests ();
+  P.enter ~kind:"materialize" ~uid:1;
+  P.note_cache "subsumed";
+  P.note_node ~rows_in:100 ~rows_out:7 ~path:"columnar" ~kind:"filter"
+    ~label:"Price < 9000" ~time_ns:123 ~alloc_bytes:1024.5 ();
+  P.commit ~rows_out:7;
+  P.enter ~kind:"plan" ~uid:2;
+  P.note_fallback ~pred:"a / b = 1" ~reason:"non-total subtree a / b";
+  P.commit ~rows_out:(-1);
+  (* export parses back through the bundled parser, exactly *)
+  (match J.parse (J.to_string (P.to_json ())) with
+  | Error msg -> Alcotest.fail ("export does not parse: " ^ msg)
+  | Ok parsed -> (
+      match P.of_json parsed with
+      | Error msg -> Alcotest.fail msg
+      | Ok rs ->
+          Alcotest.(check bool) "records round-trip" true
+            (rs = P.records ())));
+  (* malformed input answers Error, never an exception *)
+  List.iter
+    (fun j ->
+      match P.of_json j with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "malformed input accepted")
+    [ J.Null; J.Obj []; J.Obj [ ("schema", J.String "nope") ];
+      J.Obj
+        [ ("schema", J.String "sheetscope-profile/v1");
+          ("profiles", J.String "not-a-list") ] ];
+  P.clear ()
+
+let profile_in_chrome_trace () =
+  with_sink Obs.Memory @@ fun () ->
+  P.clear ();
+  P.enter ~kind:"plan" ~uid:3;
+  P.commit ~rows_out:0;
+  (match J.parse (Obs.chrome_trace_string ()) with
+  | Error msg -> Alcotest.fail msg
+  | Ok j -> (
+      match J.member "otherData" j with
+      | None -> Alcotest.fail "no otherData"
+      | Some od -> (
+          match J.member "profiles" od with
+          | Some block ->
+              Alcotest.(check bool) "schema tagged" true
+                (J.member "schema" block
+                = Some (J.String "sheetscope-profile/v1"))
+          | None -> Alcotest.fail "no profile block in otherData")));
+  P.clear ();
+  Obs.clear_events ()
+
+let env_warn_once_profile_cap () =
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "SHEETSCOPE_PROFILE_CAP" (string_of_int P.default_cap);
+      Obs.Env.reset_warnings_for_tests ();
+      Obs.reload_env_config ();
+      Obs.Flightrec.clear ();
+      P.clear ())
+  @@ fun () ->
+  Unix.putenv "SHEETSCOPE_PROFILE_CAP" "lots";
+  Obs.Env.reset_warnings_for_tests ();
+  Obs.Flightrec.clear ();
+  Obs.reload_env_config ();
+  (* the invalid value kept the 64-record default *)
+  P.clear ();
+  P.reset_stack_for_tests ();
+  for i = 1 to P.default_cap + 5 do
+    P.enter ~kind:"plan" ~uid:i;
+    P.commit ~rows_out:0
+  done;
+  Alcotest.(check int) "fell back to the default capacity" P.default_cap
+    (P.length ());
+  let warnings () =
+    List.filter
+      (fun e -> e.Obs.Flightrec.f_kind = "env-warning")
+      (Obs.Flightrec.events ())
+  in
+  (match warnings () with
+  | [ w ] ->
+      Alcotest.(check bool) "names the variable" true
+        (contains w.Obs.Flightrec.f_label "SHEETSCOPE_PROFILE_CAP");
+      Alcotest.(check bool) "names the rejected value" true
+        (contains w.Obs.Flightrec.f_label "lots");
+      Alcotest.(check bool) "names the fallback" true
+        (contains w.Obs.Flightrec.f_label "default")
+  | ws ->
+      Alcotest.fail
+        (Printf.sprintf "expected exactly 1 warning, got %d"
+           (List.length ws)));
+  (* warn-once: reloading again must not repeat the event *)
+  Obs.reload_env_config ();
+  Alcotest.(check int) "still one warning" 1 (List.length (warnings ()));
+  (* a valid value takes effect without warning *)
+  Unix.putenv "SHEETSCOPE_PROFILE_CAP" "8";
+  Obs.Env.reset_warnings_for_tests ();
+  Obs.Flightrec.clear ();
+  Obs.reload_env_config ();
+  P.clear ();
+  for i = 1 to 12 do
+    P.enter ~kind:"plan" ~uid:i;
+    P.commit ~rows_out:0
+  done;
+  Alcotest.(check int) "valid value applied" 8 (P.length ());
+  Alcotest.(check int) "no warning for a valid value" 0
+    (List.length (warnings ()))
+
 (* ---------- GC gauges ---------- *)
 
 let gc_gauges_sampled () =
@@ -1041,7 +1276,23 @@ let () =
        [ Alcotest.test_case "SHEETSCOPE_SLOW_MS warns once" `Quick
            env_warn_once_slow_ms;
          Alcotest.test_case "SHEETMUSIQ_DOMAINS warns once" `Quick
-           env_warn_once_domains ]);
+           env_warn_once_domains;
+         Alcotest.test_case "SHEETSCOPE_PROFILE_CAP warns once" `Quick
+           env_warn_once_profile_cap ]);
+      ("ordering",
+       [ Alcotest.test_case "series sorted by (base, labels)" `Quick
+           series_ordering_pinned ]);
+      ("profile",
+       [ Alcotest.test_case "region lifecycle and notes" `Quick
+           profile_region_basic;
+         Alcotest.test_case "bounded ring with drop counter" `Quick
+           profile_ring_bounded;
+         Alcotest.test_case "disabled collection is inert" `Quick
+           profile_disabled_inert;
+         Alcotest.test_case "JSON round-trips, parser total" `Quick
+           profile_json_round_trip;
+         Alcotest.test_case "chrome trace carries the block" `Quick
+           profile_in_chrome_trace ]);
       ("gc",
        [ Alcotest.test_case "gauges sampled at span boundaries" `Quick
            gc_gauges_sampled ]);

@@ -28,14 +28,16 @@ module J = Sheet_obs.Obs_json
 
 let threshold_pct = 25.
 
+(* the regression-guarded benchmark families; also emitted in the
+   --json report so consumers know what the gate covered *)
+let guarded_prefixes = [ "op/"; "table"; "cache/"; "col/"; "obs/" ]
+
 let guarded name =
   let starts_with prefix s =
     String.length s >= String.length prefix
     && String.sub s 0 (String.length prefix) = prefix
   in
-  starts_with "op/" name || starts_with "table" name
-  || starts_with "cache/" name || starts_with "col/" name
-  || starts_with "obs/" name
+  List.exists (fun prefix -> starts_with prefix name) guarded_prefixes
 
 let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 2) fmt
 
@@ -194,6 +196,8 @@ let print_json ~baseline_path ~candidate_path rows =
         ("baseline", J.String baseline_path);
         ("candidate", J.String candidate_path);
         ("threshold_pct", J.Float threshold_pct);
+        ("guarded_prefixes",
+         J.List (List.map (fun p -> J.String p) guarded_prefixes));
         ("ok", J.Bool (names_with "regression" rows = []));
         ("entries",
          J.List

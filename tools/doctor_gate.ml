@@ -1,0 +1,323 @@
+(* Sheetdoctor gate: replay every bundled TPC-H task with profile
+   collection on and fail the build when the profiler itself lies —
+   a profile whose row counts disagree with the materializer or with
+   EXPLAIN ANALYZE, path attributions inconsistent with the columnar
+   selection counters, unbalanced profile regions, a profile JSON
+   export that does not round-trip, or a doctor pass that raises.
+   A second phase replays every task under 1 domain and under 4 and
+   asserts the recorded profiles are identical once timings,
+   allocation deltas and the domain gauge are masked — the profile
+   counterpart of the @par determinism gate. A final micro-benchmark
+   asserts that collection itself (sink off, profiles on vs off)
+   costs at most 5 % of a full materialization. Run via
+   [dune build @doctor], folded into [dune build @gates]. *)
+
+open Sheet_core
+module Obs = Sheet_obs.Obs
+module Par = Sheet_rel.Par
+module Profile = Sheet_obs.Obs.Profile
+
+let failures = ref 0
+
+let check label ok detail =
+  if not ok then begin
+    Printf.printf "FAIL %s: %s\n" label detail;
+    incr failures
+  end
+
+let with_config ~domains f =
+  Par.set_domain_count domains;
+  Par.set_parallel_threshold 64;
+  Par.set_morsel_rows 128;
+  Fun.protect
+    ~finally:(fun () ->
+      Par.set_domain_count 1;
+      Par.set_parallel_threshold Par.default_parallel_threshold;
+      Par.set_morsel_rows Par.default_morsel_rows)
+    f
+
+let task_labels (task : Sheet_tpch.Tpch_tasks.t) =
+  Obs.Labels.v [ ("task", string_of_int task.id) ]
+
+let fresh_catalog () =
+  Sheet_tpch.Tpch_views.install
+    (Sheet_tpch.Tpch_gen.generate { Sheet_tpch.Tpch_gen.sf = 0.001; seed = 42 })
+
+let reset_all task =
+  Obs.clear_events ();
+  Obs.Metrics.reset ();
+  Obs.Histogram.reset ();
+  Obs.Flightrec.clear ();
+  Materialize.reset_cache ();
+  Profile.clear ();
+  Obs.set_ambient_labels (task_labels task)
+
+(* the instrumented plan chain, oldest-executed first, as the
+   (label, rows_out) list the profile ring must reproduce *)
+let chain_of_plan_profile (p : Plan.profile) =
+  let rec go acc (p : Plan.profile) =
+    let acc = (p.Plan.p_label, p.Plan.p_rows_out) :: acc in
+    match p.Plan.p_child with Some c -> go acc c | None -> acc
+  in
+  go [] p
+
+let run_task catalog (task : Sheet_tpch.Tpch_tasks.t) =
+  let label what = Printf.sprintf "task %2d %s" task.id what in
+  reset_all task;
+  match Sheet_sql.Catalog.find catalog task.base with
+  | None -> check (label "base") false ("no base relation " ^ task.base)
+  | Some base -> (
+      let session = Session.create ~name:task.base base in
+      match Script.run_silent session task.script with
+      | Error msg -> check (label "script") false msg
+      | Ok session ->
+          let sheet = Session.current session in
+          let uid = sheet.Spreadsheet.uid in
+          let expected = Materialize.full sheet in
+          let rows = Sheet_rel.Relation.cardinality expected in
+          (* the replay itself profiled: the materialize-kind record
+             for the final sheet agrees with the relation it built *)
+          (match Profile.find ~uid with
+          | None ->
+              check (label "recorded") false
+                (Printf.sprintf "no profile for sheet #%d" uid)
+          | Some r ->
+              check (label "rows")
+                (r.Profile.p_rows_out = rows)
+                (Printf.sprintf "profile says %d rows, materializer %d"
+                   r.Profile.p_rows_out rows);
+              check (label "session label")
+                (r.Profile.p_session
+                = Obs.Labels.to_string (task_labels task))
+                (Printf.sprintf "profile stamped %S" r.Profile.p_session));
+          (* EXPLAIN ANALYZE: the plan-kind record mirrors the
+             instrumented chain node for node, row for row *)
+          let _rel, pprof =
+            Plan.execute_instrumented ~uid (Plan.of_sheet sheet)
+          in
+          (match Profile.last () with
+          | None -> check (label "plan recorded") false "no profile pushed"
+          | Some r ->
+              check (label "plan kind")
+                (r.Profile.p_kind = "plan" && r.Profile.p_uid = uid)
+                (Printf.sprintf "last record is %s #%d" r.Profile.p_kind
+                   r.Profile.p_uid);
+              check (label "plan rows")
+                (r.Profile.p_rows_out = rows
+                && pprof.Plan.p_rows_out = rows)
+                (Printf.sprintf "profile %d, chain %d, materializer %d"
+                   r.Profile.p_rows_out pprof.Plan.p_rows_out rows);
+              let chain = chain_of_plan_profile pprof in
+              let noted =
+                List.map
+                  (fun (n : Profile.node) -> (n.n_label, n.n_rows_out))
+                  r.Profile.p_nodes
+              in
+              check (label "plan nodes") (chain = noted)
+                (Printf.sprintf
+                   "EXPLAIN ANALYZE chain (%d nodes) and profile nodes \
+                    (%d) disagree"
+                   (List.length chain) (List.length noted)));
+          (* region discipline and attribution consistency over the
+             whole ring *)
+          check (label "regions") (Profile.open_regions () = 0)
+            (Printf.sprintf "%d profile region(s) left open"
+               (Profile.open_regions ()));
+          List.iter
+            (fun (r : Profile.t) ->
+              let where = Printf.sprintf "#%d/%s" r.p_uid r.p_kind in
+              check (label ("sel monotone " ^ where))
+                (0 <= r.p_sel_rows_out && r.p_sel_rows_out <= r.p_sel_rows_in)
+                (Printf.sprintf "sel %d -> %d" r.p_sel_rows_in
+                   r.p_sel_rows_out);
+              check (label ("sel attributed " ^ where))
+                (r.p_sel_rows_in = 0 || r.p_compiled <> [])
+                (Printf.sprintf
+                   "%d rows went through selection vectors but no \
+                    predicate was noted compiled"
+                   r.p_sel_rows_in);
+              check (label ("par " ^ where))
+                (r.p_morsels >= 0 && r.p_par_scans >= 0
+                && (r.p_par_scans = 0 || r.p_morsels >= r.p_par_scans))
+                (Printf.sprintf "%d morsels over %d scans" r.p_morsels
+                   r.p_par_scans);
+              check (label ("totals " ^ where))
+                (r.p_total_ns >= 0 && r.p_alloc_bytes >= 0.)
+                "negative time or allocation delta")
+            (Profile.records ());
+          (* the global columnar counters agree in spirit: if any
+             region saw selection-vector rows, the registry did too *)
+          let v = Obs.Metrics.value_of in
+          check (label "columnar counters")
+            (List.for_all
+               (fun (r : Profile.t) ->
+                 r.Profile.p_sel_rows_in <= v Obs.k_col_sel_rows_in)
+               (Profile.records ()))
+            "a region's selection delta exceeds the global counter";
+          (* JSON export round-trips exactly *)
+          (match Profile.of_json (Profile.to_json ()) with
+          | Error msg -> check (label "json") false msg
+          | Ok parsed ->
+              check (label "json") (parsed = Profile.records ())
+                "profile JSON does not round-trip");
+          (* the doctor reads all of it without raising *)
+          (match Sheet_analysis.Doctor.run () with
+          | _diags -> ignore (Sheet_analysis.Doctor.render ())
+          | exception e ->
+              check (label "doctor") false (Printexc.to_string e)))
+
+(* ---- determinism: profiles identical under 1 and 4 domains once
+   timings, allocations and the domain gauge are masked ---- *)
+
+let mask_node (n : Profile.node) =
+  { n with Profile.n_time_ns = 0; n_alloc_bytes = 0. }
+
+(* Sheet uids come from a process-global counter, so the same task
+   replayed twice records different absolute uids; renumber them by
+   first appearance so only the shape is compared. *)
+let canonical_uids records =
+  let seen = Hashtbl.create 16 in
+  List.map
+    (fun (r : Profile.t) ->
+      let uid =
+        if r.p_uid = 0 then 0
+        else
+          match Hashtbl.find_opt seen r.p_uid with
+          | Some u -> u
+          | None ->
+              let u = Hashtbl.length seen + 1 in
+              Hashtbl.add seen r.p_uid u;
+              u
+      in
+      { r with Profile.p_uid = uid })
+    records
+
+let mask records =
+  canonical_uids
+    (List.map
+       (fun (r : Profile.t) ->
+         { r with
+           Profile.p_total_ns = 0;
+           p_alloc_bytes = 0.;
+           p_domains = 0;
+           p_nodes = List.map mask_node r.p_nodes })
+       records)
+
+let observe_profiles catalog (task : Sheet_tpch.Tpch_tasks.t) =
+  reset_all task;
+  match Sheet_sql.Catalog.find catalog task.base with
+  | None -> Error ("no base relation " ^ task.base)
+  | Some base -> (
+      let session = Session.create ~name:task.base base in
+      match Script.run_silent session task.script with
+      | Error msg -> Error msg
+      | Ok session ->
+          let sheet = Session.current session in
+          ignore (Materialize.full sheet);
+          ignore
+            (Plan.execute_instrumented ~uid:sheet.Spreadsheet.uid
+               (Plan.of_sheet sheet));
+          Ok (mask (Profile.records ())))
+
+let identity_pass ~domains tasks =
+  let catalog = fresh_catalog () in
+  with_config ~domains (fun () -> List.map (observe_profiles catalog) tasks)
+
+let identity_check tasks =
+  let seq = identity_pass ~domains:1 tasks in
+  let par = identity_pass ~domains:4 tasks in
+  List.iter2
+    (fun ((task : Sheet_tpch.Tpch_tasks.t), s) p ->
+      let label what = Printf.sprintf "identity task %2d %s" task.id what in
+      match (s, p) with
+      | Error msg, _ | _, Error msg -> check (label "script") false msg
+      | Ok sp, Ok pp ->
+          if sp <> pp && Sys.getenv_opt "DOCTOR_GATE_DEBUG" <> None then begin
+            Printf.printf "task %d: %d vs %d records\n" task.id
+              (List.length sp) (List.length pp);
+            List.iteri
+              (fun i (a, b) ->
+                if a <> b then begin
+                  Printf.printf "--- record %d (1 domain):\n%s\n" i
+                    (Profile.render_record a);
+                  Printf.printf "--- record %d (4 domains):\n%s\n" i
+                    (Profile.render_record b)
+                end)
+              (try List.combine sp pp with Invalid_argument _ -> [])
+          end;
+          check (label "profiles") (sp = pp)
+            "masked profiles diverge between 1 and 4 domains")
+    (List.combine tasks seq) par
+
+(* ---- overhead: collection on vs off, sink off, <= 5 % ---- *)
+
+let overhead_check () =
+  Obs.set_sink Obs.Off;
+  let catalog = fresh_catalog () in
+  let base = Sheet_sql.Catalog.find_exn catalog "lineitem" in
+  let sheet =
+    match
+      Script.run_silent
+        (Session.create ~name:"lineitem" base)
+        (String.concat "\n"
+           [ "select l_quantity > 25";
+             "formula gross = l_extendedprice * (1 - l_discount)";
+             "select gross > 1000";
+             "order l_shipdate desc" ])
+    with
+    | Ok session -> Session.current session
+    | Error msg -> failwith ("overhead workload: " ^ msg)
+  in
+  let reps = 20 in
+  let batch () =
+    let t0 = Obs.now_ns () in
+    for _ = 1 to reps do
+      ignore (Materialize.full sheet)
+    done;
+    Obs.now_ns () - t0
+  in
+  let best () =
+    let m = ref max_int in
+    for _ = 1 to 9 do
+      let dt = batch () in
+      if dt < !m then m := dt
+    done;
+    float_of_int !m
+  in
+  ignore (batch ());
+  (* warm-up *)
+  Profile.set_enabled false;
+  let off = best () in
+  Profile.set_enabled true;
+  let on = best () in
+  Profile.clear ();
+  check "overhead"
+    (on <= (off *. 1.05) +. 1e6)
+    (Printf.sprintf
+       "profile collection costs %.1f%% over %d materializations \
+        (limit 5%%)"
+       (100. *. ((on /. off) -. 1.))
+       reps)
+
+let () =
+  Obs.set_sink Obs.Memory;
+  let tasks = Sheet_tpch.Tpch_tasks.all @ Sheet_tpch.Tpch_tasks.extensions in
+  (* phase 1: every task profiled under live 4-domain morsel runs *)
+  let catalog = fresh_catalog () in
+  with_config ~domains:4 (fun () -> List.iter (run_task catalog) tasks);
+  (* phase 2: masked profiles identical across domain counts *)
+  identity_check tasks;
+  (* phase 3: collection is cheap enough to stay always-on *)
+  overhead_check ();
+  Obs.set_ambient_labels Obs.Labels.empty;
+  Obs.set_sink Obs.Off;
+  if !failures > 0 then begin
+    Printf.eprintf "doctor gate: %d failure(s)\n" !failures;
+    exit 1
+  end
+  else
+    Printf.printf
+      "doctor gate: %d task(s) profiled clean under 4 domains; masked \
+       profiles identical to the 1-domain replay; collection overhead \
+       within 5%%\n"
+      (List.length tasks)
