@@ -1,0 +1,53 @@
+(* sheetserved: the Sheetserve daemon. Serves the TPC-H catalog (base
+   tables + the paper's pre-joined views) over a Unix domain socket,
+   one spreadsheet session per client id. See DESIGN.md §10 for the
+   protocol; drive it interactively with e.g.
+
+     echo '{"op":"ping"}' | socat - UNIX-CONNECT:/tmp/sheetserve.sock *)
+
+let () =
+  let socket = ref "/tmp/sheetserve.sock" in
+  let max_sessions = ref 256 in
+  let rate = ref 0 in
+  let sf = ref 0.01 in
+  let seed = ref 42 in
+  Arg.parse
+    [
+      ("--socket", Arg.Set_string socket, "PATH Unix socket path");
+      ("--max-sessions", Arg.Set_int max_sessions, "N admission cap");
+      ( "--rate",
+        Arg.Set_int rate,
+        "N per-session ops/second cap (0 = unlimited)" );
+      ("--sf", Arg.Set_float sf, "F TPC-H scale factor");
+      ("--seed", Arg.Set_int seed, "N TPC-H generator seed");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "sheetserved [--socket PATH] [--max-sessions N] [--rate N] [--sf F]";
+  let catalog =
+    Sheet_tpch.Tpch_views.install
+      (Sheet_tpch.Tpch_gen.generate
+         { Sheet_tpch.Tpch_gen.sf = !sf; seed = !seed })
+  in
+  let server =
+    Sheet_serve.Server.create
+      (Sheet_serve.Server.config ~max_sessions:!max_sessions
+         ~max_ops_per_s:!rate
+         (Sheet_sql.Catalog.find catalog))
+  in
+  let listener = Sheet_serve.Net.listen server ~path:!socket in
+  Printf.printf
+    "sheetserved: listening on %s (bases: %s; max %d sessions%s)\n%!"
+    !socket
+    (String.concat ", " (Sheet_sql.Catalog.names catalog))
+    !max_sessions
+    (if !rate > 0 then Printf.sprintf ", %d ops/s per session" !rate
+     else "");
+  let stop = ref false in
+  let quit _ = stop := true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle quit);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle quit);
+  while not !stop do
+    Unix.sleepf 0.2
+  done;
+  Sheet_serve.Net.shutdown listener;
+  Printf.printf "sheetserved: shut down\n%!"

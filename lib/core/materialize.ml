@@ -255,6 +255,20 @@ let full (sheet : Spreadsheet.t) =
 
 type entry = { e_sheet : Spreadsheet.t; e_rel : Relation.t }
 
+(* One mutex linearizes every cache operation: Sheetserve handler
+   threads (and the concurrency tests) call [full_cached] from many
+   threads at once, and the lock is what keeps the hit-kind accounting
+   exact (requests = exact + subsumed + miss) and the table free of
+   torn states. It is held across the full replay on a miss, which
+   also keeps the single-writer telemetry underneath (profile regions,
+   span nesting) sequential. Never call back into this module while
+   holding it — the lock is not reentrant. *)
+let cache_mutex = Mutex.create ()
+
+let with_cache_lock f =
+  Mutex.lock cache_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache_mutex) f
+
 let cache : (int, entry) Hashtbl.t = Hashtbl.create 64
 
 (* Insertion order of uids; uids are never reused, so a uid appears at
@@ -286,23 +300,25 @@ let seeds = ref 0
 let evictions = ref 0
 
 let cache_stats () =
-  { requests = !requests;
-    hits = !hits;
-    subsumed_hits = !subsumed_hits;
-    misses = !misses;
-    seeds = !seeds;
-    evictions = !evictions;
-    entries = Hashtbl.length cache }
+  with_cache_lock (fun () ->
+      { requests = !requests;
+        hits = !hits;
+        subsumed_hits = !subsumed_hits;
+        misses = !misses;
+        seeds = !seeds;
+        evictions = !evictions;
+        entries = Hashtbl.length cache })
 
 let reset_cache () =
-  Hashtbl.reset cache;
-  Queue.clear cache_order;
-  requests := 0;
-  hits := 0;
-  subsumed_hits := 0;
-  misses := 0;
-  seeds := 0;
-  evictions := 0
+  with_cache_lock (fun () ->
+      Hashtbl.reset cache;
+      Queue.clear cache_order;
+      requests := 0;
+      hits := 0;
+      subsumed_hits := 0;
+      misses := 0;
+      seeds := 0;
+      evictions := 0)
 
 let cache_insert (sheet : Spreadsheet.t) rel =
   let uid = sheet.Spreadsheet.uid in
@@ -329,12 +345,30 @@ let evict_if_over_limit () =
       (Printf.sprintf "oldest half, %d of %d entries" !removed n)
   end
 
+(* Order safety: the subsumed path answers by re-sorting the cached
+   rows, and a stable sort leaves ties in the input's order — so the
+   served row order reproduces a full replay's (ties in base order)
+   only when the cached entry's sort keys are a prefix of the
+   candidate's (empty and equal included). Anything else would leak
+   the subsumer's tie arrangement into the answer, making the visible
+   order depend on what happens to be cached — under Sheetserve's
+   shared cache, on other sessions' timing. Such entries are skipped;
+   the request simply falls through to the next candidate or a miss. *)
+let keys_prefix shorter longer =
+  let rec go = function
+    | [], _ -> true
+    | _, [] -> false
+    | (a : string * Grouping.dir) :: xs, b :: ys -> a = b && go (xs, ys)
+  in
+  go (shorter, longer)
+
 (* Scan for a cached state proven to subsume [sheet]'s. Oldest-first
    keeps the answer deterministic; the structural prechecks (same base
-   relation, physically; a selection the entry does not trivially
-   fail) are cheap, and only candidates that pass them spend solver
-   budget. *)
+   relation, physically; order-safe sort keys; a selection the entry
+   does not trivially fail) are cheap, and only candidates that pass
+   them spend solver budget. *)
 let find_subsumer (sheet : Spreadsheet.t) =
+  let candidate_keys = Grouping.sort_keys (Spreadsheet.grouping sheet) in
   let type_of = Schema.type_of (Spreadsheet.full_schema sheet) in
   let budget = ref scan_budget in
   let found = ref None in
@@ -347,6 +381,10 @@ let find_subsumer (sheet : Spreadsheet.t) =
              if
                uid <> sheet.Spreadsheet.uid
                && entry.e_sheet.Spreadsheet.base == sheet.Spreadsheet.base
+               && keys_prefix
+                    (Grouping.sort_keys
+                       (Spreadsheet.grouping entry.e_sheet))
+                    candidate_keys
              then begin
                if !budget <= 0 then raise Exit;
                decr budget;
@@ -389,6 +427,7 @@ let serve_subsumed (sheet : Spreadsheet.t) (cached_rel : Relation.t) =
   if keys = [] then rel else Rel_algebra.sort keys rel
 
 let full_cached (sheet : Spreadsheet.t) =
+  with_cache_lock @@ fun () ->
   incr requests;
   Obs.Metrics.incr c_requests;
   profiled ~uid:sheet.Spreadsheet.uid @@ fun () ->
@@ -429,11 +468,12 @@ let full_cached (sheet : Spreadsheet.t) =
           rel)
 
 let seed_cache (sheet : Spreadsheet.t) rel =
-  incr seeds;
-  Obs.Metrics.incr c_seeds;
-  Obs.Profile.note_cache "seed";
-  evict_if_over_limit ();
-  cache_insert sheet rel
+  with_cache_lock (fun () ->
+      incr seeds;
+      Obs.Metrics.incr c_seeds;
+      Obs.Profile.note_cache "seed";
+      evict_if_over_limit ();
+      cache_insert sheet rel)
 
 let visible (sheet : Spreadsheet.t) =
   Rel_algebra.project (Spreadsheet.visible_columns sheet)

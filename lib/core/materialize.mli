@@ -34,9 +34,15 @@ val full_cached : Spreadsheet.t -> Relation.t
     request (same base relation and computed columns, a provably
     weaker selection) and answers by re-filtering/re-sorting that
     entry's rows — a {e subsumed hit} — before falling back to a full
-    replay. Every answer equals {!full} (property-tested on the
-    differential battery). Bounded: past 512 entries the oldest half
-    is evicted. *)
+    replay. Only {e order-safe} subsumers are eligible: the entry's
+    sort keys must be a prefix of the request's, so the stable re-sort
+    reproduces a full replay's row order exactly (ties in base order)
+    rather than inheriting the subsumer's tie arrangement — under
+    Sheetserve's shared cache, served rows must not depend on what
+    other sessions happen to have materialized. Every answer equals
+    {!full}, rows {e and} order (property-tested on the differential
+    battery and hammered concurrently by [test/test_serve.ml]).
+    Bounded: past 512 entries the oldest half is evicted. *)
 
 val visible : Spreadsheet.t -> Relation.t
 (** {!full} restricted to visible columns. *)
@@ -53,6 +59,13 @@ val seed_cache : Spreadsheet.t -> Relation.t -> unit
     fresh uid, entries never go stale; but the table is shared across
     every session/spreadsheet alive in the process, so tests that
     assert on hit/miss behaviour must call {!reset_cache} first.
+    Every cache operation ([full_cached], [seed_cache],
+    {!cache_stats}, {!reset_cache}) is linearized under one internal
+    mutex, so Sheetserve handler threads may call them concurrently:
+    the hit-kind identity requests = exact + subsumed + miss stays
+    exact and no thread can observe (or cache) a torn entry. The lock
+    is held across the replay a miss triggers; concurrent misses
+    serialize.
     Eviction drops the {e oldest half} (by insertion order) once more
     than 512 entries are resident, so a hot subsumer is not thrown
     away with the cold tail; the flight recorder's [cache-eviction]

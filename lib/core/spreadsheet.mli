@@ -27,7 +27,38 @@ type t = {
 }
 
 val fresh_uid : unit -> int
-(** For constructors outside this module (e.g. deserialization). *)
+(** For constructors outside this module (e.g. deserialization).
+    Allocates from the process-global namespace, or from the current
+    arena inside {!in_uid_arena}. Thread-safe. *)
+
+(** {1 Uid arenas (Sheetserve)}
+
+    A server session must issue the same uid sequence whether it runs
+    alone or interleaved with hundreds of others — uids key the shared
+    materialization cache and appear in telemetry, so nondeterministic
+    allocation would make per-session replay incomparable. An {e
+    arena} is a private uid namespace: inside [in_uid_arena a f],
+    every uid is [a * 2^32 + local] where [local] counts up from 1
+    privately to arena [a]. Arenas never collide with each other or
+    with the default namespace. *)
+
+val in_uid_arena : int -> (unit -> 'a) -> 'a
+(** Run a thunk with uid allocation redirected to the given arena
+    (1 <= arena <= 2^29; [Invalid_argument] otherwise). The previous
+    namespace is restored afterwards, exceptions included. The arena
+    selection is process-global, not thread-local: callers must
+    serialize sheet-constructing work themselves — the Sheetserve
+    coordinator lock does exactly this. *)
+
+val uid_arena_of : int -> int option
+(** The arena a uid was allocated from ([None] for the default
+    namespace). *)
+
+val reset_uid_arena : int -> unit
+(** Forget an arena's local counter so a replay reissues the same
+    uids. The caller must also drop every uid-keyed cache
+    ({!Sheet_core.Materialize.reset_cache}) or stale entries keyed by
+    the reused uids will be served. Test/load-harness only. *)
 
 val of_relation : name:string -> Relation.t -> t
 (** The base spreadsheet [S^0] (Definition 2): columns inherited,

@@ -902,6 +902,20 @@ module Flightrec = struct
   let events () =
     with_lock fr_mutex (fun () -> List.of_seq (Queue.to_seq ring))
 
+  (* Read-and-clear under ONE lock acquisition. A handler thread that
+     snapshots the recorder with [events] and then calls [clear] races
+     other connections: events recorded between the two calls are
+     silently destroyed. [drain] closes that window — every recorded
+     event is returned by exactly one drain (or left in the ring),
+     which the isolation test in test_obs asserts under concurrent
+     writers. The dropped-event count is deliberately left alone: it
+     tracks capacity evictions, not drains. *)
+  let drain () =
+    with_lock fr_mutex (fun () ->
+        let evs = List.of_seq (Queue.to_seq ring) in
+        Queue.clear ring;
+        evs)
+
   let length () = with_lock fr_mutex (fun () -> Queue.length ring)
   let dropped () = with_lock fr_mutex (fun () -> !dropped_events)
 

@@ -473,6 +473,15 @@ module Flightrec : sig
   val events : unit -> event list
   (** Ring contents, oldest first. *)
 
+  val drain : unit -> event list
+  (** Atomically return the ring contents (oldest first) and empty the
+      ring — one lock acquisition, so events recorded concurrently are
+      either in the returned batch or still in the ring, never lost.
+      This is what a Sheetserve connection handler must use to take
+      its per-connection black box: an [events]-then-[clear] sequence
+      destroys whatever other connections recorded in between. Leaves
+      the capacity-eviction {!dropped} count untouched. *)
+
   val length : unit -> int
   (** Current ring depth. *)
 

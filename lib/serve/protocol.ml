@@ -1,0 +1,235 @@
+open Sheet_rel
+module J = Sheet_obs.Obs_json
+
+type request =
+  | Hello of string
+  | Open of string
+  | Line of string
+  | Rows
+  | Status
+  | Ping
+  | Quit
+
+type response =
+  | Welcome of { session : string; arena : int }
+  | Opened of { base : string; uid : int; rows : int }
+  | Applied of { uid : int; output : string option }
+  | Table of {
+      uid : int;
+      columns : (string * Value.vtype) list;
+      rows : Value.t list list;
+    }
+  | Stats of { sessions : int; ops : int; busy_rejections : int }
+  | Pong
+  | Bye
+  | Refused of { busy : bool; reason : string }
+
+(* ---- values ---- *)
+
+let encode_value : Value.t -> J.t = function
+  | Value.Null -> J.Null
+  | Value.Bool b -> J.Bool b
+  | Value.Int i -> J.Int i
+  | Value.Float f -> J.Float f
+  | Value.String s -> J.String s
+  | Value.Date d -> J.Obj [ ("date", J.Int d) ]
+
+let decode_value : J.t -> (Value.t, string) result = function
+  | J.Null -> Ok Value.Null
+  | J.Bool b -> Ok (Value.Bool b)
+  | J.Int i -> Ok (Value.Int i)
+  | J.Float f -> Ok (Value.Float f)
+  | J.String s -> Ok (Value.String s)
+  | J.Obj [ ("date", J.Int d) ] -> Ok (Value.Date d)
+  | J.Obj _ -> Error "cell object is not {\"date\":<int>}"
+  | J.List _ -> Error "cell cannot be a list"
+
+let vtype_name = function
+  | Value.TBool -> "bool"
+  | Value.TInt -> "int"
+  | Value.TFloat -> "float"
+  | Value.TString -> "string"
+  | Value.TDate -> "date"
+
+let vtype_of_name = function
+  | "bool" -> Some Value.TBool
+  | "int" -> Some Value.TInt
+  | "float" -> Some Value.TFloat
+  | "string" -> Some Value.TString
+  | "date" -> Some Value.TDate
+  | _ -> None
+
+(* ---- decode helpers (total) ---- *)
+
+let str_field name j =
+  match J.member name j with
+  | Some (J.String s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %S is not a string" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let int_field name j =
+  match J.member name j with
+  | Some (J.Int i) -> Ok i
+  | Some _ -> Error (Printf.sprintf "field %S is not an int" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let bool_field name j =
+  match J.member name j with
+  | Some (J.Bool b) -> Ok b
+  | Some _ -> Error (Printf.sprintf "field %S is not a bool" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let ( let* ) = Result.bind
+
+(* ---- requests ---- *)
+
+let encode_request req =
+  let obj =
+    match req with
+    | Hello client -> [ ("op", J.String "hello"); ("client", J.String client) ]
+    | Open base -> [ ("op", J.String "open"); ("base", J.String base) ]
+    | Line text -> [ ("op", J.String "line"); ("text", J.String text) ]
+    | Rows -> [ ("op", J.String "rows") ]
+    | Status -> [ ("op", J.String "status") ]
+    | Ping -> [ ("op", J.String "ping") ]
+    | Quit -> [ ("op", J.String "quit") ]
+  in
+  J.to_string (J.Obj obj)
+
+let decode_request line =
+  let* j = J.parse line in
+  let* op = str_field "op" j in
+  match op with
+  | "hello" ->
+      let* client = str_field "client" j in
+      Ok (Hello client)
+  | "open" ->
+      let* base = str_field "base" j in
+      Ok (Open base)
+  | "line" ->
+      let* text = str_field "text" j in
+      Ok (Line text)
+  | "rows" -> Ok Rows
+  | "status" -> Ok Status
+  | "ping" -> Ok Ping
+  | "quit" -> Ok Quit
+  | other -> Error (Printf.sprintf "unknown op %S" other)
+
+(* ---- responses ---- *)
+
+let ok ty fields = J.Obj (("ok", J.Bool true) :: ("type", J.String ty) :: fields)
+
+let encode_response resp =
+  let j =
+    match resp with
+    | Welcome { session; arena } ->
+        ok "welcome" [ ("session", J.String session); ("arena", J.Int arena) ]
+    | Opened { base; uid; rows } ->
+        ok "opened"
+          [ ("base", J.String base); ("uid", J.Int uid); ("rows", J.Int rows) ]
+    | Applied { uid; output } ->
+        ok "applied"
+          (("uid", J.Int uid)
+          ::
+          (match output with
+          | None -> []
+          | Some s -> [ ("output", J.String s) ]))
+    | Table { uid; columns; rows } ->
+        ok "table"
+          [ ("uid", J.Int uid);
+            ( "columns",
+              J.List
+                (List.map
+                   (fun (name, ty) ->
+                     J.List [ J.String name; J.String (vtype_name ty) ])
+                   columns) );
+            ( "rows",
+              J.List (List.map (fun r -> J.List (List.map encode_value r)) rows)
+            )
+          ]
+    | Stats { sessions; ops; busy_rejections } ->
+        ok "stats"
+          [ ("sessions", J.Int sessions);
+            ("ops", J.Int ops);
+            ("busy_rejections", J.Int busy_rejections)
+          ]
+    | Pong -> ok "pong" []
+    | Bye -> ok "bye" []
+    | Refused { busy; reason } ->
+        J.Obj
+          [ ("ok", J.Bool false);
+            ("busy", J.Bool busy);
+            ("error", J.String reason)
+          ]
+  in
+  J.to_string j
+
+let decode_column = function
+  | J.List [ J.String name; J.String ty ] -> (
+      match vtype_of_name ty with
+      | Some ty -> Ok (name, ty)
+      | None -> Error (Printf.sprintf "unknown column type %S" ty))
+  | _ -> Error "column is not [name, type]"
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: xs ->
+      let* y = f x in
+      let* ys = map_result f xs in
+      Ok (y :: ys)
+
+let decode_row = function
+  | J.List cells -> map_result decode_value cells
+  | _ -> Error "row is not a list"
+
+let decode_response line =
+  let* j = J.parse line in
+  let* okp = bool_field "ok" j in
+  if not okp then
+    let* busy = bool_field "busy" j in
+    let* reason = str_field "error" j in
+    Ok (Refused { busy; reason })
+  else
+    let* ty = str_field "type" j in
+    match ty with
+    | "welcome" ->
+        let* session = str_field "session" j in
+        let* arena = int_field "arena" j in
+        Ok (Welcome { session; arena })
+    | "opened" ->
+        let* base = str_field "base" j in
+        let* uid = int_field "uid" j in
+        let* rows = int_field "rows" j in
+        Ok (Opened { base; uid; rows })
+    | "applied" ->
+        let* uid = int_field "uid" j in
+        let* output =
+          match J.member "output" j with
+          | None -> Ok None
+          | Some (J.String s) -> Ok (Some s)
+          | Some _ -> Error "field \"output\" is not a string"
+        in
+        Ok (Applied { uid; output })
+    | "table" ->
+        let* uid = int_field "uid" j in
+        let* columns =
+          match J.member "columns" j with
+          | Some (J.List cols) -> map_result decode_column cols
+          | Some _ -> Error "field \"columns\" is not a list"
+          | None -> Error "missing field \"columns\""
+        in
+        let* rows =
+          match J.member "rows" j with
+          | Some (J.List rows) -> map_result decode_row rows
+          | Some _ -> Error "field \"rows\" is not a list"
+          | None -> Error "missing field \"rows\""
+        in
+        Ok (Table { uid; columns; rows })
+    | "stats" ->
+        let* sessions = int_field "sessions" j in
+        let* ops = int_field "ops" j in
+        let* busy_rejections = int_field "busy_rejections" j in
+        Ok (Stats { sessions; ops; busy_rejections })
+    | "pong" -> Ok Pong
+    | "bye" -> Ok Bye
+    | other -> Error (Printf.sprintf "unknown response type %S" other)

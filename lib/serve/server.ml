@@ -1,0 +1,249 @@
+open Sheet_rel
+open Sheet_core
+module Obs = Sheet_obs.Obs
+
+type config = {
+  max_sessions : int;
+  max_ops_per_s : int;
+  lookup : string -> Relation.t option;
+  now : unit -> float;
+}
+
+let config ?(max_sessions = 256) ?(max_ops_per_s = 0)
+    ?(now = Unix.gettimeofday) lookup =
+  { max_sessions; max_ops_per_s; lookup; now }
+
+type session_state = {
+  client : string;
+  arena : int;
+  labels : Obs.Labels.t;
+  mutable sess : Session.t option;  (* None until [open] *)
+  mutable window_start : float;
+  mutable window_ops : int;
+}
+
+type t = {
+  cfg : config;
+  table_mutex : Mutex.t;  (* session table, counters, rate windows *)
+  engine_mutex : Mutex.t;  (* ambient labels + arenas + engine work *)
+  sessions : (string, session_state) Hashtbl.t;
+  mutable ops : int;
+  mutable busy_rejections : int;
+}
+
+(* Arenas are process-global (they key the shared uid namespace), so
+   two servers in one test process never reuse each other's. *)
+let arena_mutex = Mutex.create ()
+let next_arena = ref 0
+
+let fresh_arena () =
+  Mutex.lock arena_mutex;
+  incr next_arena;
+  let a = !next_arena in
+  Mutex.unlock arena_mutex;
+  a
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let create cfg =
+  {
+    cfg;
+    table_mutex = Mutex.create ();
+    engine_mutex = Mutex.create ();
+    sessions = Hashtbl.create 64;
+    ops = 0;
+    busy_rejections = 0;
+  }
+
+type conn = { mutable bound : string option }
+
+let connect _t = { bound = None }
+
+(* serve.* counters live beside the engine's own telemetry; the Stats
+   response reads the server-local fields so gate-time Metrics.reset
+   calls cannot skew it. *)
+let m_requests = lazy (Obs.Metrics.counter "serve.requests")
+let m_ops = lazy (Obs.Metrics.counter "serve.ops")
+let m_busy = lazy (Obs.Metrics.counter "serve.busy_rejections")
+let m_sessions = lazy (Obs.Metrics.gauge "serve.sessions")
+
+let refused reason = Protocol.Refused { busy = false; reason }
+
+let busy t reason =
+  with_lock t.table_mutex (fun () ->
+      t.busy_rejections <- t.busy_rejections + 1);
+  Obs.Metrics.incr (Lazy.force m_busy);
+  Protocol.Refused { busy = true; reason }
+
+(* All engine-visible effects of a request — ambient labels, uid
+   arena, apply, materialize — are one critical section, keeping the
+   process's single-writer telemetry invariants intact. *)
+let with_engine t (st : session_state) f =
+  with_lock t.engine_mutex (fun () ->
+      Obs.set_ambient_labels st.labels;
+      Fun.protect
+        ~finally:(fun () -> Obs.set_ambient_labels Obs.Labels.empty)
+        (fun () -> Spreadsheet.in_uid_arena st.arena f))
+
+let hello t conn client =
+  with_lock t.table_mutex (fun () ->
+      match Hashtbl.find_opt t.sessions client with
+      | Some st ->
+          conn.bound <- Some client;
+          Protocol.Welcome { session = client; arena = st.arena }
+      | None ->
+          if Hashtbl.length t.sessions >= t.cfg.max_sessions then (
+            t.busy_rejections <- t.busy_rejections + 1;
+            Obs.Metrics.incr (Lazy.force m_busy);
+            Protocol.Refused { busy = true; reason = "server full" })
+          else begin
+            let st =
+              {
+                client;
+                arena = fresh_arena ();
+                labels = Obs.Labels.v [ ("session", client) ];
+                sess = None;
+                window_start = t.cfg.now ();
+                window_ops = 0;
+              }
+            in
+            Hashtbl.replace t.sessions client st;
+            Obs.Metrics.set (Lazy.force m_sessions)
+              (Hashtbl.length t.sessions);
+            conn.bound <- Some client;
+            Protocol.Welcome { session = client; arena = st.arena }
+          end)
+
+let bound_session t conn =
+  match conn.bound with
+  | None -> None
+  | Some client ->
+      with_lock t.table_mutex (fun () -> Hashtbl.find_opt t.sessions client)
+
+(* Fixed one-second windows: cheap, and "graceful" in the protocol
+   sense — a capped client gets [busy] and retries, never a hang. *)
+let rate_admit t (st : session_state) =
+  if t.cfg.max_ops_per_s <= 0 then true
+  else
+    with_lock t.table_mutex (fun () ->
+        let now = t.cfg.now () in
+        if now -. st.window_start >= 1.0 then begin
+          st.window_start <- now;
+          st.window_ops <- 0
+        end;
+        if st.window_ops >= t.cfg.max_ops_per_s then false
+        else begin
+          st.window_ops <- st.window_ops + 1;
+          true
+        end)
+
+let open_base t (st : session_state) base =
+  match t.cfg.lookup base with
+  | None -> refused (Printf.sprintf "unknown base %S" base)
+  | Some rel ->
+      let sess =
+        with_engine t st (fun () -> Session.create ~name:base rel)
+      in
+      st.sess <- Some sess;
+      let sheet = Session.current sess in
+      Protocol.Opened
+        {
+          base;
+          uid = sheet.Spreadsheet.uid;
+          rows = Relation.cardinality rel;
+        }
+
+let run_line t (st : session_state) sess text =
+  match with_engine t st (fun () -> Script.run_line sess text) with
+  | Error msg -> refused msg
+  | Ok { Script.session; output } ->
+      st.sess <- Some session;
+      with_lock t.table_mutex (fun () -> t.ops <- t.ops + 1);
+      Obs.Metrics.incr (Lazy.force m_ops);
+      let sheet = Session.current session in
+      Protocol.Applied { uid = sheet.Spreadsheet.uid; output }
+
+let rows_of t (st : session_state) sess =
+  let rel = with_engine t st (fun () -> Session.materialized sess) in
+  let sheet = Session.current sess in
+  Protocol.Table
+    {
+      uid = sheet.Spreadsheet.uid;
+      columns =
+        List.map
+          (fun c -> (c.Schema.name, c.Schema.ty))
+          (Schema.columns (Relation.schema rel));
+      rows = List.map Row.to_list (Relation.rows rel);
+    }
+
+let stats t =
+  with_lock t.table_mutex (fun () ->
+      Protocol.Stats
+        {
+          sessions = Hashtbl.length t.sessions;
+          ops = t.ops;
+          busy_rejections = t.busy_rejections;
+        })
+
+let quit t conn =
+  (match conn.bound with
+  | None -> ()
+  | Some client ->
+      with_lock t.table_mutex (fun () ->
+          Hashtbl.remove t.sessions client;
+          Obs.Metrics.set (Lazy.force m_sessions)
+            (Hashtbl.length t.sessions)));
+  conn.bound <- None;
+  Protocol.Bye
+
+let handle_request t conn req =
+  Obs.Metrics.incr (Lazy.force m_requests);
+  match req with
+  | Protocol.Ping -> Protocol.Pong
+  | Protocol.Status -> stats t
+  | Protocol.Hello client -> hello t conn client
+  | Protocol.Quit -> quit t conn
+  | Protocol.Open base -> (
+      match bound_session t conn with
+      | None -> refused "hello required before open"
+      | Some st -> open_base t st base)
+  | Protocol.Line text -> (
+      match bound_session t conn with
+      | None -> refused "hello required before line"
+      | Some st -> (
+          match st.sess with
+          | None -> refused "open required before line"
+          | Some sess ->
+              if rate_admit t st then run_line t st sess text
+              else busy t "rate limit exceeded"))
+  | Protocol.Rows -> (
+      match bound_session t conn with
+      | None -> refused "hello required before rows"
+      | Some st -> (
+          match st.sess with
+          | None -> refused "open required before rows"
+          | Some sess -> rows_of t st sess))
+
+let handle t conn line =
+  let resp =
+    match Protocol.decode_request line with
+    | Error e -> refused ("parse error: " ^ e)
+    | Ok req -> handle_request t conn req
+  in
+  Protocol.encode_response resp
+
+let session_count t =
+  with_lock t.table_mutex (fun () -> Hashtbl.length t.sessions)
+
+let live_clients t =
+  with_lock t.table_mutex (fun () ->
+      Hashtbl.fold (fun c _ acc -> c :: acc) t.sessions []
+      |> List.sort String.compare)
+
+let arena_of t client =
+  with_lock t.table_mutex (fun () ->
+      Option.map
+        (fun st -> st.arena)
+        (Hashtbl.find_opt t.sessions client))

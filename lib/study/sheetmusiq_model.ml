@@ -83,3 +83,71 @@ let model =
     learning =
       (fun ~trial ->
         match trial with 1 -> 1.30 | 2 -> 1.10 | _ -> 1.0) }
+
+(* ---- per-user operation streams (Sheetserve load replay) ----
+
+   The simulator above only answers "how long did the task take"; the
+   load harness needs the actual line-by-line stream a simulated user
+   issues. A stream is the task's direct-manipulation script with
+   deterministic mistake/recovery detours woven in: with the same
+   per-category error probabilities as [plan_of_task], a step is
+   mis-specified, noticed on the immediately visible redisplay (the
+   paper's second principle makes detection near-certain, so streams
+   model every mistake as detected), undone, and redone. A stream
+   therefore always converges to the task script's final query state —
+   exactly the property the server determinism harness replays
+   against — while still exercising apply/undo/redo traffic shaped
+   like the study population's. *)
+
+type step = { line : string; think_s : float }
+
+let script_lines (task : Tpch_tasks.t) =
+  String.split_on_char '\n' task.Tpch_tasks.script
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+
+(* First word of a script line -> (KLM interaction, per-attempt
+   mis-specification probability). Mirrors plan_of_task's costs. *)
+let interaction_of_line ~grouped line =
+  let word =
+    match String.index_opt line ' ' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  match word with
+  | "select" -> (selection, 0.05)
+  | "group" | "regroup" | "ungroup" -> (grouping, 0.04)
+  | "agg" -> (aggregation, 0.05)
+  | "formula" -> (formula, 0.08)
+  | "order" | "order-groups" -> (ordering ~grouped, 0.02)
+  | "hide" | "show" -> (projection, 0.01)
+  | "dedup" -> (Klm.M :: Klm.menu_pick, 0.01)
+  | _ -> (Klm.M :: Klm.menu_pick, 0.02)
+
+let mix_seed ~seed ~subject ~task_id =
+  (* splitmix-style avalanche so nearby (subject, task) pairs do not
+     produce correlated streams *)
+  let h = ref (seed lxor 0x9E3779B97F4A7C1) in
+  h := (!h lxor (subject * 0xBF58476D1CE4E5B)) * 0x94D049BB133111E;
+  h := (!h lxor (task_id * 0xFF51AFD7ED558CC)) land max_int;
+  !h
+
+let op_stream ~seed ~subject (task : Tpch_tasks.t) =
+  let rng = Sheet_stats.Rng.create (mix_seed ~seed ~subject ~task_id:task.Tpch_tasks.id) in
+  let grouped = task.Tpch_tasks.grouped in
+  let undo_think = Klm.total (Klm.M :: Klm.menu_pick) in
+  List.concat_map
+    (fun line ->
+      let interaction, prob = interaction_of_line ~grouped line in
+      let think = Klm.total interaction +. 0.3 (* reading pause *) in
+      (* up to two botched attempts, like the simulator's re-rolls *)
+      let rec detours tries acc =
+        if tries >= 2 then List.rev acc
+        else if Sheet_stats.Rng.float rng 1.0 < prob then
+          detours (tries + 1)
+            ({ line = "undo"; think_s = undo_think }
+             :: { line; think_s = think } :: acc)
+        else List.rev acc
+      in
+      detours 0 [] @ [ { line; think_s = think } ])
+    (script_lines task)

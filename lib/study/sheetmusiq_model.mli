@@ -6,3 +6,31 @@
     no SQL is ever typed, so there are no syntax errors. *)
 
 val model : Tool_model.t
+
+(** {1 Per-user operation streams}
+
+    What the Sheetserve load harness replays: the actual script lines
+    a simulated user issues for one task, rather than the aggregate
+    timing the {!Simulator} reports. Deterministic in
+    [(seed, subject, task)]. *)
+
+type step = {
+  line : string;  (** one {!Sheet_core.Script} command line *)
+  think_s : float;  (** KLM think/motor time preceding the line *)
+}
+
+val script_lines : Sheet_tpch.Tpch_tasks.t -> string list
+(** The task's direct-manipulation script as individual action lines
+    (blank lines and [#]-comments removed) — the canonical error-free
+    stream. *)
+
+val op_stream :
+  seed:int -> subject:int -> Sheet_tpch.Tpch_tasks.t -> step list
+(** The task's script with deterministic mistake/recovery detours:
+    a mis-specified step appears as the step, an ["undo"], and the
+    redone step (at most two detours per step, with the same
+    per-category error probabilities as the KLM plan). Every stream
+    converges to the same final query state as {!script_lines} —
+    replaying a stream and replaying the plain script yield identical
+    materializations — which is what the server determinism harness
+    relies on. *)

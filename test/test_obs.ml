@@ -522,6 +522,73 @@ let flightrec_render_limit () =
     && List.length (String.split_on_char '\n' text) = 2);
   Obs.Flightrec.clear ()
 
+(* drain is an atomic read-and-clear: with recorder threads running
+   (Sheetserve handlers taking their per-connection black boxes),
+   every event lands in exactly one drained batch or the final ring —
+   never lost, never duplicated — and each recorder's events stay in
+   order across the concatenated batches *)
+let flightrec_drain_isolation () =
+  Obs.Flightrec.clear ();
+  Obs.Flightrec.set_capacity 100_000;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Flightrec.set_capacity 512;
+      Obs.Flightrec.clear ())
+  @@ fun () ->
+  let n_recorders = 4 and per_recorder = 2000 in
+  let drained = ref [] in
+  let stop = ref false in
+  let drainer =
+    Thread.create
+      (fun () ->
+        while not !stop do
+          drained := !drained @ Obs.Flightrec.drain ();
+          Thread.yield ()
+        done)
+      ()
+  in
+  let recorders =
+    List.init n_recorders (fun i ->
+        Thread.create
+          (fun () ->
+            for j = 1 to per_recorder do
+              Obs.Flightrec.record ~kind:"op"
+                (Printf.sprintf "t%d-%d" i j)
+            done)
+          ())
+  in
+  List.iter Thread.join recorders;
+  stop := true;
+  Thread.join drainer;
+  let all = !drained @ Obs.Flightrec.drain () in
+  Alcotest.(check int) "no event lost or duplicated"
+    (n_recorders * per_recorder)
+    (List.length all);
+  Alcotest.(check int) "no capacity drops" 0 (Obs.Flightrec.dropped ());
+  let labels = List.map (fun e -> e.Obs.Flightrec.f_label) all in
+  let uniq = List.sort_uniq String.compare labels in
+  Alcotest.(check int) "every label exactly once"
+    (n_recorders * per_recorder)
+    (List.length uniq);
+  (* per-recorder order survives batching *)
+  for i = 0 to n_recorders - 1 do
+    let prefix = Printf.sprintf "t%d-" i in
+    let mine =
+      List.filter
+        (fun l ->
+          String.length l > String.length prefix
+          && String.sub l 0 (String.length prefix) = prefix)
+        labels
+    in
+    let expected =
+      List.init per_recorder (fun j -> Printf.sprintf "t%d-%d" i (j + 1))
+    in
+    Alcotest.(check (list string))
+      (Printf.sprintf "recorder %d order preserved" i)
+      expected mine
+  done;
+  Alcotest.(check int) "ring left empty" 0 (Obs.Flightrec.length ())
+
 (* ---------- report surfaces ---------- *)
 
 let contains s sub =
@@ -1241,7 +1308,9 @@ let () =
          Alcotest.test_case "slow threshold knob" `Quick
            flightrec_threshold;
          Alcotest.test_case "render limit keeps newest" `Quick
-           flightrec_render_limit ]);
+           flightrec_render_limit;
+         Alcotest.test_case "drain isolates concurrent readers" `Quick
+           flightrec_drain_isolation ]);
       ("trace",
        [ Alcotest.test_case "chrome export round-trips" `Quick
            trace_round_trip;

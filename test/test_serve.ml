@@ -1,0 +1,493 @@
+(* Sheetserve tests: wire-protocol totality and round-trips, server
+   liveness on garbage input, admission control, per-session rate
+   caps, concurrent-vs-serial determinism (rows, order, final uids),
+   and the shared semantic cache hammered from many threads. *)
+
+open Sheet_rel
+open Sheet_core
+open Sheet_serve
+module Model = Sheet_study.Sheetmusiq_model
+
+(* ---------- generators ---------- *)
+
+let gen_value =
+  QCheck.Gen.(
+    oneof
+      [
+        return Value.Null;
+        map (fun b -> Value.Bool b) bool;
+        map (fun i -> Value.Int i) int;
+        map (fun f -> Value.Float f) (float_range (-1e12) 1e12);
+        map (fun s -> Value.String s) (string_size (int_bound 12));
+        map (fun d -> Value.Date d) (int_range (-100000) 100000);
+      ])
+
+let gen_vtype =
+  QCheck.Gen.oneofl
+    [ Value.TBool; Value.TInt; Value.TFloat; Value.TString; Value.TDate ]
+
+(* strings with control characters, quotes, backslashes, high bytes —
+   everything the line framing must survive *)
+let gen_nasty_string =
+  QCheck.Gen.(string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 30))
+
+let gen_request =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun s -> Protocol.Hello s) gen_nasty_string;
+        map (fun s -> Protocol.Open s) gen_nasty_string;
+        map (fun s -> Protocol.Line s) gen_nasty_string;
+        return Protocol.Rows;
+        return Protocol.Status;
+        return Protocol.Ping;
+        return Protocol.Quit;
+      ])
+
+let gen_response =
+  QCheck.Gen.(
+    oneof
+      [
+        map2
+          (fun s a -> Protocol.Welcome { session = s; arena = a })
+          gen_nasty_string nat;
+        map3
+          (fun b u r -> Protocol.Opened { base = b; uid = u; rows = r })
+          gen_nasty_string nat nat;
+        map2
+          (fun u o -> Protocol.Applied { uid = u; output = o })
+          nat
+          (option gen_nasty_string);
+        map3
+          (fun u cols rows -> Protocol.Table { uid = u; columns = cols; rows })
+          nat
+          (small_list (pair gen_nasty_string gen_vtype))
+          (small_list (small_list gen_value));
+        map3
+          (fun s o b ->
+            Protocol.Stats { sessions = s; ops = o; busy_rejections = b })
+          nat nat nat;
+        return Protocol.Pong;
+        return Protocol.Bye;
+        map2
+          (fun b r -> Protocol.Refused { busy = b; reason = r })
+          bool gen_nasty_string;
+      ])
+
+(* ---------- protocol round-trips and totality ---------- *)
+
+let request_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"decode_request (encode_request r) = Ok r"
+    (QCheck.make gen_request)
+    (fun r ->
+      let line = Protocol.encode_request r in
+      (not (String.contains line '\n'))
+      && Protocol.decode_request line = Ok r)
+
+let response_roundtrip =
+  QCheck.Test.make ~count:500
+    ~name:"decode_response (encode_response r) = Ok r"
+    (QCheck.make gen_response)
+    (fun r ->
+      let line = Protocol.encode_response r in
+      (not (String.contains line '\n'))
+      && Protocol.decode_response line = Ok r)
+
+let decode_total =
+  QCheck.Test.make ~count:2000 ~name:"decoders are total on arbitrary bytes"
+    (QCheck.make QCheck.Gen.(string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 80)))
+    (fun s ->
+      (match Protocol.decode_request s with Ok _ | Error _ -> true)
+      && match Protocol.decode_response s with Ok _ | Error _ -> true)
+
+(* ---------- an in-process server over the cars relation ---------- *)
+
+let cars_lookup name =
+  if name = "cars" then Some Sample_cars.relation else None
+
+let expect_welcome = function
+  | Protocol.Welcome _ -> ()
+  | r -> Alcotest.failf "expected welcome, got %s" (Protocol.encode_response r)
+
+let expect_applied = function
+  | Protocol.Applied _ -> ()
+  | r -> Alcotest.failf "expected applied, got %s" (Protocol.encode_response r)
+
+(* a connection keeps answering after arbitrary garbage: handle is
+   total, so a parse error is a Refused line, never a dead handler *)
+let test_garbage_then_ping () =
+  let server = Server.create (Server.config cars_lookup) in
+  let conn = Server.connect server in
+  List.iter
+    (fun garbage ->
+      match Protocol.decode_response (Server.handle server conn garbage) with
+      | Ok (Protocol.Refused { busy = false; _ }) -> ()
+      | Ok r ->
+          Alcotest.failf "garbage %S answered %s" garbage
+            (Protocol.encode_response r)
+      | Error e -> Alcotest.failf "undecodable response to garbage: %s" e)
+    [ ""; "{"; "not json"; "{\"op\":42}"; "{\"op\":\"warp\"}"; "\xff\xfe" ];
+  match
+    Protocol.decode_response
+      (Server.handle server conn (Protocol.encode_request Protocol.Ping))
+  with
+  | Ok Protocol.Pong -> ()
+  | Ok r ->
+      Alcotest.failf "ping after garbage answered %s"
+        (Protocol.encode_response r)
+  | Error e -> Alcotest.failf "undecodable pong: %s" e
+
+(* the same liveness property over a real socket *)
+let test_garbage_over_socket () =
+  let server = Server.create (Server.config cars_lookup) in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sheetserve-test-%d.sock" (Unix.getpid ()))
+  in
+  let listener = Net.listen server ~path in
+  Fun.protect ~finally:(fun () -> Net.shutdown listener) @@ fun () ->
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+  @@ fun () ->
+  Unix.connect fd (ADDR_UNIX path);
+  let inch = Unix.in_channel_of_descr fd in
+  let send line =
+    let b = Bytes.of_string (line ^ "\n") in
+    ignore (Unix.write fd b 0 (Bytes.length b))
+  in
+  send "this is not a request";
+  (match In_channel.input_line inch with
+  | Some line -> (
+      match Protocol.decode_response line with
+      | Ok (Protocol.Refused { busy = false; _ }) -> ()
+      | _ -> Alcotest.failf "garbage answered %S" line)
+  | None -> Alcotest.fail "connection dropped on garbage");
+  send (Protocol.encode_request Protocol.Ping);
+  match In_channel.input_line inch with
+  | Some line ->
+      Alcotest.(check bool)
+        "pong after garbage" true
+        (Protocol.decode_response line = Ok Protocol.Pong)
+  | None -> Alcotest.fail "connection wedged after garbage"
+
+(* ---------- admission control ---------- *)
+
+let test_admission () =
+  let server =
+    Server.create (Server.config ~max_sessions:2 cars_lookup)
+  in
+  let c0 = Server.connect server
+  and c1 = Server.connect server
+  and c2 = Server.connect server in
+  expect_welcome (Server.handle_request server c0 (Protocol.Hello "u0"));
+  expect_welcome (Server.handle_request server c1 (Protocol.Hello "u1"));
+  (match Server.handle_request server c2 (Protocol.Hello "u2") with
+  | Protocol.Refused { busy = true; _ } -> ()
+  | r ->
+      Alcotest.failf "third session admitted: %s"
+        (Protocol.encode_response r));
+  (* re-hello of a live session is not a new admission *)
+  expect_welcome (Server.handle_request server c0 (Protocol.Hello "u0"));
+  Alcotest.(check int) "two live sessions" 2 (Server.session_count server);
+  (* quitting frees the slot *)
+  (match Server.handle_request server c0 Protocol.Quit with
+  | Protocol.Bye -> ()
+  | r -> Alcotest.failf "quit answered %s" (Protocol.encode_response r));
+  expect_welcome (Server.handle_request server c2 (Protocol.Hello "u2"));
+  Alcotest.(check (list string))
+    "live clients" [ "u1"; "u2" ]
+    (Server.live_clients server)
+
+(* ---------- per-session rate cap ---------- *)
+
+let test_rate_cap () =
+  let clock = ref 1000.0 in
+  let server =
+    Server.create
+      (Server.config ~max_ops_per_s:3 ~now:(fun () -> !clock) cars_lookup)
+  in
+  let conn = Server.connect server in
+  expect_welcome (Server.handle_request server conn (Protocol.Hello "u0"));
+  (match Server.handle_request server conn (Protocol.Open "cars") with
+  | Protocol.Opened _ -> ()
+  | r -> Alcotest.failf "open answered %s" (Protocol.encode_response r));
+  for _ = 1 to 3 do
+    expect_applied
+      (Server.handle_request server conn (Protocol.Line "select Price > 0"))
+  done;
+  (match
+     Server.handle_request server conn (Protocol.Line "select Price > 0")
+   with
+  | Protocol.Refused { busy = true; _ } -> ()
+  | r ->
+      Alcotest.failf "fourth op in the window admitted: %s"
+        (Protocol.encode_response r));
+  (* a new window restores the budget *)
+  clock := !clock +. 1.5;
+  expect_applied
+    (Server.handle_request server conn (Protocol.Line "select Price > 0"))
+
+(* ---------- concurrent vs serial determinism ---------- *)
+
+let tpch_catalog =
+  lazy
+    (Sheet_tpch.Tpch_views.install
+       (Sheet_tpch.Tpch_gen.generate { Sheet_tpch.Tpch_gen.sf = 0.001; seed = 42 }))
+
+type replay = {
+  r_arena : int;
+  r_uid : int;
+  r_columns : (string * Value.vtype) list;
+  r_rows : Value.t list list;
+}
+
+let test_concurrent_determinism () =
+  let catalog = Lazy.force tpch_catalog in
+  let server =
+    Server.create (Server.config ~max_sessions:16 (Sheet_sql.Catalog.find catalog))
+  in
+  let tasks = Array.of_list Sheet_tpch.Tpch_tasks.all in
+  let n = 8 in
+  let task i = tasks.(i mod Array.length tasks) in
+  let steps i = Model.op_stream ~seed:7 ~subject:(i + 1) (task i) in
+  Materialize.reset_cache ();
+  let results : replay option array = Array.make n None in
+  let failures = Array.make n None in
+  let threads =
+    List.init n (fun i ->
+        Thread.create
+          (fun () ->
+            try
+              let conn = Server.connect server in
+              let arena =
+                match
+                  Server.handle_request server conn
+                    (Protocol.Hello (Printf.sprintf "u%d" i))
+                with
+                | Protocol.Welcome { arena; _ } -> arena
+                | r ->
+                    failwith
+                      ("hello: " ^ Protocol.encode_response r)
+              in
+              (match
+                 Server.handle_request server conn
+                   (Protocol.Open (task i).Sheet_tpch.Tpch_tasks.base)
+               with
+              | Protocol.Opened _ -> ()
+              | r -> failwith ("open: " ^ Protocol.encode_response r));
+              List.iter
+                (fun (s : Model.step) ->
+                  match
+                    Server.handle_request server conn (Protocol.Line s.line)
+                  with
+                  | Protocol.Applied _ -> ()
+                  | r ->
+                      failwith
+                        (s.line ^ ": " ^ Protocol.encode_response r))
+                (steps i);
+              match Server.handle_request server conn Protocol.Rows with
+              | Protocol.Table { uid; columns; rows } ->
+                  results.(i) <-
+                    Some
+                      {
+                        r_arena = arena;
+                        r_uid = uid;
+                        r_columns = columns;
+                        r_rows = rows;
+                      }
+              | r -> failwith ("rows: " ^ Protocol.encode_response r)
+            with e -> failures.(i) <- Some (Printexc.to_string e))
+          ())
+  in
+  List.iter Thread.join threads;
+  Array.iteri
+    (fun i f ->
+      match f with
+      | Some msg -> Alcotest.failf "client u%d: %s" i msg
+      | None -> ())
+    failures;
+  (* serial ground truth, one session at a time on a cold cache *)
+  Materialize.reset_cache ();
+  Array.iteri
+    (fun i r ->
+      let r = Option.get r in
+      Spreadsheet.reset_uid_arena r.r_arena;
+      Spreadsheet.in_uid_arena r.r_arena @@ fun () ->
+      let base =
+        Sheet_sql.Catalog.find_exn catalog (task i).Sheet_tpch.Tpch_tasks.base
+      in
+      let session =
+        List.fold_left
+          (fun session (s : Model.step) ->
+            match Script.run_line session s.line with
+            | Ok o -> o.Script.session
+            | Error msg -> Alcotest.failf "u%d serial %s: %s" i s.line msg)
+          (Session.create ~name:(task i).Sheet_tpch.Tpch_tasks.base base)
+          (steps i)
+      in
+      let rel = Session.materialized session in
+      Alcotest.(check int)
+        (Printf.sprintf "u%d final uid" i)
+        (Session.current session).Spreadsheet.uid r.r_uid;
+      Alcotest.(check bool)
+        (Printf.sprintf "u%d schema" i)
+        true
+        (r.r_columns
+        = List.map
+            (fun c -> (c.Schema.name, c.Schema.ty))
+            (Schema.columns (Relation.schema rel)));
+      Alcotest.(check bool)
+        (Printf.sprintf "u%d rows and order" i)
+        true
+        (r.r_rows = List.map Row.to_list (Relation.rows rel)))
+    results
+
+(* ---------- the shared semantic cache under concurrency ---------- *)
+
+let apply_exn sheet op =
+  match Engine.apply sheet op with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "engine: %s" (Errors.to_string e)
+
+let pred = Expr_parse.parse_string_exn
+
+(* a pool of overlapping query states over the cars relation: chains
+   of progressively stronger selections, some grouped/ordered, so
+   exact hits, subsumed hits and misses all occur *)
+let sheet_pool () =
+  let base = Spreadsheet.of_relation ~name:"cars" Sample_cars.relation in
+  let chains =
+    [
+      [ "Price < 25000"; "Price < 20000"; "Price < 17000" ];
+      [ "Year >= 2003"; "Year >= 2005" ];
+      [ "Mileage <= 90000"; "Mileage <= 50000" ];
+      [ "Price < 25000 and Year >= 2003"; "Price < 20000 and Year >= 2005" ];
+    ]
+  in
+  let selection_sheets =
+    List.concat_map
+      (fun chain ->
+        let rec go sheet = function
+          | [] -> []
+          | p :: rest ->
+              let s = apply_exn sheet (Op.Select (pred p)) in
+              s :: go s rest
+        in
+        go base chain)
+      chains
+  in
+  let grouped =
+    List.map
+      (fun s ->
+        apply_exn s (Op.Group { basis = [ "Model" ]; dir = Grouping.Asc }))
+      selection_sheets
+  in
+  base :: (selection_sheets @ grouped)
+
+let test_cache_hammer () =
+  let pool = Array.of_list (sheet_pool ()) in
+  Materialize.reset_cache ();
+  (* ground truth via the cache-free path *)
+  let expected = Array.map Materialize.full pool in
+  let n_threads = 8 and per_thread = 60 in
+  let wrong = Array.make n_threads 0 in
+  let threads =
+    List.init n_threads (fun t ->
+        Thread.create
+          (fun () ->
+            let rng = Sheet_stats.Rng.create (0x5EED + t) in
+            for _ = 1 to per_thread do
+              let i = Sheet_stats.Rng.int rng (Array.length pool) in
+              let served = Materialize.full_cached pool.(i) in
+              if not (Relation.equal served expected.(i)) then
+                wrong.(t) <- wrong.(t) + 1
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+  Alcotest.(check int)
+    "every concurrent lookup equals the cache-free materialization" 0
+    (Array.fold_left ( + ) 0 wrong);
+  let s = Materialize.cache_stats () in
+  Alcotest.(check int) "requests = one per lookup" (n_threads * per_thread)
+    s.Materialize.requests;
+  Alcotest.(check int) "requests = exact + subsumed + miss"
+    s.Materialize.requests
+    (s.Materialize.hits + s.Materialize.subsumed_hits + s.Materialize.misses);
+  Alcotest.(check bool) "subsumption did occur" true
+    (s.Materialize.subsumed_hits > 0);
+  Materialize.reset_cache ()
+
+(* qcheck: arbitrary select chains — cached answers (exact or
+   subsumed) always equal the cache-free materialization, rows and
+   order, and the hit-kind identity stays exact *)
+let cache_overlap_prop =
+  let gen_chain =
+    QCheck.Gen.(
+      small_list
+        (oneofl
+           [
+             "Price < 25000"; "Price < 20000"; "Price < 17000";
+             "Year >= 2003"; "Year >= 2005"; "Mileage <= 90000";
+             "Mileage <= 50000"; "Condition = 'Good'";
+           ]))
+  in
+  QCheck.Test.make ~count:60
+    ~name:"full_cached = full on overlapping select chains"
+    (QCheck.make (QCheck.Gen.list_size (QCheck.Gen.int_range 1 6) gen_chain))
+    (fun chains ->
+      Materialize.reset_cache ();
+      let base = Spreadsheet.of_relation ~name:"cars" Sample_cars.relation in
+      let sheets =
+        List.concat_map
+          (fun chain ->
+            let rec go sheet = function
+              | [] -> []
+              | p :: rest ->
+                  let s = apply_exn sheet (Op.Select (pred p)) in
+                  s :: go s rest
+            in
+            go base chain)
+          chains
+      in
+      let ok =
+        List.for_all
+          (fun s -> Relation.equal (Materialize.full_cached s) (Materialize.full s))
+          (sheets @ List.rev sheets)
+      in
+      let st = Materialize.cache_stats () in
+      Materialize.reset_cache ();
+      ok
+      && st.Materialize.requests
+         = st.Materialize.hits + st.Materialize.subsumed_hits
+           + st.Materialize.misses)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest ~long:true in
+  Alcotest.run "sheet_serve"
+    [
+      ( "protocol",
+        [ q request_roundtrip; q response_roundtrip; q decode_total ] );
+      ( "liveness",
+        [
+          Alcotest.test_case "garbage then ping (in-process)" `Quick
+            test_garbage_then_ping;
+          Alcotest.test_case "garbage then ping (socket)" `Quick
+            test_garbage_over_socket;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "session cap" `Quick test_admission;
+          Alcotest.test_case "rate cap" `Quick test_rate_cap;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "8 concurrent = serial replay" `Slow
+            test_concurrent_determinism;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "concurrent hammer" `Quick test_cache_hammer;
+          q cache_overlap_prop;
+        ] );
+    ]

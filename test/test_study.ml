@@ -185,6 +185,91 @@ let test_error_sources () =
        (fun e -> e.Tool_model.concept <> "sql-syntax")
        plan_sheet.Tool_model.errors)
 
+(* ---------- per-user op streams (Sheetserve load replay) ---------- *)
+
+let stream_catalog =
+  lazy
+    (Sheet_tpch.Tpch_views.install
+       (Sheet_tpch.Tpch_gen.generate
+          { Sheet_tpch.Tpch_gen.sf = 0.001; seed = 42 }))
+
+let test_op_stream_determinism () =
+  let task = Sheet_tpch.Tpch_tasks.find 1 in
+  let a = Sheetmusiq_model.op_stream ~seed:2115 ~subject:3 task in
+  let b = Sheetmusiq_model.op_stream ~seed:2115 ~subject:3 task in
+  Alcotest.(check bool) "same (seed, subject, task), same stream" true (a = b);
+  (* detours only ever add (step, undo, step) triples around the
+     canonical script *)
+  let script = Sheetmusiq_model.script_lines task in
+  Alcotest.(check bool) "stream at least as long as the script" true
+    (List.length a >= List.length script);
+  let undos =
+    List.length
+      (List.filter
+         (fun (s : Sheetmusiq_model.step) -> s.line = "undo")
+         a)
+  in
+  Alcotest.(check int) "every detour is one step plus one undo"
+    (List.length a - List.length script)
+    (2 * undos)
+
+let test_op_stream_converges () =
+  let catalog = Lazy.force stream_catalog in
+  List.iter
+    (fun (task : Sheet_tpch.Tpch_tasks.t) ->
+      let base = Sheet_sql.Catalog.find_exn catalog task.base in
+      let replay lines =
+        List.fold_left
+          (fun session line ->
+            match Sheet_core.Script.run_line session line with
+            | Ok o -> o.Sheet_core.Script.session
+            | Error msg ->
+                Alcotest.failf "task %d, %S: %s" task.id line msg)
+          (Sheet_core.Session.create ~name:task.base base)
+          lines
+      in
+      let canonical =
+        Sheet_core.Session.materialized
+          (replay (Sheetmusiq_model.script_lines task))
+      in
+      (* a handful of simulated users, all converging to the same
+         final materialization despite their mistake/undo detours *)
+      List.iter
+        (fun subject ->
+          let stream =
+            Sheetmusiq_model.op_stream ~seed:2115 ~subject task
+          in
+          let final =
+            Sheet_core.Session.materialized
+              (replay
+                 (List.map
+                    (fun (s : Sheetmusiq_model.step) -> s.line)
+                    stream))
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "task %d subject %d converges" task.id subject)
+            true
+            (Sheet_rel.Relation.equal final canonical))
+        [ 1; 2; 3; 4; 5 ])
+    Sheet_tpch.Tpch_tasks.all
+
+let test_op_stream_mistakes_occur () =
+  (* across the whole simulated population, at least one stream takes
+     a detour — the load replay exercises undo traffic, not just the
+     happy path *)
+  let detoured =
+    List.exists
+      (fun (task : Sheet_tpch.Tpch_tasks.t) ->
+        List.exists
+          (fun subject ->
+            List.exists
+              (fun (s : Sheetmusiq_model.step) -> s.line = "undo")
+              (Sheetmusiq_model.op_stream ~seed:2115 ~subject task))
+          (List.init 10 (fun i -> i + 1)))
+      Sheet_tpch.Tpch_tasks.all
+  in
+  Alcotest.(check bool) "some subject somewhere errs" true detoured
+
 let () =
   Alcotest.run "sheet_study"
     [ ( "protocol",
@@ -210,4 +295,11 @@ let () =
           Alcotest.test_case "robustness across seeds" `Quick
             test_robustness_across_seeds;
           Alcotest.test_case "confidence intervals" `Quick
-            test_confidence_intervals ] ) ]
+            test_confidence_intervals ] );
+      ( "op-streams",
+        [ Alcotest.test_case "deterministic in (seed, subject, task)"
+            `Quick test_op_stream_determinism;
+          Alcotest.test_case "streams converge to the script's state"
+            `Slow test_op_stream_converges;
+          Alcotest.test_case "mistakes occur in the population" `Quick
+            test_op_stream_mistakes_occur ] ) ]

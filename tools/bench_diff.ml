@@ -30,7 +30,7 @@ let threshold_pct = 25.
 
 (* the regression-guarded benchmark families; also emitted in the
    --json report so consumers know what the gate covered *)
-let guarded_prefixes = [ "op/"; "table"; "cache/"; "col/"; "obs/" ]
+let guarded_prefixes = [ "op/"; "table"; "cache/"; "col/"; "obs/"; "serve/" ]
 
 let guarded name =
   let starts_with prefix s =
